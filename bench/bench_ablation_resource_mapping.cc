@@ -1,0 +1,73 @@
+// Ablation (paper §3.1, Figure 2c + §3.2.2): resource mapping and data
+// direction. AG+GEMM under SM-pull / SM-push / DMA communication with a
+// comm-SM sweep, and GEMM+RS with SM-held vs hybrid-DMA scatter.
+#include "bench/bench_common.h"
+#include "tilelink/kernels/ag_gemm.h"
+#include "tilelink/kernels/gemm_rs.h"
+
+namespace tilelink::bench {
+namespace {
+
+double RunAg(tl::CommResource res, int comm_sms) {
+  rt::World world = MakeH800x8();
+  tl::AgGemmConfig cfg;
+  cfg.m = 8192;
+  cfg.k = 4096;
+  cfg.n = 11008 / 8;
+  cfg.gemm = CoarseTiling(cfg.k);
+  cfg.comm_tile_m = 128;
+  cfg.channels_per_rank = 4;
+  cfg.comm = res;
+  cfg.comm_sms = comm_sms;
+  tl::AgGemm bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double RunRs(bool dma_push, int comm_sms) {
+  rt::World world = MakeH800x8();
+  tl::GemmRsConfig cfg;
+  cfg.m = 8192;
+  cfg.k = 11008 / 8;
+  cfg.n = 4096;
+  cfg.gemm = CoarseTiling(cfg.k);
+  cfg.rs_block_m = 128;
+  cfg.comm_sms = comm_sms;
+  cfg.dma_push = dma_push;
+  tl::GemmRs bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+}  // namespace
+}  // namespace tilelink::bench
+
+int main() {
+  using namespace tilelink::bench;
+  using tilelink::tl::CommResource;
+  std::printf("=== Ablation: AG+GEMM communication resource (MLP-1) ===\n");
+  std::printf("%-10s", "comm_sms");
+  std::printf("%14s%14s%14s\n", "SM-pull", "SM-push", "DMA");
+  for (int sms : {8, 16, 20, 32, 48}) {
+    std::printf("%-10d%11.3f ms%11.3f ms", sms,
+                RunAg(CommResource::kSmPull, sms),
+                RunAg(CommResource::kSmPush, sms));
+    if (sms == 8) {
+      std::printf("%11.3f ms\n", RunAg(CommResource::kDma, sms));
+    } else {
+      std::printf("%14s\n", "(n/a)");
+    }
+  }
+  std::printf("\n=== Ablation: GEMM+RS scatter mapping (MLP-1 part 2) ===\n");
+  std::printf("%-10s%16s%16s\n", "comm_sms", "SM-held push", "hybrid DMA");
+  for (int sms : {8, 16, 20, 32}) {
+    std::printf("%-10d%13.3f ms%13.3f ms\n", sms, RunRs(false, sms),
+                RunRs(true, sms));
+  }
+  std::printf(
+      "\nDMA frees all SMs for compute but runs below link peak and pays "
+      "host latencies; SM mapping steals compute cores but reacts per tile. "
+      "Hybrid (reduce on SMs, scatter on DMA) wins for GEMM+RS — the mapping "
+      "the paper reports for TileLink's best result.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared harness for the figure/table benchmarks: paper-scale runs on the
+// H800x8 machine in timing-only mode with coarse reduction tiling (simulated
+// time is invariant in bk; see DESIGN.md §6), plus table printing and
+// geomean helpers that emit the same rows/series the paper reports.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compute/gemm.h"
+#include "runtime/world.h"
+#include "sim/machine_spec.h"
+
+namespace tilelink::bench {
+
+inline rt::World MakeH800x8() {
+  return rt::World(sim::MachineSpec::H800x8(), rt::ExecMode::kTimingOnly);
+}
+
+// Coarse k-tiling for paper-scale shapes (event-count reduction only).
+inline compute::GemmTiling CoarseTiling(int64_t k, int bm = 128,
+                                        int bn = 256) {
+  compute::GemmTiling t{bm, bn, 64};
+  int64_t bk = k / 8;
+  bk = bk - bk % 64;
+  if (bk < 64) bk = 64;
+  t.bk = static_cast<int>(bk);
+  return t;
+}
+
+inline double ToMsD(sim::TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+// A results table: rows are shapes, columns are methods (milliseconds).
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void Add(const std::string& row, const std::string& column, double ms) {
+    rows_[row][column] = ms;
+    if (std::find(row_order_.begin(), row_order_.end(), row) ==
+        row_order_.end()) {
+      row_order_.push_back(row);
+    }
+  }
+
+  // Prints absolute ms plus, when `relative_to` names a column, the
+  // relative-performance view used by the paper's figures
+  // (baseline_time / method_time, higher is better).
+  void Print(const std::string& relative_to = "") const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%-12s", "shape");
+    for (const auto& c : columns_) std::printf("%16s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : row_order_) {
+      std::printf("%-12s", row.c_str());
+      for (const auto& c : columns_) {
+        auto it = rows_.at(row).find(c);
+        if (it == rows_.at(row).end()) {
+          std::printf("%16s", "-");
+        } else {
+          std::printf("%13.3fms", it->second);
+        }
+      }
+      std::printf("\n");
+    }
+    if (!relative_to.empty()) {
+      std::printf("-- relative performance (vs %s, higher is better) --\n",
+                  relative_to.c_str());
+      std::map<std::string, std::pair<double, int>> geo;  // log-sum, count
+      for (const auto& row : row_order_) {
+        std::printf("%-12s", row.c_str());
+        const double base = rows_.at(row).at(relative_to);
+        for (const auto& c : columns_) {
+          auto it = rows_.at(row).find(c);
+          if (it == rows_.at(row).end()) {
+            std::printf("%16s", "-");
+            continue;
+          }
+          const double rel = base / it->second;
+          geo[c].first += std::log(rel);
+          geo[c].second += 1;
+          std::printf("%15.2fx", rel);
+        }
+        std::printf("\n");
+      }
+      std::printf("%-12s", "GEOMEAN");
+      for (const auto& c : columns_) {
+        auto it = geo.find(c);
+        if (it == geo.end() || it->second.second == 0) {
+          std::printf("%16s", "-");
+        } else {
+          std::printf("%15.2fx",
+                      std::exp(it->second.first / it->second.second));
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> row_order_;
+  std::map<std::string, std::map<std::string, double>> rows_;
+};
+
+}  // namespace tilelink::bench

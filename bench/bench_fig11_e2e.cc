@@ -1,0 +1,43 @@
+// Figure 11: end-to-end LLM comparison (TileLink vs PyTorch) on 8xH800
+// (TP=8, batch 4, seq 8192) and 16xH800 (TP=8 x DP=2, batch 8).
+#include "bench/bench_common.h"
+#include "models/transformer.h"
+
+int main() {
+  using namespace tilelink;
+  using namespace tilelink::bench;
+  for (const bool two_node : {false, true}) {
+    const int64_t batch = two_node ? 8 : 4;  // paper doubles batch on 2 nodes
+    models::E2eEstimator est(/*tp=*/8, /*batch=*/two_node ? batch / 2 : batch,
+                             /*seq=*/8192, two_node);
+    std::printf("\n=== Figure 11: end-to-end, %s (batch %lld, seq 8192) ===\n",
+                two_node ? "16xH800 (TP8 x DP2)" : "8xH800 (TP8)",
+                (long long)batch);
+    std::printf("%-16s %14s %14s %10s\n", "model", "Torch layer",
+                "TileLink layer", "speedup");
+    double log_sum = 0.0;
+    double dense_log = 0.0, moe_log = 0.0;
+    int dense_n = 0, moe_n = 0;
+    for (const models::ModelConfig& m : models::Figure11Models()) {
+      const models::E2eResult r = est.Run(m);
+      std::printf("%-16s %12.3fms %12.3fms %9.2fx\n", r.model.c_str(),
+                  ToMsD(r.torch_layer), ToMsD(r.tilelink_layer), r.speedup);
+      log_sum += std::log(r.speedup);
+      if (m.is_moe) {
+        moe_log += std::log(r.speedup);
+        ++moe_n;
+      } else {
+        dense_log += std::log(r.speedup);
+        ++dense_n;
+      }
+    }
+    std::printf("%-16s %28s %9.2fx\n", "GEOMEAN", "",
+                std::exp(log_sum / 8.0));
+    std::printf("  dense geomean %.2fx, MoE geomean %.2fx\n",
+                std::exp(dense_log / dense_n), std::exp(moe_log / moe_n));
+  }
+  std::printf(
+      "\nPaper reference (Fig 11): 8xH800 geomean 1.32x (dense 1.20x, MoE "
+      "1.54x); 16xH800 geomean 1.29x.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Figure 8 + Table 2: tensor-parallel MLP on 8xH800 — AG+GEMM, GEMM+RS and
+// the full MLP layer, for cuBLAS+NCCL (non-overlap), Async-TP (operator
+// decomposition), FLUX (coupled fusion) and TileLink.
+#include <algorithm>
+
+#include "baselines/flux_baselines.h"
+#include "baselines/mlp_baselines.h"
+#include "bench/bench_common.h"
+#include "bench/bench_shapes.h"
+#include "compute/memops.h"
+#include "tilelink/kernels/ag_gemm.h"
+#include "tilelink/kernels/gemm_rs.h"
+
+namespace tilelink::bench {
+namespace {
+
+int RsBlock(int64_t m_per_rank, int bm) {
+  int64_t chunk = std::max<int64_t>(bm, (m_per_rank / 8) - (m_per_rank / 8) % bm);
+  while (m_per_rank % chunk != 0) chunk -= bm;
+  return static_cast<int>(std::max<int64_t>(bm, chunk));
+}
+
+// ---- AG + GEMM (m = tokens, k = hidden, n = intermediate / R) -----------
+
+double AgGemmNonOverlap(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
+  baselines::NonOverlapAgGemm bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double AgGemmDecompose(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
+  baselines::DecomposeAgGemm bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double AgGemmFlux(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  baselines::FluxConfig cfg{m, k, n, CoarseTiling(k)};
+  baselines::FluxAgGemm bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double AgGemmTileLink(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  tl::AgGemmConfig cfg;
+  cfg.m = m;
+  cfg.k = k;
+  cfg.n = n;
+  cfg.gemm = CoarseTiling(k);
+  cfg.comm_tile_m = 128;
+  cfg.channels_per_rank = 4;
+  cfg.comm = tl::CommResource::kDma;  // the mapping the paper's kernel uses
+  tl::AgGemm bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+// ---- GEMM + RS (m = tokens, k = intermediate / R, n = hidden) -----------
+
+double GemmRsNonOverlap(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
+  baselines::NonOverlapGemmRs bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double GemmRsDecompose(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
+  baselines::DecomposeGemmRs bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double GemmRsFlux(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  baselines::FluxConfig cfg{m, k, n, CoarseTiling(k)};
+  baselines::FluxGemmRs bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double GemmRsTileLink(int64_t m, int64_t k, int64_t n) {
+  rt::World world = MakeH800x8();
+  tl::GemmRsConfig cfg;
+  cfg.m = m;
+  cfg.k = k;
+  cfg.n = n;
+  cfg.gemm = CoarseTiling(k);
+  cfg.rs_block_m = RsBlock(m / world.size(), cfg.gemm.bm);
+  cfg.dma_push = true;  // hybrid: reduce on SMs, scatter on copy engines
+  tl::GemmRs bench(world, cfg);
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+double ActivationMs(int64_t m, int64_t n) {
+  sim::MachineSpec spec = sim::MachineSpec::H800x8();
+  const sim::CostModel cost(spec);
+  return ToMsD(cost.MemoryBound(3ULL * static_cast<uint64_t>(m) * n * 2,
+                                spec.sms_per_device) +
+               spec.kernel_launch_latency);
+}
+
+}  // namespace
+}  // namespace tilelink::bench
+
+int main() {
+  using namespace tilelink::bench;
+  const int R = 8;
+  const std::vector<std::string> methods = {"cuBLAS+NCCL", "AsyncTP", "FLUX",
+                                            "TileLink"};
+  ResultTable ag("Figure 8a: AG+GEMM on 8xH800 (TP=8)", methods);
+  ResultTable rs("Figure 8b: GEMM+RS on 8xH800 (TP=8)", methods);
+  ResultTable full("Figure 8c: full MLP layer on 8xH800 (TP=8)", methods);
+
+  for (const MlpShape& s : Table4Mlp()) {
+    const int64_t n1 = s.i / R;  // AG+GEMM: H -> I/R
+    const int64_t k2 = s.i / R;  // GEMM+RS: I/R -> H
+    const double ag_no = AgGemmNonOverlap(s.s, s.h, n1);
+    const double ag_dec = AgGemmDecompose(s.s, s.h, n1);
+    const double ag_flux = AgGemmFlux(s.s, s.h, n1);
+    const double ag_tl = AgGemmTileLink(s.s, s.h, n1);
+    ag.Add(s.name, "cuBLAS+NCCL", ag_no);
+    ag.Add(s.name, "AsyncTP", ag_dec);
+    ag.Add(s.name, "FLUX", ag_flux);
+    ag.Add(s.name, "TileLink", ag_tl);
+
+    const double rs_no = GemmRsNonOverlap(s.s, k2, s.h);
+    const double rs_dec = GemmRsDecompose(s.s, k2, s.h);
+    const double rs_flux = GemmRsFlux(s.s, k2, s.h);
+    const double rs_tl = GemmRsTileLink(s.s, k2, s.h);
+    rs.Add(s.name, "cuBLAS+NCCL", rs_no);
+    rs.Add(s.name, "AsyncTP", rs_dec);
+    rs.Add(s.name, "FLUX", rs_flux);
+    rs.Add(s.name, "TileLink", rs_tl);
+
+    const double act = ActivationMs(s.s, s.i / R);
+    full.Add(s.name, "cuBLAS+NCCL", ag_no + act + rs_no);
+    full.Add(s.name, "AsyncTP", ag_dec + act + rs_dec);
+    full.Add(s.name, "FLUX", ag_flux + act + rs_flux);
+    full.Add(s.name, "TileLink", ag_tl + act + rs_tl);
+  }
+  ag.Print("cuBLAS+NCCL");
+  rs.Print("cuBLAS+NCCL");
+  full.Print("cuBLAS+NCCL");
+
+  std::printf(
+      "\nPaper reference (Fig 8 geomeans vs cuBLAS+NCCL): AG+GEMM — FLUX "
+      "1.34x, TileLink 1.27x (94.5%% of FLUX), AsyncTP <1x; GEMM+RS — "
+      "TileLink 1.25x (1.28x vs FLUX, 2.22x vs AsyncTP); full MLP — TileLink "
+      "1.24x (101.4%% of FLUX).\n");
+  return 0;
+}

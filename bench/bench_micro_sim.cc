@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// event-loop throughput, resource contention, network flows, and an
+// end-to-end overlapped kernel (wall-clock cost of simulating one AG+GEMM).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "comm/collectives.h"
+#include "sim/flag.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "tilelink/kernels/ag_gemm.h"
+
+namespace tilelink {
+namespace {
+
+sim::Coro Ping(sim::TimeNs step, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim::Delay{step};
+  }
+}
+
+void BM_EventLoop(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.Spawn(Ping(10, events));
+    s.Run();
+    benchmark::DoNotOptimize(s.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
+
+sim::Coro UseRes(sim::Resource* res) {
+  co_await res->Acquire();
+  co_await sim::Delay{5};
+  res->Release();
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Resource res(&s, 4, "r");
+    for (int i = 0; i < waiters; ++i) s.Spawn(UseRes(&res));
+    s.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * waiters);
+}
+BENCHMARK(BM_ResourceContention)->Arg(128)->Arg(4096);
+
+sim::Coro OneFlow(sim::Network* net, int src, int dst) {
+  co_await net->Transfer(src, dst, 1 << 20);
+}
+
+void BM_NetworkFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Network net(&s, 8, 150.0, 2200, "nvl");
+    for (int i = 0; i < flows; ++i) {
+      s.Spawn(OneFlow(&net, i % 8, (i + 1) % 8));
+    }
+    s.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_NetworkFlows)->Arg(64)->Arg(512);
+
+void BM_SimulateAgGemmMlp1(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::World world(sim::MachineSpec::H800x8(), rt::ExecMode::kTimingOnly);
+    tl::AgGemmConfig cfg;
+    cfg.m = 8192;
+    cfg.k = 4096;
+    cfg.n = 11008 / 8;
+    cfg.gemm = bench::CoarseTiling(cfg.k);
+    cfg.channels_per_rank = 4;
+    cfg.comm = tl::CommResource::kDma;
+    tl::AgGemm kernel(world, cfg);
+    const sim::TimeNs t = world.RunSpmd(
+        [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+    benchmark::DoNotOptimize(t);
+    state.counters["sim_ms"] = static_cast<double>(t) / 1e6;
+    state.counters["events"] =
+        static_cast<double>(world.sim().processed_events());
+  }
+}
+BENCHMARK(BM_SimulateAgGemmMlp1)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateAllGather8(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::World world(sim::MachineSpec::H800x8(), rt::ExecMode::kTimingOnly);
+    comm::SymTensor shards, outs;
+    for (int r = 0; r < 8; ++r) {
+      shards.push_back(Tensor::Alloc(world.device(r), "s", {1024, 4096},
+                                     DType::kBF16));
+      outs.push_back(Tensor::Alloc(world.device(r), "o", {8192, 4096},
+                                   DType::kBF16));
+    }
+    const sim::TimeNs t =
+        world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+          co_await comm::AllGather(ctx, shards, outs);
+        });
+    benchmark::DoNotOptimize(t);
+    state.counters["sim_ms"] = static_cast<double>(t) / 1e6;
+  }
+}
+BENCHMARK(BM_SimulateAllGather8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tilelink
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Benchmark shapes from Table 4 of the paper, plus the Table 2 motivational
+// configuration (LLaMA-7B MLP).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tilelink::bench {
+
+struct MlpShape {
+  std::string name;
+  int64_t s;  // batch x sequence tokens
+  int64_t h;  // hidden
+  int64_t i;  // intermediate
+  std::string source;
+};
+
+inline std::vector<MlpShape> Table4Mlp() {
+  return {
+      {"MLP-1", 8192, 4096, 11008, "LLaMA-7B"},
+      {"MLP-2", 8192, 4096, 14336, "LLaMA-3.1-8B"},
+      {"MLP-3", 8192, 3584, 14336, "Gemma-2-9B"},
+      {"MLP-4", 8192, 4608, 36864, "Gemma-2-27B"},
+      {"MLP-5", 8192, 8192, 28672, "LLaMA-3.1-70B"},
+      {"MLP-6", 8192, 8192, 29568, "Qwen-2-72B"},
+  };
+}
+
+struct MoeShape {
+  std::string name;
+  int64_t s;
+  int64_t h;
+  int64_t i;
+  int e;
+  int topk;
+};
+
+inline std::vector<MoeShape> Table4Moe() {
+  return {
+      {"MoE-1", 8192, 2048, 1536, 8, 2},  {"MoE-2", 8192, 2048, 1536, 32, 2},
+      {"MoE-3", 8192, 2048, 1536, 32, 5}, {"MoE-4", 8192, 4096, 2048, 8, 2},
+      {"MoE-5", 8192, 4096, 2048, 32, 2}, {"MoE-6", 8192, 4096, 2048, 32, 5},
+  };
+}
+
+struct AttnShape {
+  std::string name;
+  int heads;
+  int64_t head_dim;
+  std::vector<int64_t> seq_lens;
+};
+
+inline std::vector<AttnShape> Table4Attn() {
+  return {
+      {"Attn-1", 32, 128, {16384, 32768, 65536, 131072}},
+      {"Attn-2", 64, 128, {16384, 32768, 65536, 131072}},
+  };
+}
+
+}  // namespace tilelink::bench

@@ -1,0 +1,100 @@
+// Table 2 (motivational example): LLaMA-7B MLP (8192 x 4096 x 11008, TP=8),
+// AG+GEMM and GEMM+RS under non-overlap / decomposition / fusion (FLUX) /
+// TileLink.
+#include "baselines/flux_baselines.h"
+#include "baselines/mlp_baselines.h"
+#include "bench/bench_common.h"
+#include "tilelink/kernels/ag_gemm.h"
+#include "tilelink/kernels/gemm_rs.h"
+
+namespace tilelink::bench {
+namespace {
+
+template <typename Bench>
+double RunPart(Bench& bench, rt::World& world) {
+  return ToMsD(world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); }));
+}
+
+}  // namespace
+}  // namespace tilelink::bench
+
+int main() {
+  using namespace tilelink::bench;
+  using namespace tilelink;
+  const int64_t s = 8192, h = 4096, i = 11008;
+  const int R = 8;
+  const int64_t n1 = i / R;   // AG+GEMM output cols
+  const int64_t k2 = i / R;   // GEMM+RS reduction dim
+
+  ResultTable table("Table 2: motivational example (LLaMA-7B MLP, TP=8)",
+                    {"AG+GEMM", "GEMM+RS"});
+  {
+    rt::World w = MakeH800x8();
+    baselines::MlpPartConfig cfg{s, h, n1, CoarseTiling(h)};
+    baselines::NonOverlapAgGemm b(w, cfg);
+    table.Add("Non-Overlap", "AG+GEMM", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    baselines::MlpPartConfig cfg{s, k2, h, CoarseTiling(k2)};
+    baselines::NonOverlapGemmRs b(w, cfg);
+    table.Add("Non-Overlap", "GEMM+RS", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    baselines::MlpPartConfig cfg{s, h, n1, CoarseTiling(h)};
+    baselines::DecomposeAgGemm b(w, cfg);
+    table.Add("Decomposition", "AG+GEMM", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    baselines::MlpPartConfig cfg{s, k2, h, CoarseTiling(k2)};
+    baselines::DecomposeGemmRs b(w, cfg);
+    table.Add("Decomposition", "GEMM+RS", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    baselines::FluxConfig cfg{s, h, n1, CoarseTiling(h)};
+    baselines::FluxAgGemm b(w, cfg);
+    table.Add("Fusion (FLUX)", "AG+GEMM", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    baselines::FluxConfig cfg{s, k2, h, CoarseTiling(k2)};
+    baselines::FluxGemmRs b(w, cfg);
+    table.Add("Fusion (FLUX)", "GEMM+RS", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    tl::AgGemmConfig cfg;
+    cfg.m = s;
+    cfg.k = h;
+    cfg.n = n1;
+    cfg.gemm = CoarseTiling(h);
+    cfg.channels_per_rank = 4;
+    cfg.comm = tl::CommResource::kDma;
+    tl::AgGemm b(w, cfg);
+    table.Add("TileLink", "AG+GEMM", RunPart(b, w));
+  }
+  {
+    rt::World w = MakeH800x8();
+    tl::GemmRsConfig cfg;
+    cfg.m = s;
+    cfg.k = k2;
+    cfg.n = h;
+    cfg.gemm = CoarseTiling(k2);
+    cfg.rs_block_m = 128;
+    cfg.dma_push = true;
+    tl::GemmRs b(w, cfg);
+    table.Add("TileLink", "GEMM+RS", RunPart(b, w));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 2, ms): Non-Overlap 0.676/0.541, "
+      "Decomposition 1.301/1.443, FLUX 0.504/0.610, TileLink 0.505/0.504.\n"
+      "Lines of code: FLUX ~2000 .cu vs TileLink ~200 .py (here: the "
+      "overlapped kernels in src/tilelink/kernels are built from Table 3 "
+      "primitives).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Baselines for the tensor-parallel MLP experiments (Table 2, Figure 8).
+//
+//  - NonOverlapAgGemm / NonOverlapGemmRs: cuBLAS+NCCL analog — the
+//    collective completes before the GEMM starts (or after it ends).
+//  - DecomposeAgGemm / DecomposeGemmRs: Async-TP PyTorch analog — the
+//    operators are split into R chunks pipelined on two streams with
+//    host-driven synchronization between chunks. Small chunks lose wave
+//    efficiency and every step pays host sync latency (paper §2.2).
+//  - FLUX analogs live in flux_baselines.h (coupled kernel fusion).
+//
+// All baselines own buffers of the same shapes as the TileLink kernels so
+// tests can verify identical numerics across methods.
+#pragma once
+
+#include "comm/collectives.h"
+#include "compute/gemm.h"
+#include "runtime/world.h"
+
+namespace tilelink::baselines {
+
+struct MlpPartConfig {
+  int64_t m = 0;  // global rows
+  int64_t k = 0;
+  int64_t n = 0;
+  compute::GemmTiling gemm{128, 256, 64};
+};
+
+// ---- AllGather + GEMM ---------------------------------------------------
+
+class NonOverlapAgGemm {
+ public:
+  NonOverlapAgGemm(rt::World& world, const MlpPartConfig& config);
+  comm::SymTensor& a_shards() { return a_shards_; }
+  comm::SymTensor& a_full() { return a_full_; }
+  comm::SymTensor& b() { return b_; }
+  comm::SymTensor& c() { return c_; }
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World* world_;
+  MlpPartConfig cfg_;
+  comm::SymTensor a_shards_, a_full_, b_, c_;
+};
+
+class DecomposeAgGemm {
+ public:
+  DecomposeAgGemm(rt::World& world, const MlpPartConfig& config);
+  comm::SymTensor& a_shards() { return a_shards_; }
+  comm::SymTensor& b() { return b_; }
+  comm::SymTensor& c() { return c_; }
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World* world_;
+  MlpPartConfig cfg_;
+  comm::SymTensor a_shards_, a_full_, b_, c_;
+};
+
+// ---- GEMM + ReduceScatter ----------------------------------------------
+
+class NonOverlapGemmRs {
+ public:
+  NonOverlapGemmRs(rt::World& world, const MlpPartConfig& config);
+  comm::SymTensor& a() { return a_; }
+  comm::SymTensor& b() { return b_; }
+  comm::SymTensor& out() { return out_; }
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World* world_;
+  MlpPartConfig cfg_;
+  comm::SymTensor a_, b_, gemm_out_, out_;
+};
+
+class DecomposeGemmRs {
+ public:
+  DecomposeGemmRs(rt::World& world, const MlpPartConfig& config);
+  comm::SymTensor& a() { return a_; }
+  comm::SymTensor& b() { return b_; }
+  comm::SymTensor& out() { return out_; }
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World* world_;
+  MlpPartConfig cfg_;
+  comm::SymTensor a_, b_, gemm_out_, partial_, out_;
+};
+
+}  // namespace tilelink::baselines

@@ -1,0 +1,70 @@
+// MoE baselines (Figure 9):
+//  - CublasMoe*: unfused — AllGather, a standalone gather kernel that
+//    materializes sorted activations, one cuBLAS GEMM *launch per expert*,
+//    a scatter kernel, (part 2: topk-reduce kernel, ReduceScatter). Pays
+//    launch latency per expert and full HBM round-trips for gather/scatter.
+//  - CutlassMoe*: same data path but one grouped-GEMM launch (no per-expert
+//    launch storm); gather/scatter still unfused.
+//  - VllmMoe*: vLLM-style fused gather/scatter inside the grouped GEMM, but
+//    communication does not overlap compute.
+// TileLink's overlapped versions are tilelink/kernels/{ag_moe,moe_rs}.
+#pragma once
+
+#include "comm/collectives.h"
+#include "compute/gemm.h"
+#include "compute/group_gemm.h"
+#include "compute/moe_routing.h"
+#include "runtime/world.h"
+
+namespace tilelink::baselines {
+
+struct MoePartConfig {
+  int64_t m = 0;       // global tokens
+  int64_t hidden = 0;  // H (part 1 K; part 2 output dim)
+  int64_t inner = 0;   // I / R (part 1 N; part 2 K)
+  int num_experts = 0;
+  int topk = 0;
+  compute::GemmTiling gemm{128, 128, 64};
+};
+
+enum class MoeImpl { kCublas, kCutlass, kVllm };
+
+// Part 1: AG + Gather + GroupGEMM. Output [M*topk, inner] in slot order.
+class MoePart1 {
+ public:
+  MoePart1(rt::World& world, const MoePartConfig& config,
+           const compute::MoeRouting& routing, MoeImpl impl);
+  comm::SymTensor& token_shards() { return token_shards_; }
+  comm::SymTensor& weights() { return weights_; }
+  comm::SymTensor& out() { return out_; }
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World* world_;
+  MoePartConfig cfg_;
+  compute::MoeRouting routing_;
+  MoeImpl impl_;
+  comm::SymTensor token_shards_, tokens_, sorted_acts_, sorted_out_, weights_,
+      out_;
+};
+
+// Part 2: GroupGEMM + Scatter + TopkReduce + RS. Output [M/R, hidden].
+class MoePart2 {
+ public:
+  MoePart2(rt::World& world, const MoePartConfig& config,
+           const compute::MoeRouting& routing, MoeImpl impl);
+  comm::SymTensor& acts() { return acts_; }  // [M*topk, inner] slot order
+  comm::SymTensor& weights() { return weights_; }
+  comm::SymTensor& out() { return out_; }
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World* world_;
+  MoePartConfig cfg_;
+  compute::MoeRouting routing_;
+  MoeImpl impl_;
+  comm::SymTensor acts_, sorted_acts_, sorted_out_, exp_out_, token_partial_,
+      weights_, out_;
+};
+
+}  // namespace tilelink::baselines

@@ -1,0 +1,41 @@
+#include "comm/p2p.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace tilelink::comm {
+namespace {
+
+sim::Coro TransferAndCommit(rt::World& world, Tensor src, Tensor dst,
+                            uint64_t wire_bytes) {
+  const sim::TimeNs start = world.sim().Now();
+  co_await world.Transfer(src.device(), dst.device(), wire_bytes);
+  if (world.functional()) {
+    CopyTensor(src, dst);
+  }
+  int64_t lo = 0, hi = 0;
+  dst.BufferRange(&lo, &hi);
+  world.checker().RecordWrite(dst.buffer(), lo, hi, start, world.sim().Now(),
+                              "p2p_copy");
+}
+
+}  // namespace
+
+sim::Coro CopyTensorP2P(rt::World& world, rt::Device& engine_owner,
+                        Tensor src, Tensor dst) {
+  TL_CHECK(src.shape() == dst.shape());
+  co_await engine_owner.copy_engines().Acquire();
+  sim::ResourceLease lease(engine_owner.copy_engines(), 1);
+  co_await sim::Delay{world.spec().dma_setup_latency};
+  // Copy engines run below NVLink peak; bill the efficiency loss as extra
+  // wire time.
+  const uint64_t wire_bytes = static_cast<uint64_t>(
+      static_cast<double>(src.logical_bytes()) / world.spec().dma_efficiency);
+  co_await TransferAndCommit(world, src, dst, wire_bytes);
+}
+
+sim::Coro CopyTensorSM(rt::World& world, Tensor src, Tensor dst) {
+  TL_CHECK(src.shape() == dst.shape());
+  co_await TransferAndCommit(world, src, dst, src.logical_bytes());
+}
+
+}  // namespace tilelink::comm

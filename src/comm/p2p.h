@@ -1,0 +1,22 @@
+// Point-to-point tensor copies over the simulated fabric — the building
+// block for collectives and for TileLink's rank_copy_data host primitive.
+#pragma once
+
+#include "runtime/world.h"
+#include "sim/coro.h"
+#include "tensor/tensor.h"
+
+namespace tilelink::comm {
+
+// Copies src (on some rank) into dst (on some rank) using one of
+// `engine_owner`'s DMA copy engines. Bills setup latency + fabric time;
+// performs the functional copy after the transfer completes and registers
+// the write with the consistency checker.
+sim::Coro CopyTensorP2P(rt::World& world, rt::Device& engine_owner,
+                        Tensor src, Tensor dst);
+
+// Same transfer but driven by processing cores (SM-push): the caller is a
+// device block coroutine that already holds an SM; no DMA engine involved.
+sim::Coro CopyTensorSM(rt::World& world, Tensor src, Tensor dst);
+
+}  // namespace tilelink::comm

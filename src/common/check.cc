@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace tilelink::internal {
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::ostringstream os;
+  os << "TL_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) {
+    os << " " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace tilelink::internal

@@ -1,0 +1,80 @@
+// Error-handling primitives for tilelink-sim.
+//
+// TL_CHECK(cond) / TL_CHECK_xx(a, b) throw tilelink::Error on failure and are
+// always enabled; use them for API-contract violations. TL_DCHECK is compiled
+// out in NDEBUG builds; use it for internal invariants on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tilelink {
+
+// Exception type thrown by all TL_CHECK macros. Carries the failing
+// expression and source location in what().
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+// Builds "lhs vs rhs" detail for binary comparison checks.
+template <typename A, typename B>
+std::string BinaryDetail(const A& a, const B& b, const char* op) {
+  std::ostringstream os;
+  os << "(" << a << " " << op << " " << b << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace tilelink
+
+#define TL_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::tilelink::internal::FailCheck(__FILE__, __LINE__, #cond, "");      \
+    }                                                                      \
+  } while (false)
+
+#define TL_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream tl_check_os_;                                     \
+      tl_check_os_ << msg;                                                 \
+      ::tilelink::internal::FailCheck(__FILE__, __LINE__, #cond,           \
+                                      tl_check_os_.str());                 \
+    }                                                                      \
+  } while (false)
+
+#define TL_CHECK_OP_(a, b, op)                                             \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      ::tilelink::internal::FailCheck(                                     \
+          __FILE__, __LINE__, #a " " #op " " #b,                           \
+          ::tilelink::internal::BinaryDetail((a), (b), #op));              \
+    }                                                                      \
+  } while (false)
+
+#define TL_CHECK_EQ(a, b) TL_CHECK_OP_(a, b, ==)
+#define TL_CHECK_NE(a, b) TL_CHECK_OP_(a, b, !=)
+#define TL_CHECK_LT(a, b) TL_CHECK_OP_(a, b, <)
+#define TL_CHECK_LE(a, b) TL_CHECK_OP_(a, b, <=)
+#define TL_CHECK_GT(a, b) TL_CHECK_OP_(a, b, >)
+#define TL_CHECK_GE(a, b) TL_CHECK_OP_(a, b, >=)
+
+#ifdef NDEBUG
+#define TL_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define TL_DCHECK(cond) TL_CHECK(cond)
+#endif
+
+#define TL_UNREACHABLE()                                                  \
+  ::tilelink::internal::FailCheck(__FILE__, __LINE__, "unreachable", "")

@@ -1,0 +1,54 @@
+// Minimal leveled logging. Disabled below the global threshold; the default
+// threshold is kWarning so library code stays quiet under test/bench runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tilelink {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+// RAII stream that emits on destruction; keeps the macro usable as
+// TL_LOG(kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tilelink
+
+#define TL_LOG(severity)                                               \
+  if (static_cast<int>(::tilelink::LogLevel::severity) <               \
+      static_cast<int>(::tilelink::GetLogLevel())) {                   \
+  } else                                                               \
+    ::tilelink::internal::LogMessage(::tilelink::LogLevel::severity,   \
+                                     __FILE__, __LINE__)               \
+        .stream()

@@ -1,0 +1,38 @@
+// Small integer/math helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace tilelink {
+
+// ceil(a / b) for non-negative integers.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+// Rounds a up to the next multiple of b.
+template <typename T>
+constexpr T RoundUp(T a, T b) {
+  return CeilDiv(a, b) * b;
+}
+
+// Floor division that is well-defined for our (non-negative) use sites.
+template <typename T>
+constexpr T FloorDiv(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return a / b;
+}
+
+inline int64_t Pow2RoundUp(int64_t v) {
+  TL_CHECK_GT(v, 0);
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace tilelink

@@ -1,0 +1,49 @@
+#include "common/string_utils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tilelink {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (size > 0) {
+    out.resize(static_cast<size_t>(size));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string HumanTimeNs(uint64_t ns) {
+  if (ns < 1000) return StrFormat("%llu ns", (unsigned long long)ns);
+  if (ns < 1000 * 1000) return StrFormat("%.3f us", ns / 1e3);
+  if (ns < 1000ULL * 1000 * 1000) return StrFormat("%.3f ms", ns / 1e6);
+  return StrFormat("%.3f s", ns / 1e9);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes < (1ULL << 10)) return StrFormat("%llu B", (unsigned long long)bytes);
+  if (bytes < (1ULL << 20)) return StrFormat("%.1f KiB", b / (1ULL << 10));
+  if (bytes < (1ULL << 30)) return StrFormat("%.1f MiB", b / (1ULL << 20));
+  return StrFormat("%.2f GiB", b / (1ULL << 30));
+}
+
+}  // namespace tilelink

@@ -1,0 +1,167 @@
+#include "compute/tile_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tilelink::compute {
+namespace {
+
+int64_t ClipLen(int64_t start, int64_t want, int64_t total) {
+  return std::max<int64_t>(0, std::min(start + want, total) - start);
+}
+
+}  // namespace
+
+void GemmTile(const Tensor& a, const Tensor& b, Tensor& c, int64_t m0,
+              int64_t bm, int64_t n0, int64_t bn, int64_t k0, int64_t bk,
+              bool accumulate) {
+  const int64_t m_len = ClipLen(m0, bm, c.dim(0));
+  const int64_t n_len = ClipLen(n0, bn, c.dim(1));
+  const int64_t k_len = ClipLen(k0, bk, a.dim(1));
+  for (int64_t m = 0; m < m_len; ++m) {
+    for (int64_t n = 0; n < n_len; ++n) {
+      float acc = accumulate ? c.at({m0 + m, n0 + n}) : 0.0f;
+      for (int64_t k = 0; k < k_len; ++k) {
+        acc += a.at({m0 + m, k0 + k}) * b.at({k0 + k, n0 + n});
+      }
+      c.at({m0 + m, n0 + n}) = acc;
+    }
+  }
+}
+
+void GemmTileGatherA(const Tensor& a, const std::vector<int>& row_index,
+                     const Tensor& b, Tensor& c, int64_t m0, int64_t bm,
+                     int64_t n0, int64_t bn, int64_t k0, int64_t bk,
+                     bool accumulate) {
+  const int64_t m_len = ClipLen(m0, bm, c.dim(0));
+  const int64_t n_len = ClipLen(n0, bn, c.dim(1));
+  const int64_t k_len = ClipLen(k0, bk, a.dim(1));
+  for (int64_t m = 0; m < m_len; ++m) {
+    const int src = row_index[static_cast<size_t>(m0 + m)];
+    for (int64_t n = 0; n < n_len; ++n) {
+      float acc = accumulate ? c.at({m0 + m, n0 + n}) : 0.0f;
+      if (src >= 0) {
+        for (int64_t k = 0; k < k_len; ++k) {
+          acc += a.at({src, k0 + k}) * b.at({k0 + k, n0 + n});
+        }
+      }
+      c.at({m0 + m, n0 + n}) = acc;
+    }
+  }
+}
+
+void FlashState::Reset(int64_t bq, int64_t head_dim) {
+  row_max.assign(static_cast<size_t>(bq), -1e30f);
+  row_sum.assign(static_cast<size_t>(bq), 0.0f);
+  acc.assign(static_cast<size_t>(bq * head_dim), 0.0f);
+}
+
+void FlashAttnStep(const Tensor& q, const Tensor& k, const Tensor& v,
+                   FlashState& state, int64_t q0, int64_t bq, int64_t kv0,
+                   int64_t bkv, float scale) {
+  const int64_t d = q.dim(1);
+  const int64_t q_len = ClipLen(q0, bq, q.dim(0));
+  const int64_t kv_len = ClipLen(kv0, bkv, k.dim(0));
+  std::vector<float> scores(static_cast<size_t>(kv_len));
+  for (int64_t i = 0; i < q_len; ++i) {
+    float tile_max = -1e30f;
+    for (int64_t j = 0; j < kv_len; ++j) {
+      float s = 0.0f;
+      for (int64_t x = 0; x < d; ++x) {
+        s += q.at({q0 + i, x}) * k.at({kv0 + j, x});
+      }
+      s *= scale;
+      scores[static_cast<size_t>(j)] = s;
+      tile_max = std::max(tile_max, s);
+    }
+    const size_t si = static_cast<size_t>(i);
+    const float new_max = std::max(state.row_max[si], tile_max);
+    const float correction = std::exp(state.row_max[si] - new_max);
+    state.row_sum[si] *= correction;
+    for (int64_t x = 0; x < d; ++x) {
+      state.acc[static_cast<size_t>(i * d + x)] *= correction;
+    }
+    for (int64_t j = 0; j < kv_len; ++j) {
+      const float p = std::exp(scores[static_cast<size_t>(j)] - new_max);
+      state.row_sum[si] += p;
+      for (int64_t x = 0; x < d; ++x) {
+        state.acc[static_cast<size_t>(i * d + x)] += p * v.at({kv0 + j, x});
+      }
+    }
+    state.row_max[si] = new_max;
+  }
+}
+
+void FlashFinalize(const FlashState& state, Tensor& out, int64_t q0,
+                   int64_t bq) {
+  const int64_t d = out.dim(1);
+  const int64_t q_len = ClipLen(q0, bq, out.dim(0));
+  for (int64_t i = 0; i < q_len; ++i) {
+    const float denom = state.row_sum[static_cast<size_t>(i)];
+    const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
+    for (int64_t x = 0; x < d; ++x) {
+      out.at({q0 + i, x}) = state.acc[static_cast<size_t>(i * d + x)] * inv;
+    }
+  }
+}
+
+float Silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+float GeluTanh(float x) {
+  const float c = 0.7978845608f;  // sqrt(2/pi)
+  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+}
+
+void SiluMulTile(const Tensor& a, const Tensor& b, Tensor& out, int64_t r0,
+                 int64_t rows, int64_t c0, int64_t cols) {
+  const int64_t r_len = ClipLen(r0, rows, out.dim(0));
+  const int64_t c_len = ClipLen(c0, cols, out.dim(1));
+  for (int64_t r = 0; r < r_len; ++r) {
+    for (int64_t c = 0; c < c_len; ++c) {
+      out.at({r0 + r, c0 + c}) =
+          Silu(a.at({r0 + r, c0 + c})) * b.at({r0 + r, c0 + c});
+    }
+  }
+}
+
+void GeluMulTile(const Tensor& a, const Tensor& b, Tensor& out, int64_t r0,
+                 int64_t rows, int64_t c0, int64_t cols) {
+  const int64_t r_len = ClipLen(r0, rows, out.dim(0));
+  const int64_t c_len = ClipLen(c0, cols, out.dim(1));
+  for (int64_t r = 0; r < r_len; ++r) {
+    for (int64_t c = 0; c < c_len; ++c) {
+      out.at({r0 + r, c0 + c}) =
+          GeluTanh(a.at({r0 + r, c0 + c})) * b.at({r0 + r, c0 + c});
+    }
+  }
+}
+
+void AddTile(const Tensor& in, Tensor& out, int64_t r0, int64_t rows,
+             int64_t c0, int64_t cols, bool accumulate) {
+  const int64_t r_len = ClipLen(r0, rows, out.dim(0));
+  const int64_t c_len = ClipLen(c0, cols, out.dim(1));
+  for (int64_t r = 0; r < r_len; ++r) {
+    for (int64_t c = 0; c < c_len; ++c) {
+      const float v = in.at({r0 + r, c0 + c});
+      if (accumulate) {
+        out.at({r0 + r, c0 + c}) += v;
+      } else {
+        out.at({r0 + r, c0 + c}) = v;
+      }
+    }
+  }
+}
+
+void ScaleRowsTile(Tensor& t, const std::vector<float>& weights, int64_t r0,
+                   int64_t rows, int64_t c0, int64_t cols) {
+  const int64_t r_len = ClipLen(r0, rows, t.dim(0));
+  const int64_t c_len = ClipLen(c0, cols, t.dim(1));
+  for (int64_t r = 0; r < r_len; ++r) {
+    const float w = weights[static_cast<size_t>(r0 + r)];
+    for (int64_t c = 0; c < c_len; ++c) {
+      t.at({r0 + r, c0 + c}) *= w;
+    }
+  }
+}
+
+}  // namespace tilelink::compute

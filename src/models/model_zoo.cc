@@ -1,0 +1,32 @@
+#include "models/model_zoo.h"
+
+#include "common/check.h"
+
+namespace tilelink::models {
+
+std::vector<ModelConfig> Figure11Models() {
+  std::vector<ModelConfig> zoo;
+  zoo.push_back(ModelConfig{"GPT3-6.7B", 4096, 32, 32, 128, 16384});
+  zoo.push_back(ModelConfig{"LLaMA2-7B", 4096, 32, 32, 128, 11008});
+  zoo.push_back(ModelConfig{"LLaMA2-13B", 5120, 40, 40, 128, 13824});
+  zoo.push_back(ModelConfig{"LLaMA2-70B", 8192, 80, 64, 128, 28672});
+  zoo.push_back(ModelConfig{"GPT3-175B", 12288, 96, 96, 128, 49152});
+  zoo.push_back(ModelConfig{"Mixtral-8x7B", 4096, 32, 32, 128, 14336, true,
+                            8, 2});
+  zoo.push_back(ModelConfig{"Mixtral-8x22B", 6144, 56, 48, 128, 16384, true,
+                            8, 2});
+  // Qwen1.5-MoE-A2.7B: fine-grained experts plus a shared expert (the paper
+  // combines the MLP layer and MoE layer to support it).
+  zoo.push_back(ModelConfig{"Qwen1.5-2.7B", 2048, 24, 16, 128, 1408, true,
+                            60, 4, /*shared=*/5632});
+  return zoo;
+}
+
+ModelConfig GetModel(const std::string& name) {
+  for (const ModelConfig& m : Figure11Models()) {
+    if (m.name == name) return m;
+  }
+  throw Error("unknown model: " + name);
+}
+
+}  // namespace tilelink::models

@@ -1,0 +1,33 @@
+// Model zoo for the end-to-end evaluation (paper Figure 11): five dense LLMs
+// and three MoE LLMs, with the tensor-parallel layer structure used by the
+// paper (sequence-parallel attention block + TP MLP / MoE block).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tilelink::models {
+
+struct ModelConfig {
+  std::string name;
+  int64_t hidden = 0;
+  int layers = 0;
+  int heads = 0;
+  int64_t head_dim = 128;
+  int64_t intermediate = 0;  // dense FFN intermediate (per expert for MoE)
+  bool is_moe = false;
+  int num_experts = 0;
+  int topk = 0;
+  // Qwen1.5-MoE style shared expert: a dense MLP of this intermediate size
+  // runs alongside the routed experts (0 = none).
+  int64_t shared_expert_intermediate = 0;
+};
+
+// The eight models of Figure 11.
+std::vector<ModelConfig> Figure11Models();
+
+// Lookup by name (throws if unknown).
+ModelConfig GetModel(const std::string& name);
+
+}  // namespace tilelink::models

@@ -1,0 +1,62 @@
+// End-to-end transformer timing (Figure 11): composes per-layer component
+// times — sequence-parallel attention block (AG + QKV GEMM, flash core,
+// out-proj GEMM + RS) and TP MLP / MoE block — by *running the simulator*
+// for each unique component shape (coarse tiling keeps event counts small;
+// total simulated time is tiling-invariant because tile-step cost is linear
+// in FLOPs). Results are memoized per shape across models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "models/model_zoo.h"
+#include "sim/machine_spec.h"
+#include "sim/time.h"
+
+namespace tilelink::models {
+
+enum class Method {
+  kTorch,     // non-overlap: NCCL collectives + cuBLAS/flash kernels
+  kTileLink,  // overlapped kernels from tilelink/kernels
+};
+
+struct LayerBreakdown {
+  sim::TimeNs attn_block = 0;  // AG+QKV, flash core, out-proj+RS
+  sim::TimeNs ffn_block = 0;   // MLP or MoE (plus shared expert if any)
+  sim::TimeNs total() const { return attn_block + ffn_block; }
+};
+
+struct E2eResult {
+  std::string model;
+  sim::TimeNs torch_layer = 0;
+  sim::TimeNs tilelink_layer = 0;
+  sim::TimeNs torch_total = 0;
+  sim::TimeNs tilelink_total = 0;
+  double speedup = 0.0;
+};
+
+class E2eEstimator {
+ public:
+  // tp = tensor-parallel degree (devices per TP group; one node).
+  // two_node adds the inter-node data-parallel synchronization overhead of
+  // the paper's 16-GPU setup (batch doubles, per-GPU work unchanged).
+  E2eEstimator(int tp, int64_t batch, int64_t seq, bool two_node);
+
+  LayerBreakdown LayerTime(const ModelConfig& model, Method method);
+  E2eResult Run(const ModelConfig& model);
+
+ private:
+  sim::TimeNs TimeAgGemm(Method method, int64_t m, int64_t k, int64_t n);
+  sim::TimeNs TimeGemmRs(Method method, int64_t m, int64_t k, int64_t n);
+  sim::TimeNs TimeFlashCore(int64_t bh, int64_t sq, int64_t skv, int64_t d);
+  sim::TimeNs TimeMoe(Method method, const ModelConfig& model);
+  sim::TimeNs TimeActivation(int64_t m, int64_t n);
+
+  int tp_;
+  int64_t batch_, seq_;
+  bool two_node_;
+  std::map<std::string, sim::TimeNs> cache_;
+};
+
+}  // namespace tilelink::models

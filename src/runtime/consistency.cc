@@ -1,0 +1,47 @@
+#include "runtime/consistency.h"
+
+namespace tilelink::rt {
+
+void ConsistencyChecker::RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
+                                     sim::TimeNs start, sim::TimeNs end,
+                                     const std::string& writer) {
+  if (!enabled_) return;
+  writes_[buf].push_back(WriteInterval{lo, hi, start, end, writer});
+  // Order-independent audit: a read probed earlier may fall inside this
+  // just-committed interval.
+  auto it = reads_.find(buf);
+  if (it != reads_.end()) {
+    for (const ReadProbe& r : it->second) {
+      const bool range_overlap = r.lo < hi && lo < r.hi;
+      const bool in_flight = start <= r.t && r.t < end;
+      if (range_overlap && in_flight) {
+        violations_.push_back(
+            Violation{buf, r.lo, r.hi, r.t, start, end, r.reader, writer});
+      }
+    }
+  }
+}
+
+void ConsistencyChecker::CheckRead(const Buffer* buf, int64_t lo, int64_t hi,
+                                   sim::TimeNs t, const std::string& reader) {
+  if (!enabled_) return;
+  reads_[buf].push_back(ReadProbe{lo, hi, t, reader});
+  auto it = writes_.find(buf);
+  if (it == writes_.end()) return;
+  for (const WriteInterval& w : it->second) {
+    const bool range_overlap = lo < w.hi && w.lo < hi;
+    const bool in_flight = w.start <= t && t < w.end;
+    if (range_overlap && in_flight) {
+      violations_.push_back(
+          Violation{buf, lo, hi, t, w.start, w.end, reader, w.writer});
+    }
+  }
+}
+
+void ConsistencyChecker::Clear() {
+  writes_.clear();
+  reads_.clear();
+  violations_.clear();
+}
+
+}  // namespace tilelink::rt

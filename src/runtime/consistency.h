@@ -1,0 +1,72 @@
+// Memory-consistency checker (the testable analog of §4.2 of the paper).
+//
+// Simulated kernels register writes as (buffer, element range, start, end)
+// intervals and reads as (buffer, element range, time) probes. A read that
+// lands inside an in-flight write interval is a race: the consumer observed
+// data before the producer's release made it visible. TileLink-lowered code
+// never triggers this (waits carry acquire, notifies carry release and are
+// scheduled after store completion); the deliberately-unsafe compiler mode
+// used in fault-injection tests does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tilelink::rt {
+
+class Buffer;
+
+class ConsistencyChecker {
+ public:
+  struct Violation {
+    const Buffer* buffer;
+    int64_t lo, hi;           // read range
+    sim::TimeNs read_time;
+    sim::TimeNs write_start;
+    sim::TimeNs write_end;
+    std::string reader;
+    std::string writer;
+  };
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Registers a write of [lo, hi) on buf spanning [start, end) sim-time.
+  // Also audits previously probed reads whose time falls inside this
+  // interval (writes commit at transfer completion, so a racing read may
+  // have been probed first — the check must be order-independent).
+  void RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
+                   sim::TimeNs start, sim::TimeNs end,
+                   const std::string& writer);
+
+  // Probes a read of [lo, hi) at time t; records a violation if it overlaps
+  // an in-flight write (already recorded or recorded later).
+  void CheckRead(const Buffer* buf, int64_t lo, int64_t hi, sim::TimeNs t,
+                 const std::string& reader);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  void Clear();
+
+ private:
+  struct WriteInterval {
+    int64_t lo, hi;
+    sim::TimeNs start, end;
+    std::string writer;
+  };
+  struct ReadProbe {
+    int64_t lo, hi;
+    sim::TimeNs t;
+    std::string reader;
+  };
+
+  bool enabled_ = false;
+  std::unordered_map<const Buffer*, std::vector<WriteInterval>> writes_;
+  std::unordered_map<const Buffer*, std::vector<ReadProbe>> reads_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace tilelink::rt

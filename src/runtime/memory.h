@@ -1,0 +1,99 @@
+// Simulated device memory.
+//
+// A Buffer is a named allocation that lives on one simulated device. In
+// functional mode buffers are materialized as host float storage so kernels
+// compute real numerics; in timing-only mode (paper-scale shapes) buffers
+// track sizes but hold no payload. The *logical* dtype width (e.g. BF16 = 2
+// bytes) is what communication and memory-bound cost functions bill, while
+// functional math always runs in fp32 — see DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tilelink::rt {
+
+enum class ExecMode {
+  kFunctional,  // real numerics + timing (tests, examples)
+  kTimingOnly,  // timing only, payloads not materialized (paper-scale bench)
+};
+
+class Buffer {
+ public:
+  Buffer(int device, std::string name, int64_t num_elems, bool materialize)
+      : device_(device), name_(std::move(name)), num_elems_(num_elems) {
+    TL_CHECK_GE(num_elems, 0);
+    if (materialize) {
+      data_.assign(static_cast<size_t>(num_elems), 0.0f);
+    }
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  int device() const { return device_; }
+  const std::string& name() const { return name_; }
+  int64_t num_elems() const { return num_elems_; }
+  bool materialized() const { return !data_.empty() || num_elems_ == 0; }
+
+  std::span<float> data() {
+    TL_CHECK_MSG(materialized(), "buffer '" << name_
+                                            << "' used functionally in "
+                                               "timing-only mode");
+    return std::span<float>(data_);
+  }
+  std::span<const float> data() const {
+    TL_CHECK_MSG(materialized(), "buffer '" << name_
+                                            << "' used functionally in "
+                                               "timing-only mode");
+    return std::span<const float>(data_);
+  }
+
+  float& at(int64_t i) {
+    TL_DCHECK(i >= 0 && i < num_elems_);
+    return data()[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const {
+    TL_DCHECK(i >= 0 && i < num_elems_);
+    return data()[static_cast<size_t>(i)];
+  }
+
+  void Zero() {
+    if (!data_.empty()) data_.assign(data_.size(), 0.0f);
+  }
+
+ private:
+  int device_;
+  std::string name_;
+  int64_t num_elems_;
+  std::vector<float> data_;
+};
+
+// Per-device arena owning buffers; pointers remain stable for the arena's
+// lifetime.
+class MemPool {
+ public:
+  explicit MemPool(int device) : device_(device) {}
+
+  Buffer* Alloc(const std::string& name, int64_t num_elems, bool materialize) {
+    buffers_.push_back(
+        std::make_unique<Buffer>(device_, name, num_elems, materialize));
+    return buffers_.back().get();
+  }
+
+  int64_t total_elems() const {
+    int64_t n = 0;
+    for (const auto& b : buffers_) n += b->num_elems();
+    return n;
+  }
+
+ private:
+  int device_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace tilelink::rt

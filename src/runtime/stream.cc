@@ -1,0 +1,74 @@
+#include "runtime/stream.h"
+
+namespace tilelink::rt {
+namespace {
+
+// Root coroutine for one thread block: queue for an SM slot, run the body,
+// free the slot, tick the kernel's completion counter.
+sim::Coro BlockWrapper(BlockCtx ctx, BlockFn body,
+                       std::shared_ptr<KernelState> state) {
+  co_await ctx.dev->sms().Acquire();
+  try {
+    co_await body(ctx);
+  } catch (...) {
+    ctx.dev->sms().Release();
+    throw;
+  }
+  ctx.dev->sms().Release();
+  state->blocks_done.Add(1);
+  if (state->done()) {
+    state->end_time = ctx.dev->sim()->Now();
+  }
+}
+
+}  // namespace
+
+void Stream::Enqueue(std::function<sim::Coro()> make_op) {
+  const uint64_t index = enqueued_++;
+  dev_->sim()->Spawn(RunOp(index, std::move(make_op)), name_ + ".op");
+}
+
+sim::Coro Stream::RunOp(uint64_t index, std::function<sim::Coro()> make_op) {
+  co_await tail_.WaitGe(index);
+  co_await make_op();
+  tail_.Set(index + 1);
+}
+
+std::shared_ptr<KernelState> Stream::LaunchKernel(int grid, BlockFn body,
+                                                  std::string kernel_name) {
+  TL_CHECK_GT(grid, 0);
+  auto state =
+      std::make_shared<KernelState>(dev_->sim(), grid, std::move(kernel_name));
+  Device* dev = dev_;
+  Enqueue([dev, grid, body = std::move(body), state]() -> sim::Coro {
+    co_await sim::Delay{dev->spec().kernel_launch_latency};
+    state->start_time = dev->sim()->Now();
+    for (int b = 0; b < grid; ++b) {
+      dev->sim()->Spawn(
+          BlockWrapper(BlockCtx{dev, b, grid, state.get()}, body, state),
+          state->name + ".block");
+    }
+    co_await state->Wait();
+  });
+  return state;
+}
+
+std::shared_ptr<StreamEvent> Stream::RecordEvent() {
+  auto event = std::make_shared<StreamEvent>(dev_->sim());
+  Enqueue([event]() -> sim::Coro {
+    event->Record();
+    co_return;
+  });
+  return event;
+}
+
+void Stream::WaitEvent(std::shared_ptr<StreamEvent> event) {
+  Enqueue([event]() -> sim::Coro { co_await event->Wait(); });
+}
+
+sim::Coro Stream::Synchronize() {
+  co_await tail_.WaitGe(enqueued_);
+  co_await sim::Delay{dev_->spec().host_sync_latency};
+}
+
+}  // namespace tilelink::rt

@@ -1,0 +1,89 @@
+#include "runtime/world.h"
+
+#include <algorithm>
+
+namespace tilelink::rt {
+
+World::World(const sim::MachineSpec& spec, ExecMode mode)
+    : spec_(spec), mode_(mode), cost_(spec) {
+  intra_ = std::make_unique<sim::Network>(&sim_, spec.num_devices,
+                                          spec.nvlink_gbps,
+                                          spec.nvlink_latency, "nvlink");
+  inter_ = std::make_unique<sim::Network>(&sim_, spec.num_devices,
+                                          spec.nic_gbps, spec.nic_latency,
+                                          "nic");
+  inter_->set_local_copy_bw_gbps(spec.hbm_gbps);
+  intra_->set_local_copy_bw_gbps(spec.hbm_gbps);
+  devices_.reserve(spec.num_devices);
+  for (int d = 0; d < spec.num_devices; ++d) {
+    devices_.push_back(std::make_unique<Device>(&sim_, &spec_, d, mode));
+  }
+  rank_ctxs_.reserve(spec.num_devices);
+  for (int d = 0; d < spec.num_devices; ++d) {
+    streams_.push_back(std::make_unique<Stream>(
+        devices_[d].get(), "dev" + std::to_string(d) + ".stream0"));
+    Stream* compute = streams_.back().get();
+    streams_.push_back(std::make_unique<Stream>(
+        devices_[d].get(), "dev" + std::to_string(d) + ".stream1"));
+    Stream* comm = streams_.back().get();
+    rank_ctxs_.push_back(RankCtx{this, d, devices_[d].get(), compute, comm});
+  }
+  barrier_ = std::make_unique<HostBarrier>(&sim_, spec.num_devices, "world");
+  comm_barrier_ =
+      std::make_unique<HostBarrier>(&sim_, spec.num_devices, "world.comm");
+}
+
+sim::Coro World::Transfer(int src, int dst, uint64_t bytes) {
+  if (spec_.node_of(src) == spec_.node_of(dst)) {
+    co_await intra_->Transfer(src, dst, bytes);
+  } else {
+    co_await inter_->Transfer(src, dst, bytes);
+  }
+}
+
+std::vector<Buffer*> World::AllocSymmetric(const std::string& name,
+                                           int64_t num_elems) {
+  std::vector<Buffer*> out;
+  out.reserve(size());
+  for (int r = 0; r < size(); ++r) {
+    out.push_back(device(r).Alloc(name, num_elems));
+  }
+  return out;
+}
+
+std::vector<SignalSet*> World::AllocSymmetricSignals(const std::string& name,
+                                                     int count) {
+  std::vector<SignalSet*> out;
+  out.reserve(size());
+  for (int r = 0; r < size(); ++r) {
+    out.push_back(device(r).AllocSignals(name, count));
+  }
+  return out;
+}
+
+namespace {
+
+sim::Coro RankProgram(RankCtx& ctx,
+                      std::function<sim::Coro(RankCtx&)> program,
+                      sim::TimeNs* finish) {
+  co_await program(ctx);
+  *finish = ctx.sim()->Now();
+}
+
+}  // namespace
+
+sim::TimeNs World::RunSpmd(
+    const std::function<sim::Coro(RankCtx&)>& program) {
+  const sim::TimeNs start = sim_.Now();
+  std::vector<sim::TimeNs> finish(static_cast<size_t>(size()), start);
+  for (int r = 0; r < size(); ++r) {
+    sim_.Spawn(RankProgram(rank_ctxs_[r], program, &finish[r]),
+               "rank" + std::to_string(r));
+  }
+  sim_.Run();
+  sim::TimeNs latest = start;
+  for (sim::TimeNs t : finish) latest = std::max(latest, t);
+  return latest - start;
+}
+
+}  // namespace tilelink::rt

@@ -1,0 +1,111 @@
+// SPMD world: owns the simulator, devices, fabrics, cost model and the
+// consistency checker; launches one host coroutine per rank (the analog of
+// the paper's NVSHMEM-initialized multi-process launch, Figure 7) and
+// provides symmetric allocation across ranks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/consistency.h"
+#include "runtime/device.h"
+#include "runtime/stream.h"
+#include "sim/cost_model.h"
+#include "sim/machine_spec.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tilelink::rt {
+
+class World;
+
+// Reusable all-rank host barrier.
+class HostBarrier {
+ public:
+  HostBarrier(sim::Simulator* sim, int world_size, std::string name)
+      : count_(sim, std::move(name)), world_size_(world_size) {}
+
+  // Coroutine: arrive and wait for the current generation to complete.
+  sim::Coro Arrive() {
+    const uint64_t seq = next_seq_++;
+    const uint64_t target = (seq / world_size_ + 1) * world_size_;
+    count_.Add(1);
+    co_await count_.WaitGe(target);
+  }
+
+ private:
+  sim::Flag count_;
+  int world_size_;
+  uint64_t next_seq_ = 0;
+};
+
+// Per-rank context handed to SPMD host programs.
+struct RankCtx {
+  World* world = nullptr;
+  int rank = 0;
+  Device* dev = nullptr;
+  Stream* stream = nullptr;       // default compute stream
+  Stream* comm_stream = nullptr;  // secondary stream for comm kernels / DMA
+
+  bool functional() const { return dev->functional(); }
+  sim::Simulator* sim() const { return dev->sim(); }
+};
+
+class World {
+ public:
+  World(const sim::MachineSpec& spec, ExecMode mode);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return spec_.num_devices; }
+  const sim::MachineSpec& spec() const { return spec_; }
+  ExecMode exec_mode() const { return mode_; }
+  bool functional() const { return mode_ == ExecMode::kFunctional; }
+
+  sim::Simulator& sim() { return sim_; }
+  const sim::CostModel& cost() const { return cost_; }
+  ConsistencyChecker& checker() { return checker_; }
+  Device& device(int rank) { return *devices_.at(rank); }
+  RankCtx& rank_ctx(int rank) { return rank_ctxs_.at(rank); }
+  HostBarrier& barrier() { return *barrier_; }
+  // Dedicated barrier used by operator-centric collectives for rendezvous,
+  // kept separate from the user barrier so workloads cannot cross-talk.
+  // Collectives on one world must not run concurrently with each other.
+  HostBarrier& comm_barrier() { return *comm_barrier_; }
+
+  // Moves `bytes` from device src to device dst over the appropriate fabric
+  // (NVLink within a node, NIC across nodes).
+  sim::Coro Transfer(int src, int dst, uint64_t bytes);
+
+  sim::Network& intra_fabric() { return *intra_; }
+  sim::Network& inter_fabric() { return *inter_; }
+
+  // Symmetric allocation: one identically-sized buffer per rank. Index the
+  // result by rank; remote entries model NVSHMEM symmetric-heap peers.
+  std::vector<Buffer*> AllocSymmetric(const std::string& name,
+                                      int64_t num_elems);
+  std::vector<SignalSet*> AllocSymmetricSignals(const std::string& name,
+                                                int count);
+
+  // Runs `program` on every rank SPMD-style; returns the makespan (time from
+  // launch until the slowest rank's host program finishes).
+  sim::TimeNs RunSpmd(const std::function<sim::Coro(RankCtx&)>& program);
+
+ private:
+  sim::MachineSpec spec_;
+  ExecMode mode_;
+  sim::Simulator sim_;
+  sim::CostModel cost_;
+  ConsistencyChecker checker_;
+  std::unique_ptr<sim::Network> intra_;
+  std::unique_ptr<sim::Network> inter_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<Stream>> streams_;  // owns all rank streams
+  std::vector<RankCtx> rank_ctxs_;
+  std::unique_ptr<HostBarrier> barrier_;
+  std::unique_ptr<HostBarrier> comm_barrier_;
+};
+
+}  // namespace tilelink::rt

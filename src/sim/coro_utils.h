@@ -1,0 +1,47 @@
+// Coroutine composition helpers: access to the owning simulator from inside
+// a coroutine body, and structured fork/join (WhenAll).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/flag.h"
+#include "sim/simulator.h"
+
+namespace tilelink::sim {
+
+// co_await CurrentSimulator{} yields the Simulator* running this coroutine.
+struct CurrentSimulator {
+  Simulator* sim = nullptr;
+  void Bind(Simulator* s) { sim = s; }
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  Simulator* await_resume() const noexcept { return sim; }
+};
+
+namespace internal {
+
+inline Coro RunAndCount(Coro inner, std::shared_ptr<Flag> flag) {
+  co_await std::move(inner);
+  flag->Add(1);
+}
+
+}  // namespace internal
+
+// Runs all coroutines concurrently (as simulator roots) and completes when
+// every one of them has finished. Exceptions inside children surface through
+// Simulator::Run.
+inline Coro WhenAll(std::vector<Coro> coros) {
+  Simulator* sim = co_await CurrentSimulator{};
+  if (coros.empty()) co_return;
+  auto flag = std::make_shared<Flag>(sim, "when_all");
+  const uint64_t n = coros.size();
+  for (Coro& c : coros) {
+    sim->Spawn(internal::RunAndCount(std::move(c), flag), "when_all.child");
+  }
+  co_await flag->WaitGe(n);
+}
+
+}  // namespace tilelink::sim

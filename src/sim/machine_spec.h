@@ -1,0 +1,71 @@
+// Machine description: device counts, per-device execution resources, fabric
+// bandwidths, and the fixed software latencies (kernel launch, host sync,
+// collective setup) that drive the decomposition-vs-fusion trade-off in the
+// paper. Defaults are calibrated to an H800 DGX-class node (see DESIGN.md §6).
+#pragma once
+
+#include "common/check.h"
+#include "sim/time.h"
+
+namespace tilelink::sim {
+
+struct MachineSpec {
+  int num_devices = 8;
+  int devices_per_node = 8;
+  int sms_per_device = 132;
+  int copy_engines_per_device = 4;
+
+  // Compute / memory.
+  double tensor_tflops = 990.0;  // dense BF16 tensor-core peak per device
+  double fp32_tflops = 67.0;     // CUDA-core fp32 peak per device
+  double hbm_gbps = 3350.0;      // HBM3
+
+  // Intra-node fabric (H800-reduced NVLink), effective per-direction/device
+  // including protocol/chunking overheads.
+  double nvlink_gbps = 150.0;
+  TimeNs nvlink_latency = Us(2.2);
+
+  // Inter-node fabric (IB NICs, aggregated per device).
+  double nic_gbps = 48.0;
+  TimeNs nic_latency = Us(6.5);
+
+  // Software overheads.
+  TimeNs kernel_launch_latency = Us(6.0);
+  TimeNs host_sync_latency = Us(18.0);        // stream sync / record+wait
+  TimeNs collective_setup_latency = Us(22.0); // NCCL-analog per collective
+  TimeNs dma_setup_latency = Us(4.0);         // copy-engine program setup
+  // Copy engines reach a lower fraction of NVLink peak than multi-channel
+  // SM-driven copies (fewer outstanding requests per CE).
+  double dma_efficiency = 0.80;
+  TimeNs signal_visibility_latency = Us(0.9); // remote flag write visibility
+  TimeNs local_signal_latency = Us(0.12);     // local flag write visibility
+
+  int node_of(int device) const {
+    TL_CHECK_GE(device, 0);
+    TL_CHECK_LT(device, num_devices);
+    return device / devices_per_node;
+  }
+  int num_nodes() const { return (num_devices + devices_per_node - 1) / devices_per_node; }
+
+  // Single 8-GPU H800 node (the paper's main testbed).
+  static MachineSpec H800x8() { return MachineSpec{}; }
+
+  // Two 8-GPU H800 nodes connected by NICs (the paper's 16-GPU testbed).
+  static MachineSpec H800x16() {
+    MachineSpec spec;
+    spec.num_devices = 16;
+    spec.devices_per_node = 8;
+    return spec;
+  }
+
+  // Small machine for unit tests: fast to simulate, same code paths.
+  static MachineSpec Test(int num_devices, int sms = 8) {
+    MachineSpec spec;
+    spec.num_devices = num_devices;
+    spec.devices_per_node = num_devices;
+    spec.sms_per_device = sms;
+    return spec;
+  }
+};
+
+}  // namespace tilelink::sim

@@ -1,0 +1,115 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tilelink::sim {
+
+Network::Network(Simulator* sim, int num_ports, double port_bw_gbps,
+                 TimeNs latency_ns, std::string name)
+    : sim_(sim), port_bw_(port_bw_gbps), latency_ns_(latency_ns),
+      name_(std::move(name)) {
+  TL_CHECK_GT(num_ports, 0);
+  TL_CHECK_GT(port_bw_gbps, 0.0);
+  egress_.resize(num_ports, Port{port_bw_gbps, 0});
+  ingress_.resize(num_ports, Port{port_bw_gbps, 0});
+}
+
+Coro Network::Transfer(int src, int dst, uint64_t bytes) {
+  TL_CHECK_GE(src, 0);
+  TL_CHECK_LT(src, num_ports());
+  TL_CHECK_GE(dst, 0);
+  TL_CHECK_LT(dst, num_ports());
+  total_bytes_ += bytes;
+  if (bytes == 0) {
+    co_await Delay{latency_ns_};
+    co_return;
+  }
+  if (src == dst) {
+    // Local copy: no fabric contention, HBM-class bandwidth.
+    TimeNs t = static_cast<TimeNs>(
+        std::ceil(static_cast<double>(bytes) / local_copy_bw_));
+    co_await Delay{latency_ns_ + t};
+    co_return;
+  }
+  co_await Delay{latency_ns_};
+  const uint64_t id = next_flow_id_++;
+  auto [it, inserted] = flows_.emplace(
+      id, std::make_unique<Flow>(sim_, src, dst, static_cast<double>(bytes)));
+  TL_CHECK(inserted);
+  Flow& flow = *it->second;
+  flow.last_update = sim_->Now();
+  AddFlow(id);
+  co_await flow.done.WaitGe(1);
+  RemoveFlow(id);
+}
+
+void Network::AddFlow(uint64_t id) {
+  Flow& f = *flows_.at(id);
+  egress_[f.src].active_flows++;
+  ingress_[f.dst].active_flows++;
+  Rebalance();
+}
+
+void Network::RemoveFlow(uint64_t id) {
+  Flow& f = *flows_.at(id);
+  egress_[f.src].active_flows--;
+  ingress_[f.dst].active_flows--;
+  TL_CHECK_GE(egress_[f.src].active_flows, 0);
+  TL_CHECK_GE(ingress_[f.dst].active_flows, 0);
+  flows_.erase(id);
+  Rebalance();
+}
+
+void Network::Rebalance() {
+  const TimeNs now = sim_->Now();
+  for (auto& [id, fp] : flows_) {
+    Flow& f = *fp;
+    if (f.done.value() > 0) continue;  // completed, awaiting pickup
+    // Progress under the old rate.
+    f.remaining_bytes -= f.rate * static_cast<double>(now - f.last_update);
+    f.remaining_bytes = std::max(f.remaining_bytes, 0.0);
+    f.last_update = now;
+  }
+  for (auto& [id, fp] : flows_) {
+    Flow& f = *fp;
+    if (f.done.value() > 0) continue;
+    const double eg = egress_[f.src].bw_bytes_per_ns /
+                      std::max(1, egress_[f.src].active_flows);
+    const double in = ingress_[f.dst].bw_bytes_per_ns /
+                      std::max(1, ingress_[f.dst].active_flows);
+    f.rate = std::min(eg, in);
+    ScheduleCompletion(id, f);
+  }
+}
+
+void Network::ScheduleCompletion(uint64_t id, Flow& f) {
+  f.generation++;
+  const uint64_t gen = f.generation;
+  TL_CHECK_GT(f.rate, 0.0);
+  const TimeNs eta =
+      sim_->Now() + std::max<TimeNs>(1, static_cast<TimeNs>(std::ceil(
+                        f.remaining_bytes / f.rate)));
+  sim_->At(eta, [this, id, gen] { OnCompletionEvent(id, gen); });
+}
+
+void Network::OnCompletionEvent(uint64_t id, uint64_t generation) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // flow already retired
+  Flow& f = *it->second;
+  if (f.generation != generation || f.done.value() > 0) return;  // stale
+  const TimeNs now = sim_->Now();
+  f.remaining_bytes -= f.rate * static_cast<double>(now - f.last_update);
+  f.last_update = now;
+  if (f.remaining_bytes <= 0.5) {
+    f.remaining_bytes = 0.0;
+    // The waiting coroutine wakes at this same timestamp and calls
+    // RemoveFlow, which frees the ports and rebalances; the port is "busy"
+    // for zero simulated time after completion.
+    f.done.Set(1);
+  } else {
+    ScheduleCompletion(id, f);  // rate changed since scheduling; try again
+  }
+}
+
+}  // namespace tilelink::sim

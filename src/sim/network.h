@@ -1,0 +1,94 @@
+// Flow-level interconnect model.
+//
+// Each device exposes one egress port and one ingress port per fabric
+// (intra-node NVLink-class, inter-node NIC-class). A transfer is a flow from
+// (src egress) to (dst ingress); at any instant a flow's rate is
+//   min(egress_bw / flows_on_egress, ingress_bw / flows_on_ingress)
+// — a deterministic approximation of max-min fair sharing that captures the
+// contention effects that matter for overlap studies: concurrent pulls from
+// one producer halve each puller's rate, ring transfers run at full port
+// bandwidth, and all-to-all traffic divides ingress bandwidth.
+//
+// Rates are recomputed whenever the flow set changes; completions are
+// event-driven with generation counters so stale completion events are
+// ignored. Flows are keyed by id (not iterator) so events outliving a flow
+// are harmless.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/flag.h"
+#include "sim/simulator.h"
+
+namespace tilelink::sim {
+
+// One directional port with fixed bandwidth (bytes per nanosecond, which is
+// numerically GB/s) shared equally among active flows.
+struct Port {
+  double bw_bytes_per_ns = 0.0;
+  int active_flows = 0;
+};
+
+class Network {
+ public:
+  // latency_ns is the per-message wire latency added before bytes flow.
+  Network(Simulator* sim, int num_ports, double port_bw_gbps,
+          TimeNs latency_ns, std::string name);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int num_ports() const { return static_cast<int>(egress_.size()); }
+  TimeNs latency() const { return latency_ns_; }
+  double port_bandwidth_gbps() const { return port_bw_; }
+
+  // Coroutine: completes when `bytes` have moved from src's egress port to
+  // dst's ingress port. A src==dst transfer models a local HBM-to-HBM copy
+  // at local_copy_bw_gbps (no port contention).
+  Coro Transfer(int src, int dst, uint64_t bytes);
+
+  void set_local_copy_bw_gbps(double gbps) { local_copy_bw_ = gbps; }
+
+  // Total bytes ever moved (for tests/diagnostics).
+  uint64_t total_bytes() const { return total_bytes_; }
+  int active_flow_count() const { return static_cast<int>(flows_.size()); }
+
+ private:
+  struct Flow {
+    int src;
+    int dst;
+    double remaining_bytes;
+    double rate = 0.0;       // bytes/ns
+    TimeNs last_update = 0;  // when remaining_bytes was valid
+    uint64_t generation = 0; // bumps on every reschedule; stale events ignored
+    Flag done;
+    Flow(Simulator* sim, int s, int d, double bytes)
+        : src(s), dst(d), remaining_bytes(bytes), done(sim, "flow.done") {}
+  };
+
+  void AddFlow(uint64_t id);
+  void RemoveFlow(uint64_t id);
+  // Advances progress of all flows to Now(), recomputes rates, reschedules
+  // completion events.
+  void Rebalance();
+  void ScheduleCompletion(uint64_t id, Flow& f);
+  void OnCompletionEvent(uint64_t id, uint64_t generation);
+
+  Simulator* sim_;
+  std::vector<Port> egress_;
+  std::vector<Port> ingress_;
+  double port_bw_;
+  double local_copy_bw_ = 3000.0;  // ~HBM-class local copy
+  TimeNs latency_ns_;
+  std::string name_;
+  std::map<uint64_t, std::unique_ptr<Flow>> flows_;  // ordered: determinism
+  uint64_t next_flow_id_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tilelink::sim

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace tilelink::sim {
+
+std::coroutine_handle<> Coro::promise_type::FinalAwaiter::await_suspend(
+    Coro::Handle h) noexcept {
+  promise_type& p = h.promise();
+  if (p.continuation) {
+    return p.continuation;  // resume the awaiting parent at the same time
+  }
+  if (p.owned_by_sim && p.sim != nullptr) {
+    p.sim->NotifyRootDone(h);  // simulator destroys the frame safely later
+  }
+  return std::noop_coroutine();
+}
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() {
+  DestroyFinishedRoots();
+  // Any still-suspended root frames are owned by us but unreachable through
+  // the queue once it is destroyed; leak-free teardown requires destroying
+  // them here. They are tracked in blocked_/queue_ only as handles, so we
+  // rely on Run() completing for clean shutdown in normal use.
+}
+
+void Simulator::Spawn(Coro coro, std::string name) {
+  TL_CHECK(coro.valid());
+  Coro::Handle h = coro.Release();
+  h.promise().sim = this;
+  h.promise().owned_by_sim = true;
+  ++live_roots_;
+  ScheduleResume(now_, h);
+  (void)name;
+}
+
+void Simulator::At(TimeNs t, std::function<void()> fn) {
+  TL_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+}
+
+void Simulator::ScheduleResume(TimeNs t, std::coroutine_handle<> h) {
+  TL_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+void Simulator::NotifyRootDone(Coro::Handle h) {
+  --live_roots_;
+  finished_roots_.push_back(h);
+}
+
+void Simulator::DestroyFinishedRoots() {
+  for (Coro::Handle h : finished_roots_) {
+    std::exception_ptr err = h.promise().error;
+    h.destroy();
+    if (err) std::rethrow_exception(err);
+  }
+  finished_roots_.clear();
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    TL_CHECK_GE(ev.t, now_);
+    now_ = ev.t;
+    ++processed_events_;
+    if (ev.resume) {
+      ev.resume.resume();
+    } else {
+      ev.fn();
+    }
+    DestroyFinishedRoots();  // rethrows root errors promptly
+  }
+  if (live_roots_ > 0) {
+    std::ostringstream os;
+    os << "deadlock: event queue empty with " << live_roots_
+       << " live activities; blocked on:";
+    for (const auto& [key, what] : blocked_) {
+      os << "\n  - " << what;
+    }
+    throw DeadlockError(os.str());
+  }
+}
+
+void Simulator::RegisterBlocked(const void* key, std::string what) {
+  blocked_[key] = std::move(what);
+}
+
+void Simulator::UnregisterBlocked(const void* key) { blocked_.erase(key); }
+
+void Delay::await_suspend(std::coroutine_handle<> h) {
+  TL_CHECK_MSG(sim != nullptr, "Delay awaited outside a simulator coroutine");
+  sim->ScheduleResume(sim->Now() + (ns < 0 ? 0 : ns), h);
+}
+
+}  // namespace tilelink::sim

@@ -1,0 +1,100 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// The simulator owns a priority queue of events ordered by (time, sequence).
+// Events are either coroutine resumptions or plain callbacks. Determinism:
+// ties in time break by insertion sequence, and all state mutation happens on
+// the single event loop, so a given program produces bit-identical timing and
+// numerics on every run.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/coro.h"
+#include "sim/time.h"
+
+namespace tilelink::sim {
+
+class TraceRecorder;
+
+// Thrown by Run() when the event queue drains while spawned activities are
+// still blocked (a lost-wakeup / miswired-channel bug in the simulated
+// program). The message lists what each blocked activity was waiting for.
+class DeadlockError : public tilelink::Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Spawns a root coroutine; the simulator owns and destroys its frame.
+  void Spawn(Coro coro, std::string name = "");
+
+  // Schedules a plain callback at absolute time t (>= Now()).
+  void At(TimeNs t, std::function<void()> fn);
+  void After(TimeNs delta, std::function<void()> fn) { At(now_ + delta, std::move(fn)); }
+
+  // Schedules a coroutine resumption at absolute time t.
+  void ScheduleResume(TimeNs t, std::coroutine_handle<> h);
+
+  // Runs until the event queue is empty. Throws the first exception escaping
+  // a root coroutine; throws DeadlockError if activities remain blocked.
+  void Run();
+
+  // Number of root coroutines spawned and still running.
+  int live_roots() const { return live_roots_; }
+  uint64_t processed_events() const { return processed_events_; }
+
+  // Blocked-activity registry for deadlock diagnostics. Awaitables register
+  // a description keyed by their own address while a coroutine is parked.
+  void RegisterBlocked(const void* key, std::string what);
+  void UnregisterBlocked(const void* key);
+
+  // Optional chrome-trace recorder (not owned may be null).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+  // Internal: called from Coro final suspend for sim-owned roots.
+  void NotifyRootDone(Coro::Handle h);
+
+ private:
+  struct Event {
+    TimeNs t;
+    uint64_t seq;
+    // Exactly one of these is set.
+    std::coroutine_handle<> resume;
+    std::function<void()> fn;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DestroyFinishedRoots();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_events_ = 0;
+  int live_roots_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  std::vector<Coro::Handle> finished_roots_;
+  std::unordered_map<const void*, std::string> blocked_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace tilelink::sim

@@ -1,0 +1,21 @@
+// Simulated-time definitions. All simulator timestamps are integer
+// nanoseconds so runs are exactly reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace tilelink::sim {
+
+using TimeNs = int64_t;
+
+constexpr TimeNs kNsPerUs = 1000;
+constexpr TimeNs kNsPerMs = 1000 * 1000;
+constexpr TimeNs kNsPerSec = 1000LL * 1000 * 1000;
+
+constexpr TimeNs Us(double us) { return static_cast<TimeNs>(us * kNsPerUs); }
+constexpr TimeNs Ms(double ms) { return static_cast<TimeNs>(ms * kNsPerMs); }
+
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+
+}  // namespace tilelink::sim

@@ -1,0 +1,39 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tilelink::sim {
+
+void TraceRecorder::AddSpan(int pid, int tid, const std::string& name,
+                            TimeNs start, TimeNs end,
+                            const std::string& category) {
+  spans_.push_back(Span{pid, tid, name, category, start, end});
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome trace uses microseconds.
+    os << "{\"ph\":\"X\",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+       << ",\"name\":\"" << s.name << "\",\"cat\":\"" << s.category
+       << "\",\"ts\":" << static_cast<double>(s.start) / 1e3
+       << ",\"dur\":" << static_cast<double>(s.end - s.start) / 1e3 << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void TraceRecorder::Save(const std::string& path) const {
+  std::ofstream out(path);
+  TL_CHECK_MSG(out.good(), "cannot open trace file " << path);
+  out << ToJson();
+}
+
+}  // namespace tilelink::sim

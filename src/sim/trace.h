@@ -1,0 +1,37 @@
+// Chrome-trace (about://tracing, Perfetto) recorder for simulated timelines.
+// pid = device id, tid = execution unit (SM slot, copy engine, host thread).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tilelink::sim {
+
+class TraceRecorder {
+ public:
+  void AddSpan(int pid, int tid, const std::string& name, TimeNs start,
+               TimeNs end, const std::string& category = "task");
+
+  // Serializes to chrome trace JSON.
+  std::string ToJson() const;
+  void Save(const std::string& path) const;
+
+  size_t size() const { return spans_.size(); }
+  void Clear() { spans_.clear(); }
+
+ private:
+  struct Span {
+    int pid;
+    int tid;
+    std::string name;
+    std::string category;
+    TimeNs start;
+    TimeNs end;
+  };
+  std::vector<Span> spans_;
+};
+
+}  // namespace tilelink::sim

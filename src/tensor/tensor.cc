@@ -1,0 +1,116 @@
+#include "tensor/tensor.h"
+
+namespace tilelink {
+namespace {
+
+std::vector<int64_t> RowMajorStrides(const std::vector<int64_t>& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i) + 1] * shape[static_cast<size_t>(i) + 1];
+  }
+  return strides;
+}
+
+}  // namespace
+
+Tensor::Tensor(rt::Buffer* buf, std::vector<int64_t> shape, DType dtype,
+               int64_t offset)
+    : Tensor(buf, shape, RowMajorStrides(shape), dtype, offset) {}
+
+Tensor::Tensor(rt::Buffer* buf, std::vector<int64_t> shape,
+               std::vector<int64_t> strides, DType dtype, int64_t offset)
+    : buf_(buf), shape_(std::move(shape)), strides_(std::move(strides)),
+      dtype_(dtype), offset_(offset) {
+  TL_CHECK(buf != nullptr);
+  TL_CHECK_EQ(shape_.size(), strides_.size());
+  for (int64_t d : shape_) TL_CHECK_GE(d, 0);
+}
+
+Tensor Tensor::Alloc(rt::Device& dev, const std::string& name,
+                     std::vector<int64_t> shape, DType dtype) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return Tensor(dev.Alloc(name, n), std::move(shape), dtype, 0);
+}
+
+Tensor Tensor::AllocControl(rt::Device& dev, const std::string& name,
+                            std::vector<int64_t> shape, DType dtype) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return Tensor(dev.AllocControl(name, n), std::move(shape), dtype, 0);
+}
+
+int64_t Tensor::numel() const {
+  int64_t n = 1;
+  for (int64_t d : shape_) n *= d;
+  return n;
+}
+
+int64_t Tensor::OffsetOf(std::initializer_list<int64_t> idx) const {
+  TL_DCHECK(static_cast<int>(idx.size()) == ndim());
+  int64_t off = offset_;
+  int i = 0;
+  for (int64_t v : idx) {
+    TL_DCHECK(v >= 0 && v < shape_[static_cast<size_t>(i)]);
+    off += v * strides_[static_cast<size_t>(i)];
+    ++i;
+  }
+  return off;
+}
+
+Tensor Tensor::Slice(int dim, int64_t start, int64_t len) const {
+  TL_CHECK_GE(dim, 0);
+  TL_CHECK_LT(dim, ndim());
+  TL_CHECK_GE(start, 0);
+  TL_CHECK_LE(start + len, shape_[static_cast<size_t>(dim)]);
+  std::vector<int64_t> new_shape = shape_;
+  new_shape[static_cast<size_t>(dim)] = len;
+  return Tensor(buf_, std::move(new_shape), strides_, dtype_,
+                offset_ + start * strides_[static_cast<size_t>(dim)]);
+}
+
+Tensor Tensor::Select(int dim, int64_t index) const {
+  TL_CHECK_GE(dim, 0);
+  TL_CHECK_LT(dim, ndim());
+  TL_CHECK_GE(index, 0);
+  TL_CHECK_LT(index, shape_[static_cast<size_t>(dim)]);
+  std::vector<int64_t> new_shape;
+  std::vector<int64_t> new_strides;
+  for (int i = 0; i < ndim(); ++i) {
+    if (i == dim) continue;
+    new_shape.push_back(shape_[static_cast<size_t>(i)]);
+    new_strides.push_back(strides_[static_cast<size_t>(i)]);
+  }
+  return Tensor(buf_, std::move(new_shape), std::move(new_strides), dtype_,
+                offset_ + index * strides_[static_cast<size_t>(dim)]);
+}
+
+bool Tensor::contiguous() const {
+  int64_t expect = 1;
+  for (int i = ndim() - 1; i >= 0; --i) {
+    if (shape_[static_cast<size_t>(i)] == 1) continue;
+    if (strides_[static_cast<size_t>(i)] != expect) return false;
+    expect *= shape_[static_cast<size_t>(i)];
+  }
+  return true;
+}
+
+Tensor Tensor::Flatten() const {
+  TL_CHECK_MSG(contiguous(), "Flatten requires a contiguous tensor");
+  return Tensor(buf_, {numel()}, {1}, dtype_, offset_);
+}
+
+void Tensor::BufferRange(int64_t* lo, int64_t* hi) const {
+  int64_t span = 0;
+  for (int i = 0; i < ndim(); ++i) {
+    if (shape_[static_cast<size_t>(i)] > 0) {
+      span += (shape_[static_cast<size_t>(i)] - 1) *
+              strides_[static_cast<size_t>(i)];
+    }
+  }
+  *lo = offset_;
+  *hi = offset_ + span + 1;
+}
+
+}  // namespace tilelink

@@ -1,0 +1,106 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+#include <functional>
+
+namespace tilelink {
+namespace {
+
+// Applies fn to every linear buffer offset of the view, in row-major order.
+void ForEachOffset(const Tensor& t, const std::function<void(int64_t)>& fn) {
+  const int nd = t.ndim();
+  if (t.numel() == 0) return;
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  while (true) {
+    int64_t off = t.offset();
+    for (int i = 0; i < nd; ++i) {
+      off += idx[static_cast<size_t>(i)] * t.strides()[static_cast<size_t>(i)];
+    }
+    fn(off);
+    int i = nd - 1;
+    for (; i >= 0; --i) {
+      if (++idx[static_cast<size_t>(i)] < t.dim(i)) break;
+      idx[static_cast<size_t>(i)] = 0;
+    }
+    if (i < 0) break;
+  }
+}
+
+}  // namespace
+
+void FillRandom(Tensor& t, Rng& rng, float scale) {
+  auto data = t.buffer()->data();
+  ForEachOffset(t, [&](int64_t off) {
+    data[static_cast<size_t>(off)] = rng.Uniform(-scale, scale);
+  });
+}
+
+void FillConstant(Tensor& t, float value) {
+  auto data = t.buffer()->data();
+  ForEachOffset(t,
+                [&](int64_t off) { data[static_cast<size_t>(off)] = value; });
+}
+
+void FillIota(Tensor& t, float base, float step) {
+  auto data = t.buffer()->data();
+  int64_t i = 0;
+  ForEachOffset(t, [&](int64_t off) {
+    data[static_cast<size_t>(off)] = base + static_cast<float>(i++) * step;
+  });
+}
+
+void CopyTensor(const Tensor& src, Tensor& dst) {
+  TL_CHECK(src.shape() == dst.shape());
+  auto s = src.buffer()->data();
+  auto d = dst.buffer()->data();
+  std::vector<int64_t> src_offs;
+  src_offs.reserve(static_cast<size_t>(src.numel()));
+  ForEachOffset(src, [&](int64_t off) { src_offs.push_back(off); });
+  int64_t i = 0;
+  ForEachOffset(dst, [&](int64_t off) {
+    d[static_cast<size_t>(off)] = s[static_cast<size_t>(src_offs[i++])];
+  });
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  TL_CHECK(a.shape() == b.shape());
+  auto da = a.buffer()->data();
+  auto db = b.buffer()->data();
+  std::vector<int64_t> a_offs;
+  a_offs.reserve(static_cast<size_t>(a.numel()));
+  ForEachOffset(a, [&](int64_t off) { a_offs.push_back(off); });
+  float max_diff = 0.0f;
+  int64_t i = 0;
+  ForEachOffset(b, [&](int64_t off) {
+    const float diff = std::fabs(da[static_cast<size_t>(a_offs[i++])] -
+                                 db[static_cast<size_t>(off)]);
+    if (diff > max_diff) max_diff = diff;
+  });
+  return max_diff;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  TL_CHECK(a.shape() == b.shape());
+  auto da = a.buffer()->data();
+  auto db = b.buffer()->data();
+  std::vector<int64_t> a_offs;
+  a_offs.reserve(static_cast<size_t>(a.numel()));
+  ForEachOffset(a, [&](int64_t off) { a_offs.push_back(off); });
+  bool ok = true;
+  int64_t i = 0;
+  ForEachOffset(b, [&](int64_t off) {
+    const float va = da[static_cast<size_t>(a_offs[i++])];
+    const float vb = db[static_cast<size_t>(off)];
+    if (std::fabs(va - vb) > atol + rtol * std::fabs(vb)) ok = false;
+  });
+  return ok;
+}
+
+double Sum(const Tensor& t) {
+  auto data = t.buffer()->data();
+  double acc = 0.0;
+  ForEachOffset(t, [&](int64_t off) { acc += data[static_cast<size_t>(off)]; });
+  return acc;
+}
+
+}  // namespace tilelink

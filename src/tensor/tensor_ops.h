@@ -1,0 +1,28 @@
+// Host-side tensor utilities for tests, examples and workload setup.
+// These manipulate functional payloads directly (no simulated time).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tilelink {
+
+// Fills with deterministic uniform values in [-scale, scale].
+void FillRandom(Tensor& t, Rng& rng, float scale = 1.0f);
+void FillConstant(Tensor& t, float value);
+// t[i] = base + i * step over the flattened view.
+void FillIota(Tensor& t, float base = 0.0f, float step = 1.0f);
+
+// Copies src into dst (same shape, both materialized).
+void CopyTensor(const Tensor& src, Tensor& dst);
+
+// Largest |a-b| over all elements (shapes must match).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+// True when MaxAbsDiff <= atol + rtol * |b|, elementwise.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+// Sum of all elements (fp64 accumulation).
+double Sum(const Tensor& t);
+
+}  // namespace tilelink

@@ -1,0 +1,32 @@
+#include "tilelink/block_channel.h"
+
+#include <algorithm>
+
+namespace tilelink::tl {
+
+std::vector<BlockChannel> BlockChannel::CreateSymmetric(
+    rt::World& world, const std::string& name, int num_pc, int num_peer,
+    int num_host) {
+  const int R = world.size();
+  std::vector<rt::SignalSet*> pc =
+      world.AllocSymmetricSignals(name + ".pc", std::max(num_pc, 1));
+  std::vector<rt::SignalSet*> peer =
+      world.AllocSymmetricSignals(name + ".peer", std::max(num_peer, 1));
+  std::vector<rt::SignalSet*> host =
+      world.AllocSymmetricSignals(name + ".host", std::max(num_host, 1));
+  std::vector<BlockChannel> out(static_cast<size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    BlockChannel& bc = out[static_cast<size_t>(r)];
+    bc.rank = r;
+    bc.num_ranks = R;
+    bc.num_pc_barriers = num_pc;
+    bc.num_peer_barriers = num_peer;
+    bc.num_host_barriers = num_host;
+    bc.pc = pc;
+    bc.peer = peer;
+    bc.host = host;
+  }
+  return out;
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,51 @@
+// BlockChannel: the special kernel argument carrying distributed mapping
+// metadata (paper Figure 7) — current rank, world size, and the symmetric
+// barrier storage used by the signal primitives. Three signal spaces exist:
+//   kProducerConsumer — producer_tile_notify / consumer_tile_wait
+//   kPeer             — peer_tile_notify / peer_tile_wait
+//   kHost             — rank_notify / rank_wait (copy-engine coordination)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/world.h"
+
+namespace tilelink::tl {
+
+enum class SignalSpace { kProducerConsumer, kPeer, kHost };
+
+struct BlockChannel {
+  int rank = 0;
+  int num_ranks = 0;
+  int num_pc_barriers = 0;
+  int num_peer_barriers = 0;
+  int num_host_barriers = 0;
+  // Symmetric barrier sets indexed by rank (NVSHMEM-heap analogs).
+  std::vector<rt::SignalSet*> pc;
+  std::vector<rt::SignalSet*> peer;
+  std::vector<rt::SignalSet*> host;
+
+  rt::SignalSet* set(SignalSpace space, int owner_rank) const {
+    switch (space) {
+      case SignalSpace::kProducerConsumer:
+        return pc.at(static_cast<size_t>(owner_rank));
+      case SignalSpace::kPeer:
+        return peer.at(static_cast<size_t>(owner_rank));
+      case SignalSpace::kHost:
+        return host.at(static_cast<size_t>(owner_rank));
+    }
+    return nullptr;
+  }
+  rt::SignalSet* local(SignalSpace space) const { return set(space, rank); }
+
+  // Allocates symmetric barrier storage and returns one BlockChannel per
+  // rank (same pointers, different `rank`). Counts of zero allocate a
+  // 1-entry set so lookups stay valid.
+  static std::vector<BlockChannel> CreateSymmetric(rt::World& world,
+                                                   const std::string& name,
+                                                   int num_pc, int num_peer,
+                                                   int num_host);
+};
+
+}  // namespace tilelink::tl

@@ -1,0 +1,312 @@
+#include "tilelink/kernels/ag_moe.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/math_utils.h"
+#include "sim/coro_utils.h"
+#include "tensor/tensor_ops.h"
+#include "tilelink/primitives.h"
+
+namespace tilelink::tl {
+namespace {
+
+int64_t TilesForBlock(int64_t total, const Env& env) {
+  if (env.block_id >= total) return 0;
+  return (total - env.block_id - 1) / env.grid + 1;
+}
+
+sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
+  co_await state->Wait();
+}
+
+}  // namespace
+
+AgMoe::AgMoe(rt::World& world, const AgMoeConfig& config,
+             const compute::MoeRouting& routing)
+    : world_(&world), cfg_(config), routing_(routing),
+      map_(config.m, config.comm_tile_m, world.size(),
+           config.channels_per_rank > 0
+               ? config.channels_per_rank
+               : static_cast<int>(CeilDiv<int64_t>(config.m, world.size()) /
+                                  config.comm_tile_m)) {
+  TL_CHECK_EQ(cfg_.m % world.size(), 0);
+  TL_CHECK_EQ(routing_.num_tokens, cfg_.m);
+  TL_CHECK_EQ(routing_.num_experts, cfg_.num_experts);
+  const int R = world.size();
+  const int64_t m_per_rank = cfg_.m / R;
+  for (int r = 0; r < R; ++r) {
+    rt::Device& dev = world.device(r);
+    token_shards_.push_back(Tensor::Alloc(
+        dev, cfg_.name + ".shard", {m_per_rank, cfg_.hidden}, DType::kBF16));
+    tokens_.push_back(Tensor::Alloc(dev, cfg_.name + ".tokens",
+                                    {cfg_.m, cfg_.hidden}, DType::kBF16));
+    weights_.push_back(
+        Tensor::Alloc(dev, cfg_.name + ".w",
+                      {cfg_.num_experts, cfg_.hidden, cfg_.n}, DType::kBF16));
+    out_.push_back(Tensor::Alloc(dev, cfg_.name + ".out",
+                                 {cfg_.m * cfg_.topk, cfg_.n}, DType::kBF16));
+  }
+  bcs_ = BlockChannel::CreateSymmetric(world, cfg_.name, map_.num_channels(),
+                                       /*num_peer=*/1, /*num_host=*/1);
+
+  // Dynamic mapping: for each expert tile (group block), the channels whose
+  // completion guarantees every token the tile gathers has arrived. These
+  // are the lookup tables of §4.1, filled here by the routing "runtime".
+  group_blocks_ = compute::MakeGroupBlocks(routing_, cfg_.n, cfg_.gemm.bm,
+                                           cfg_.gemm.bn);
+  dyn_.Resize(static_cast<int64_t>(group_blocks_.size()));
+  for (size_t i = 0; i < group_blocks_.size(); ++i) {
+    const compute::GroupBlock& gb = group_blocks_[i];
+    std::set<int> channels;
+    int64_t row_lo = cfg_.m, row_hi = 0;
+    for (int r = 0; r < gb.rows; ++r) {
+      const int token =
+          routing_.token_of_sorted(gb.sorted_row_start + r);
+      const auto waits = map_.WaitsForRows(token, token + 1);
+      for (const ChannelWait& w : waits) channels.insert(w.channel);
+      row_lo = std::min<int64_t>(row_lo, token);
+      row_hi = std::max<int64_t>(row_hi, token + 1);
+    }
+    std::vector<ChannelWait> waits;
+    waits.reserve(channels.size());
+    for (int c : channels) {
+      waits.push_back(ChannelWait{c, map_.TilesInChannel(c)});
+    }
+    dyn_.SetTile(static_cast<int64_t>(i),
+                 TileRange{std::min(row_lo, row_hi), row_hi}, gb.expert,
+                 waits.empty() ? 0 : waits.front().channel);
+    dyn_.SetWaits(static_cast<int64_t>(i), std::move(waits));
+  }
+
+  FusedKernelSpec spec;
+  spec.name = cfg_.name;
+  const int sms = world.spec().sms_per_device;
+  const int64_t tiles = static_cast<int64_t>(group_blocks_.size());
+  if (cfg_.comm == CommResource::kDma) {
+    spec.roles.push_back(Role{
+        "group_gemm",
+        static_cast<int>(std::min<int64_t>(std::max<int64_t>(tiles, 1), sms)),
+        BuildGroupGemm()});
+  } else {
+    const int comm_blocks = cfg_.comm_sms;
+    spec.roles.push_back(Role{"ag", comm_blocks, BuildCommPull()});
+    spec.roles.push_back(
+        Role{"group_gemm",
+             static_cast<int>(std::min<int64_t>(std::max<int64_t>(tiles, 1),
+                                                std::max(1, sms - comm_blocks))),
+             BuildGroupGemm()});
+  }
+  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
+}
+
+BlockProgram AgMoe::BuildCommPull() {
+  TileProgramBuilder b;
+  const StaticMapping map = map_;
+  auto shards = token_shards_;
+  auto fulls = tokens_;
+  const int64_t m_per_rank = cfg_.m / world_->size();
+  const int64_t num_tiles = map.num_tiles();
+  const int64_t tiles_per_rank = map.tiles_per_rank();
+  b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
+        [&](TileProgramBuilder& body) {
+          // Ring tile order (§3.1): spread concurrent pulls across source
+          // ports (see ag_gemm.cc).
+          auto tile_of = [num_tiles, tiles_per_rank](const Env& e) {
+            return (static_cast<int64_t>(e.block_id) + e.iv(0) * e.grid +
+                    e.rank * tiles_per_rank) %
+                   num_tiles;
+          };
+          body.Add(ops::TilePullData(
+              "ag.pull",
+              [map, shards, fulls, m_per_rank, tile_of](const Env& e) {
+                const int64_t t = tile_of(e);
+                const TileRange rows = map.ShapeRange(t);
+                const int src = map.Rank(t);
+                DataSpec d;
+                d.src_rank = src;
+                d.dst_rank = e.rank;
+                d.bytes = static_cast<uint64_t>(rows.len()) *
+                          shards[0].dim(1) * DTypeSize(shards[0].dtype());
+                const Tensor src_view = shards[static_cast<size_t>(src)].Slice(
+                    0, rows.lo - src * m_per_rank, rows.len());
+                const Tensor dst_view =
+                    fulls[static_cast<size_t>(e.rank)].Slice(0, rows.lo,
+                                                             rows.len());
+                src_view.BufferRange(&d.read_lo, &d.read_hi);
+                d.read_buf = src_view.buffer();
+                dst_view.BufferRange(&d.write_lo, &d.write_hi);
+                d.write_buf = dst_view.buffer();
+                return d;
+              },
+              [map, shards, fulls, m_per_rank, tile_of](const Env& e) {
+                const int64_t t = tile_of(e);
+                const TileRange rows = map.ShapeRange(t);
+                const int src = map.Rank(t);
+                const Tensor src_view = shards[static_cast<size_t>(src)].Slice(
+                    0, rows.lo - src * m_per_rank, rows.len());
+                Tensor dst_view = fulls[static_cast<size_t>(e.rank)].Slice(
+                    0, rows.lo, rows.len());
+                CopyTensor(src_view, dst_view);
+              }));
+          body.Add(ops::ProducerTileNotify(
+              "ag.notify(p2p)", [map, tile_of](const Env& e) {
+                NotifySpec spec;
+                spec.entries.push_back(
+                    NotifyEntry{SignalSpace::kProducerConsumer,
+                                {e.rank},
+                                map.Channel(tile_of(e)),
+                                1});
+                return spec;
+              }));
+        });
+  return b.Build();
+}
+
+// Group-GEMM role: expert tiles with dynamic-mapping waits (Figure 5 lines
+// 6-15). The `table` argument of the paper is dyn_: the wait op reads the
+// per-tile lookup entries filled by the routing.
+BlockProgram AgMoe::BuildGroupGemm() {
+  TileProgramBuilder b;
+  auto fulls = tokens_;
+  auto weights = weights_;
+  auto outs = out_;
+  auto blocks = std::make_shared<std::vector<compute::GroupBlock>>(
+      group_blocks_);
+  auto dyn = std::make_shared<DynamicMapping>(dyn_);
+  auto routing = std::make_shared<compute::MoeRouting>(routing_);
+  const compute::GemmTiling tiling = cfg_.gemm;
+  const int64_t k = cfg_.hidden;
+  const int64_t k_steps = CeilDiv<int64_t>(k, tiling.bk);
+  const int64_t num_tiles = static_cast<int64_t>(group_blocks_.size());
+  auto block_of = [blocks](const Env& e) -> const compute::GroupBlock& {
+    return (*blocks)[static_cast<size_t>(e.block_id + e.iv(0) * e.grid)];
+  };
+  b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
+        [&](TileProgramBuilder& body) {
+          body.Add(ops::ConsumerTileWait(
+              "moe.consumer_wait(table)", [dyn](const Env& e) {
+                WaitSpec spec;
+                spec.space = SignalSpace::kProducerConsumer;
+                spec.waits =
+                    dyn->Waits(e.block_id + e.iv(0) * e.grid);
+                return spec;
+              }));
+          body.For("kk", [k_steps](const Env&) { return k_steps; },
+                   [&](TileProgramBuilder& inner) {
+                     inner.Add(ops::Load(
+                         "moe.load_tokens(table)", /*acquire=*/true,
+                         [fulls, dyn](const Env& e) {
+                           const TileRange rows = dyn->ShapeRange(
+                               e.block_id + e.iv(0) * e.grid);
+                           DataSpec d;
+                           if (rows.len() > 0) {
+                             const Tensor view =
+                                 fulls[static_cast<size_t>(e.rank)].Slice(
+                                     0, rows.lo, rows.len());
+                             view.BufferRange(&d.read_lo, &d.read_hi);
+                             d.read_buf = view.buffer();
+                           }
+                           return d;
+                         }));
+                     inner.Add(ops::Mma(
+                         "moe.group_mma",
+                         [tiling](const Env&, const sim::CostModel& cost) {
+                           // Fused-gather addressing overhead ~5%.
+                           return static_cast<sim::TimeNs>(
+                               cost.GemmTileStep(tiling.bm, tiling.bn,
+                                                 tiling.bk) *
+                               1.05);
+                         }));
+                   });
+          body.Add(ops::Store(
+              "moe.store",
+              [outs, block_of, routing](const Env& e) {
+                const compute::GroupBlock& gb = block_of(e);
+                DataSpec d;
+                if (gb.rows > 0) {
+                  // Conservative range over the scattered slot rows.
+                  int64_t lo_row = outs[0].dim(0), hi_row = 0;
+                  for (int r = 0; r < gb.rows; ++r) {
+                    const int slot = routing->sorted_slots[static_cast<size_t>(
+                        gb.sorted_row_start + r)];
+                    lo_row = std::min<int64_t>(lo_row, slot);
+                    hi_row = std::max<int64_t>(hi_row, slot + 1);
+                  }
+                  const Tensor view =
+                      outs[static_cast<size_t>(e.rank)].Slice(
+                          0, lo_row, std::max<int64_t>(1, hi_row - lo_row));
+                  view.BufferRange(&d.write_lo, &d.write_hi);
+                  d.write_buf = view.buffer();
+                }
+                return d;
+              },
+              [fulls, weights, outs, block_of, routing, k](const Env& e) {
+                const compute::GroupBlock& gb = block_of(e);
+                const Tensor w =
+                    weights[static_cast<size_t>(e.rank)].Select(0, gb.expert);
+                Tensor out = outs[static_cast<size_t>(e.rank)];
+                const Tensor& toks = fulls[static_cast<size_t>(e.rank)];
+                for (int r = 0; r < gb.rows; ++r) {
+                  const int slot = routing->sorted_slots[static_cast<size_t>(
+                      gb.sorted_row_start + r)];
+                  const int token = slot / routing->topk;
+                  for (int c = 0; c < gb.n_cols; ++c) {
+                    float acc = 0.0f;
+                    for (int64_t x = 0; x < k; ++x) {
+                      acc += toks.at({token, x}) * w.at({x, gb.n_start + c});
+                    }
+                    out.at({slot, gb.n_start + c}) = acc;
+                  }
+                }
+              }));
+        });
+  return b.Build();
+}
+
+sim::Coro AgMoe::DmaAllGather(rt::RankCtx& ctx) {
+  const int R = world_->size();
+  const int64_t m_per_rank = cfg_.m / R;
+  const BlockChannel& bc = bcs_[static_cast<size_t>(ctx.rank)];
+  std::vector<sim::Coro> copies;
+  for (int s = 0; s < R; ++s) {
+    const int src = (ctx.rank + s) % R;
+    for (int c = 0; c < map_.channels_per_rank(); ++c) {
+      const int channel = src * map_.channels_per_rank() + c;
+      const TileRange rows = map_.ChannelRows(channel);
+      if (rows.len() <= 0) continue;
+      Tensor src_view = token_shards_[static_cast<size_t>(src)].Slice(
+          0, rows.lo - src * m_per_rank, rows.len());
+      Tensor dst_view = tokens_[static_cast<size_t>(ctx.rank)].Slice(
+          0, rows.lo, rows.len());
+      const uint64_t inc = map_.TilesInChannel(channel);
+      auto copy_and_notify = [](rt::RankCtx& c2, Tensor s2, Tensor d2,
+                                const BlockChannel& bc2, int ch,
+                                uint64_t inc2) -> sim::Coro {
+        co_await RankCopyData(c2, s2, d2);
+        bc2.set(SignalSpace::kProducerConsumer, c2.rank)
+            ->AddFrom(c2.rank, ch, inc2);
+      };
+      copies.push_back(
+          copy_and_notify(ctx, src_view, dst_view, bc, channel, inc));
+    }
+  }
+  co_await sim::WhenAll(std::move(copies));
+}
+
+sim::Coro AgMoe::Run(rt::RankCtx& ctx) {
+  co_await world_->barrier().Arrive();
+  auto state =
+      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
+  if (cfg_.comm == CommResource::kDma) {
+    std::vector<sim::Coro> both;
+    both.push_back(DmaAllGather(ctx));
+    both.push_back(AwaitKernel(state));
+    co_await sim::WhenAll(std::move(both));
+  } else {
+    co_await AwaitKernel(state);
+  }
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,69 @@
+// AllGather + Gather + GroupGEMM overlapped kernel (paper Figure 5; MoE
+// layer part 1). Token shards are gathered while expert group-GEMM tiles
+// start as soon as *their* tokens arrive. Because dynamic routing decides
+// which tokens each expert tile consumes, the consumer waits come from a
+// DynamicMapping — lookup tables filled at runtime from the routing (§4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "compute/gemm.h"
+#include "compute/moe_routing.h"
+#include "runtime/world.h"
+#include "tilelink/block_channel.h"
+#include "tilelink/kernels/kernel_common.h"
+#include "tilelink/mapping.h"
+#include "tilelink/program.h"
+
+namespace tilelink::tl {
+
+struct AgMoeConfig {
+  int64_t m = 0;        // global tokens (gathered)
+  int64_t hidden = 0;   // token feature dim (K of the group GEMM)
+  int64_t n = 0;        // local expert output columns (I / R)
+  int num_experts = 0;
+  int topk = 0;
+  compute::GemmTiling gemm{128, 128, 64};
+  int comm_tile_m = 128;
+  int channels_per_rank = 0;  // 0 -> one channel per comm tile
+  CommResource comm = CommResource::kDma;
+  int comm_sms = 20;
+  CompilerOptions compiler;
+  std::string name = "ag_moe";
+};
+
+class AgMoe {
+ public:
+  // `routing` is the dynamic routing over the *gathered* token space [0, m).
+  AgMoe(rt::World& world, const AgMoeConfig& config,
+        const compute::MoeRouting& routing);
+
+  comm::SymTensor& token_shards() { return token_shards_; }  // [M/R, H]
+  comm::SymTensor& tokens() { return tokens_; }              // [M, H]
+  comm::SymTensor& weights() { return weights_; }            // [E, H, N]
+  comm::SymTensor& out() { return out_; }  // [M*topk, N] slot order
+
+  const std::string& listing() const { return compiled_.listing(); }
+  const DynamicMapping& dynamic_mapping() const { return dyn_; }
+
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  BlockProgram BuildCommPull();
+  BlockProgram BuildGroupGemm();
+  sim::Coro DmaAllGather(rt::RankCtx& ctx);
+
+  rt::World* world_;
+  AgMoeConfig cfg_;
+  compute::MoeRouting routing_;
+  StaticMapping map_;   // producer (AllGather) channels over token rows
+  DynamicMapping dyn_;  // consumer (expert tile) wait tables
+  std::vector<compute::GroupBlock> group_blocks_;
+  comm::SymTensor token_shards_, tokens_, weights_, out_;
+  std::vector<BlockChannel> bcs_;
+  CompiledKernel compiled_;
+};
+
+}  // namespace tilelink::tl

@@ -1,0 +1,183 @@
+#include "tilelink/kernels/gemm_rs.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+#include "compute/tile_math.h"
+#include "tilelink/kernels/ring_rs.h"
+#include "tilelink/primitives.h"
+
+namespace tilelink::tl {
+namespace {
+
+int64_t TilesForBlock(int64_t total, const Env& env) {
+  if (env.block_id >= total) return 0;
+  return (total - env.block_id - 1) / env.grid + 1;
+}
+
+sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
+  co_await state->Wait();
+}
+
+}  // namespace
+
+GemmRs::GemmRs(rt::World& world, const GemmRsConfig& config)
+    : world_(&world), cfg_(config),
+      // One producer-consumer channel per RS chunk of rows; GEMM m-tiles
+      // must align with chunk granularity for the counting protocol.
+      map_(config.m, config.gemm.bm, world.size(),
+           static_cast<int>((config.m / world.size()) / config.rs_block_m)) {
+  TL_CHECK_EQ(cfg_.m % world.size(), 0);
+  TL_CHECK_EQ((cfg_.m / world.size()) % cfg_.rs_block_m, 0);
+  TL_CHECK_EQ(cfg_.rs_block_m % cfg_.gemm.bm, 0);
+  const int R = world.size();
+  const int64_t m_per_rank = cfg_.m / R;
+  for (int r = 0; r < R; ++r) {
+    rt::Device& dev = world.device(r);
+    a_.push_back(
+        Tensor::Alloc(dev, cfg_.name + ".a", {cfg_.m, cfg_.k}, DType::kBF16));
+    b_.push_back(
+        Tensor::Alloc(dev, cfg_.name + ".b", {cfg_.k, cfg_.n}, DType::kBF16));
+    gemm_out_.push_back(Tensor::Alloc(dev, cfg_.name + ".gemm_out",
+                                      {cfg_.m, cfg_.n}, DType::kBF16));
+    staging_.push_back(Tensor::Alloc(dev, cfg_.name + ".staging",
+                                     {cfg_.m, cfg_.n}, DType::kBF16));
+    out_.push_back(Tensor::Alloc(dev, cfg_.name + ".out",
+                                 {m_per_rank, cfg_.n}, DType::kBF16));
+  }
+  const int64_t peer_channels = cfg_.m / cfg_.rs_block_m;
+  bcs_ = BlockChannel::CreateSymmetric(world, cfg_.name, map_.num_channels(),
+                                       static_cast<int>(peer_channels),
+                                       /*num_host=*/1);
+
+  // Ring RS role.
+  RingRsParams rs;
+  rs.world_size = R;
+  rs.m = cfg_.m;
+  rs.n = cfg_.n;
+  rs.block_m = cfg_.rs_block_m;
+  rs.dtype = DType::kBF16;
+  rs.partials = gemm_out_;
+  rs.staging = staging_;
+  rs.outs = out_;
+  rs.dma_push = cfg_.dma_push;
+  const StaticMapping map = map_;
+  const int64_t tiles_n = CeilDiv<int64_t>(cfg_.n, cfg_.gemm.bn);
+  rs.wait_for_rows = [map, tiles_n](int64_t lo, int64_t hi) {
+    WaitSpec spec;
+    spec.space = SignalSpace::kProducerConsumer;
+    spec.waits = map.WaitsForRows(lo, hi);
+    // Each m-chunk receives one notify per (m-tile, n-tile) pair.
+    for (ChannelWait& w : spec.waits) {
+      w.threshold *= static_cast<uint64_t>(tiles_n);
+    }
+    return spec;
+  };
+
+  FusedKernelSpec spec;
+  spec.name = cfg_.name;
+  const int sms = world.spec().sms_per_device;
+  const int comm_blocks = static_cast<int>(
+      std::min<int64_t>(cfg_.comm_sms, RingRsChunks(rs)));
+  const int64_t gemm_tiles =
+      CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm) * tiles_n;
+  const int compute_blocks = static_cast<int>(
+      std::min<int64_t>(gemm_tiles, std::max(1, sms - comm_blocks)));
+  spec.roles.push_back(Role{"rs", comm_blocks, BuildRingReduceScatter(rs)});
+  spec.roles.push_back(Role{"gemm", compute_blocks, BuildGemm()});
+  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
+}
+
+// Producer GEMM role (Figure 4 lines 2-9): compute a partial tile, store it,
+// then producer_tile_notify the chunk barrier covering its rows.
+BlockProgram GemmRs::BuildGemm() {
+  TileProgramBuilder b;
+  const StaticMapping map = map_;
+  auto as = a_;
+  auto bs = b_;
+  auto outs = gemm_out_;
+  const compute::GemmTiling tiling = cfg_.gemm;
+  const int64_t tiles_m = CeilDiv<int64_t>(cfg_.m, tiling.bm);
+  const int64_t tiles_n = CeilDiv<int64_t>(cfg_.n, tiling.bn);
+  const int64_t num_tiles = tiles_m * tiles_n;
+  const int64_t k_steps = CeilDiv<int64_t>(cfg_.k, tiling.bk);
+  const int64_t k = cfg_.k;
+  const int64_t m = cfg_.m;
+  const int64_t n = cfg_.n;
+  const int R = world_->size();
+  const int64_t tiles_m_per_rank = tiles_m / R;
+  // Tile order: produce the segment the ring consumes first — the segment
+  // right after this rank — then continue in ring order.
+  auto tid_mn = [=](const Env& e) {
+    const int64_t t = e.block_id + e.iv(0) * e.grid;
+    const int64_t raw_m = t / tiles_n;
+    const int64_t tn = t % tiles_n;
+    const int64_t tm =
+        tiles_m_per_rank > 0
+            ? (raw_m + (e.rank + 1) % R * tiles_m_per_rank) % tiles_m
+            : raw_m;
+    return std::pair<int64_t, int64_t>(tm, tn);
+  };
+  b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
+        [&](TileProgramBuilder& body) {
+          body.For("kk", [k_steps](const Env&) { return k_steps; },
+                   [&](TileProgramBuilder& inner) {
+                     inner.Add(ops::Mma(
+                         "gemm.mma",
+                         [tiling](const Env&, const sim::CostModel& cost) {
+                           return cost.GemmTileStep(tiling.bm, tiling.bn,
+                                                    tiling.bk);
+                         },
+                         [as, bs, outs, tid_mn, tiling, k](const Env& e) {
+                           const auto [tm, tn] = tid_mn(e);
+                           const int64_t k0 = e.iv(1) * tiling.bk;
+                           Tensor out = outs[static_cast<size_t>(e.rank)];
+                           compute::GemmTile(
+                               as[static_cast<size_t>(e.rank)],
+                               bs[static_cast<size_t>(e.rank)], out,
+                               tm * tiling.bm, tiling.bm, tn * tiling.bn,
+                               tiling.bn, k0,
+                               std::min<int64_t>(tiling.bk, k - k0),
+                               /*accumulate=*/e.iv(1) != 0);
+                         }));
+                   });
+          body.Add(ops::Store(
+              "gemm.store", [outs, tid_mn, tiling, m, n](const Env& e) {
+                const auto [tm, tn] = tid_mn(e);
+                const Tensor view =
+                    outs[static_cast<size_t>(e.rank)]
+                        .Slice(0, tm * tiling.bm,
+                               std::min<int64_t>(tiling.bm,
+                                                 m - tm * tiling.bm))
+                        .Slice(1, tn * tiling.bn,
+                               std::min<int64_t>(tiling.bn,
+                                                 n - tn * tiling.bn));
+                DataSpec d;
+                view.BufferRange(&d.write_lo, &d.write_hi);
+                d.write_buf = view.buffer();
+                return d;
+              }));
+          body.Add(ops::ProducerTileNotify(
+              "gemm.notify(p2p)", [map, tid_mn, tiling](const Env& e) {
+                const auto [tm, tn] = tid_mn(e);
+                (void)tn;
+                NotifySpec spec;
+                spec.entries.push_back(
+                    NotifyEntry{SignalSpace::kProducerConsumer,
+                                {e.rank},
+                                map.Channel(tm),
+                                1});
+                return spec;
+              }));
+        });
+  return b.Build();
+}
+
+sim::Coro GemmRs::Run(rt::RankCtx& ctx) {
+  co_await world_->barrier().Arrive();
+  auto state =
+      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
+  co_await AwaitKernel(state);
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,15 @@
+// Shared configuration vocabulary for the overlapped kernels: the resource-
+// binding subspace of the decoupled design space (paper §3.1, Figure 2c).
+#pragma once
+
+namespace tilelink::tl {
+
+// Where the communication part of a fused kernel runs.
+enum class CommResource {
+  kSmPull,  // processing cores pull remote tiles (pull mode, Figure 3b)
+  kSmPush,  // processing cores push local tiles (push mode, Figure 3b)
+  kDma,     // copy engines driven by host primitives (no SM cost, but
+            // host-interference latency)
+};
+
+}  // namespace tilelink::tl

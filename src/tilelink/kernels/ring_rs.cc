@@ -1,0 +1,224 @@
+#include "tilelink/kernels/ring_rs.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+#include "tilelink/primitives.h"
+
+namespace tilelink::tl {
+namespace {
+
+int64_t TilesForBlock(int64_t total, const Env& env) {
+  if (env.block_id >= total) return 0;
+  return (total - env.block_id - 1) / env.grid + 1;
+}
+
+}  // namespace
+
+int64_t RingRsChunks(const RingRsParams& params) {
+  const int64_t m_per_rank = params.m / params.world_size;
+  return CeilDiv<int64_t>(m_per_rank, params.block_m);
+}
+
+BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
+  TL_CHECK_GT(p.world_size, 0);
+  TL_CHECK_EQ(p.m % p.world_size, 0);
+  const int R = p.world_size;
+  const int64_t m_per_rank = p.m / R;
+  const int64_t chunks = RingRsChunks(p);
+  const int64_t block_m = p.block_m;
+  const int64_t n = p.n;
+  const DType dtype = p.dtype;
+  auto partials = p.partials;
+  auto staging = p.staging;
+  auto outs = p.outs;
+  auto wait_for_rows = p.wait_for_rows;
+  const bool dma_push = p.dma_push;
+
+  // Chunk owned by this block at iteration iv(0).
+  auto chunk_of = [chunks](const Env& e) {
+    return static_cast<int64_t>(e.block_id) + e.iv(0) * e.grid;
+  };
+  // Segment processed at ring stage s (Figure 4 line 15).
+  auto seg_at = [R](const Env& e, int64_t stage) {
+    return (e.rank + stage + 1) % R;
+  };
+  auto rows_of = [m_per_rank, block_m](int64_t seg, int64_t chunk) {
+    return seg * m_per_rank + chunk * block_m;
+  };
+  // Global peer-channel id for (segment, chunk).
+  auto peer_channel = [chunks](int64_t seg, int64_t chunk) {
+    return static_cast<int>(seg * chunks + chunk);
+  };
+  const int to_rank_offset = R - 1;  // to_rank = (rank - 1 + R) % R
+
+  TileProgramBuilder b;
+  b.For("chunk", [chunks](const Env& e) { return TilesForBlock(chunks, e); },
+        [&](TileProgramBuilder& cb) {
+          // --- push stages 0 .. R-2 -------------------------------------
+          cb.For("stage",
+                 [R](const Env&) { return static_cast<int64_t>(R - 1); },
+                 [&](TileProgramBuilder& sb) {
+                   auto stage_of = [](const Env& e) { return e.iv(1); };
+                   sb.Add(ops::ConsumerTileWait(
+                       "rs.consumer_wait",
+                       [=](const Env& e) {
+                         const int64_t lo =
+                             rows_of(seg_at(e, stage_of(e)), chunk_of(e));
+                         return wait_for_rows(lo, lo + block_m);
+                       }));
+                   sb.Add(ops::Load(
+                       "rs.load_partial", /*acquire=*/true,
+                       [=](const Env& e) {
+                         const int64_t lo =
+                             rows_of(seg_at(e, stage_of(e)), chunk_of(e));
+                         const Tensor view =
+                             partials[static_cast<size_t>(e.rank)].Slice(
+                                 0, lo, block_m);
+                         DataSpec d;
+                         view.BufferRange(&d.read_lo, &d.read_hi);
+                         d.read_buf = view.buffer();
+                         return d;
+                       }));
+                   sb.Add(ops::PeerTileWait(
+                       "rs.peer_wait", [=](const Env& e) {
+                         WaitSpec spec;
+                         spec.space = SignalSpace::kPeer;
+                         if (stage_of(e) > 0) {
+                           spec.waits.push_back(ChannelWait{
+                               peer_channel(seg_at(e, stage_of(e)),
+                                            chunk_of(e)),
+                               1});
+                         }
+                         return spec;
+                       }));
+                   // Billed SM time of the local reduction for this chunk.
+                   sb.Add(ops::Elementwise(
+                       "rs.reduce",
+                       [=](const Env& e, const sim::CostModel& cost) {
+                         const uint64_t bytes =
+                             3ULL * static_cast<uint64_t>(block_m) * n *
+                             DTypeSize(dtype);
+                         return cost.MemoryBound(bytes, e.grid);
+                       }));
+                   sb.Add(ops::TilePushData(
+                       "rs.push",
+                       [=](const Env& e) {
+                         const int64_t lo =
+                             rows_of(seg_at(e, stage_of(e)), chunk_of(e));
+                         const int to = (e.rank + to_rank_offset) % R;
+                         DataSpec d;
+                         d.src_rank = e.rank;
+                         d.dst_rank = to;
+                         d.bytes = static_cast<uint64_t>(block_m) * n *
+                                   DTypeSize(dtype);
+                         const Tensor src_view =
+                             partials[static_cast<size_t>(e.rank)].Slice(
+                                 0, lo, block_m);
+                         const Tensor dst_view =
+                             staging[static_cast<size_t>(to)].Slice(0, lo,
+                                                                    block_m);
+                         src_view.BufferRange(&d.read_lo, &d.read_hi);
+                         d.read_buf = src_view.buffer();
+                         dst_view.BufferRange(&d.write_lo, &d.write_hi);
+                         d.write_buf = dst_view.buffer();
+                         return d;
+                       },
+                       // peer_tile_notify with release semantics once the
+                       // accumulated chunk has landed at the neighbor.
+                       [=](const Env& e) {
+                         NotifySpec spec;
+                         spec.entries.push_back(NotifyEntry{
+                             SignalSpace::kPeer,
+                             {(e.rank + to_rank_offset) % R},
+                             peer_channel(seg_at(e, stage_of(e)),
+                                          chunk_of(e)),
+                             1});
+                         return spec;
+                       },
+                       dma_push,
+                       [=](const Env& e) {
+                         const int64_t lo =
+                             rows_of(seg_at(e, stage_of(e)), chunk_of(e));
+                         const int to = (e.rank + to_rank_offset) % R;
+                         const Tensor mine =
+                             partials[static_cast<size_t>(e.rank)];
+                         const Tensor acc =
+                             staging[static_cast<size_t>(e.rank)];
+                         Tensor dst = staging[static_cast<size_t>(to)];
+                         const bool first = stage_of(e) == 0;
+                         for (int64_t i = 0; i < block_m; ++i) {
+                           for (int64_t c = 0; c < n; ++c) {
+                             float v = mine.at({lo + i, c});
+                             if (!first) v += acc.at({lo + i, c});
+                             dst.at({lo + i, c}) = v;
+                           }
+                         }
+                       }));
+                 });
+          // --- final stage: my own segment ------------------------------
+          cb.Add(ops::ConsumerTileWait("rs.consumer_wait(final)",
+                                       [=](const Env& e) {
+                                         const int64_t lo = rows_of(
+                                             e.rank, chunk_of(e));
+                                         return wait_for_rows(lo,
+                                                              lo + block_m);
+                                       }));
+          cb.Add(ops::Load("rs.load_partial(final)", /*acquire=*/true,
+                           [=](const Env& e) {
+                             const int64_t lo = rows_of(e.rank, chunk_of(e));
+                             const Tensor view =
+                                 partials[static_cast<size_t>(e.rank)].Slice(
+                                     0, lo, block_m);
+                             DataSpec d;
+                             view.BufferRange(&d.read_lo, &d.read_hi);
+                             d.read_buf = view.buffer();
+                             return d;
+                           }));
+          cb.Add(ops::PeerTileWait("rs.peer_wait(final)", [=](const Env& e) {
+            WaitSpec spec;
+            spec.space = SignalSpace::kPeer;
+            if (R > 1) {
+              spec.waits.push_back(ChannelWait{
+                  peer_channel(e.rank, chunk_of(e)), 1});
+            }
+            return spec;
+          }));
+          cb.Add(ops::Elementwise(
+              "rs.reduce(final)",
+              [=](const Env& e, const sim::CostModel& cost) {
+                const uint64_t bytes = 3ULL * static_cast<uint64_t>(block_m) *
+                                       n * DTypeSize(dtype);
+                return cost.MemoryBound(bytes, e.grid);
+              }));
+          cb.Add(ops::Store(
+              "rs.store_out",
+              [=](const Env& e) {
+                const int64_t local_lo = chunk_of(e) * block_m;
+                const Tensor view =
+                    outs[static_cast<size_t>(e.rank)].Slice(0, local_lo,
+                                                            block_m);
+                DataSpec d;
+                view.BufferRange(&d.write_lo, &d.write_hi);
+                d.write_buf = view.buffer();
+                return d;
+              },
+              [=](const Env& e) {
+                const int64_t lo = rows_of(e.rank, chunk_of(e));
+                const int64_t local_lo = chunk_of(e) * block_m;
+                const Tensor mine = partials[static_cast<size_t>(e.rank)];
+                const Tensor acc = staging[static_cast<size_t>(e.rank)];
+                Tensor out = outs[static_cast<size_t>(e.rank)];
+                for (int64_t i = 0; i < block_m; ++i) {
+                  for (int64_t c = 0; c < n; ++c) {
+                    float v = mine.at({lo + i, c});
+                    if (R > 1) v += acc.at({lo + i, c});
+                    out.at({local_lo + i, c}) = v;
+                  }
+                }
+              }));
+        });
+  return b.Build();
+}
+
+}  // namespace tilelink::tl

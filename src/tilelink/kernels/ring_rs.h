@@ -1,0 +1,46 @@
+// Ring ReduceScatter communication role (paper Figure 4, lines 10-26).
+//
+// Each comm block owns a set of row chunks. For a chunk, stage s processes
+// segment seg = (rank + s + 1) % R: wait for the local producer tiles
+// covering those rows (consumer_tile_wait), add the partial that arrived
+// from the right neighbor (peer_tile_wait, stages > 0), then push the
+// accumulated chunk to the left neighbor and notify it (peer_tile_notify) —
+// or, at the last stage, store the fully reduced chunk to the local output.
+//
+// The push can be SM-driven (block stalls on the transfer) or handed to a
+// DMA engine (hybrid mapping: reduction on SMs, scatter on copy engines —
+// the configuration the paper reports as TileLink's best for GEMM+RS).
+#pragma once
+
+#include <functional>
+
+#include "comm/collectives.h"
+#include "runtime/world.h"
+#include "tilelink/program.h"
+
+namespace tilelink::tl {
+
+struct RingRsParams {
+  int world_size = 0;
+  int64_t m = 0;        // global rows = world_size * m_per_rank
+  int64_t n = 0;        // row width
+  int block_m = 128;    // RS chunk rows (comm tile size — decoupled from
+                        // the producer's tile size)
+  DType dtype = DType::kBF16;
+  comm::SymTensor partials;  // per-rank local partial sums [m, n]
+  comm::SymTensor staging;   // per-rank ring staging buffer [m, n]
+  comm::SymTensor outs;      // per-rank reduced shard [m/world_size, n]
+  // consumer_tile_wait spec for producer tiles covering global rows
+  // [lo, hi); workload-specific (GEMM tiles vs. topk-reduce chunks).
+  std::function<WaitSpec(int64_t lo, int64_t hi)> wait_for_rows;
+  bool dma_push = false;  // hybrid resource mapping
+};
+
+// Builds the comm-role program. Peer channels used: one per global chunk,
+// i.e. m / block_m channels in the kPeer space.
+BlockProgram BuildRingReduceScatter(const RingRsParams& params);
+
+// Number of comm blocks that have work: chunks per rank.
+int64_t RingRsChunks(const RingRsParams& params);
+
+}  // namespace tilelink::tl

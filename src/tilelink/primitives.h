@@ -1,0 +1,97 @@
+// Tile-centric primitives (paper Table 3).
+//
+// Device-side primitives are Op constructors consumed by TileProgramBuilder,
+// so kernels in tilelink/kernels read like the paper's Figures 4-6:
+//   producer_tile_notify  -> ops::ProducerTileNotify(...)
+//   consumer_tile_wait    -> ops::ConsumerTileWait(...)
+//   peer_tile_notify/wait -> ops::PeerTileNotify / ops::PeerTileWait
+//   tile_push_data        -> ops::TilePushData (sync SM push or async DMA)
+//   tile_pull_data        -> ops::TilePullData
+// Host-side primitives are coroutines / calls used by host programs:
+//   rank_copy_data        -> RankCopyData (copy engine)
+//   rank_notify/rank_wait -> RankNotify / RankWait
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/p2p.h"
+#include "runtime/world.h"
+#include "tensor/tensor.h"
+#include "tilelink/block_channel.h"
+#include "tilelink/program.h"
+
+namespace tilelink::tl {
+
+enum class NotifyMode { kP2P, kBroadcast };
+
+namespace ops {
+
+// Blocks until all producer tiles this consumer depends on are done.
+Op ConsumerTileWait(std::string label,
+                    std::function<WaitSpec(const Env&)> wait);
+
+// Marks a producer tile done and notifies its consumer tile(s).
+Op ProducerTileNotify(std::string label,
+                      std::function<NotifySpec(const Env&)> notify);
+
+// Peer-to-peer (same-operator, cross-rank) signalling.
+Op PeerTileWait(std::string label, std::function<WaitSpec(const Env&)> wait);
+Op PeerTileNotify(std::string label,
+                  std::function<NotifySpec(const Env&)> notify);
+
+// Sends a tile of data to a remote tensor. When `async_dma` is true the
+// transfer is handed to a copy engine (hybrid mapping) and `notify_after`
+// fires on completion; otherwise the block drives it and continues after
+// the data lands.
+Op TilePushData(std::string label, std::function<DataSpec(const Env&)> data,
+                std::function<NotifySpec(const Env&)> notify_after = nullptr,
+                bool async_dma = false,
+                std::function<void(const Env&)> math = nullptr);
+
+// Loads tile(s) of data from remote tensor(s).
+Op TilePullData(std::string label, std::function<DataSpec(const Env&)> data,
+                std::function<void(const Env&)> math = nullptr);
+
+// Tile load from local memory; `acquire` marks producer-written data.
+Op Load(std::string label, bool acquire,
+        std::function<DataSpec(const Env&)> data = nullptr);
+
+// Tile store to local memory.
+Op Store(std::string label, std::function<DataSpec(const Env&)> data = nullptr,
+         std::function<void(const Env&)> math = nullptr);
+
+// Tensor-core tile step.
+Op Mma(std::string label,
+       std::function<sim::TimeNs(const Env&, const sim::CostModel&)> cost,
+       std::function<void(const Env&)> math = nullptr);
+
+// Memory-bound tile op.
+Op Elementwise(std::string label,
+               std::function<sim::TimeNs(const Env&, const sim::CostModel&)> cost,
+               std::function<void(const Env&)> math = nullptr);
+
+}  // namespace ops
+
+// -----------------------------------------------------------------------
+// Host-side primitives
+// -----------------------------------------------------------------------
+
+// rank_copy_data: peer-to-peer copy on a copy engine owned by `ctx`'s rank.
+sim::Coro RankCopyData(rt::RankCtx& ctx, Tensor src, Tensor dst);
+
+// rank_notify: raise host barrier `channel` on `target_rank` by `inc`.
+void RankNotify(rt::RankCtx& ctx, const BlockChannel& bc, int target_rank,
+                int channel, uint64_t inc = 1);
+
+// rank_wait: block the calling host coroutine until the local host barrier
+// `channel` reaches `threshold`.
+sim::Flag::Awaiter RankWait(const BlockChannel& bc, int channel,
+                            uint64_t threshold);
+
+// Helpers for building notify target lists.
+std::vector<int> AllRanks(int num_ranks);
+std::vector<int> OtherRanks(int num_ranks, int self);
+
+}  // namespace tilelink::tl

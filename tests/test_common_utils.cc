@@ -1,0 +1,131 @@
+// Tests for common utilities, tensor views, and the trace recorder.
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/string_utils.h"
+#include "runtime/world.h"
+#include "sim/trace.h"
+#include "tensor/tensor_ops.h"
+
+namespace tilelink {
+namespace {
+
+TEST(MathUtils, CeilDivAndRoundUp) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(int64_t{1}, int64_t{128}), 1);
+  EXPECT_EQ(RoundUp(10, 4), 12);
+  EXPECT_EQ(RoundUp(8, 4), 8);
+  EXPECT_EQ(Pow2RoundUp(100), 128);
+  EXPECT_EQ(Pow2RoundUp(128), 128);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(StringUtils, Formatting) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(HumanTimeNs(500), "500 ns");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_NE(HumanTimeNs(1500000).find("ms"), std::string::npos);
+  EXPECT_NE(HumanBytes(64ull << 20).find("MiB"), std::string::npos);
+}
+
+TEST(TensorViews, SliceSelectFlattenRoundTrip) {
+  rt::World world(sim::MachineSpec::Test(1), rt::ExecMode::kFunctional);
+  Tensor t = Tensor::Alloc(world.device(0), "t", {4, 6, 8}, DType::kBF16);
+  FillIota(t);
+  // Select middle dim then slice.
+  Tensor sel = t.Select(1, 2);  // [4, 8]
+  EXPECT_EQ(sel.ndim(), 2);
+  EXPECT_EQ(sel.at({1, 3}), t.at({1, 2, 3}));
+  Tensor sl = t.Slice(0, 1, 2);  // [2, 6, 8]
+  EXPECT_EQ(sl.at({0, 0, 0}), t.at({1, 0, 0}));
+  EXPECT_TRUE(t.contiguous());
+  EXPECT_FALSE(sel.contiguous() && sel.numel() != t.numel());
+  Tensor flat = t.Flatten();
+  EXPECT_EQ(flat.ndim(), 1);
+  EXPECT_EQ(flat.numel(), 4 * 6 * 8);
+}
+
+TEST(TensorViews, BufferRangeCoversView) {
+  rt::World world(sim::MachineSpec::Test(1), rt::ExecMode::kFunctional);
+  Tensor t = Tensor::Alloc(world.device(0), "t", {10, 10}, DType::kBF16);
+  Tensor view = t.Slice(0, 3, 4).Slice(1, 2, 5);
+  int64_t lo = 0, hi = 0;
+  view.BufferRange(&lo, &hi);
+  EXPECT_EQ(lo, view.OffsetOf({0, 0}));
+  EXPECT_EQ(hi, view.OffsetOf({3, 4}) + 1);
+}
+
+TEST(TensorViews, LogicalBytesUseDtype) {
+  rt::World world(sim::MachineSpec::Test(1), rt::ExecMode::kFunctional);
+  Tensor bf16 = Tensor::Alloc(world.device(0), "a", {8, 8}, DType::kBF16);
+  Tensor fp32 = Tensor::Alloc(world.device(0), "b", {8, 8}, DType::kFP32);
+  EXPECT_EQ(bf16.logical_bytes(), 128u);
+  EXPECT_EQ(fp32.logical_bytes(), 256u);
+}
+
+TEST(TensorOps, SumAndMaxAbsDiff) {
+  rt::World world(sim::MachineSpec::Test(1), rt::ExecMode::kFunctional);
+  Tensor a = Tensor::Alloc(world.device(0), "a", {3, 3}, DType::kFP32);
+  Tensor b = Tensor::Alloc(world.device(0), "b", {3, 3}, DType::kFP32);
+  FillConstant(a, 2.0f);
+  FillConstant(b, 2.0f);
+  b.at({1, 1}) = 5.0f;
+  EXPECT_DOUBLE_EQ(Sum(a), 18.0);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 3.0f);
+  EXPECT_FALSE(AllClose(a, b));
+  b.at({1, 1}) = 2.0f;
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(Trace, RecordsAndSerializesSpans) {
+  sim::TraceRecorder trace;
+  trace.AddSpan(0, 1, "gemm", 1000, 5000, "compute");
+  trace.AddSpan(1, 2, "pull", 0, 2200, "comm");
+  EXPECT_EQ(trace.size(), 2u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tilelink

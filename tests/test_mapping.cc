@@ -1,0 +1,102 @@
+// Tests for the tile-centric mappings: the affine fS/fR/fC formulas of §4.1
+// against brute force, channel wait derivation, and dynamic lookup tables.
+#include <gtest/gtest.h>
+
+#include "tilelink/mapping.h"
+
+namespace tilelink::tl {
+namespace {
+
+TEST(StaticMapping, MatchesPaperFormulas) {
+  // M=1024, Tmp=64, R=4 ranks, C=2 channels/rank (paper §4.1 example form).
+  const int64_t m = 1024;
+  const int tile = 64;
+  const int ranks = 4;
+  const int channels = 2;
+  StaticMapping map(m, tile, ranks, channels);
+  const int64_t m_per_rank = (m + ranks - 1) / ranks;          // 256
+  const int64_t m_per_channel = (m + ranks * channels - 1) / (ranks * channels);  // 128
+  for (int64_t t = 0; t < map.num_tiles(); ++t) {
+    EXPECT_EQ(map.ShapeRange(t).lo, t * tile);
+    EXPECT_EQ(map.ShapeRange(t).hi, std::min<int64_t>(t * tile + tile, m));
+    EXPECT_EQ(map.Rank(t), t / (m_per_rank / tile));
+    EXPECT_EQ(map.Channel(t), t / (m_per_channel / tile));
+  }
+  EXPECT_EQ(map.num_tiles(), 16);
+  EXPECT_EQ(map.tiles_per_rank(), 4);
+  EXPECT_EQ(map.tiles_per_channel(), 2);
+  EXPECT_EQ(map.num_channels(), 8);
+}
+
+TEST(StaticMapping, RankCoversAllTilesExactly) {
+  StaticMapping map(2048, 128, 8, 2);
+  std::vector<int> per_rank(8, 0);
+  for (int64_t t = 0; t < map.num_tiles(); ++t) {
+    per_rank[static_cast<size_t>(map.Rank(t))]++;
+  }
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(per_rank[static_cast<size_t>(r)], 2);
+}
+
+TEST(StaticMapping, TilesInChannelSumsToTotal) {
+  StaticMapping map(1536, 64, 4, 3);
+  uint64_t total = 0;
+  for (int c = 0; c < map.num_channels(); ++c) {
+    total += map.TilesInChannel(c);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(map.num_tiles()));
+}
+
+TEST(StaticMapping, WaitsForRowsCoverExactChannels) {
+  StaticMapping map(1024, 64, 4, 2);  // channel = 128 rows
+  // Rows [100, 300) span channels 0,1,2.
+  auto waits = map.WaitsForRows(100, 300);
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_EQ(waits[0].channel, 0);
+  EXPECT_EQ(waits[1].channel, 1);
+  EXPECT_EQ(waits[2].channel, 2);
+  for (const auto& w : waits) {
+    EXPECT_EQ(w.threshold, map.TilesInChannel(w.channel));
+  }
+  // Exactly one channel.
+  auto one = map.WaitsForRows(128, 256);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].channel, 1);
+  // Empty range waits nothing.
+  EXPECT_TRUE(map.WaitsForRows(64, 64).empty());
+}
+
+TEST(StaticMapping, ChannelRowsRoundTripsWithChannelOf) {
+  StaticMapping map(4096, 128, 8, 4);
+  for (int c = 0; c < map.num_channels(); ++c) {
+    const TileRange rows = map.ChannelRows(c);
+    for (int64_t row = rows.lo; row < rows.hi; row += 128) {
+      EXPECT_EQ(map.Channel(row / 128), c);
+    }
+  }
+}
+
+TEST(StaticMapping, RejectsMisalignedTile) {
+  // m_per_rank = 100 not divisible by tile 64.
+  EXPECT_THROW(StaticMapping(400, 64, 4, 1), Error);
+}
+
+TEST(DynamicMapping, LookupTablesRoundTrip) {
+  DynamicMapping dyn;
+  dyn.Resize(4);
+  dyn.SetTile(0, TileRange{0, 64}, 2, 5);
+  dyn.SetTile(3, TileRange{192, 256}, 1, 7);
+  dyn.SetWaits(3, {ChannelWait{5, 2}, ChannelWait{7, 1}});
+  EXPECT_EQ(dyn.num_tiles(), 4);
+  EXPECT_EQ(dyn.ShapeRange(0).lo, 0);
+  EXPECT_EQ(dyn.ShapeRange(0).hi, 64);
+  EXPECT_EQ(dyn.Rank(0), 2);
+  EXPECT_EQ(dyn.Channel(0), 5);
+  EXPECT_EQ(dyn.Rank(3), 1);
+  ASSERT_EQ(dyn.Waits(3).size(), 2u);
+  EXPECT_EQ(dyn.Waits(3)[0], (ChannelWait{5, 2}));
+  EXPECT_EQ(dyn.Waits(3)[1], (ChannelWait{7, 1}));
+  EXPECT_TRUE(dyn.Waits(1).empty());
+}
+
+}  // namespace
+}  // namespace tilelink::tl

@@ -1,0 +1,107 @@
+// Tests for the flow-level interconnect: serial bandwidth, fair sharing,
+// latency accounting, local copies.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tilelink::sim {
+namespace {
+
+constexpr double kBw = 100.0;       // bytes/ns == GB/s
+constexpr TimeNs kLatency = 1000;  // 1 us
+
+Coro OneTransfer(Network* net, int src, int dst, uint64_t bytes,
+                 TimeNs* done, Simulator* sim) {
+  co_await net->Transfer(src, dst, bytes);
+  *done = sim->Now();
+}
+
+TEST(Network, SingleFlowRunsAtPortBandwidth) {
+  Simulator sim;
+  Network net(&sim, 4, kBw, kLatency, "nvl");
+  TimeNs done = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 100000, &done, &sim));
+  sim.Run();
+  // 100000 bytes at 100 B/ns = 1000 ns + latency.
+  EXPECT_NEAR(static_cast<double>(done), 1000.0 + kLatency, 5.0);
+}
+
+TEST(Network, TwoFlowsShareIngressPort) {
+  Simulator sim;
+  Network net(&sim, 4, kBw, kLatency, "nvl");
+  TimeNs d1 = 0, d2 = 0;
+  sim.Spawn(OneTransfer(&net, 0, 2, 100000, &d1, &sim));
+  sim.Spawn(OneTransfer(&net, 1, 2, 100000, &d2, &sim));
+  sim.Run();
+  // Both target port 2: each gets bw/2 -> ~2000 ns + latency.
+  EXPECT_NEAR(static_cast<double>(d1), 2000.0 + kLatency, 10.0);
+  EXPECT_NEAR(static_cast<double>(d2), 2000.0 + kLatency, 10.0);
+}
+
+TEST(Network, DisjointPairsDoNotInterfere) {
+  Simulator sim;
+  Network net(&sim, 4, kBw, kLatency, "nvl");
+  TimeNs d1 = 0, d2 = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 100000, &d1, &sim));
+  sim.Spawn(OneTransfer(&net, 2, 3, 100000, &d2, &sim));
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(d1), 1000.0 + kLatency, 5.0);
+  EXPECT_NEAR(static_cast<double>(d2), 1000.0 + kLatency, 5.0);
+}
+
+Coro LateTransfer(Network* net, TimeNs start, int src, int dst,
+                  uint64_t bytes, TimeNs* done, Simulator* sim) {
+  co_await Delay{start};
+  co_await net->Transfer(src, dst, bytes);
+  *done = sim->Now();
+}
+
+TEST(Network, RatesRebalanceWhenFlowsJoinAndLeave) {
+  Simulator sim;
+  Network net(&sim, 4, kBw, /*latency=*/0, "nvl");
+  TimeNs d1 = 0, d2 = 0;
+  // Flow 1: 200000 bytes alone for 1000ns (100000 done), then shares.
+  sim.Spawn(OneTransfer(&net, 0, 2, 200000, &d1, &sim));
+  sim.Spawn(LateTransfer(&net, 1000, 1, 2, 50000, &d2, &sim));
+  sim.Run();
+  // After t=1000: flow1 has 100000 left at 50 B/ns -> would finish at 3000;
+  // flow2 (50000 at 50 B/ns) finishes at 2000, then flow1 speeds up:
+  // at t=2000 flow1 has 50000 left at full 100 -> finishes ~2500.
+  EXPECT_NEAR(static_cast<double>(d2), 2000.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(d1), 2500.0, 20.0);
+}
+
+TEST(Network, ZeroByteTransferOnlyPaysLatency) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, kLatency, "nvl");
+  TimeNs done = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 0, &done, &sim));
+  sim.Run();
+  EXPECT_EQ(done, kLatency);
+}
+
+TEST(Network, LocalCopyUsesHbmBandwidth) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, kLatency, "nvl");
+  net.set_local_copy_bw_gbps(1000.0);
+  TimeNs done = 0;
+  sim.Spawn(OneTransfer(&net, 1, 1, 1000000, &done, &sim));
+  sim.Run();
+  // 1e6 bytes at 1000 B/ns = 1000ns + latency.
+  EXPECT_NEAR(static_cast<double>(done), 1000.0 + kLatency, 5.0);
+}
+
+TEST(Network, TotalBytesAccounted) {
+  Simulator sim;
+  Network net(&sim, 4, kBw, kLatency, "nvl");
+  TimeNs d = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 12345, &d, &sim));
+  sim.Spawn(OneTransfer(&net, 2, 3, 55555, &d, &sim));
+  sim.Run();
+  EXPECT_EQ(net.total_bytes(), 12345u + 55555u);
+  EXPECT_EQ(net.active_flow_count(), 0);
+}
+
+}  // namespace
+}  // namespace tilelink::sim

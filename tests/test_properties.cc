@@ -1,0 +1,245 @@
+// Property-style tests across the system: overlap never changes numerics,
+// simulated overlap time is bounded by its parts, signals are monotone,
+// routed tokens are conserved, determinism holds under configuration
+// sweeps, cost model is monotone in its inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compute/gemm.h"
+#include "compute/moe_routing.h"
+#include "runtime/world.h"
+#include "sim/cost_model.h"
+#include "tensor/tensor_ops.h"
+#include "tilelink/kernels/ag_gemm.h"
+#include "tilelink/kernels/gemm_rs.h"
+
+namespace tilelink {
+namespace {
+
+using rt::ExecMode;
+using rt::RankCtx;
+using rt::World;
+
+// -- Cost model properties ------------------------------------------------
+
+TEST(CostModelProps, TileStepMonotoneInEveryDimension) {
+  const sim::CostModel cost(sim::MachineSpec::H800x8());
+  EXPECT_LE(cost.GemmTileStep(64, 128, 32), cost.GemmTileStep(128, 128, 32));
+  EXPECT_LE(cost.GemmTileStep(128, 64, 32), cost.GemmTileStep(128, 128, 32));
+  EXPECT_LE(cost.GemmTileStep(128, 128, 32), cost.GemmTileStep(128, 128, 64));
+}
+
+TEST(CostModelProps, TotalGemmTimeInvariantInBk) {
+  // The coarse-tiling trick the benches rely on: total time is (nearly)
+  // independent of bk because step cost is linear in bk.
+  const sim::CostModel cost(sim::MachineSpec::H800x8());
+  const compute::GemmTiling fine{128, 256, 64};
+  const compute::GemmTiling coarse{128, 256, 512};
+  const sim::TimeNs t_fine =
+      compute::AnalyticGemmTime(cost, 4096, 2048, 4096, fine, 132);
+  const sim::TimeNs t_coarse =
+      compute::AnalyticGemmTime(cost, 4096, 2048, 4096, coarse, 132);
+  const double rel = std::abs(static_cast<double>(t_fine - t_coarse)) /
+                     static_cast<double>(t_fine);
+  EXPECT_LT(rel, 0.05) << t_fine << " vs " << t_coarse;
+}
+
+TEST(CostModelProps, EfficiencyRampsWithTileArea) {
+  const sim::CostModel cost(sim::MachineSpec::H800x8());
+  EXPECT_LT(cost.GemmEfficiency(32, 32), cost.GemmEfficiency(64, 64));
+  EXPECT_LT(cost.GemmEfficiency(64, 64), cost.GemmEfficiency(128, 256));
+  EXPECT_LE(cost.GemmEfficiency(128, 256), cost.GemmEfficiency(256, 256));
+}
+
+TEST(CostModelProps, MemoryBoundScalesWithBytesAndSms) {
+  const sim::CostModel cost(sim::MachineSpec::H800x8());
+  EXPECT_LT(cost.MemoryBound(1 << 20, 64), cost.MemoryBound(1 << 22, 64));
+  EXPECT_LE(cost.MemoryBound(1 << 22, 64), cost.MemoryBound(1 << 22, 8));
+}
+
+// -- Overlap timing bounds ------------------------------------------------
+
+struct Pieces {
+  sim::TimeNs overlap;
+  sim::TimeNs comm_ish;  // bytes / link rate lower bound
+};
+
+TEST(OverlapProps, OverlapIsBoundedBelowByWireTime) {
+  const int R = 4;
+  World world(sim::MachineSpec::Test(R, 16), ExecMode::kTimingOnly);
+  tl::AgGemmConfig cfg;
+  cfg.m = 512 * R;
+  cfg.k = 512;
+  cfg.n = 256;
+  cfg.gemm = compute::GemmTiling{64, 64, 64};
+  cfg.comm_tile_m = 64;
+  cfg.comm = tl::CommResource::kSmPull;
+  cfg.comm_sms = 4;
+  tl::AgGemm kernel(world, cfg);
+  const sim::TimeNs overlap = world.RunSpmd(
+      [&](RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+  // Each rank must ingest (R-1)/R of the gathered tensor over its port.
+  const double bytes = static_cast<double>(cfg.m) * cfg.k * 2.0 * (R - 1) / R;
+  const sim::TimeNs wire = static_cast<sim::TimeNs>(
+      bytes / world.spec().nvlink_gbps);
+  EXPECT_GE(overlap, wire);
+}
+
+TEST(OverlapProps, MoreCommSmsNeverHelpsComputeBoundKernel) {
+  // With a heavily compute-bound shape, stealing more SMs for comm must not
+  // make the kernel faster.
+  auto run = [&](int comm_sms) {
+    World world(sim::MachineSpec::Test(4, 16), ExecMode::kTimingOnly);
+    tl::AgGemmConfig cfg;
+    cfg.m = 1024;
+    cfg.k = 2048;
+    cfg.n = 1024;
+    cfg.gemm = compute::GemmTiling{64, 64, 256};
+    cfg.comm_tile_m = 64;
+    cfg.comm = tl::CommResource::kSmPull;
+    cfg.comm_sms = comm_sms;
+    tl::AgGemm kernel(world, cfg);
+    return world.RunSpmd(
+        [&](RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+  };
+  EXPECT_LE(run(2), run(10));
+}
+
+// -- Numerics invariance across configurations ----------------------------
+
+TEST(NumericsProps, AllCommResourcesProduceIdenticalResults) {
+  const int R = 4;
+  std::vector<float> reference;
+  for (tl::CommResource res :
+       {tl::CommResource::kSmPull, tl::CommResource::kSmPush,
+        tl::CommResource::kDma}) {
+    World world(sim::MachineSpec::Test(R, 16), ExecMode::kFunctional);
+    tl::AgGemmConfig cfg;
+    cfg.m = 128;
+    cfg.k = 32;
+    cfg.n = 32;
+    cfg.gemm = compute::GemmTiling{32, 16, 16};
+    cfg.comm_tile_m = 16;
+    cfg.comm = res;
+    cfg.comm_sms = 4;
+    tl::AgGemm kernel(world, cfg);
+    Rng rng(99);  // identical data for every variant
+    for (int r = 0; r < R; ++r) {
+      FillRandom(kernel.a_shards()[static_cast<size_t>(r)], rng, 0.5f);
+      FillRandom(kernel.b()[static_cast<size_t>(r)], rng, 0.5f);
+    }
+    world.RunSpmd(
+        [&](RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+    std::vector<float> got;
+    for (int64_t i = 0; i < kernel.c()[0].numel(); ++i) {
+      got.push_back(kernel.c()[0].buffer()->data()[static_cast<size_t>(i)]);
+    }
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(reference, got) << "variant " << static_cast<int>(res);
+    }
+  }
+}
+
+TEST(NumericsProps, RsBlockSizeDoesNotChangeNumerics) {
+  const int R = 2;
+  std::vector<float> reference;
+  for (int rs_block : {32, 64}) {
+    World world(sim::MachineSpec::Test(R, 16), ExecMode::kFunctional);
+    tl::GemmRsConfig cfg;
+    cfg.m = 128;
+    cfg.k = 16;
+    cfg.n = 24;
+    cfg.gemm = compute::GemmTiling{32, 8, 8};
+    cfg.rs_block_m = rs_block;
+    cfg.comm_sms = 2;
+    tl::GemmRs kernel(world, cfg);
+    Rng rng(123);
+    for (int r = 0; r < R; ++r) {
+      FillRandom(kernel.a()[static_cast<size_t>(r)], rng, 0.3f);
+      FillRandom(kernel.b()[static_cast<size_t>(r)], rng, 0.3f);
+    }
+    world.RunSpmd(
+        [&](RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+    std::vector<float> got;
+    for (int64_t i = 0; i < kernel.out()[0].numel(); ++i) {
+      got.push_back(
+          kernel.out()[0].buffer()->data()[static_cast<size_t>(i)]);
+    }
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      // Ring accumulation order is identical (rank order), so results are
+      // bit-identical across chunk sizes.
+      EXPECT_EQ(reference, got) << "rs_block " << rs_block;
+    }
+  }
+}
+
+// -- Signal / flag properties ---------------------------------------------
+
+TEST(SignalProps, FlagValueNeverDecreases) {
+  sim::Simulator sim;
+  sim::Flag flag(&sim, "f");
+  Rng rng(5);
+  uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.NextU64(2) == 0) {
+      flag.Set(rng.NextU64(100));
+    } else {
+      flag.Add(rng.NextU64(4));
+    }
+    EXPECT_GE(flag.value(), last);
+    last = flag.value();
+  }
+}
+
+// -- Routing conservation --------------------------------------------------
+
+TEST(RoutingProps, TokensConservedAcrossRandomConfigs) {
+  Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int64_t tokens = 8 + static_cast<int64_t>(rng.NextU64(200));
+    const int experts = 2 + static_cast<int>(rng.NextU64(30));
+    const int topk = 1 + static_cast<int>(
+        rng.NextU64(static_cast<uint64_t>(std::min(experts, 5))));
+    compute::MoeRouting r =
+        compute::RandomRouting(tokens, experts, topk, rng);
+    r.CheckValid();
+    int64_t total = 0;
+    for (int e = 0; e < experts; ++e) total += r.expert_count(e);
+    EXPECT_EQ(total, tokens * topk);
+  }
+}
+
+// -- Determinism under repetition ------------------------------------------
+
+TEST(DeterminismProps, RepeatedWorldsAreBitIdentical) {
+  auto run = []() {
+    World world(sim::MachineSpec::Test(4, 8), ExecMode::kFunctional);
+    tl::GemmRsConfig cfg;
+    cfg.m = 128;
+    cfg.k = 16;
+    cfg.n = 16;
+    cfg.gemm = compute::GemmTiling{32, 16, 8};
+    cfg.rs_block_m = 32;
+    cfg.comm_sms = 2;
+    tl::GemmRs kernel(world, cfg);
+    Rng rng(17);
+    for (int r = 0; r < 4; ++r) {
+      FillRandom(kernel.a()[static_cast<size_t>(r)], rng, 0.3f);
+      FillRandom(kernel.b()[static_cast<size_t>(r)], rng, 0.3f);
+    }
+    const sim::TimeNs t = world.RunSpmd(
+        [&](RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+    return std::make_pair(t, Sum(kernel.out()[2]));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace tilelink

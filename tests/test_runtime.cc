@@ -1,0 +1,164 @@
+// Tests for the runtime layer: streams order ops, kernel launches respect SM
+// capacity (wave quantization), signals obey visibility latency, the
+// consistency checker flags in-flight reads, barriers rendezvous.
+#include <gtest/gtest.h>
+
+#include "runtime/stream.h"
+#include "runtime/world.h"
+#include "tensor/tensor.h"
+
+namespace tilelink::rt {
+namespace {
+
+using sim::Coro;
+using sim::Delay;
+using sim::TimeNs;
+
+TEST(Runtime, StreamExecutesOpsInOrder) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  Stream& stream = *world.rank_ctx(0).stream;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    stream.Enqueue([&order, i]() -> Coro {
+      co_await Delay{100 - i * 20};  // later ops are shorter
+      order.push_back(i);
+    });
+  }
+  world.sim().Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Runtime, KernelBlocksQuantizeIntoWaves) {
+  // 4 SMs, 8 blocks of 100ns each -> 2 waves -> 200ns of block time.
+  sim::MachineSpec spec = sim::MachineSpec::Test(1, /*sms=*/4);
+  World world(spec, ExecMode::kFunctional);
+  RankCtx& ctx = world.rank_ctx(0);
+  auto state = ctx.stream->LaunchKernel(
+      8,
+      [](BlockCtx bctx) -> Coro { co_await Delay{100}; },
+      "wave_test");
+  TimeNs done = 0;
+  const TimeNs t0 = world.sim().Now();
+  world.RunSpmd([&](RankCtx& c) -> Coro {
+    co_await state->Wait();
+    done = c.sim()->Now();
+  });
+  EXPECT_EQ(done - t0 - spec.kernel_launch_latency, 200);
+}
+
+TEST(Runtime, StreamEventOrdersAcrossStreams) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  RankCtx& ctx = world.rank_ctx(0);
+  std::vector<int> order;
+  ctx.stream->Enqueue([&order]() -> Coro {
+    co_await Delay{500};
+    order.push_back(1);
+  });
+  auto ev = ctx.stream->RecordEvent();
+  ctx.comm_stream->WaitEvent(ev);
+  ctx.comm_stream->Enqueue([&order]() -> Coro {
+    order.push_back(2);
+    co_return;
+  });
+  world.sim().Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Runtime, RemoteSignalHasVisibilityLatency) {
+  sim::MachineSpec spec = sim::MachineSpec::Test(2);
+  World world(spec, ExecMode::kFunctional);
+  SignalSet* sig = world.device(1).AllocSignals("s", 4);
+  TimeNs woke = -1;
+  world.sim().Spawn([](SignalSet* s, TimeNs* w,
+                       sim::Simulator* sim) -> Coro {
+    co_await s->Wait(2, 1);
+    *w = sim->Now();
+  }(sig, &woke, &world.sim()));
+  // Rank 0 sets a flag on rank 1's device at t=0.
+  sig->SetFrom(/*from_rank=*/0, /*idx=*/2, 1);
+  world.sim().Run();
+  EXPECT_EQ(woke, spec.signal_visibility_latency);
+}
+
+TEST(Runtime, LocalSignalIsFaster) {
+  sim::MachineSpec spec = sim::MachineSpec::Test(2);
+  World world(spec, ExecMode::kFunctional);
+  SignalSet* sig = world.device(1).AllocSignals("s", 1);
+  TimeNs woke = -1;
+  world.sim().Spawn([](SignalSet* s, TimeNs* w,
+                       sim::Simulator* sim) -> Coro {
+    co_await s->Wait(0, 1);
+    *w = sim->Now();
+  }(sig, &woke, &world.sim()));
+  sig->SetFrom(/*from_rank=*/1, /*idx=*/0, 1);
+  world.sim().Run();
+  EXPECT_EQ(woke, spec.local_signal_latency);
+}
+
+TEST(Runtime, ConsistencyCheckerFlagsInFlightRead) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  world.checker().RecordWrite(t.buffer(), 0, 64, /*start=*/100, /*end=*/200,
+                              "writer");
+  world.checker().CheckRead(t.buffer(), 10, 20, /*t=*/150, "reader");
+  ASSERT_EQ(world.checker().violations().size(), 1u);
+  EXPECT_EQ(world.checker().violations()[0].writer, "writer");
+}
+
+TEST(Runtime, ConsistencyCheckerAcceptsOrderedRead) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  world.checker().RecordWrite(t.buffer(), 0, 64, 100, 200, "writer");
+  world.checker().CheckRead(t.buffer(), 10, 20, 200, "reader");  // at end: ok
+  world.checker().CheckRead(t.buffer(), 10, 20, 250, "reader");
+  EXPECT_TRUE(world.checker().violations().empty());
+}
+
+TEST(Runtime, ConsistencyCheckerIgnoresDisjointRanges) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  world.checker().RecordWrite(t.buffer(), 0, 32, 100, 200, "writer");
+  world.checker().CheckRead(t.buffer(), 32, 64, 150, "reader");
+  EXPECT_TRUE(world.checker().violations().empty());
+}
+
+TEST(Runtime, BarrierRendezvousAllRanks) {
+  World world(sim::MachineSpec::Test(4), ExecMode::kFunctional);
+  std::vector<TimeNs> after(4, -1);
+  world.RunSpmd([&](RankCtx& ctx) -> Coro {
+    co_await Delay{100 * (ctx.rank + 1)};  // staggered arrivals
+    co_await ctx.world->barrier().Arrive();
+    after[static_cast<size_t>(ctx.rank)] = ctx.sim()->Now();
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(after[static_cast<size_t>(r)], 400) << "rank " << r;
+  }
+}
+
+TEST(Runtime, BarrierIsReusable) {
+  World world(sim::MachineSpec::Test(2), ExecMode::kFunctional);
+  int phase_sum = 0;
+  world.RunSpmd([&](RankCtx& ctx) -> Coro {
+    for (int i = 0; i < 3; ++i) {
+      co_await ctx.world->barrier().Arrive();
+      phase_sum++;
+    }
+  });
+  EXPECT_EQ(phase_sum, 6);
+}
+
+TEST(Runtime, TimingOnlyModeSkipsPayloads) {
+  World world(sim::MachineSpec::Test(2), ExecMode::kTimingOnly);
+  Tensor t = Tensor::Alloc(world.device(0), "big", {1024}, DType::kBF16);
+  EXPECT_FALSE(t.materialized());
+  EXPECT_THROW(t.buffer()->data(), Error);
+  // Control allocations stay materialized.
+  Tensor c = Tensor::AllocControl(world.device(0), "ctl", {16}, DType::kFP32);
+  EXPECT_TRUE(c.materialized());
+}
+
+}  // namespace
+}  // namespace tilelink::rt
