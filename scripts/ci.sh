@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI: tier-1 verify in two configurations.
+#   1. RelWithDebInfo, -Wall -Wextra -Werror (warnings are errors)
+#   2. Debug + AddressSanitizer
+# Usage: scripts/ci.sh [--fast]   (--fast skips the ASan configuration)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "=== [1/2] RelWithDebInfo, -Wall -Wextra -Werror ==="
+cmake -B build-ci -S . -DTILELINK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ci -j
+(cd build-ci && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$FAST" == "0" ]]; then
+  echo "=== [2/2] Debug + ASan ==="
+  cmake -B build-asan -S . -DTILELINK_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+fi
+
+echo "CI OK"

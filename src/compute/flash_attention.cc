@@ -53,7 +53,7 @@ sim::Coro FlashBlockBody(rt::BlockCtx bctx, Tensor q, Tensor k, Tensor v,
 }  // namespace
 
 std::shared_ptr<rt::KernelState> LaunchFlashAttention(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& q, const Tensor& k,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& q, const Tensor& k,
     const Tensor& v, Tensor out, const FlashOptions& options) {
   TL_CHECK_EQ(q.ndim(), 3);
   TL_CHECK_EQ(k.ndim(), 3);

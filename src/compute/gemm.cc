@@ -36,7 +36,7 @@ sim::Coro GemmBlockBody(rt::BlockCtx bctx, Tensor a, Tensor b, Tensor c,
 
 }  // namespace
 
-std::shared_ptr<rt::KernelState> LaunchGemm(rt::RankCtx& ctx,
+std::shared_ptr<rt::KernelState> LaunchGemm(rt::RankCtx& /*ctx*/,
                                             rt::Stream& stream,
                                             const Tensor& a, const Tensor& b,
                                             Tensor c,

@@ -51,7 +51,7 @@ sim::Coro GroupGemmBlockBody(rt::BlockCtx bctx, Tensor tokens, Tensor weights,
 }  // namespace
 
 std::shared_ptr<rt::KernelState> LaunchGroupGemmFused(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& tokens,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& tokens,
     const Tensor& weights, Tensor out, const MoeRouting& routing,
     const GroupGemmOptions& options) {
   TL_CHECK_EQ(weights.ndim(), 3);

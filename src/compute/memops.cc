@@ -36,7 +36,7 @@ std::shared_ptr<rt::KernelState> LaunchRowKernel(
 }  // namespace
 
 std::shared_ptr<rt::KernelState> LaunchActivationMul(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& a, const Tensor& b,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& a, const Tensor& b,
     Tensor out, Activation act, const std::string& name) {
   TL_CHECK(a.shape() == b.shape());
   TL_CHECK(a.shape() == out.shape());
@@ -64,7 +64,7 @@ void ActivationMulRef(const Tensor& a, const Tensor& b, Tensor& out,
 }
 
 std::shared_ptr<rt::KernelState> LaunchGatherRows(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& src, Tensor dst,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& src, Tensor dst,
     std::vector<int> row_index, const std::string& name) {
   TL_CHECK_EQ(static_cast<int64_t>(row_index.size()), dst.dim(0));
   TL_CHECK_EQ(src.dim(1), dst.dim(1));
@@ -84,7 +84,7 @@ std::shared_ptr<rt::KernelState> LaunchGatherRows(
 }
 
 std::shared_ptr<rt::KernelState> LaunchScatterRows(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& src, Tensor dst,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& src, Tensor dst,
     std::vector<int> row_index, const std::string& name) {
   TL_CHECK_EQ(static_cast<int64_t>(row_index.size()), src.dim(0));
   TL_CHECK_EQ(src.dim(1), dst.dim(1));
@@ -105,7 +105,7 @@ std::shared_ptr<rt::KernelState> LaunchScatterRows(
 }
 
 std::shared_ptr<rt::KernelState> LaunchTopkReduce(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& in, Tensor out,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& in, Tensor out,
     std::vector<float> weights, int topk, const std::string& name) {
   TL_CHECK_EQ(in.dim(0), out.dim(0) * topk);
   TL_CHECK_EQ(in.dim(1), out.dim(1));
@@ -144,7 +144,7 @@ void TopkReduceRef(const Tensor& in, Tensor& out,
 }
 
 std::shared_ptr<rt::KernelState> LaunchAddInto(
-    rt::RankCtx& ctx, rt::Stream& stream, const Tensor& in, Tensor out,
+    rt::RankCtx& /*ctx*/, rt::Stream& stream, const Tensor& in, Tensor out,
     const std::string& name) {
   TL_CHECK(in.shape() == out.shape());
   const int64_t n = out.dim(1);

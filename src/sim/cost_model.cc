@@ -56,4 +56,20 @@ TimeNs CostModel::Elementwise(uint64_t bytes, int sms_used) const {
   return MemoryBound(bytes, sms_used);
 }
 
+TimeNs CostModel::GemmComputeTime(int64_t m, int64_t n, int64_t k, int bm,
+                                  int bn, int bk, int sms) const {
+  const int64_t tiles = ((m + bm - 1) / bm) * ((n + bn - 1) / bn);
+  const int64_t waves = (tiles + sms - 1) / std::max(sms, 1);
+  const int64_t k_steps = (k + bk - 1) / bk;
+  // Persistent blocks: one prologue/epilogue per block, `waves` tiles each.
+  return BlockPrologue() + waves * k_steps * GemmTileStep(bm, bn, bk) +
+         BlockEpilogue();
+}
+
+TimeNs CostModel::NvlinkTransfer(uint64_t bytes) const {
+  const double t = static_cast<double>(bytes) / spec_.nvlink_gbps;  // bytes/ns
+  return spec_.nvlink_latency +
+         std::max<TimeNs>(1, static_cast<TimeNs>(std::llround(t)));
+}
+
 }  // namespace tilelink::sim

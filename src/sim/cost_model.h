@@ -45,6 +45,18 @@ class CostModel {
   // Per-block prologue (program setup, first loads) cost.
   TimeNs BlockPrologue() const { return Us(0.8); }
 
+  // Aggregate dense-GEMM time for an (m x n x k) problem tiled (bm, bn, bk)
+  // over `sms` persistent blocks: wave count times per-tile time. Ignores
+  // overlap stalls and launch latency, so it is a lower bound on any fused
+  // kernel containing this GEMM — the autotuner uses it to prune candidates
+  // without running the simulator.
+  TimeNs GemmComputeTime(int64_t m, int64_t n, int64_t k, int bm, int bn,
+                         int bk, int sms) const;
+
+  // Time to move `bytes` point-to-point over the intra-node fabric at peak
+  // bandwidth (lower bound for any communication role carrying that volume).
+  TimeNs NvlinkTransfer(uint64_t bytes) const;
+
  private:
   MachineSpec spec_;
 };

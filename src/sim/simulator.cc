@@ -22,10 +22,12 @@ Simulator::Simulator() = default;
 
 Simulator::~Simulator() {
   DestroyFinishedRoots();
-  // Any still-suspended root frames are owned by us but unreachable through
-  // the queue once it is destroyed; leak-free teardown requires destroying
-  // them here. They are tracked in blocked_/queue_ only as handles, so we
-  // rely on Run() completing for clean shutdown in normal use.
+  // Roots still suspended at teardown (e.g. after a DeadlockError) would
+  // otherwise leak their frames: destroy them explicitly. Frame destruction
+  // only runs local destructors — nothing is resumed.
+  for (void* frame : live_root_frames_) {
+    Coro::Handle::from_address(frame).destroy();
+  }
 }
 
 void Simulator::Spawn(Coro coro, std::string name) {
@@ -34,6 +36,7 @@ void Simulator::Spawn(Coro coro, std::string name) {
   h.promise().sim = this;
   h.promise().owned_by_sim = true;
   ++live_roots_;
+  live_root_frames_.insert(h.address());
   ScheduleResume(now_, h);
   (void)name;
 }
@@ -50,6 +53,7 @@ void Simulator::ScheduleResume(TimeNs t, std::coroutine_handle<> h) {
 
 void Simulator::NotifyRootDone(Coro::Handle h) {
   --live_roots_;
+  live_root_frames_.erase(h.address());
   finished_roots_.push_back(h);
 }
 

@@ -14,6 +14,7 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/coro.h"
@@ -93,6 +94,9 @@ class Simulator {
   int live_roots_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
   std::vector<Coro::Handle> finished_roots_;
+  // Frames of sim-owned roots still suspended; destroyed at teardown so a
+  // deadlocked (never-completing) program does not leak its coroutines.
+  std::unordered_set<void*> live_root_frames_;
   std::unordered_map<const void*, std::string> blocked_;
   TraceRecorder* trace_ = nullptr;
 };

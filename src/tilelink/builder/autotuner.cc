@@ -1,0 +1,54 @@
+#include "tilelink/builder/autotuner.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tilelink::tl {
+
+TuneResult Autotuner::Search(const TuningSpace& space,
+                             const TuneCandidate& base, const EvalFn& eval,
+                             const BoundFn& lower_bound) const {
+  const std::vector<TuneCandidate> candidates = space.Enumerate(base);
+  TL_CHECK_MSG(!candidates.empty(), "empty tuning space");
+  TuneResult result;
+  result.best_cost = kInfeasible;
+  for (const TuneCandidate& c : candidates) {
+    if (lower_bound && result.best_cost != kInfeasible) {
+      const sim::TimeNs bound = lower_bound(c);
+      if (bound >= result.best_cost) {
+        result.pruned++;
+        if (options_.verbose) {
+          std::printf("[tune] %-60s pruned (bound %.3f ms >= best %.3f ms)\n",
+                      c.Describe().c_str(), static_cast<double>(bound) / 1e6,
+                      static_cast<double>(result.best_cost) / 1e6);
+        }
+        continue;
+      }
+    }
+    const sim::TimeNs cost = eval(c);
+    if (cost == kInfeasible) {
+      result.infeasible++;
+      if (options_.verbose) {
+        std::printf("[tune] %-60s infeasible\n", c.Describe().c_str());
+      }
+      continue;
+    }
+    result.evaluated.emplace_back(c, cost);
+    const bool improved = cost < result.best_cost;
+    if (improved) {
+      result.best = c;
+      result.best_cost = cost;
+    }
+    if (options_.verbose) {
+      std::printf("[tune] %-60s %8.3f ms%s\n", c.Describe().c_str(),
+                  static_cast<double>(cost) / 1e6,
+                  improved ? "  <- best" : "");
+    }
+  }
+  TL_CHECK_MSG(result.best_cost != kInfeasible,
+               "every candidate in the tuning space was infeasible");
+  return result;
+}
+
+}  // namespace tilelink::tl

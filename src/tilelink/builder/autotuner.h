@@ -1,0 +1,57 @@
+// Autotuner: exhaustive search over a TuningSpace scored by the simulator.
+//
+// The evaluator runs one candidate end-to-end (typically: build a
+// timing-only World, construct the kernel with the candidate's knobs,
+// RunSpmd, return the makespan). An optional analytic lower bound — built
+// from sim::CostModel formulas, which cost nanoseconds instead of a full
+// DES run — prunes candidates that cannot beat the best simulated time
+// found so far. Candidates the evaluator rejects as infeasible (by
+// returning kInfeasible) are skipped.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sim/time.h"
+#include "tilelink/builder/tuning_space.h"
+
+namespace tilelink::tl {
+
+struct TuneResult {
+  TuneCandidate best;
+  sim::TimeNs best_cost = 0;
+  // Every (candidate, simulated cost) pair actually evaluated, in order.
+  std::vector<std::pair<TuneCandidate, sim::TimeNs>> evaluated;
+  int pruned = 0;      // skipped via the lower bound
+  int infeasible = 0;  // rejected by the evaluator
+};
+
+class Autotuner {
+ public:
+  // Sentinel: the evaluator returns this for candidates whose constraints
+  // (divisibility, capacity) the kernel cannot satisfy.
+  static constexpr sim::TimeNs kInfeasible =
+      std::numeric_limits<sim::TimeNs>::max();
+
+  using EvalFn = std::function<sim::TimeNs(const TuneCandidate&)>;
+  using BoundFn = std::function<sim::TimeNs(const TuneCandidate&)>;
+
+  struct Options {
+    bool verbose = false;  // print one line per candidate to stdout
+  };
+
+  Autotuner() = default;
+  explicit Autotuner(Options options) : options_(options) {}
+
+  // Returns the argmin candidate over space.Enumerate(base). `lower_bound`
+  // may be null. Requires a non-empty, not-all-infeasible space.
+  TuneResult Search(const TuningSpace& space, const TuneCandidate& base,
+                    const EvalFn& eval,
+                    const BoundFn& lower_bound = nullptr) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace tilelink::tl

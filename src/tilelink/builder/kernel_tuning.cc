@@ -1,0 +1,134 @@
+#include "tilelink/builder/kernel_tuning.h"
+
+#include <algorithm>
+
+#include "runtime/world.h"
+#include "tilelink/kernels/ag_gemm.h"
+#include "tilelink/kernels/gemm_rs.h"
+
+namespace tilelink::tl {
+namespace {
+
+bool AgGemmFeasible(const sim::MachineSpec& spec, const MlpPartShape& s,
+                    const TuneCandidate& c) {
+  const int R = spec.num_devices;
+  if (s.m % R != 0) return false;
+  const int64_t m_per_rank = s.m / R;
+  // One channel per comm tile: the shard must tile evenly.
+  return c.comm_tile_m > 0 && m_per_rank % c.comm_tile_m == 0;
+}
+
+bool GemmRsFeasible(const sim::MachineSpec& spec, const MlpPartShape& s,
+                    const TuneCandidate& c) {
+  // The RS role has no pull mode: a chunk is reduced where it was produced
+  // and pushed around the ring (SM-driven or handed to a copy engine).
+  if (c.comm == CommResource::kSmPull) return false;
+  const int R = spec.num_devices;
+  if (s.m % R != 0) return false;
+  const int64_t m_per_rank = s.m / R;
+  return c.comm_tile_m > 0 && m_per_rank % c.comm_tile_m == 0 &&
+         c.comm_tile_m % c.gemm.bm == 0;
+}
+
+}  // namespace
+
+sim::TimeNs SimulateAgGemm(const sim::MachineSpec& spec,
+                           const MlpPartShape& shape, const TuneCandidate& c) {
+  if (!AgGemmFeasible(spec, shape, c)) return Autotuner::kInfeasible;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  AgGemmConfig cfg;
+  cfg.m = shape.m;
+  cfg.k = shape.k;
+  cfg.n = shape.n;
+  cfg.gemm = c.gemm;
+  cfg.comm_tile_m = c.comm_tile_m;
+  cfg.comm = c.comm;
+  cfg.comm_sms = c.comm_sms;
+  cfg.order = c.order;
+  AgGemm kernel(world, cfg);
+  return world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+}
+
+sim::TimeNs SimulateGemmRs(const sim::MachineSpec& spec,
+                           const MlpPartShape& shape, const TuneCandidate& c) {
+  if (!GemmRsFeasible(spec, shape, c)) return Autotuner::kInfeasible;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  GemmRsConfig cfg;
+  cfg.m = shape.m;
+  cfg.k = shape.k;
+  cfg.n = shape.n;
+  cfg.gemm = c.gemm;
+  cfg.rs_block_m = c.comm_tile_m;
+  cfg.comm_sms = c.comm_sms;
+  cfg.dma_push = c.comm == CommResource::kDma;
+  cfg.order = c.order;
+  GemmRs kernel(world, cfg);
+  return world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+}
+
+sim::TimeNs AgGemmLowerBound(const sim::MachineSpec& spec,
+                             const MlpPartShape& shape,
+                             const TuneCandidate& c) {
+  if (!AgGemmFeasible(spec, shape, c)) return 0;  // never prune; eval rejects
+  const sim::CostModel cost(spec);
+  // Mirror RolePlan's ClaimComm: comm blocks are capped by the role's work
+  // (all tiles in pull mode, this rank's tiles in push mode). Overstating
+  // the comm SM claim would overstate the bound and could prune the argmin.
+  const int64_t comm_work = c.comm == CommResource::kSmPush
+                                ? shape.m / spec.num_devices / c.comm_tile_m
+                                : shape.m / c.comm_tile_m;
+  const int comm_sms =
+      c.comm == CommResource::kDma
+          ? 0
+          : static_cast<int>(std::min<int64_t>(c.comm_sms, comm_work));
+  const int compute_sms = std::max(1, spec.sms_per_device - comm_sms);
+  const sim::TimeNs compute =
+      cost.GemmComputeTime(shape.m, shape.n, shape.k, c.gemm.bm, c.gemm.bn,
+                           c.gemm.bk, compute_sms);
+  // Each rank must receive (R-1)/R of the gathered activation over the wire.
+  const int R = spec.num_devices;
+  const uint64_t bytes =
+      static_cast<uint64_t>(shape.m / R * (R - 1)) * shape.k * 2;
+  return std::max(compute, cost.NvlinkTransfer(bytes));
+}
+
+sim::TimeNs GemmRsLowerBound(const sim::MachineSpec& spec,
+                             const MlpPartShape& shape,
+                             const TuneCandidate& c) {
+  if (!GemmRsFeasible(spec, shape, c)) return 0;
+  const sim::CostModel cost(spec);
+  const int64_t chunks = shape.m / spec.num_devices / c.comm_tile_m;
+  const int comm_sms =
+      static_cast<int>(std::min<int64_t>(c.comm_sms, chunks));
+  const int compute_sms = std::max(1, spec.sms_per_device - comm_sms);
+  const sim::TimeNs compute =
+      cost.GemmComputeTime(shape.m, shape.n, shape.k, c.gemm.bm, c.gemm.bn,
+                           c.gemm.bk, compute_sms);
+  // Ring RS: each rank forwards (R-1)/R of the partial-sum matrix.
+  const int R = spec.num_devices;
+  const uint64_t bytes =
+      static_cast<uint64_t>(shape.m / R * (R - 1)) * shape.n * 2;
+  return std::max(compute, cost.NvlinkTransfer(bytes));
+}
+
+TuneResult TuneAgGemm(const sim::MachineSpec& spec, const MlpPartShape& shape,
+                      const TuningSpace& space, const TuneCandidate& base,
+                      const Autotuner& tuner) {
+  return tuner.Search(
+      space, base,
+      [&](const TuneCandidate& c) { return SimulateAgGemm(spec, shape, c); },
+      [&](const TuneCandidate& c) { return AgGemmLowerBound(spec, shape, c); });
+}
+
+TuneResult TuneGemmRs(const sim::MachineSpec& spec, const MlpPartShape& shape,
+                      const TuningSpace& space, const TuneCandidate& base,
+                      const Autotuner& tuner) {
+  return tuner.Search(
+      space, base,
+      [&](const TuneCandidate& c) { return SimulateGemmRs(spec, shape, c); },
+      [&](const TuneCandidate& c) { return GemmRsLowerBound(spec, shape, c); });
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,45 @@
+// Candidate evaluators connecting the Autotuner to the MLP kernels.
+//
+// Simulate*() builds a fresh timing-only World, constructs the kernel with
+// the candidate's knobs and returns the SPMD makespan — the exact quantity
+// the paper's figures report. *LowerBound() are analytic sim::CostModel
+// bounds (max of compute-only and wire-time) the Autotuner uses to prune
+// candidates without paying for a DES run.
+#pragma once
+
+#include "sim/machine_spec.h"
+#include "tilelink/builder/autotuner.h"
+
+namespace tilelink::tl {
+
+// One MLP part: [m, k] x [k, n] with m row-sharded (AG+GEMM) or n produced
+// as partials to reduce-scatter (GEMM+RS).
+struct MlpPartShape {
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+};
+
+// Simulated makespan; Autotuner::kInfeasible when the candidate violates
+// the kernel's divisibility constraints.
+sim::TimeNs SimulateAgGemm(const sim::MachineSpec& spec,
+                           const MlpPartShape& shape, const TuneCandidate& c);
+sim::TimeNs SimulateGemmRs(const sim::MachineSpec& spec,
+                           const MlpPartShape& shape, const TuneCandidate& c);
+
+sim::TimeNs AgGemmLowerBound(const sim::MachineSpec& spec,
+                             const MlpPartShape& shape,
+                             const TuneCandidate& c);
+sim::TimeNs GemmRsLowerBound(const sim::MachineSpec& spec,
+                             const MlpPartShape& shape,
+                             const TuneCandidate& c);
+
+// Full searches (evaluator + bound pre-wired).
+TuneResult TuneAgGemm(const sim::MachineSpec& spec, const MlpPartShape& shape,
+                      const TuningSpace& space, const TuneCandidate& base,
+                      const Autotuner& tuner = Autotuner());
+TuneResult TuneGemmRs(const sim::MachineSpec& spec, const MlpPartShape& shape,
+                      const TuningSpace& space, const TuneCandidate& base,
+                      const Autotuner& tuner = Autotuner());
+
+}  // namespace tilelink::tl

@@ -1,0 +1,55 @@
+#include "tilelink/builder/role_plan.h"
+
+#include <algorithm>
+
+namespace tilelink::tl {
+
+const char* TileOrderName(TileOrder order) {
+  switch (order) {
+    case TileOrder::kRowMajor:
+      return "row_major";
+    case TileOrder::kOwnerFirst:
+      return "owner_first";
+    case TileOrder::kNextRankFirst:
+      return "next_rank_first";
+  }
+  return "?";
+}
+
+int64_t SwizzleTileM(int64_t raw_m, int64_t tiles_m, int64_t tiles_m_per_rank,
+                     int rank, int ranks, TileOrder order) {
+  if (order == TileOrder::kRowMajor || tiles_m_per_rank <= 0) return raw_m;
+  const int first_rank =
+      order == TileOrder::kOwnerFirst ? rank : (rank + 1) % ranks;
+  return (raw_m + first_rank * tiles_m_per_rank) % tiles_m;
+}
+
+int ResourceBudget::ClaimComm(int want, int64_t work_items) {
+  const int blocks =
+      static_cast<int>(std::min<int64_t>(want, work_items));
+  used_ += blocks;
+  return blocks;
+}
+
+int ResourceBudget::ClaimCompute(int64_t tiles) {
+  const int blocks = static_cast<int>(std::min<int64_t>(
+      std::max<int64_t>(tiles, 1), std::max(1, total_ - used_)));
+  used_ += blocks;
+  return blocks;
+}
+
+RolePlan& RolePlan::Comm(const std::string& name, int want_sms,
+                         int64_t work_items, BlockProgram program) {
+  spec_.roles.push_back(
+      Role{name, budget_.ClaimComm(want_sms, work_items), std::move(program)});
+  return *this;
+}
+
+RolePlan& RolePlan::Compute(const std::string& name, int64_t tiles,
+                            BlockProgram program) {
+  spec_.roles.push_back(
+      Role{name, budget_.ClaimCompute(tiles), std::move(program)});
+  return *this;
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,87 @@
+// RolePlan / ResourceBudget: the resource-binding subspace of §3.1.
+//
+// A fused kernel's roles occupy consecutive block-id ranges on one device;
+// communication roles claim their SMs first and compute roles fill the
+// remainder, capped by their tile counts. Every kernel constructor used to
+// duplicate this arithmetic; RolePlan centralizes it and is the single
+// place the autotuner's resource-binding knob (comm SM count, SM vs. DMA)
+// feeds into.
+//
+// TileOrder is the tile-order subspace: the m-tile visit order of a
+// compute role, rotated so a chosen rank's segment is produced/consumed
+// first (ring schedules).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tilelink/program.h"
+
+namespace tilelink::tl {
+
+// Compute-role m-tile visit order (§3.1 tile order).
+enum class TileOrder {
+  kRowMajor,        // natural order, no rotation
+  kOwnerFirst,      // start at this rank's own segment (AG consumers: local
+                    // data is ready first)
+  kNextRankFirst,   // start at the right neighbor's segment (RS producers:
+                    // the ring consumes that segment first)
+};
+
+const char* TileOrderName(TileOrder order);
+
+// Rotated m-tile index: visit order `raw_m` -> actual tile, with the
+// segment of (rank + offset) mapped to the front. Degenerates to raw_m when
+// tiles_m is not evenly divisible across ranks.
+int64_t SwizzleTileM(int64_t raw_m, int64_t tiles_m, int64_t tiles_m_per_rank,
+                     int rank, int ranks, TileOrder order);
+
+// Splits one device's SMs among the roles of a fused kernel, in role order.
+class ResourceBudget {
+ public:
+  explicit ResourceBudget(int total_sms) : total_(total_sms) {}
+
+  int total() const { return total_; }
+  int used() const { return used_; }
+  int remaining() const { return total_ - used_; }
+
+  // Communication role: claims min(want, work_items) blocks. Comm roles are
+  // sized by configuration, not by what is left — a misconfigured split
+  // (comm SMs >= all SMs) still leaves at least one compute block below.
+  int ClaimComm(int want, int64_t work_items);
+
+  // Compute role: claims min(tiles, remaining) blocks, at least 1.
+  int ClaimCompute(int64_t tiles);
+
+ private:
+  int total_;
+  int used_ = 0;
+};
+
+// Ordered role list with budget-driven block counts; produces the
+// FusedKernelSpec a kernel hands to FusedKernelBase::Finalize.
+class RolePlan {
+ public:
+  RolePlan(std::string kernel_name, int total_sms)
+      : budget_(total_sms) {
+    spec_.name = std::move(kernel_name);
+  }
+
+  ResourceBudget& budget() { return budget_; }
+
+  // Adds a communication role sized by ClaimComm.
+  RolePlan& Comm(const std::string& name, int want_sms, int64_t work_items,
+                 BlockProgram program);
+  // Adds a compute role sized by ClaimCompute.
+  RolePlan& Compute(const std::string& name, int64_t tiles,
+                    BlockProgram program);
+
+  FusedKernelSpec Build() { return std::move(spec_); }
+
+ private:
+  ResourceBudget budget_;
+  FusedKernelSpec spec_;
+};
+
+}  // namespace tilelink::tl

@@ -1,0 +1,107 @@
+#include "tilelink/builder/tuning_space.h"
+
+#include <sstream>
+
+namespace tilelink::tl {
+
+namespace {
+
+const char* ResourceName(CommResource r) {
+  switch (r) {
+    case CommResource::kSmPull:
+      return "sm_pull";
+    case CommResource::kSmPush:
+      return "sm_push";
+    case CommResource::kDma:
+      return "dma";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TuneCandidate::Describe() const {
+  std::ostringstream os;
+  os << "gemm=" << gemm.bm << "x" << gemm.bn << " comm_tile=" << comm_tile_m
+     << " resource=" << ResourceName(comm);
+  if (comm != CommResource::kDma) os << " comm_sms=" << comm_sms;
+  os << " order=" << TileOrderName(order);
+  return os.str();
+}
+
+TuningSpace& TuningSpace::GemmTiles(std::vector<std::pair<int, int>> bm_bn) {
+  gemm_tiles_ = std::move(bm_bn);
+  return *this;
+}
+
+TuningSpace& TuningSpace::CommTileM(std::vector<int> values) {
+  comm_tile_m_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::CommSms(std::vector<int> values) {
+  comm_sms_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::Resources(std::vector<CommResource> values) {
+  resources_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::Orders(std::vector<TileOrder> values) {
+  orders_ = std::move(values);
+  return *this;
+}
+
+std::vector<TuneCandidate> TuningSpace::Enumerate(
+    const TuneCandidate& base) const {
+  std::vector<TuneCandidate> out;
+  const auto gemms = gemm_tiles_.empty()
+                         ? std::vector<std::pair<int, int>>{
+                               {base.gemm.bm, base.gemm.bn}}
+                         : gemm_tiles_;
+  const auto comm_tiles =
+      comm_tile_m_.empty() ? std::vector<int>{base.comm_tile_m} : comm_tile_m_;
+  const auto sms = comm_sms_.empty() ? std::vector<int>{base.comm_sms}
+                                     : comm_sms_;
+  const auto resources = resources_.empty()
+                             ? std::vector<CommResource>{base.comm}
+                             : resources_;
+  const auto orders =
+      orders_.empty() ? std::vector<TileOrder>{base.order} : orders_;
+  for (const auto& [bm, bn] : gemms) {
+    for (int ct : comm_tiles) {
+      for (CommResource r : resources) {
+        // DMA ignores the comm-SM axis; emit one candidate for it.
+        const auto& sm_axis =
+            r == CommResource::kDma ? std::vector<int>{base.comm_sms} : sms;
+        for (int s : sm_axis) {
+          for (TileOrder o : orders) {
+            TuneCandidate c = base;
+            c.gemm.bm = bm;
+            c.gemm.bn = bn;
+            c.comm_tile_m = ct;
+            c.comm = r;
+            c.comm_sms = s;
+            c.order = o;
+            out.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TuningSpace TuningSpace::Mlp() {
+  TuningSpace space;
+  space.CommTileM({64, 128, 256, 512, 1024})
+      .CommSms({8, 20, 32})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma})
+      .Orders({TileOrder::kOwnerFirst, TileOrder::kNextRankFirst});
+  return space;
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,57 @@
+// TuningSpace: enumeration of the §3.1 decoupled design space.
+//
+// One TuneCandidate fixes every knob the paper decouples per role —
+// compute tile size, communication tile size, communication resource
+// binding (SM pull / SM push / DMA), comm SM count, and compute tile
+// order. A TuningSpace is a per-axis value list; Enumerate() takes the
+// cartesian product over the axes that are set and inherits the rest from
+// a base candidate, so kernels only pay for the knobs they expose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compute/gemm.h"
+#include "tilelink/builder/role_plan.h"
+#include "tilelink/kernels/kernel_common.h"
+
+namespace tilelink::tl {
+
+struct TuneCandidate {
+  compute::GemmTiling gemm{128, 256, 64};
+  int comm_tile_m = 128;      // comm role tile rows (AG tile / RS chunk)
+  int comm_sms = 20;          // SM-resource variants only
+  CommResource comm = CommResource::kDma;
+  TileOrder order = TileOrder::kOwnerFirst;
+
+  std::string Describe() const;
+};
+
+class TuningSpace {
+ public:
+  // Axis setters; an unset axis keeps the base candidate's value.
+  TuningSpace& GemmTiles(std::vector<std::pair<int, int>> bm_bn);
+  TuningSpace& CommTileM(std::vector<int> values);
+  TuningSpace& CommSms(std::vector<int> values);
+  TuningSpace& Resources(std::vector<CommResource> values);
+  TuningSpace& Orders(std::vector<TileOrder> values);
+
+  // Cartesian product. DMA candidates ignore comm_sms, so that axis is
+  // collapsed to the base value for them (no duplicate evaluations).
+  std::vector<TuneCandidate> Enumerate(const TuneCandidate& base) const;
+
+  // The default search space for the paper's MLP kernels: comm tiles from
+  // 64 to 1024 rows, 8-32 comm SMs, all three resource bindings, both ring
+  // tile orders.
+  static TuningSpace Mlp();
+
+ private:
+  std::vector<std::pair<int, int>> gemm_tiles_;
+  std::vector<int> comm_tile_m_;
+  std::vector<int> comm_sms_;
+  std::vector<CommResource> resources_;
+  std::vector<TileOrder> orders_;
+};
+
+}  // namespace tilelink::tl

@@ -5,64 +5,31 @@
 
 #include "common/math_utils.h"
 #include "compute/tile_math.h"
-#include "sim/coro_utils.h"
+#include "tilelink/builder/role_plan.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
-namespace {
-
-int64_t TilesForBlock(int64_t total, const Env& env) {
-  if (env.block_id >= total) return 0;
-  return (total - env.block_id - 1) / env.grid + 1;
-}
-
-sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
-  co_await state->Wait();
-}
-
-}  // namespace
 
 AgAttention::AgAttention(rt::World& world, const AgAttentionConfig& config)
-    : world_(&world), cfg_(config) {
-  const int R = world.size();
+    : FusedKernelBase(world, config.name, config.compiler), cfg_(config) {
+  const int R = ranks();
   TL_CHECK_EQ(cfg_.seq % R, 0);
   const int64_t s_per = cfg_.seq / R;
-  for (int r = 0; r < R; ++r) {
-    rt::Device& dev = world.device(r);
-    q_.push_back(Tensor::Alloc(dev, cfg_.name + ".q",
-                               {cfg_.batch_heads, s_per, cfg_.head_dim},
-                               DType::kBF16));
-    k_shards_.push_back(Tensor::Alloc(dev, cfg_.name + ".k_shard",
-                                      {cfg_.batch_heads, s_per, cfg_.head_dim},
-                                      DType::kBF16));
-    v_shards_.push_back(Tensor::Alloc(dev, cfg_.name + ".v_shard",
-                                      {cfg_.batch_heads, s_per, cfg_.head_dim},
-                                      DType::kBF16));
-    k_.push_back(Tensor::Alloc(dev, cfg_.name + ".k",
-                               {cfg_.batch_heads, cfg_.seq, cfg_.head_dim},
-                               DType::kBF16));
-    v_.push_back(Tensor::Alloc(dev, cfg_.name + ".v",
-                               {cfg_.batch_heads, cfg_.seq, cfg_.head_dim},
-                               DType::kBF16));
-    out_.push_back(Tensor::Alloc(dev, cfg_.name + ".out",
-                                 {cfg_.batch_heads, s_per, cfg_.head_dim},
-                                 DType::kBF16));
-  }
+  q_ = AllocSymmetric("q", {cfg_.batch_heads, s_per, cfg_.head_dim});
+  k_shards_ = AllocSymmetric("k_shard", {cfg_.batch_heads, s_per,
+                                         cfg_.head_dim});
+  v_shards_ = AllocSymmetric("v_shard", {cfg_.batch_heads, s_per,
+                                         cfg_.head_dim});
+  k_ = AllocSymmetric("k", {cfg_.batch_heads, cfg_.seq, cfg_.head_dim});
+  v_ = AllocSymmetric("v", {cfg_.batch_heads, cfg_.seq, cfg_.head_dim});
+  out_ = AllocSymmetric("out", {cfg_.batch_heads, s_per, cfg_.head_dim});
   // Host channels: one per KV segment (source rank).
-  bcs_ = BlockChannel::CreateSymmetric(world, cfg_.name, /*num_pc=*/1,
-                                       /*num_peer=*/1, /*num_host=*/R);
+  CreateChannels(/*num_pc=*/1, /*num_peer=*/1, /*num_host=*/R);
 
-  FusedKernelSpec spec;
-  spec.name = cfg_.name;
-  const int sms = world.spec().sms_per_device;
   const int64_t q_tiles = CeilDiv<int64_t>(s_per, cfg_.block_q);
-  const int64_t tiles = cfg_.batch_heads * q_tiles;
-  spec.roles.push_back(
-      Role{"flash_attn",
-           static_cast<int>(std::min<int64_t>(std::max<int64_t>(tiles, 1),
-                                              sms)),
-           BuildFlash()});
-  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
+  RolePlan plan(cfg_.name, sms());
+  plan.Compute("flash_attn", cfg_.batch_heads * q_tiles, BuildFlash());
+  Finalize(plan.Build());
 }
 
 BlockProgram AgAttention::BuildFlash() {
@@ -71,7 +38,7 @@ BlockProgram AgAttention::BuildFlash() {
   auto ks = k_;
   auto vs = v_;
   auto outs = out_;
-  const int R = world_->size();
+  const int R = ranks();
   const int64_t s_per = cfg_.seq / R;
   const int64_t q_tiles = CeilDiv<int64_t>(s_per, cfg_.block_q);
   const int64_t num_tiles = cfg_.batch_heads * q_tiles;
@@ -87,7 +54,7 @@ BlockProgram AgAttention::BuildFlash() {
   // lands immediately), advances ALL its q-tiles by that segment. Compute on
   // segment s thus overlaps the DMA of segment s+1; tile-major order would
   // stall the whole block on the last segment.
-  auto head_q0 = [q_tiles, bq, num_tiles](const Env& e, int64_t local_t) {
+  auto head_q0 = [q_tiles, bq](const Env& e, int64_t local_t) {
     const int64_t t = e.block_id + local_t * e.grid;
     return std::pair<int64_t, int64_t>(t / q_tiles, (t % q_tiles) * bq);
   };
@@ -204,9 +171,9 @@ BlockProgram AgAttention::BuildFlash() {
 // issue would fair-share the ingress port and complete all segments at
 // once, serializing compute behind the whole gather).
 sim::Coro AgAttention::DmaAllGatherKv(rt::RankCtx& ctx) {
-  const int R = world_->size();
+  const int R = ranks();
   const int64_t s_per = cfg_.seq / R;
-  const BlockChannel& bc = bcs_[static_cast<size_t>(ctx.rank)];
+  const BlockChannel& bc = channel(ctx.rank);
   for (int s = 0; s < R; ++s) {
     const int src = (ctx.rank + s) % R;
     Tensor k_dst = k_[static_cast<size_t>(ctx.rank)].Slice(1, src * s_per,
@@ -219,25 +186,9 @@ sim::Coro AgAttention::DmaAllGatherKv(rt::RankCtx& ctx) {
   }
 }
 
-sim::Coro AgAttention::Run(rt::RankCtx& ctx) {
-  co_await world_->barrier().Arrive();
-  if (cfg_.comm_only) {
-    co_await DmaAllGatherKv(ctx);
-    co_return;
-  }
-  if (cfg_.skip_comm) {
-    // Compute-only measurement: data is assumed resident.
-    auto state = compiled_.Launch(ctx, *ctx.stream,
-                                  bcs_[static_cast<size_t>(ctx.rank)]);
-    co_await AwaitKernel(state);
-    co_return;
-  }
-  auto state =
-      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
-  std::vector<sim::Coro> both;
-  both.push_back(DmaAllGatherKv(ctx));
-  both.push_back(AwaitKernel(state));
-  co_await sim::WhenAll(std::move(both));
+std::optional<sim::Coro> AgAttention::HostComm(rt::RankCtx& ctx) {
+  if (cfg_.skip_comm) return std::nullopt;  // data assumed resident
+  return DmaAllGatherKv(ctx);
 }
 
 }  // namespace tilelink::tl

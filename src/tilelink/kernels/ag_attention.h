@@ -8,11 +8,10 @@
 #pragma once
 
 #include <string>
-#include <vector>
 
 #include "comm/collectives.h"
 #include "runtime/world.h"
-#include "tilelink/block_channel.h"
+#include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/program.h"
 
 namespace tilelink::tl {
@@ -32,7 +31,7 @@ struct AgAttentionConfig {
   std::string name = "ag_attention";
 };
 
-class AgAttention {
+class AgAttention : public FusedKernelBase {
  public:
   AgAttention(rt::World& world, const AgAttentionConfig& config);
 
@@ -43,19 +42,16 @@ class AgAttention {
   comm::SymTensor& v() { return v_; }
   comm::SymTensor& out() { return out_; }            // [BH, S/R, D]
 
-  const std::string& listing() const { return compiled_.listing(); }
-
-  sim::Coro Run(rt::RankCtx& ctx);
+ protected:
+  std::optional<sim::Coro> HostComm(rt::RankCtx& ctx) override;
+  bool LaunchesDevice() const override { return !cfg_.comm_only; }
 
  private:
   BlockProgram BuildFlash();
   sim::Coro DmaAllGatherKv(rt::RankCtx& ctx);
 
-  rt::World* world_;
   AgAttentionConfig cfg_;
   comm::SymTensor q_, k_shards_, v_shards_, k_, v_, out_;
-  std::vector<BlockChannel> bcs_;
-  CompiledKernel compiled_;
 };
 
 }  // namespace tilelink::tl

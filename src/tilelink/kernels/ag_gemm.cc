@@ -4,228 +4,42 @@
 
 #include "common/math_utils.h"
 #include "compute/tile_math.h"
-#include "sim/coro_utils.h"
-#include "tensor/tensor_ops.h"
+#include "tilelink/builder/comm_roles.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
-namespace {
-
-sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
-  co_await state->Wait();
-}
-
-// Number of tiles this block processes when tiles are dealt round-robin.
-int64_t TilesForBlock(int64_t total, const Env& env) {
-  if (env.block_id >= total) return 0;
-  return (total - env.block_id - 1) / env.grid + 1;
-}
-
-}  // namespace
 
 AgGemm::AgGemm(rt::World& world, const AgGemmConfig& config)
-    : world_(&world), cfg_(config),
+    : FusedKernelBase(world, config.name, config.compiler),
+      cfg_(config),
       map_(config.m, config.comm_tile_m, world.size(),
-           config.channels_per_rank > 0
-               ? config.channels_per_rank
-               : static_cast<int>(CeilDiv<int64_t>(config.m, world.size()) /
-                                  config.comm_tile_m)) {
-  const int R = world.size();
-  const int64_t m_per_rank = cfg_.m / R;
-  TL_CHECK_EQ(cfg_.m % R, 0);
-  a_shards_.reserve(static_cast<size_t>(R));
-  a_full_.reserve(static_cast<size_t>(R));
-  b_.reserve(static_cast<size_t>(R));
-  c_.reserve(static_cast<size_t>(R));
-  for (int r = 0; r < R; ++r) {
-    rt::Device& dev = world.device(r);
-    a_shards_.push_back(
-        Tensor::Alloc(dev, cfg_.name + ".a_shard", {m_per_rank, cfg_.k},
-                      DType::kBF16));
-    a_full_.push_back(Tensor::Alloc(dev, cfg_.name + ".a_full",
-                                    {cfg_.m, cfg_.k}, DType::kBF16));
-    b_.push_back(
-        Tensor::Alloc(dev, cfg_.name + ".b", {cfg_.k, cfg_.n}, DType::kBF16));
-    c_.push_back(
-        Tensor::Alloc(dev, cfg_.name + ".c", {cfg_.m, cfg_.n}, DType::kBF16));
-  }
-  bcs_ = BlockChannel::CreateSymmetric(world, cfg_.name, map_.num_channels(),
-                                       /*num_peer=*/1, /*num_host=*/1);
+           StaticMapping::ResolveChannelsPerRank(
+               config.m, config.comm_tile_m, world.size(),
+               config.channels_per_rank)) {
+  TL_CHECK_EQ(cfg_.m % ranks(), 0);
+  const int64_t m_per_rank = cfg_.m / ranks();
+  a_shards_ = AllocSymmetric("a_shard", {m_per_rank, cfg_.k});
+  a_full_ = AllocSymmetric("a_full", {cfg_.m, cfg_.k});
+  b_ = AllocSymmetric("b", {cfg_.k, cfg_.n});
+  c_ = AllocSymmetric("c", {cfg_.m, cfg_.n});
+  CreateChannels(map_.num_channels(), /*num_peer=*/1, /*num_host=*/1);
 
-  FusedKernelSpec spec;
-  spec.name = cfg_.name;
-  const int sms = world.spec().sms_per_device;
   const int64_t gemm_tiles = CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm) *
                              CeilDiv<int64_t>(cfg_.n, cfg_.gemm.bn);
-  if (cfg_.comm == CommResource::kDma) {
-    const int compute_blocks =
-        static_cast<int>(std::min<int64_t>(gemm_tiles, sms));
-    spec.roles.push_back(Role{"compute", compute_blocks, BuildCompute()});
-  } else {
-    const int comm_blocks = cfg_.comm_sms;
-    const int compute_blocks = static_cast<int>(
-        std::min<int64_t>(gemm_tiles, std::max(1, sms - comm_blocks)));
-    spec.roles.push_back(Role{"comm", comm_blocks,
-                              cfg_.comm == CommResource::kSmPull
-                                  ? BuildCommPull()
-                                  : BuildCommPush()});
-    spec.roles.push_back(Role{"compute", compute_blocks, BuildCompute()});
+  RolePlan plan(cfg_.name, sms());
+  if (cfg_.comm != CommResource::kDma) {
+    const RowAllGatherParams ag{map_, a_shards_, a_full_, ranks(), m_per_rank};
+    const bool pull = cfg_.comm == CommResource::kSmPull;
+    plan.Comm("comm", cfg_.comm_sms,
+              pull ? map_.num_tiles() : map_.tiles_per_rank(),
+              pull ? BuildRowAllGatherPull(ag) : BuildRowAllGatherPush(ag));
   }
-  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
+  plan.Compute("compute", gemm_tiles, BuildCompute());
+  Finalize(plan.Build());
 }
 
-// Communication role, pull mode (Figure 3b left): every rank pulls each
-// remote tile into its own gathered copy and notifies its local consumers.
-BlockProgram AgGemm::BuildCommPull() {
-  TileProgramBuilder b;
-  const StaticMapping map = map_;
-  auto shards = a_shards_;
-  auto fulls = a_full_;
-  const int64_t m_per_rank = cfg_.m / world_->size();
-  const int64_t num_tiles = map.num_tiles();
-  const int64_t tiles_per_rank = map.tiles_per_rank();
-  b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
-        [&](TileProgramBuilder& body) {
-          // Ring tile order (§3.1): every rank starts pulling at its own
-          // shard and walks the ring, so concurrent pulls spread across all
-          // source ports instead of stampeding the same one.
-          auto tile_of = [num_tiles, tiles_per_rank](const Env& e) {
-            return (static_cast<int64_t>(e.block_id) + e.iv(0) * e.grid +
-                    e.rank * tiles_per_rank) %
-                   num_tiles;
-          };
-          body.Add(ops::TilePullData(
-              "ag.pull",
-              [map, shards, fulls, m_per_rank, tile_of](const Env& e) {
-                const int64_t t = tile_of(e);
-                const TileRange rows = map.ShapeRange(t);
-                const int src = map.Rank(t);
-                DataSpec d;
-                d.src_rank = src;
-                d.dst_rank = e.rank;
-                d.bytes = static_cast<uint64_t>(rows.len()) *
-                          shards[0].dim(1) * DTypeSize(shards[0].dtype());
-                const Tensor src_view = shards[static_cast<size_t>(src)].Slice(
-                    0, rows.lo - src * m_per_rank, rows.len());
-                const Tensor dst_view =
-                    fulls[static_cast<size_t>(e.rank)].Slice(0, rows.lo,
-                                                             rows.len());
-                src_view.BufferRange(&d.read_lo, &d.read_hi);
-                d.read_buf = src_view.buffer();
-                dst_view.BufferRange(&d.write_lo, &d.write_hi);
-                d.write_buf = dst_view.buffer();
-                return d;
-              },
-              [map, shards, fulls, m_per_rank, tile_of](const Env& e) {
-                const int64_t t = tile_of(e);
-                const TileRange rows = map.ShapeRange(t);
-                const int src = map.Rank(t);
-                const Tensor src_view = shards[static_cast<size_t>(src)].Slice(
-                    0, rows.lo - src * m_per_rank, rows.len());
-                Tensor dst_view = fulls[static_cast<size_t>(e.rank)].Slice(
-                    0, rows.lo, rows.len());
-                CopyTensor(src_view, dst_view);
-              }));
-          body.Add(ops::ProducerTileNotify(
-              "ag.notify(p2p)", [map, tile_of](const Env& e) {
-                NotifySpec spec;
-                spec.entries.push_back(NotifyEntry{
-                    SignalSpace::kProducerConsumer,
-                    {e.rank},  // pull mode: the local consumer
-                    map.Channel(tile_of(e)),
-                    1});
-                return spec;
-              }));
-        });
-  return b.Build();
-}
-
-// Communication role, push mode (Figure 3b right): every rank pushes its own
-// shard's tiles to all peers and notifies the remote consumers.
-BlockProgram AgGemm::BuildCommPush() {
-  TileProgramBuilder b;
-  const StaticMapping map = map_;
-  auto shards = a_shards_;
-  auto fulls = a_full_;
-  const int R = world_->size();
-  const int64_t m_per_rank = cfg_.m / R;
-  const int64_t tiles_per_rank = map.tiles_per_rank();
-  b.For("t",
-        [tiles_per_rank](const Env& e) {
-          return TilesForBlock(tiles_per_rank, e);
-        },
-        [&](TileProgramBuilder& body) {
-          auto tile_of = [tiles_per_rank](const Env& e) {
-            // Global tile id of this rank's local tile.
-            return static_cast<int64_t>(e.rank) * tiles_per_rank +
-                   e.block_id + e.iv(0) * e.grid;
-          };
-          body.For("p", [R](const Env&) { return static_cast<int64_t>(R); },
-                   [&](TileProgramBuilder& inner) {
-                     auto target_of = [R](const Env& e) {
-                       // Ring offset: start with my right neighbor.
-                       return static_cast<int>(
-                           (e.rank + 1 + e.iv(1)) % R);
-                     };
-                     inner.Add(ops::TilePushData(
-                         "ag.push",
-                         [map, shards, fulls, m_per_rank, tile_of,
-                          target_of](const Env& e) {
-                           const int64_t t = tile_of(e);
-                           const TileRange rows = map.ShapeRange(t);
-                           const int dst = target_of(e);
-                           DataSpec d;
-                           d.src_rank = e.rank;
-                           d.dst_rank = dst;
-                           d.bytes = static_cast<uint64_t>(rows.len()) *
-                                     shards[0].dim(1) *
-                                     DTypeSize(shards[0].dtype());
-                           const Tensor src_view =
-                               shards[static_cast<size_t>(e.rank)].Slice(
-                                   0, rows.lo - e.rank * m_per_rank,
-                                   rows.len());
-                           const Tensor dst_view =
-                               fulls[static_cast<size_t>(dst)].Slice(
-                                   0, rows.lo, rows.len());
-                           src_view.BufferRange(&d.read_lo, &d.read_hi);
-                           d.read_buf = src_view.buffer();
-                           dst_view.BufferRange(&d.write_lo, &d.write_hi);
-                           d.write_buf = dst_view.buffer();
-                           return d;
-                         },
-                         /*notify_after=*/nullptr, /*async_dma=*/false,
-                         [map, shards, fulls, m_per_rank, tile_of,
-                          target_of](const Env& e) {
-                           const int64_t t = tile_of(e);
-                           const TileRange rows = map.ShapeRange(t);
-                           const int dst = target_of(e);
-                           const Tensor src_view =
-                               shards[static_cast<size_t>(e.rank)].Slice(
-                                   0, rows.lo - e.rank * m_per_rank,
-                                   rows.len());
-                           Tensor dst_view =
-                               fulls[static_cast<size_t>(dst)].Slice(
-                                   0, rows.lo, rows.len());
-                           CopyTensor(src_view, dst_view);
-                         }));
-                     inner.Add(ops::ProducerTileNotify(
-                         "ag.notify(p2p)",
-                         [map, tile_of, target_of](const Env& e) {
-                           NotifySpec spec;
-                           spec.entries.push_back(NotifyEntry{
-                               SignalSpace::kProducerConsumer,
-                               {target_of(e)},
-                               map.Channel(tile_of(e)),
-                               1});
-                           return spec;
-                         }));
-                   });
-        });
-  return b.Build();
-}
-
-// Computation role: persistent GEMM blocks; m-tile visit order starts at this
-// rank's own rows (tile-order subspace of §3.1).
+// Computation role: persistent GEMM blocks; the m-tile visit order is the
+// tile-order subspace of §3.1 (own rows first by default).
 BlockProgram AgGemm::BuildCompute() {
   TileProgramBuilder b;
   const StaticMapping map = map_;
@@ -240,18 +54,14 @@ BlockProgram AgGemm::BuildCompute() {
   const int64_t m = cfg_.m;
   const int64_t n = cfg_.n;
   const int64_t k = cfg_.k;
-  const int R = world_->size();
+  const int R = ranks();
   const int64_t tiles_m_per_rank = tiles_m / R;
-  // Swizzled m-tile: rotate so this rank's rows come first.
+  const TileOrder order = cfg_.order;
   auto tid_mn = [=](const Env& e) {
     const int64_t t = e.block_id + e.iv(0) * e.grid;
-    const int64_t raw_m = t / tiles_n;
-    const int64_t tn = t % tiles_n;
-    const int64_t tm =
-        tiles_m_per_rank > 0
-            ? (raw_m + e.rank * tiles_m_per_rank) % tiles_m
-            : raw_m;
-    return std::pair<int64_t, int64_t>(tm, tn);
+    const int64_t tm = SwizzleTileM(t / tiles_n, tiles_m, tiles_m_per_rank,
+                                    e.rank, R, order);
+    return std::pair<int64_t, int64_t>(tm, t % tiles_n);
   };
   b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
         [&](TileProgramBuilder& body) {
@@ -323,53 +133,11 @@ BlockProgram AgGemm::BuildCompute() {
   return b.Build();
 }
 
-// DMA-resource AllGather: host primitives drive copy engines; each completed
-// channel chunk notifies the producer-consumer barrier it covers.
-sim::Coro AgGemm::DmaAllGather(rt::RankCtx& ctx) {
-  const int R = world_->size();
-  const int64_t m_per_rank = cfg_.m / R;
-  const BlockChannel& bc = bcs_[static_cast<size_t>(ctx.rank)];
-  std::vector<sim::Coro> copies;
-  // Ring order: own shard first (cheap local copy), then increasing
-  // distance, one copy per channel chunk so notifications are fine-grained.
-  for (int s = 0; s < R; ++s) {
-    const int src = (ctx.rank + s) % R;
-    for (int c = 0; c < map_.channels_per_rank(); ++c) {
-      const int channel = src * map_.channels_per_rank() + c;
-      const TileRange rows = map_.ChannelRows(channel);
-      if (rows.len() <= 0) continue;
-      Tensor src_view = a_shards_[static_cast<size_t>(src)].Slice(
-          0, rows.lo - src * m_per_rank, rows.len());
-      Tensor dst_view = a_full_[static_cast<size_t>(ctx.rank)].Slice(
-          0, rows.lo, rows.len());
-      const uint64_t inc = map_.TilesInChannel(channel);
-      auto copy_and_notify = [](rt::RankCtx& c2, Tensor s2, Tensor d2,
-                                const BlockChannel& bc2, int ch,
-                                uint64_t inc2) -> sim::Coro {
-        co_await RankCopyData(c2, s2, d2);
-        // Host-side release: the DMA completed before this notify issues.
-        bc2.set(SignalSpace::kProducerConsumer, c2.rank)
-            ->AddFrom(c2.rank, ch, inc2);
-      };
-      copies.push_back(
-          copy_and_notify(ctx, src_view, dst_view, bc, channel, inc));
-    }
-  }
-  co_await sim::WhenAll(std::move(copies));
-}
-
-sim::Coro AgGemm::Run(rt::RankCtx& ctx) {
-  co_await world_->barrier().Arrive();
-  auto state =
-      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
-  if (cfg_.comm == CommResource::kDma) {
-    std::vector<sim::Coro> both;
-    both.push_back(DmaAllGather(ctx));
-    both.push_back(AwaitKernel(state));
-    co_await sim::WhenAll(std::move(both));
-  } else {
-    co_await AwaitKernel(state);
-  }
+std::optional<sim::Coro> AgGemm::HostComm(rt::RankCtx& ctx) {
+  if (cfg_.comm != CommResource::kDma) return std::nullopt;
+  return DmaRowAllGather(
+      ctx, channel(ctx.rank),
+      RowAllGatherParams{map_, a_shards_, a_full_, ranks(), cfg_.m / ranks()});
 }
 
 }  // namespace tilelink::tl

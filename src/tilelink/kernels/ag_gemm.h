@@ -4,22 +4,20 @@
 // GEMM consumer tiles wait only for the channels covering their rows, so
 // compute starts as soon as its inputs land.
 //
-// Decoupled design space knobs (§3.1):
+// Decoupled design space knobs (§3.1), all searchable via TuningSpace:
 //  - comm tile size (comm_tile_m) is independent of the GEMM tiling;
 //  - comm resource: SM pull blocks, SM push blocks, or DMA copy engines
 //    driven by host primitives;
-//  - compute tile order: GEMM m-tiles are visited starting from the rows
-//    owned by this rank (ring order), so local data is consumed first.
+//  - compute tile order: which rank's rows the GEMM visits first.
 #pragma once
 
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "comm/collectives.h"
 #include "compute/gemm.h"
 #include "runtime/world.h"
-#include "tilelink/block_channel.h"
+#include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/role_plan.h"
 #include "tilelink/kernels/kernel_common.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
@@ -35,13 +33,14 @@ struct AgGemmConfig {
   int channels_per_rank = 0;  // 0 -> one channel per comm tile
   CommResource comm = CommResource::kDma;
   int comm_sms = 20;  // SM-comm variants only
+  TileOrder order = TileOrder::kOwnerFirst;  // GEMM m-tile visit order
   CompilerOptions compiler;
   std::string name = "ag_gemm";
 };
 
 // One instance owns the symmetric buffers, barrier channels and the compiled
 // kernel. Usage: construct, fill a_shards()/b(), then RunSpmd(Run).
-class AgGemm {
+class AgGemm : public FusedKernelBase {
  public:
   AgGemm(rt::World& world, const AgGemmConfig& config);
 
@@ -50,24 +49,17 @@ class AgGemm {
   comm::SymTensor& b() { return b_; }                // [K, N] per rank
   comm::SymTensor& c() { return c_; }                // [M, N] per rank
 
-  const std::string& listing() const { return compiled_.listing(); }
   const StaticMapping& mapping() const { return map_; }
 
-  // SPMD body: call once per rank inside World::RunSpmd.
-  sim::Coro Run(rt::RankCtx& ctx);
+ protected:
+  std::optional<sim::Coro> HostComm(rt::RankCtx& ctx) override;
 
  private:
-  BlockProgram BuildCommPull();
-  BlockProgram BuildCommPush();
   BlockProgram BuildCompute();
-  sim::Coro DmaAllGather(rt::RankCtx& ctx);
 
-  rt::World* world_;
   AgGemmConfig cfg_;
   StaticMapping map_;
   comm::SymTensor a_shards_, a_full_, b_, c_;
-  std::vector<BlockChannel> bcs_;
-  CompiledKernel compiled_;
 };
 
 }  // namespace tilelink::tl

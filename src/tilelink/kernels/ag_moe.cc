@@ -1,55 +1,32 @@
 #include "tilelink/kernels/ag_moe.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 #include "common/math_utils.h"
-#include "sim/coro_utils.h"
-#include "tensor/tensor_ops.h"
+#include "tilelink/builder/comm_roles.h"
+#include "tilelink/builder/role_plan.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
-namespace {
-
-int64_t TilesForBlock(int64_t total, const Env& env) {
-  if (env.block_id >= total) return 0;
-  return (total - env.block_id - 1) / env.grid + 1;
-}
-
-sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
-  co_await state->Wait();
-}
-
-}  // namespace
 
 AgMoe::AgMoe(rt::World& world, const AgMoeConfig& config,
              const compute::MoeRouting& routing)
-    : world_(&world), cfg_(config), routing_(routing),
+    : FusedKernelBase(world, config.name, config.compiler),
+      cfg_(config), routing_(routing),
       map_(config.m, config.comm_tile_m, world.size(),
-           config.channels_per_rank > 0
-               ? config.channels_per_rank
-               : static_cast<int>(CeilDiv<int64_t>(config.m, world.size()) /
-                                  config.comm_tile_m)) {
-  TL_CHECK_EQ(cfg_.m % world.size(), 0);
+           StaticMapping::ResolveChannelsPerRank(
+               config.m, config.comm_tile_m, world.size(),
+               config.channels_per_rank)) {
+  TL_CHECK_EQ(cfg_.m % ranks(), 0);
   TL_CHECK_EQ(routing_.num_tokens, cfg_.m);
   TL_CHECK_EQ(routing_.num_experts, cfg_.num_experts);
-  const int R = world.size();
-  const int64_t m_per_rank = cfg_.m / R;
-  for (int r = 0; r < R; ++r) {
-    rt::Device& dev = world.device(r);
-    token_shards_.push_back(Tensor::Alloc(
-        dev, cfg_.name + ".shard", {m_per_rank, cfg_.hidden}, DType::kBF16));
-    tokens_.push_back(Tensor::Alloc(dev, cfg_.name + ".tokens",
-                                    {cfg_.m, cfg_.hidden}, DType::kBF16));
-    weights_.push_back(
-        Tensor::Alloc(dev, cfg_.name + ".w",
-                      {cfg_.num_experts, cfg_.hidden, cfg_.n}, DType::kBF16));
-    out_.push_back(Tensor::Alloc(dev, cfg_.name + ".out",
-                                 {cfg_.m * cfg_.topk, cfg_.n}, DType::kBF16));
-  }
-  bcs_ = BlockChannel::CreateSymmetric(world, cfg_.name, map_.num_channels(),
-                                       /*num_peer=*/1, /*num_host=*/1);
+  const int64_t m_per_rank = cfg_.m / ranks();
+  token_shards_ = AllocSymmetric("shard", {m_per_rank, cfg_.hidden});
+  tokens_ = AllocSymmetric("tokens", {cfg_.m, cfg_.hidden});
+  weights_ = AllocSymmetric("w", {cfg_.num_experts, cfg_.hidden, cfg_.n});
+  out_ = AllocSymmetric("out", {cfg_.m * cfg_.topk, cfg_.n});
+  CreateChannels(map_.num_channels(), /*num_peer=*/1, /*num_host=*/1);
 
   // Dynamic mapping: for each expert tile (group block), the channels whose
   // completion guarantees every token the tile gathers has arrived. These
@@ -80,88 +57,15 @@ AgMoe::AgMoe(rt::World& world, const AgMoeConfig& config,
     dyn_.SetWaits(static_cast<int64_t>(i), std::move(waits));
   }
 
-  FusedKernelSpec spec;
-  spec.name = cfg_.name;
-  const int sms = world.spec().sms_per_device;
   const int64_t tiles = static_cast<int64_t>(group_blocks_.size());
-  if (cfg_.comm == CommResource::kDma) {
-    spec.roles.push_back(Role{
-        "group_gemm",
-        static_cast<int>(std::min<int64_t>(std::max<int64_t>(tiles, 1), sms)),
-        BuildGroupGemm()});
-  } else {
-    const int comm_blocks = cfg_.comm_sms;
-    spec.roles.push_back(Role{"ag", comm_blocks, BuildCommPull()});
-    spec.roles.push_back(
-        Role{"group_gemm",
-             static_cast<int>(std::min<int64_t>(std::max<int64_t>(tiles, 1),
-                                                std::max(1, sms - comm_blocks))),
-             BuildGroupGemm()});
+  RolePlan plan(cfg_.name, sms());
+  if (cfg_.comm != CommResource::kDma) {
+    plan.Comm("ag", cfg_.comm_sms, map_.num_tiles(),
+              BuildRowAllGatherPull(RowAllGatherParams{
+                  map_, token_shards_, tokens_, ranks(), m_per_rank}));
   }
-  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
-}
-
-BlockProgram AgMoe::BuildCommPull() {
-  TileProgramBuilder b;
-  const StaticMapping map = map_;
-  auto shards = token_shards_;
-  auto fulls = tokens_;
-  const int64_t m_per_rank = cfg_.m / world_->size();
-  const int64_t num_tiles = map.num_tiles();
-  const int64_t tiles_per_rank = map.tiles_per_rank();
-  b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
-        [&](TileProgramBuilder& body) {
-          // Ring tile order (§3.1): spread concurrent pulls across source
-          // ports (see ag_gemm.cc).
-          auto tile_of = [num_tiles, tiles_per_rank](const Env& e) {
-            return (static_cast<int64_t>(e.block_id) + e.iv(0) * e.grid +
-                    e.rank * tiles_per_rank) %
-                   num_tiles;
-          };
-          body.Add(ops::TilePullData(
-              "ag.pull",
-              [map, shards, fulls, m_per_rank, tile_of](const Env& e) {
-                const int64_t t = tile_of(e);
-                const TileRange rows = map.ShapeRange(t);
-                const int src = map.Rank(t);
-                DataSpec d;
-                d.src_rank = src;
-                d.dst_rank = e.rank;
-                d.bytes = static_cast<uint64_t>(rows.len()) *
-                          shards[0].dim(1) * DTypeSize(shards[0].dtype());
-                const Tensor src_view = shards[static_cast<size_t>(src)].Slice(
-                    0, rows.lo - src * m_per_rank, rows.len());
-                const Tensor dst_view =
-                    fulls[static_cast<size_t>(e.rank)].Slice(0, rows.lo,
-                                                             rows.len());
-                src_view.BufferRange(&d.read_lo, &d.read_hi);
-                d.read_buf = src_view.buffer();
-                dst_view.BufferRange(&d.write_lo, &d.write_hi);
-                d.write_buf = dst_view.buffer();
-                return d;
-              },
-              [map, shards, fulls, m_per_rank, tile_of](const Env& e) {
-                const int64_t t = tile_of(e);
-                const TileRange rows = map.ShapeRange(t);
-                const int src = map.Rank(t);
-                const Tensor src_view = shards[static_cast<size_t>(src)].Slice(
-                    0, rows.lo - src * m_per_rank, rows.len());
-                Tensor dst_view = fulls[static_cast<size_t>(e.rank)].Slice(
-                    0, rows.lo, rows.len());
-                CopyTensor(src_view, dst_view);
-              }));
-          body.Add(ops::ProducerTileNotify(
-              "ag.notify(p2p)", [map, tile_of](const Env& e) {
-                NotifySpec spec;
-                spec.entries.push_back(
-                    NotifyEntry{SignalSpace::kProducerConsumer,
-                                {e.rank},
-                                map.Channel(tile_of(e)),
-                                1});
-                return spec;
-              }));
-        });
-  return b.Build();
+  plan.Compute("group_gemm", tiles, BuildGroupGemm());
+  Finalize(plan.Build());
 }
 
 // Group-GEMM role: expert tiles with dynamic-mapping waits (Figure 5 lines
@@ -265,48 +169,11 @@ BlockProgram AgMoe::BuildGroupGemm() {
   return b.Build();
 }
 
-sim::Coro AgMoe::DmaAllGather(rt::RankCtx& ctx) {
-  const int R = world_->size();
-  const int64_t m_per_rank = cfg_.m / R;
-  const BlockChannel& bc = bcs_[static_cast<size_t>(ctx.rank)];
-  std::vector<sim::Coro> copies;
-  for (int s = 0; s < R; ++s) {
-    const int src = (ctx.rank + s) % R;
-    for (int c = 0; c < map_.channels_per_rank(); ++c) {
-      const int channel = src * map_.channels_per_rank() + c;
-      const TileRange rows = map_.ChannelRows(channel);
-      if (rows.len() <= 0) continue;
-      Tensor src_view = token_shards_[static_cast<size_t>(src)].Slice(
-          0, rows.lo - src * m_per_rank, rows.len());
-      Tensor dst_view = tokens_[static_cast<size_t>(ctx.rank)].Slice(
-          0, rows.lo, rows.len());
-      const uint64_t inc = map_.TilesInChannel(channel);
-      auto copy_and_notify = [](rt::RankCtx& c2, Tensor s2, Tensor d2,
-                                const BlockChannel& bc2, int ch,
-                                uint64_t inc2) -> sim::Coro {
-        co_await RankCopyData(c2, s2, d2);
-        bc2.set(SignalSpace::kProducerConsumer, c2.rank)
-            ->AddFrom(c2.rank, ch, inc2);
-      };
-      copies.push_back(
-          copy_and_notify(ctx, src_view, dst_view, bc, channel, inc));
-    }
-  }
-  co_await sim::WhenAll(std::move(copies));
-}
-
-sim::Coro AgMoe::Run(rt::RankCtx& ctx) {
-  co_await world_->barrier().Arrive();
-  auto state =
-      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
-  if (cfg_.comm == CommResource::kDma) {
-    std::vector<sim::Coro> both;
-    both.push_back(DmaAllGather(ctx));
-    both.push_back(AwaitKernel(state));
-    co_await sim::WhenAll(std::move(both));
-  } else {
-    co_await AwaitKernel(state);
-  }
+std::optional<sim::Coro> AgMoe::HostComm(rt::RankCtx& ctx) {
+  if (cfg_.comm != CommResource::kDma) return std::nullopt;
+  return DmaRowAllGather(ctx, channel(ctx.rank),
+                         RowAllGatherParams{map_, token_shards_, tokens_,
+                                            ranks(), cfg_.m / ranks()});
 }
 
 }  // namespace tilelink::tl

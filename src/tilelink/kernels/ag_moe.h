@@ -12,7 +12,7 @@
 #include "compute/gemm.h"
 #include "compute/moe_routing.h"
 #include "runtime/world.h"
-#include "tilelink/block_channel.h"
+#include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/kernels/kernel_common.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
@@ -34,7 +34,7 @@ struct AgMoeConfig {
   std::string name = "ag_moe";
 };
 
-class AgMoe {
+class AgMoe : public FusedKernelBase {
  public:
   // `routing` is the dynamic routing over the *gathered* token space [0, m).
   AgMoe(rt::World& world, const AgMoeConfig& config,
@@ -45,25 +45,20 @@ class AgMoe {
   comm::SymTensor& weights() { return weights_; }            // [E, H, N]
   comm::SymTensor& out() { return out_; }  // [M*topk, N] slot order
 
-  const std::string& listing() const { return compiled_.listing(); }
   const DynamicMapping& dynamic_mapping() const { return dyn_; }
 
-  sim::Coro Run(rt::RankCtx& ctx);
+ protected:
+  std::optional<sim::Coro> HostComm(rt::RankCtx& ctx) override;
 
  private:
-  BlockProgram BuildCommPull();
   BlockProgram BuildGroupGemm();
-  sim::Coro DmaAllGather(rt::RankCtx& ctx);
 
-  rt::World* world_;
   AgMoeConfig cfg_;
   compute::MoeRouting routing_;
   StaticMapping map_;   // producer (AllGather) channels over token rows
   DynamicMapping dyn_;  // consumer (expert tile) wait tables
   std::vector<compute::GroupBlock> group_blocks_;
   comm::SymTensor token_shards_, tokens_, weights_, out_;
-  std::vector<BlockChannel> bcs_;
-  CompiledKernel compiled_;
 };
 
 }  // namespace tilelink::tl

@@ -8,51 +8,30 @@
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
-namespace {
-
-int64_t TilesForBlock(int64_t total, const Env& env) {
-  if (env.block_id >= total) return 0;
-  return (total - env.block_id - 1) / env.grid + 1;
-}
-
-sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
-  co_await state->Wait();
-}
-
-}  // namespace
 
 GemmRs::GemmRs(rt::World& world, const GemmRsConfig& config)
-    : world_(&world), cfg_(config),
+    : FusedKernelBase(world, config.name, config.compiler),
+      cfg_(config),
       // One producer-consumer channel per RS chunk of rows; GEMM m-tiles
       // must align with chunk granularity for the counting protocol.
       map_(config.m, config.gemm.bm, world.size(),
            static_cast<int>((config.m / world.size()) / config.rs_block_m)) {
-  TL_CHECK_EQ(cfg_.m % world.size(), 0);
-  TL_CHECK_EQ((cfg_.m / world.size()) % cfg_.rs_block_m, 0);
+  TL_CHECK_EQ(cfg_.m % ranks(), 0);
+  TL_CHECK_EQ((cfg_.m / ranks()) % cfg_.rs_block_m, 0);
   TL_CHECK_EQ(cfg_.rs_block_m % cfg_.gemm.bm, 0);
-  const int R = world.size();
-  const int64_t m_per_rank = cfg_.m / R;
-  for (int r = 0; r < R; ++r) {
-    rt::Device& dev = world.device(r);
-    a_.push_back(
-        Tensor::Alloc(dev, cfg_.name + ".a", {cfg_.m, cfg_.k}, DType::kBF16));
-    b_.push_back(
-        Tensor::Alloc(dev, cfg_.name + ".b", {cfg_.k, cfg_.n}, DType::kBF16));
-    gemm_out_.push_back(Tensor::Alloc(dev, cfg_.name + ".gemm_out",
-                                      {cfg_.m, cfg_.n}, DType::kBF16));
-    staging_.push_back(Tensor::Alloc(dev, cfg_.name + ".staging",
-                                     {cfg_.m, cfg_.n}, DType::kBF16));
-    out_.push_back(Tensor::Alloc(dev, cfg_.name + ".out",
-                                 {m_per_rank, cfg_.n}, DType::kBF16));
-  }
+  const int64_t m_per_rank = cfg_.m / ranks();
+  a_ = AllocSymmetric("a", {cfg_.m, cfg_.k});
+  b_ = AllocSymmetric("b", {cfg_.k, cfg_.n});
+  gemm_out_ = AllocSymmetric("gemm_out", {cfg_.m, cfg_.n});
+  staging_ = AllocSymmetric("staging", {cfg_.m, cfg_.n});
+  out_ = AllocSymmetric("out", {m_per_rank, cfg_.n});
   const int64_t peer_channels = cfg_.m / cfg_.rs_block_m;
-  bcs_ = BlockChannel::CreateSymmetric(world, cfg_.name, map_.num_channels(),
-                                       static_cast<int>(peer_channels),
-                                       /*num_host=*/1);
+  CreateChannels(map_.num_channels(), static_cast<int>(peer_channels),
+                 /*num_host=*/1);
 
   // Ring RS role.
   RingRsParams rs;
-  rs.world_size = R;
+  rs.world_size = ranks();
   rs.m = cfg_.m;
   rs.n = cfg_.n;
   rs.block_m = cfg_.rs_block_m;
@@ -74,18 +53,12 @@ GemmRs::GemmRs(rt::World& world, const GemmRsConfig& config)
     return spec;
   };
 
-  FusedKernelSpec spec;
-  spec.name = cfg_.name;
-  const int sms = world.spec().sms_per_device;
-  const int comm_blocks = static_cast<int>(
-      std::min<int64_t>(cfg_.comm_sms, RingRsChunks(rs)));
   const int64_t gemm_tiles =
       CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm) * tiles_n;
-  const int compute_blocks = static_cast<int>(
-      std::min<int64_t>(gemm_tiles, std::max(1, sms - comm_blocks)));
-  spec.roles.push_back(Role{"rs", comm_blocks, BuildRingReduceScatter(rs)});
-  spec.roles.push_back(Role{"gemm", compute_blocks, BuildGemm()});
-  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
+  RolePlan plan(cfg_.name, sms());
+  plan.Comm("rs", cfg_.comm_sms, RingRsChunks(rs), BuildRingReduceScatter(rs))
+      .Compute("gemm", gemm_tiles, BuildGemm());
+  Finalize(plan.Build());
 }
 
 // Producer GEMM role (Figure 4 lines 2-9): compute a partial tile, store it,
@@ -104,19 +77,16 @@ BlockProgram GemmRs::BuildGemm() {
   const int64_t k = cfg_.k;
   const int64_t m = cfg_.m;
   const int64_t n = cfg_.n;
-  const int R = world_->size();
+  const int R = ranks();
   const int64_t tiles_m_per_rank = tiles_m / R;
-  // Tile order: produce the segment the ring consumes first — the segment
-  // right after this rank — then continue in ring order.
+  // Tile order (§3.1): by default produce the segment the ring consumes
+  // first — the segment right after this rank — then continue in ring order.
+  const TileOrder order = cfg_.order;
   auto tid_mn = [=](const Env& e) {
     const int64_t t = e.block_id + e.iv(0) * e.grid;
-    const int64_t raw_m = t / tiles_n;
-    const int64_t tn = t % tiles_n;
-    const int64_t tm =
-        tiles_m_per_rank > 0
-            ? (raw_m + (e.rank + 1) % R * tiles_m_per_rank) % tiles_m
-            : raw_m;
-    return std::pair<int64_t, int64_t>(tm, tn);
+    const int64_t tm = SwizzleTileM(t / tiles_n, tiles_m, tiles_m_per_rank,
+                                    e.rank, R, order);
+    return std::pair<int64_t, int64_t>(tm, t % tiles_n);
   };
   b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
         [&](TileProgramBuilder& body) {
@@ -158,26 +128,14 @@ BlockProgram GemmRs::BuildGemm() {
                 return d;
               }));
           body.Add(ops::ProducerTileNotify(
-              "gemm.notify(p2p)", [map, tid_mn, tiling](const Env& e) {
+              "gemm.notify(p2p)", [map, tid_mn](const Env& e) {
                 const auto [tm, tn] = tid_mn(e);
                 (void)tn;
-                NotifySpec spec;
-                spec.entries.push_back(
-                    NotifyEntry{SignalSpace::kProducerConsumer,
-                                {e.rank},
-                                map.Channel(tm),
-                                1});
-                return spec;
+                return NotifyOne(SignalSpace::kProducerConsumer, {e.rank},
+                                 map.Channel(tm));
               }));
         });
   return b.Build();
-}
-
-sim::Coro GemmRs::Run(rt::RankCtx& ctx) {
-  co_await world_->barrier().Arrive();
-  auto state =
-      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
-  co_await AwaitKernel(state);
 }
 
 }  // namespace tilelink::tl

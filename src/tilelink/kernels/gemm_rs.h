@@ -8,12 +8,12 @@
 #pragma once
 
 #include <string>
-#include <vector>
 
 #include "comm/collectives.h"
 #include "compute/gemm.h"
 #include "runtime/world.h"
-#include "tilelink/block_channel.h"
+#include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/role_plan.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
 
@@ -27,11 +27,13 @@ struct GemmRsConfig {
   int rs_block_m = 128;  // RS chunk rows — decoupled from gemm.bm
   int comm_sms = 20;
   bool dma_push = false;  // hybrid: reduction on SMs, scatter on DMA
+  // GEMM m-tile visit order: produce the segment the ring consumes first.
+  TileOrder order = TileOrder::kNextRankFirst;
   CompilerOptions compiler;
   std::string name = "gemm_rs";
 };
 
-class GemmRs {
+class GemmRs : public FusedKernelBase {
  public:
   GemmRs(rt::World& world, const GemmRsConfig& config);
 
@@ -40,20 +42,14 @@ class GemmRs {
   comm::SymTensor& gemm_out() { return gemm_out_; }  // [M, N] partials
   comm::SymTensor& out() { return out_; }            // [M/R, N] reduced
 
-  const std::string& listing() const { return compiled_.listing(); }
   const StaticMapping& mapping() const { return map_; }
-
-  sim::Coro Run(rt::RankCtx& ctx);
 
  private:
   BlockProgram BuildGemm();
 
-  rt::World* world_;
   GemmRsConfig cfg_;
   StaticMapping map_;  // producer channels over gemm_out rows
   comm::SymTensor a_, b_, gemm_out_, staging_, out_;
-  std::vector<BlockChannel> bcs_;
-  CompiledKernel compiled_;
 };
 
 }  // namespace tilelink::tl

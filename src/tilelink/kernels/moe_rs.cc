@@ -4,48 +4,28 @@
 #include <set>
 
 #include "common/math_utils.h"
+#include "tilelink/builder/role_plan.h"
 #include "tilelink/kernels/ring_rs.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
-namespace {
-
-int64_t TilesForBlock(int64_t total, const Env& env) {
-  if (env.block_id >= total) return 0;
-  return (total - env.block_id - 1) / env.grid + 1;
-}
-
-sim::Coro AwaitKernel(std::shared_ptr<rt::KernelState> state) {
-  co_await state->Wait();
-}
-
-}  // namespace
 
 MoeRs::MoeRs(rt::World& world, const MoeRsConfig& config,
              const compute::MoeRouting& routing)
-    : world_(&world), cfg_(config), routing_(routing) {
-  const int R = world.size();
+    : FusedKernelBase(world, config.name, config.compiler),
+      cfg_(config), routing_(routing) {
+  const int R = ranks();
   TL_CHECK_EQ(cfg_.m % R, 0);
   TL_CHECK_EQ((cfg_.m / R) % cfg_.rs_block_m, 0);
   TL_CHECK_EQ(cfg_.rs_block_m % cfg_.reduce_block_tokens, 0);
   const int64_t m_per_rank = cfg_.m / R;
   const int64_t slots = cfg_.m * cfg_.topk;
-  for (int r = 0; r < R; ++r) {
-    rt::Device& dev = world.device(r);
-    acts_.push_back(Tensor::Alloc(dev, cfg_.name + ".acts",
-                                  {slots, cfg_.k}, DType::kBF16));
-    weights_.push_back(Tensor::Alloc(
-        dev, cfg_.name + ".w", {cfg_.num_experts, cfg_.k, cfg_.hidden},
-        DType::kBF16));
-    exp_out_.push_back(Tensor::Alloc(dev, cfg_.name + ".exp_out",
-                                     {slots, cfg_.hidden}, DType::kBF16));
-    token_partial_.push_back(Tensor::Alloc(
-        dev, cfg_.name + ".tok_partial", {cfg_.m, cfg_.hidden}, DType::kBF16));
-    staging_.push_back(Tensor::Alloc(dev, cfg_.name + ".staging",
-                                     {cfg_.m, cfg_.hidden}, DType::kBF16));
-    out_.push_back(Tensor::Alloc(dev, cfg_.name + ".out",
-                                 {m_per_rank, cfg_.hidden}, DType::kBF16));
-  }
+  acts_ = AllocSymmetric("acts", {slots, cfg_.k});
+  weights_ = AllocSymmetric("w", {cfg_.num_experts, cfg_.k, cfg_.hidden});
+  exp_out_ = AllocSymmetric("exp_out", {slots, cfg_.hidden});
+  token_partial_ = AllocSymmetric("tok_partial", {cfg_.m, cfg_.hidden});
+  staging_ = AllocSymmetric("staging", {cfg_.m, cfg_.hidden});
+  out_ = AllocSymmetric("out", {m_per_rank, cfg_.hidden});
 
   group_blocks_ = compute::MakeGroupBlocks(routing_, cfg_.hidden, cfg_.gemm.bm,
                                            cfg_.gemm.bn);
@@ -96,9 +76,8 @@ MoeRs::MoeRs(rt::World& world, const MoeRsConfig& config,
   }
 
   const int64_t peer_channels = cfg_.m / cfg_.rs_block_m;
-  bcs_ = BlockChannel::CreateSymmetric(
-      world, cfg_.name, num_pc1_ + num_pc2_,
-      static_cast<int>(peer_channels), /*num_host=*/1);
+  CreateChannels(num_pc1_ + num_pc2_, static_cast<int>(peer_channels),
+                 /*num_host=*/1);
 
   // RS role over token_partial, consumer waits on pc2 (offset channels).
   RingRsParams rs;
@@ -126,21 +105,12 @@ MoeRs::MoeRs(rt::World& world, const MoeRsConfig& config,
     return spec;
   };
 
-  FusedKernelSpec spec;
-  spec.name = cfg_.name;
-  const int sms = world.spec().sms_per_device;
-  const int comm_blocks =
-      static_cast<int>(std::min<int64_t>(cfg_.comm_sms, RingRsChunks(rs)));
-  const int reduce_blocks = static_cast<int>(
-      std::min<int64_t>(cfg_.reduce_sms, reduce_chunks));
   const int64_t tiles = static_cast<int64_t>(group_blocks_.size());
-  const int gemm_blocks = static_cast<int>(std::min<int64_t>(
-      std::max<int64_t>(tiles, 1),
-      std::max(1, sms - comm_blocks - reduce_blocks)));
-  spec.roles.push_back(Role{"rs", comm_blocks, BuildRingReduceScatter(rs)});
-  spec.roles.push_back(Role{"topk_reduce", reduce_blocks, BuildTopkReduce()});
-  spec.roles.push_back(Role{"group_gemm", gemm_blocks, BuildGroupGemm()});
-  compiled_ = Compiler(cfg_.compiler).Compile(std::move(spec));
+  RolePlan plan(cfg_.name, sms());
+  plan.Comm("rs", cfg_.comm_sms, RingRsChunks(rs), BuildRingReduceScatter(rs))
+      .Comm("topk_reduce", cfg_.reduce_sms, reduce_chunks, BuildTopkReduce())
+      .Compute("group_gemm", tiles, BuildGroupGemm());
+  Finalize(plan.Build());
 }
 
 // Producer role: expert GEMM tiles write slot-order partial outputs and
@@ -303,23 +273,12 @@ BlockProgram MoeRs::BuildTopkReduce() {
               }));
           body.Add(ops::ProducerTileNotify(
               "reduce.notify(pc2)", [chunk_of, bt, rs_rows, pc1](const Env& e) {
-                NotifySpec spec;
-                spec.entries.push_back(NotifyEntry{
-                    SignalSpace::kProducerConsumer,
-                    {e.rank},
-                    pc1 + static_cast<int>(chunk_of(e) * bt / rs_rows),
-                    1});
-                return spec;
+                return NotifyOne(
+                    SignalSpace::kProducerConsumer, {e.rank},
+                    pc1 + static_cast<int>(chunk_of(e) * bt / rs_rows));
               }));
         });
   return b.Build();
-}
-
-sim::Coro MoeRs::Run(rt::RankCtx& ctx) {
-  co_await world_->barrier().Arrive();
-  auto state =
-      compiled_.Launch(ctx, *ctx.stream, bcs_[static_cast<size_t>(ctx.rank)]);
-  co_await AwaitKernel(state);
 }
 
 }  // namespace tilelink::tl

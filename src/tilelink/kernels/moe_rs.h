@@ -17,7 +17,7 @@
 #include "compute/gemm.h"
 #include "compute/moe_routing.h"
 #include "runtime/world.h"
-#include "tilelink/block_channel.h"
+#include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
 
@@ -40,7 +40,7 @@ struct MoeRsConfig {
   std::string name = "moe_rs";
 };
 
-class MoeRs {
+class MoeRs : public FusedKernelBase {
  public:
   MoeRs(rt::World& world, const MoeRsConfig& config,
         const compute::MoeRouting& routing);
@@ -51,15 +51,10 @@ class MoeRs {
   comm::SymTensor& token_partial() { return token_partial_; }  // [M, H]
   comm::SymTensor& out() { return out_; }          // [M/R, H] reduced
 
-  const std::string& listing() const { return compiled_.listing(); }
-
-  sim::Coro Run(rt::RankCtx& ctx);
-
  private:
   BlockProgram BuildGroupGemm();
   BlockProgram BuildTopkReduce();
 
-  rt::World* world_;
   MoeRsConfig cfg_;
   compute::MoeRouting routing_;
   std::vector<compute::GroupBlock> group_blocks_;
@@ -68,8 +63,6 @@ class MoeRs {
   std::vector<uint64_t> pc1_thresholds_;  // group blocks per pc1 channel
   DynamicMapping reduce_waits_;           // per reduce-chunk wait tables
   comm::SymTensor acts_, weights_, exp_out_, token_partial_, staging_, out_;
-  std::vector<BlockChannel> bcs_;
-  CompiledKernel compiled_;
 };
 
 }  // namespace tilelink::tl

@@ -3,17 +3,10 @@
 #include <algorithm>
 
 #include "common/math_utils.h"
+#include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
-namespace {
-
-int64_t TilesForBlock(int64_t total, const Env& env) {
-  if (env.block_id >= total) return 0;
-  return (total - env.block_id - 1) / env.grid + 1;
-}
-
-}  // namespace
 
 int64_t RingRsChunks(const RingRsParams& params) {
   const int64_t m_per_rank = params.m / params.world_size;
@@ -127,14 +120,11 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        // peer_tile_notify with release semantics once the
                        // accumulated chunk has landed at the neighbor.
                        [=](const Env& e) {
-                         NotifySpec spec;
-                         spec.entries.push_back(NotifyEntry{
+                         return NotifyOne(
                              SignalSpace::kPeer,
                              {(e.rank + to_rank_offset) % R},
                              peer_channel(seg_at(e, stage_of(e)),
-                                          chunk_of(e)),
-                             1});
-                         return spec;
+                                          chunk_of(e)));
                        },
                        dma_push,
                        [=](const Env& e) {

@@ -28,6 +28,12 @@ StaticMapping::StaticMapping(int64_t m, int tile_m, int ranks,
   num_tiles_ = CeilDiv<int64_t>(m, tile_m);
 }
 
+int StaticMapping::ResolveChannelsPerRank(int64_t m, int tile_m, int ranks,
+                                          int requested) {
+  if (requested > 0) return requested;
+  return static_cast<int>(CeilDiv<int64_t>(m, ranks) / tile_m);
+}
+
 TileRange StaticMapping::ShapeRange(int64_t tile_id) const {
   TL_DCHECK(tile_id >= 0 && tile_id < num_tiles_);
   const int64_t lo = tile_id * tile_m_;

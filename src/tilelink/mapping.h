@@ -41,6 +41,12 @@ class StaticMapping {
  public:
   StaticMapping(int64_t m, int tile_m, int ranks, int channels_per_rank);
 
+  // Channel density to use when a kernel config leaves it unspecified
+  // (requested <= 0): one channel per comm tile within each rank's shard —
+  // the finest granularity the counting protocol supports.
+  static int ResolveChannelsPerRank(int64_t m, int tile_m, int ranks,
+                                    int requested);
+
   int64_t m() const { return m_; }
   int tile_m() const { return tile_m_; }
   int ranks() const { return ranks_; }

@@ -126,6 +126,13 @@ std::vector<int> AllRanks(int num_ranks) {
   return out;
 }
 
+NotifySpec NotifyOne(SignalSpace space, std::vector<int> targets, int channel,
+                     uint64_t inc) {
+  NotifySpec spec;
+  spec.entries.push_back(NotifyEntry{space, std::move(targets), channel, inc});
+  return spec;
+}
+
 std::vector<int> OtherRanks(int num_ranks, int self) {
   std::vector<int> out;
   out.reserve(static_cast<size_t>(num_ranks - 1));

@@ -94,4 +94,9 @@ sim::Flag::Awaiter RankWait(const BlockChannel& bc, int channel,
 std::vector<int> AllRanks(int num_ranks);
 std::vector<int> OtherRanks(int num_ranks, int self);
 
+// Single-entry NotifySpec — the common case of a producer/peer notify
+// raising one channel on a list of target ranks.
+NotifySpec NotifyOne(SignalSpace space, std::vector<int> targets, int channel,
+                     uint64_t inc = 1);
+
 }  // namespace tilelink::tl

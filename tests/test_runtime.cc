@@ -35,7 +35,7 @@ TEST(Runtime, KernelBlocksQuantizeIntoWaves) {
   RankCtx& ctx = world.rank_ctx(0);
   auto state = ctx.stream->LaunchKernel(
       8,
-      [](BlockCtx bctx) -> Coro { co_await Delay{100}; },
+      [](BlockCtx) -> Coro { co_await Delay{100}; },
       "wave_test");
   TimeNs done = 0;
   const TimeNs t0 = world.sim().Now();

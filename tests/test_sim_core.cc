@@ -168,13 +168,13 @@ Coro SmallDelay(int* count) {
 TEST(SimCore, WhenAllJoinsAllChildren) {
   Simulator sim;
   int count = 0;
-  auto parent = [](Simulator* s, int* c) -> Coro {
+  auto parent = [](Simulator*, int* c) -> Coro {
     std::vector<Coro> children;
     for (int i = 0; i < 10; ++i) children.push_back(SmallDelay(c));
     co_await WhenAll(std::move(children));
     EXPECT_EQ(*c, 10);
   };
-  sim.Spawn(parent(&sim, &count));
+  sim.Spawn(parent(nullptr, &count));
   sim.Run();
   EXPECT_EQ(count, 10);
 }
