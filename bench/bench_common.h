@@ -2,8 +2,16 @@
 // H800x8 machine in timing-only mode with coarse reduction tiling (simulated
 // time is invariant in bk; see DESIGN.md §6), plus table printing and
 // geomean helpers that emit the same rows/series the paper reports.
+//
+// Machine-readable output: construct a BenchReport from main's argv, Record
+// every latency/speedup worth tracking, and call WriteJson() before exit.
+// `--json <path>` then writes a flat {"key": value} document (e.g.
+// BENCH_fig8.json) so the perf trajectory is tracked across PRs;
+// `--cache <path>` names a TunedConfigCache file for benches that
+// warm-start autotuner searches from a previous run.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -16,6 +24,48 @@
 #include "sim/machine_spec.h"
 
 namespace tilelink::bench {
+
+class BenchReport {
+ public:
+  BenchReport(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") json_path_ = argv[i + 1];
+      if (arg == "--cache") cache_path_ = argv[i + 1];
+    }
+  }
+
+  const std::string& json_path() const { return json_path_; }
+  const std::string& cache_path() const { return cache_path_; }
+
+  void Record(const std::string& key, double value) { values_[key] = value; }
+
+  // Writes the recorded values as sorted-key JSON; no-op without --json.
+  bool WriteJson() const {
+    if (json_path_.empty()) return true;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    bool first = true;
+    for (const auto& [key, value] : values_) {
+      std::fprintf(f, "%s  \"%s\": %.17g", first ? "" : ",\n", key.c_str(),
+                   value);
+      first = false;
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("bench: wrote %s\n", json_path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string json_path_;
+  std::string cache_path_;
+  std::map<std::string, double> values_;
+};
 
 inline rt::World MakeH800x8() {
   return rt::World(sim::MachineSpec::H800x8(), rt::ExecMode::kTimingOnly);
@@ -99,6 +149,32 @@ class ResultTable {
         }
       }
       std::printf("\n");
+    }
+  }
+
+  // Records every cell as "<prefix>.<row>.<column>_ms" (and, when
+  // `relative_to` names a column, each method's geomean speedup as
+  // "<prefix>.geomean.<column>") into `report`.
+  void Export(BenchReport* report, const std::string& prefix,
+              const std::string& relative_to = "") const {
+    std::map<std::string, std::pair<double, int>> geo;
+    for (const auto& row : row_order_) {
+      for (const auto& c : columns_) {
+        auto it = rows_.at(row).find(c);
+        if (it == rows_.at(row).end()) continue;
+        report->Record(prefix + "." + row + "." + c + "_ms", it->second);
+        if (!relative_to.empty()) {
+          const double rel = rows_.at(row).at(relative_to) / it->second;
+          geo[c].first += std::log(rel);
+          geo[c].second += 1;
+        }
+      }
+    }
+    for (const auto& [c, acc] : geo) {
+      if (acc.second > 0) {
+        report->Record(prefix + ".geomean." + c,
+                       std::exp(acc.first / acc.second));
+      }
     }
   }
 

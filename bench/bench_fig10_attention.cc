@@ -52,8 +52,9 @@ double TileLinkMs(int heads, int64_t head_dim, int64_t seq, bool skip_comm,
 }  // namespace
 }  // namespace tilelink::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tilelink::bench;
+  BenchReport report(argc, argv);
   for (const AttnShape& a : Table4Attn()) {
     ResultTable table("Figure 10: " + a.name + " (heads=" +
                           std::to_string(a.heads) + ", head_dim=128, 8xH800)",
@@ -75,9 +76,12 @@ int main() {
       std::printf("  seq=%-7s overlap_ratio=%.3f  (comp=%.3fms comm=%.3fms "
                   "overlap=%.3fms)\n",
                   row.c_str(), ratio, comp_only, comm_only, tl);
+      report.Record("fig10." + a.name + "." + row + ".overlap_ratio", ratio);
     }
     table.Print("Torch");
+    table.Export(&report, "fig10." + a.name, "Torch");
   }
+  report.WriteJson();
   std::printf(
       "\nPaper reference (Fig 10): TileLink 5.04x over Torch, 1.97x over "
       "RingAttn (geomean across 16k-128k); average overlap ratio ~43.9%%.\n");

@@ -1,43 +1,137 @@
 // Figure 11: end-to-end LLM comparison (TileLink vs PyTorch) on 8xH800
 // (TP=8, batch 4, seq 8192) and 16xH800 (TP=8 x DP=2, batch 8).
+//
+// Every TileLink kernel config is obtained from Autotuner::Search through a
+// per-shape TunedConfigCache (identical layers and identical shapes across
+// models — and across the two node configurations — share one search). The
+// hand-picked configs of the paper's figures are simulated alongside as the
+// search seeds: the bench exits nonzero if any tuned layer regresses past
+// its hand-picked default (MoE layers get a 1% interaction tolerance — the
+// two MoE parts are tuned in isolation but timed chained per rank).
+//
+// Flags: --cache <path> warm-starts / persists the tuned-config cache;
+// --json <path> writes per-model latencies/speedups and the geomeans.
+#include <cmath>
+
 #include "bench/bench_common.h"
 #include "models/transformer.h"
 
-int main() {
+namespace {
+
+struct SectionResult {
+  double geomean = 0.0;
+  double dense_geomean = 0.0;
+  double moe_geomean = 0.0;
+  bool ok = true;
+};
+
+SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
+                         tilelink::bench::BenchReport* report) {
   using namespace tilelink;
   using namespace tilelink::bench;
-  for (const bool two_node : {false, true}) {
-    const int64_t batch = two_node ? 8 : 4;  // paper doubles batch on 2 nodes
-    models::E2eEstimator est(/*tp=*/8, /*batch=*/two_node ? batch / 2 : batch,
-                             /*seq=*/8192, two_node);
-    std::printf("\n=== Figure 11: end-to-end, %s (batch %lld, seq 8192) ===\n",
-                two_node ? "16xH800 (TP8 x DP2)" : "8xH800 (TP8)",
-                (long long)batch);
-    std::printf("%-16s %14s %14s %10s\n", "model", "Torch layer",
-                "TileLink layer", "speedup");
-    double log_sum = 0.0;
-    double dense_log = 0.0, moe_log = 0.0;
-    int dense_n = 0, moe_n = 0;
-    for (const models::ModelConfig& m : models::Figure11Models()) {
-      const models::E2eResult r = est.Run(m);
-      std::printf("%-16s %12.3fms %12.3fms %9.2fx\n", r.model.c_str(),
-                  ToMsD(r.torch_layer), ToMsD(r.tilelink_layer), r.speedup);
-      log_sum += std::log(r.speedup);
-      if (m.is_moe) {
-        moe_log += std::log(r.speedup);
-        ++moe_n;
-      } else {
-        dense_log += std::log(r.speedup);
-        ++dense_n;
-      }
+  const int64_t batch = two_node ? 8 : 4;  // paper doubles batch on 2 nodes
+  const int64_t local_batch = two_node ? batch / 2 : batch;
+  models::E2eEstimator defaults(/*tp=*/8, local_batch, /*seq=*/8192, two_node);
+  models::E2eEstimator tuned(/*tp=*/8, local_batch, /*seq=*/8192, two_node);
+  tuned.EnableTuning(cache);
+  const std::string section = two_node ? "16xH800" : "8xH800";
+  std::printf("\n=== Figure 11: end-to-end, %s (batch %lld, seq 8192) ===\n",
+              two_node ? "16xH800 (TP8 x DP2)" : "8xH800 (TP8)",
+              (long long)batch);
+  std::printf("%-16s %13s %13s %13s %9s %9s\n", "model", "Torch layer",
+              "TL default", "TL tuned", "speedup", "vs deflt");
+  SectionResult out;
+  double log_sum = 0.0, dense_log = 0.0, moe_log = 0.0;
+  int dense_n = 0, moe_n = 0;
+  for (const models::ModelConfig& m : models::Figure11Models()) {
+    const models::E2eResult tun = tuned.Run(m);
+    // Only the TileLink layer is needed from the defaults estimator (its
+    // Torch side would re-simulate the exact layers `tuned` already ran);
+    // apply the same two-node DP-sync add-on Run() applies.
+    sim::TimeNs def_layer =
+        defaults.LayerTime(m, models::Method::kTileLink).total();
+    if (two_node) {
+      def_layer += static_cast<sim::TimeNs>(
+          0.08 / 1.08 * static_cast<double>(tun.torch_layer));
     }
-    std::printf("%-16s %28s %9.2fx\n", "GEOMEAN", "",
-                std::exp(log_sum / 8.0));
-    std::printf("  dense geomean %.2fx, MoE geomean %.2fx\n",
-                std::exp(dense_log / dense_n), std::exp(moe_log / moe_n));
+    const double vs_default = static_cast<double>(def_layer) /
+                              static_cast<double>(tun.tilelink_layer);
+    // Regression gate: the searches are seeded with the hand-picked configs,
+    // so a tuned component can never lose to its default in isolation; MoE
+    // layers chain two independently-tuned kernels per rank and get 1%.
+    const double tolerance = m.is_moe ? 1.01 : 1.0;
+    const bool ok = static_cast<double>(tun.tilelink_layer) <=
+                    static_cast<double>(def_layer) * tolerance;
+    out.ok = out.ok && ok;
+    std::printf("%-16s %11.3fms %11.3fms %11.3fms %8.2fx %8.2fx%s\n",
+                tun.model.c_str(), ToMsD(tun.torch_layer), ToMsD(def_layer),
+                ToMsD(tun.tilelink_layer), tun.speedup, vs_default,
+                ok ? "" : "  <- REGRESSION");
+    log_sum += std::log(tun.speedup);
+    if (m.is_moe) {
+      moe_log += std::log(tun.speedup);
+      ++moe_n;
+    } else {
+      dense_log += std::log(tun.speedup);
+      ++dense_n;
+    }
+    const std::string prefix = "fig11." + section + "." + m.name;
+    report->Record(prefix + ".torch_ms", ToMsD(tun.torch_layer));
+    report->Record(prefix + ".tilelink_default_ms", ToMsD(def_layer));
+    report->Record(prefix + ".tilelink_tuned_ms", ToMsD(tun.tilelink_layer));
+    report->Record(prefix + ".speedup", tun.speedup);
   }
+  out.geomean = std::exp(log_sum / (dense_n + moe_n));
+  out.dense_geomean = std::exp(dense_log / dense_n);
+  out.moe_geomean = std::exp(moe_log / moe_n);
+  std::printf("%-16s %39s %8.2fx\n", "GEOMEAN", "", out.geomean);
+  std::printf("  dense geomean %.2fx, MoE geomean %.2fx\n", out.dense_geomean,
+              out.moe_geomean);
+  report->Record("fig11." + section + ".geomean", out.geomean);
+  report->Record("fig11." + section + ".dense_geomean", out.dense_geomean);
+  report->Record("fig11." + section + ".moe_geomean", out.moe_geomean);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tilelink;
+  using namespace tilelink::bench;
+  BenchReport report(argc, argv);
+  tl::TunedConfigCache cache;
+  if (!report.cache_path().empty() && cache.LoadFile(report.cache_path())) {
+    std::printf("warm-started %zu tuned configs from %s\n", cache.size(),
+                report.cache_path().c_str());
+  }
+  const SectionResult one = RunSection(false, &cache, &report);
+  const SectionResult two = RunSection(true, &cache, &report);
   std::printf(
-      "\nPaper reference (Fig 11): 8xH800 geomean 1.32x (dense 1.20x, MoE "
-      "1.54x); 16xH800 geomean 1.29x.\n");
+      "\ntuner cache: %zu entries, %d search hits, %d searches run\n",
+      cache.size(), cache.hits(), cache.misses());
+  if (!report.cache_path().empty() && cache.SaveFile(report.cache_path())) {
+    std::printf("saved tuned-config cache to %s\n",
+                report.cache_path().c_str());
+  }
+  // Paper reference (Fig 11): geomeans vs the Torch baseline.
+  const double paper_8x = 1.32, paper_8x_dense = 1.20, paper_8x_moe = 1.54;
+  const double paper_16x = 1.29;
+  std::printf(
+      "\nPaper reference (Fig 11): 8xH800 geomean %.2fx (dense %.2fx, MoE "
+      "%.2fx); 16xH800 geomean %.2fx.\n",
+      paper_8x, paper_8x_dense, paper_8x_moe, paper_16x);
+  std::printf(
+      "This reproduction (tuned): 8xH800 %.2fx (%.0f%% of paper; dense "
+      "%.2fx, MoE %.2fx); 16xH800 %.2fx (%.0f%% of paper).\n",
+      one.geomean, 100.0 * one.geomean / paper_8x, one.dense_geomean,
+      one.moe_geomean, two.geomean, 100.0 * two.geomean / paper_16x);
+  report.Record("fig11.8xH800.geomean_vs_paper", one.geomean / paper_8x);
+  report.Record("fig11.16xH800.geomean_vs_paper", two.geomean / paper_16x);
+  report.WriteJson();
+  if (!(one.ok && two.ok)) {
+    std::printf("\nFAIL: a tuned config regressed past its hand-picked "
+                "default.\n");
+    return 1;
+  }
   return 0;
 }

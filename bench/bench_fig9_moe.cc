@@ -72,9 +72,10 @@ double Part2TileLink(const MoeShape& s, const compute::MoeRouting& routing) {
 }  // namespace
 }  // namespace tilelink::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tilelink::bench;
   using namespace tilelink;
+  BenchReport report(argc, argv);
   const std::vector<std::string> methods = {"cuBLAS+NCCL", "CUTLASS+NCCL",
                                             "vLLM-Op", "TileLink"};
   ResultTable p1("Figure 9a: AG+Gather+GroupGEMM on 8xH800", methods);
@@ -109,6 +110,10 @@ int main() {
   p1.Print("cuBLAS+NCCL");
   p2.Print("cuBLAS+NCCL");
   full.Print("cuBLAS+NCCL");
+  p1.Export(&report, "fig9.part1", "cuBLAS+NCCL");
+  p2.Export(&report, "fig9.part2", "cuBLAS+NCCL");
+  full.Export(&report, "fig9.moe", "cuBLAS+NCCL");
+  report.WriteJson();
   std::printf(
       "\nPaper reference (Fig 9): part 1 — vLLM ~9.82x over cuBLAS, TileLink "
       "1.51x over vLLM; part 2 — TileLink 1.31x over vLLM, 10.56x over "

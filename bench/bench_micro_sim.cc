@@ -1,7 +1,9 @@
-// google-benchmark microbenchmarks of the simulator substrate itself:
-// event-loop throughput, resource contention, network flows, and an
+// Microbenchmarks of the simulator substrate itself: event-loop throughput,
+// host-callback scheduling, resource contention, network flows, and an
 // end-to-end overlapped kernel (wall-clock cost of simulating one AG+GEMM).
-#include <benchmark/benchmark.h>
+// Built on the vendored harness in bench/microbench.h (Google Benchmark API
+// subset) so it always compiles without external dependencies.
+#include "bench/microbench.h"
 
 #include "bench/bench_common.h"
 #include "comm/collectives.h"
@@ -30,6 +32,21 @@ void BM_EventLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
+
+void BM_HostCallbacks(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    uint64_t sum = 0;
+    for (int i = 0; i < events; ++i) {
+      s.At(i, [&sum, i] { sum += static_cast<uint64_t>(i); });
+    }
+    s.Run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_HostCallbacks)->Arg(1000)->Arg(100000);
 
 sim::Coro UseRes(sim::Resource* res) {
   co_await res->Acquire();

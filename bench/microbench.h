@@ -1,0 +1,297 @@
+// Vendored header-only micro-benchmark harness.
+//
+// Implements the subset of the Google Benchmark API that bench_micro_sim
+// uses (BENCHMARK, BENCHMARK_MAIN, State ranges/counters, DoNotOptimize) so
+// the benchmark always builds without an external dependency. The runner
+// auto-scales iteration counts until each benchmark accumulates kMinTimeNs
+// of wall clock, then reports ns/iter, items/sec and user counters. Pass
+// `--json <path>` to also write the results as a flat JSON object (used by
+// scripts/ci.sh to track the perf trajectory across PRs).
+#pragma once
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+// Keeps the optimizer from discarding a computed value.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+class State {
+ public:
+  State(int64_t max_iterations, std::vector<int64_t> args)
+      : max_iterations_(max_iterations), args_(std::move(args)) {}
+
+  // Range-for protocol: `for (auto _ : state)` runs the loop body
+  // max_iterations_ times; the first dereference starts the timer and
+  // exhaustion stops it, so setup before the loop is not timed.
+  struct iterator {
+    State* state;
+    int64_t remaining;
+    // Non-trivial destructor so `for (auto _ : state)` does not trigger
+    // -Wunused-variable on the loop variable.
+    struct Value {
+      ~Value() {}
+    };
+    bool operator!=(const iterator& other) const {
+      if (remaining != 0) return true;
+      state->StopTimer();
+      (void)other;
+      return false;
+    }
+    iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    Value operator*() const { return {}; }
+  };
+  iterator begin() {
+    StartTimer();
+    return iterator{this, max_iterations_};
+  }
+  iterator end() { return iterator{this, 0}; }
+
+  int64_t range(size_t i = 0) const {
+    return i < args_.size() ? args_[i] : 0;
+  }
+  int64_t iterations() const { return max_iterations_; }
+  void SetItemsProcessed(int64_t items) { items_processed_ = items; }
+  int64_t items_processed() const { return items_processed_; }
+  int64_t elapsed_ns() const { return elapsed_ns_; }
+  const std::vector<int64_t>& args() const { return args_; }
+
+  std::map<std::string, double> counters;
+
+ private:
+  void StartTimer() {
+    start_ = std::chrono::steady_clock::now();
+  }
+  void StopTimer() {
+    elapsed_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  }
+
+  int64_t max_iterations_ = 1;
+  std::vector<int64_t> args_;
+  int64_t items_processed_ = 0;
+  int64_t elapsed_ns_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+using Function = void (*)(State&);
+
+namespace internal {
+
+struct Registration {
+  std::string name;
+  Function fn = nullptr;
+  std::vector<std::vector<int64_t>> args_list;  // one run per entry
+  TimeUnit unit = kNanosecond;
+};
+
+inline std::vector<Registration*>& Registry() {
+  static std::vector<Registration*> registry;
+  return registry;
+}
+
+}  // namespace internal
+
+// Fluent registration handle returned by the BENCHMARK macro.
+class Benchmark {
+ public:
+  explicit Benchmark(internal::Registration* reg) : reg_(reg) {}
+  Benchmark* Arg(int64_t value) {
+    reg_->args_list.push_back({value});
+    return this;
+  }
+  Benchmark* Args(std::vector<int64_t> values) {
+    reg_->args_list.push_back(std::move(values));
+    return this;
+  }
+  Benchmark* Unit(TimeUnit unit) {
+    reg_->unit = unit;
+    return this;
+  }
+
+ private:
+  internal::Registration* reg_;
+};
+
+namespace internal {
+
+inline Benchmark* RegisterBenchmarkInternal(const char* name, Function fn) {
+  auto* reg = new Registration;  // lives for the process
+  reg->name = name;
+  reg->fn = fn;
+  Registry().push_back(reg);
+  return new Benchmark(reg);
+}
+
+struct RunResult {
+  std::string name;
+  double ns_per_iter = 0.0;
+  int64_t iterations = 0;
+  double items_per_second = 0.0;
+  std::map<std::string, double> counters;
+};
+
+inline RunResult RunOne(const Registration& reg,
+                        const std::vector<int64_t>& args) {
+  constexpr int64_t kMinTimeNs = 200'000'000;  // 0.2 s per benchmark
+  constexpr int64_t kMaxIterations = 1'000'000'000;
+  int64_t iters = 1;
+  State state(1, args);
+  for (;;) {
+    state = State(iters, args);
+    reg.fn(state);
+    if (state.elapsed_ns() >= kMinTimeNs || iters >= kMaxIterations) break;
+    // Scale toward the time budget with 40% headroom, at least 2x.
+    const double per_iter =
+        static_cast<double>(state.elapsed_ns()) / static_cast<double>(iters);
+    int64_t next = per_iter > 0.0
+                       ? static_cast<int64_t>(1.4 * kMinTimeNs / per_iter)
+                       : iters * 10;
+    if (next < iters * 2) next = iters * 2;
+    if (next > kMaxIterations) next = kMaxIterations;
+    iters = next;
+  }
+  RunResult r;
+  r.name = reg.name;
+  for (int64_t a : args) {
+    r.name += '/';
+    r.name += std::to_string(a);
+  }
+  r.iterations = state.iterations();
+  r.ns_per_iter = static_cast<double>(state.elapsed_ns()) /
+                  static_cast<double>(state.iterations());
+  if (state.items_processed() > 0 && state.elapsed_ns() > 0) {
+    r.items_per_second = static_cast<double>(state.items_processed()) * 1e9 /
+                         static_cast<double>(state.elapsed_ns());
+  }
+  r.counters = state.counters;
+  return r;
+}
+
+inline void PrintResult(const Registration& reg, const RunResult& r) {
+  double t = r.ns_per_iter;
+  const char* unit = "ns";
+  switch (reg.unit) {
+    case kNanosecond:
+      break;
+    case kMicrosecond:
+      t /= 1e3;
+      unit = "us";
+      break;
+    case kMillisecond:
+      t /= 1e6;
+      unit = "ms";
+      break;
+    case kSecond:
+      t /= 1e9;
+      unit = "s";
+      break;
+  }
+  std::string extra;
+  if (r.items_per_second > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " items/s=%.4g", r.items_per_second);
+    extra += buf;
+  }
+  for (const auto& [key, value] : r.counters) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s=%.4g", key.c_str(), value);
+    extra += buf;
+  }
+  std::printf("%-40s %12.1f %-2s %12" PRId64 "%s\n", r.name.c_str(), t, unit,
+              r.iterations, extra.c_str());
+}
+
+inline std::string& JsonPath() {
+  static std::string path;
+  return path;
+}
+
+inline void WriteJson(const std::vector<RunResult>& results) {
+  if (JsonPath().empty()) return;
+  std::FILE* f = std::fopen(JsonPath().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "microbench: cannot write %s\n", JsonPath().c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  bool first = true;
+  for (const RunResult& r : results) {
+    auto emit = [&](const std::string& key, double value) {
+      std::fprintf(f, "%s  \"%s\": %.17g", first ? "" : ",\n", key.c_str(),
+                   value);
+      first = false;
+    };
+    emit(r.name + ".ns_per_iter", r.ns_per_iter);
+    if (r.items_per_second > 0.0) {
+      emit(r.name + ".items_per_second", r.items_per_second);
+    }
+    for (const auto& [key, value] : r.counters) {
+      emit(r.name + "." + key, value);
+    }
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("microbench: wrote %s\n", JsonPath().c_str());
+}
+
+}  // namespace internal
+
+inline void Initialize(int* argc, char** argv) {
+  for (int i = 1; i + 1 < *argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      internal::JsonPath() = argv[i + 1];
+    }
+  }
+}
+
+inline int RunSpecifiedBenchmarks() {
+  std::printf("%-40s %15s %12s\n", "Benchmark", "Time", "Iterations");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::vector<internal::RunResult> results;
+  for (const internal::Registration* reg : internal::Registry()) {
+    std::vector<std::vector<int64_t>> runs = reg->args_list;
+    if (runs.empty()) runs.push_back({});
+    for (const auto& args : runs) {
+      internal::RunResult r = internal::RunOne(*reg, args);
+      internal::PrintResult(*reg, r);
+      results.push_back(std::move(r));
+    }
+  }
+  internal::WriteJson(results);
+  return 0;
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT2(a, b) a##b
+#define BENCHMARK_PRIVATE_CONCAT(a, b) BENCHMARK_PRIVATE_CONCAT2(a, b)
+#define BENCHMARK(fn)                                              \
+  static ::benchmark::Benchmark* BENCHMARK_PRIVATE_CONCAT(         \
+      benchmark_reg_, __LINE__) [[maybe_unused]] =                 \
+      ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#define BENCHMARK_MAIN()                          \
+  int main(int argc, char** argv) {               \
+    ::benchmark::Initialize(&argc, argv);         \
+    return ::benchmark::RunSpecifiedBenchmarks(); \
+  }

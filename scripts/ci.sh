@@ -1,24 +1,36 @@
 #!/usr/bin/env bash
-# CI: tier-1 verify in two configurations.
+# CI: tier-1 verify plus the tuned-bench smoke stage.
 #   1. RelWithDebInfo, -Wall -Wextra -Werror (warnings are errors)
 #   2. Debug + AddressSanitizer
-# Usage: scripts/ci.sh [--fast]   (--fast skips the ASan configuration)
+#   3. Bench smoke: the autotuned fig8/fig11 benches (each exits nonzero if
+#      any tuned config loses to its hand-picked default, and fig8 also if
+#      the halving/bound machinery stops skipping candidates), plus the
+#      simulator microbenchmarks. Machine-readable results land in
+#      build-ci/BENCH_*.json; fig11 warm-starts its tuned-config cache from
+#      build-ci/BENCH_fig11_cache.json when a previous run left one.
+# Usage: scripts/ci.sh [--fast]   (--fast skips the ASan and bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "=== [1/2] RelWithDebInfo, -Wall -Wextra -Werror ==="
+echo "=== [1/3] RelWithDebInfo, -Wall -Wextra -Werror ==="
 cmake -B build-ci -S . -DTILELINK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j
 (cd build-ci && ctest --output-on-failure -j"$(nproc)")
 
 if [[ "$FAST" == "0" ]]; then
-  echo "=== [2/2] Debug + ASan ==="
+  echo "=== [2/3] Debug + ASan ==="
   cmake -B build-asan -S . -DTILELINK_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+
+  echo "=== [3/3] Bench smoke (tuned configs must beat hand-picked) ==="
+  ./build-ci/bench_micro_sim --json build-ci/BENCH_micro_sim.json
+  ./build-ci/bench_fig8_mlp --json build-ci/BENCH_fig8.json
+  ./build-ci/bench_fig11_e2e --json build-ci/BENCH_fig11.json \
+      --cache build-ci/BENCH_fig11_cache.json
 fi
 
 echo "CI OK"

@@ -15,6 +15,8 @@ struct GemmTiling {
   int bm = 128;
   int bn = 256;
   int bk = 64;
+
+  friend bool operator==(const GemmTiling&, const GemmTiling&) = default;
 };
 
 struct GemmOptions {

@@ -7,16 +7,15 @@
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/string_utils.h"
-#include "compute/flash_attention.h"
-#include "compute/memops.h"
 #include "runtime/world.h"
-#include "tilelink/kernels/ag_gemm.h"
-#include "tilelink/kernels/ag_moe.h"
-#include "tilelink/kernels/gemm_rs.h"
-#include "tilelink/kernels/moe_rs.h"
+#include "sim/cost_model.h"
+#include "tilelink/builder/tuning_space.h"
 
 namespace tilelink::models {
 namespace {
+
+// Seed for the deterministic MoE routing every MoE simulation shares.
+constexpr uint64_t kMoeRoutingSeed = 1234;
 
 // Coarse tiling for big shapes: total simulated GEMM time is invariant in
 // bk (tile-step cost is linear in FLOPs), so a large bk shrinks event
@@ -27,10 +26,7 @@ compute::GemmTiling CoarseTiling(int64_t k) {
   return t;
 }
 
-rt::World MakeWorld(int tp) {
-  sim::MachineSpec spec = sim::MachineSpec::H800x8();
-  spec.num_devices = tp;
-  spec.devices_per_node = tp;
+rt::World MakeWorld(const sim::MachineSpec& spec) {
   return rt::World(spec, rt::ExecMode::kTimingOnly);
 }
 
@@ -42,38 +38,107 @@ int RsBlock(int64_t m_per_rank, int bm) {
   return static_cast<int>(std::max<int64_t>(bm, chunk));
 }
 
+// ---- Hand-picked TileLink configs (the paper's figure defaults). These
+// seed every tuner search, so tuned configs can only improve on them. -----
+
+tl::TuneCandidate HandPickedAg(int64_t k) {
+  tl::TuneCandidate c;
+  c.gemm = CoarseTiling(k);
+  c.comm_tile_m = 128;
+  c.channels_per_rank = 4;
+  c.comm = tl::CommResource::kDma;  // the paper's generated AG+GEMM
+  return c;
+}
+
+tl::TuneCandidate HandPickedRs(int64_t m, int tp, int64_t k) {
+  tl::TuneCandidate c;
+  c.gemm = CoarseTiling(k);
+  c.comm_tile_m = RsBlock(m / tp, c.gemm.bm);
+  c.comm = tl::CommResource::kDma;  // hybrid push (paper's best for GEMM+RS)
+  c.order = tl::TileOrder::kNextRankFirst;
+  return c;
+}
+
+tl::TuneCandidate HandPickedFlash() {
+  tl::TuneCandidate c;
+  c.block_q = 128;
+  c.block_kv = 1024;  // coarse: time is linear in kv extent
+  return c;
+}
+
+tl::TuneCandidate HandPickedMoePart1(int64_t hidden) {
+  tl::TuneCandidate c;
+  c.gemm = CoarseTiling(hidden);
+  c.gemm.bn = 128;
+  c.comm_tile_m = 128;
+  c.channels_per_rank = 4;
+  c.comm = tl::CommResource::kSmPull;  // matches bench_fig9 tuning
+  // Large-batch e2e shapes are compute-dominated: keep the comm role lean.
+  c.comm_sms = 8;
+  return c;
+}
+
+tl::TuneCandidate HandPickedMoePart2(int64_t m, int tp, int64_t inner) {
+  tl::TuneCandidate c;
+  c.gemm = CoarseTiling(inner);
+  c.gemm.bn = 128;
+  c.sorted_channel_rows = 2048;
+  c.reduce_block_tokens = 128;
+  c.comm_tile_m = RsBlock(m / tp, 128);
+  c.comm = tl::CommResource::kSmPush;  // matches bench_fig9 tuning
+  c.comm_sms = 8;
+  c.reduce_sms = 8;
+  return c;
+}
+
 }  // namespace
 
 E2eEstimator::E2eEstimator(int tp, int64_t batch, int64_t seq, bool two_node)
     : tp_(tp), batch_(batch), seq_(seq), two_node_(two_node) {}
 
+void E2eEstimator::EnableTuning(tl::TunedConfigCache* cache) {
+  tuned_cache_ = cache;
+}
+
+sim::MachineSpec E2eEstimator::Spec() const {
+  sim::MachineSpec spec = sim::MachineSpec::H800x8();
+  spec.num_devices = tp_;
+  spec.devices_per_node = tp_;
+  return spec;
+}
+
 sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
                                      int64_t n) {
+  const bool tuned = tuning_enabled() && method == Method::kTileLink;
   const std::string key = StrFormat(
-      "ag/%d/%lld/%lld/%lld", static_cast<int>(method), (long long)m,
-      (long long)k, (long long)n);
+      "ag/%d/%d/%lld/%lld/%lld", static_cast<int>(method), tuned ? 1 : 0,
+      (long long)m, (long long)k, (long long)n);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
+  const sim::MachineSpec spec = Spec();
   sim::TimeNs t = 0;
   if (method == Method::kTorch) {
-    rt::World world = MakeWorld(tp_);
+    rt::World world = MakeWorld(spec);
     baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
     baselines::NonOverlapAgGemm bench(world, cfg);
     t = world.RunSpmd(
         [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
   } else {
-    rt::World world = MakeWorld(tp_);
-    tl::AgGemmConfig cfg;
-    cfg.m = m;
-    cfg.k = k;
-    cfg.n = n;
-    cfg.gemm = CoarseTiling(k);
-    cfg.comm_tile_m = 128;
-    cfg.channels_per_rank = 4;
-    cfg.comm = tl::CommResource::kDma;  // the paper's generated AG+GEMM
-    tl::AgGemm bench(world, cfg);
-    t = world.RunSpmd(
-        [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
+    const tl::MlpPartShape shape{m, k, n};
+    if (tuned) {
+      const tl::TunedEntry& e = tuned_cache_->GetOrTune(
+          tl::TunedConfigCache::Key("ag_gemm", {m, k, n}, spec), [&] {
+            const tl::TuneResult r = tl::TuneAgGemm(
+                spec, shape, tl::TuningSpace::Mlp(), HandPickedAg(k));
+            return tl::TunedEntry{r.best, r.best_cost};
+          });
+      // Re-simulate the cached config rather than trusting its stored cost:
+      // a warm-started cache stays honest across cost-model recalibrations
+      // (the config may then be stale-suboptimal, but never mis-timed).
+      t = tl::SimulateAgGemm(spec, shape, e.config);
+    } else {
+      t = tl::SimulateAgGemm(spec, shape, HandPickedAg(k));
+    }
   }
   cache_[key] = t;
   return t;
@@ -81,30 +146,34 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
 
 sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
                                      int64_t n) {
+  const bool tuned = tuning_enabled() && method == Method::kTileLink;
   const std::string key = StrFormat(
-      "rs/%d/%lld/%lld/%lld", static_cast<int>(method), (long long)m,
-      (long long)k, (long long)n);
+      "rs/%d/%d/%lld/%lld/%lld", static_cast<int>(method), tuned ? 1 : 0,
+      (long long)m, (long long)k, (long long)n);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
+  const sim::MachineSpec spec = Spec();
   sim::TimeNs t = 0;
   if (method == Method::kTorch) {
-    rt::World world = MakeWorld(tp_);
+    rt::World world = MakeWorld(spec);
     baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
     baselines::NonOverlapGemmRs bench(world, cfg);
     t = world.RunSpmd(
         [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
   } else {
-    rt::World world = MakeWorld(tp_);
-    tl::GemmRsConfig cfg;
-    cfg.m = m;
-    cfg.k = k;
-    cfg.n = n;
-    cfg.gemm = CoarseTiling(k);
-    cfg.rs_block_m = RsBlock(m / tp_, cfg.gemm.bm);
-    cfg.dma_push = true;  // hybrid mapping (paper's best for GEMM+RS)
-    tl::GemmRs bench(world, cfg);
-    t = world.RunSpmd(
-        [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
+    const tl::MlpPartShape shape{m, k, n};
+    if (tuned) {
+      const tl::TunedEntry& e = tuned_cache_->GetOrTune(
+          tl::TunedConfigCache::Key("gemm_rs", {m, k, n}, spec), [&] {
+            const tl::TuneResult r =
+                tl::TuneGemmRs(spec, shape, tl::TuningSpace::Mlp(),
+                               HandPickedRs(m, tp_, k));
+            return tl::TunedEntry{r.best, r.best_cost};
+          });
+      t = tl::SimulateGemmRs(spec, shape, e.config);
+    } else {
+      t = tl::SimulateGemmRs(spec, shape, HandPickedRs(m, tp_, k));
+    }
   }
   cache_[key] = t;
   return t;
@@ -112,33 +181,30 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
 
 sim::TimeNs E2eEstimator::TimeFlashCore(int64_t bh, int64_t sq, int64_t skv,
                                         int64_t d) {
+  // The flash core is method-shared: both systems run the same attention
+  // kernel (the paper's baseline uses the same flash library), so a tuned
+  // flash config speeds up the Torch layer too — reported speedups are
+  // conservative relative to a baseline stuck on the default blocks.
+  const bool tuned = tuning_enabled();
   const std::string key =
-      StrFormat("flash/%lld/%lld/%lld/%lld", (long long)bh, (long long)sq,
-                (long long)skv, (long long)d);
+      StrFormat("flash/%d/%lld/%lld/%lld/%lld", tuned ? 1 : 0, (long long)bh,
+                (long long)sq, (long long)skv, (long long)d);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
-  rt::World world = MakeWorld(tp_);
-  comm::SymTensor q, k, v, o;
-  for (int r = 0; r < tp_; ++r) {
-    q.push_back(Tensor::Alloc(world.device(r), "q", {bh, sq, d},
-                              DType::kBF16));
-    k.push_back(Tensor::Alloc(world.device(r), "k", {bh, skv, d},
-                              DType::kBF16));
-    v.push_back(Tensor::Alloc(world.device(r), "v", {bh, skv, d},
-                              DType::kBF16));
-    o.push_back(Tensor::Alloc(world.device(r), "o", {bh, sq, d},
-                              DType::kBF16));
+  const sim::MachineSpec spec = Spec();
+  const tl::FlashShape shape{bh, sq, skv, d};
+  sim::TimeNs t = 0;
+  if (tuned) {
+    const tl::TunedEntry& e = tuned_cache_->GetOrTune(
+        tl::TunedConfigCache::Key("flash_core", {bh, sq, skv, d}, spec), [&] {
+          const tl::TuneResult r = tl::TuneFlashCore(
+              spec, shape, tl::TuningSpace::Attention(), HandPickedFlash());
+          return tl::TunedEntry{r.best, r.best_cost};
+        });
+    t = tl::SimulateFlashCore(spec, shape, e.config);
+  } else {
+    t = tl::SimulateFlashCore(spec, shape, HandPickedFlash());
   }
-  const sim::TimeNs t = world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
-    compute::FlashOptions opt;
-    opt.block_kv = 1024;  // coarse: time is linear in kv extent
-    compute::LaunchFlashAttention(ctx, *ctx.stream,
-                                  q[static_cast<size_t>(ctx.rank)],
-                                  k[static_cast<size_t>(ctx.rank)],
-                                  v[static_cast<size_t>(ctx.rank)],
-                                  o[static_cast<size_t>(ctx.rank)], opt);
-    co_await ctx.stream->Synchronize();
-  });
   cache_[key] = t;
   return t;
 }
@@ -154,13 +220,15 @@ sim::TimeNs E2eEstimator::TimeActivation(int64_t m, int64_t n) {
 }
 
 sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
-  const std::string key =
-      StrFormat("moe/%d/%s", static_cast<int>(method), model.name.c_str());
+  const bool tuned = tuning_enabled() && method == Method::kTileLink;
+  const std::string key = StrFormat("moe/%d/%d/%s", static_cast<int>(method),
+                                    tuned ? 1 : 0, model.name.c_str());
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
+  const sim::MachineSpec spec = Spec();
   const int64_t m = batch_ * seq_;
   const int64_t inner = std::max<int64_t>(1, model.intermediate / tp_);
-  Rng rng(1234);
+  Rng rng(kMoeRoutingSeed);
   compute::MoeRouting routing =
       compute::RandomRouting(m, model.num_experts, model.topk, rng);
   sim::TimeNs t = 0;
@@ -169,7 +237,7 @@ sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
     // host-blocking index bookkeeping and unfused gather/scatter (this is
     // what torch eager actually executes; the paper's large MoE e2e gains
     // come from replacing exactly this).
-    rt::World world = MakeWorld(tp_);
+    rt::World world = MakeWorld(spec);
     baselines::MoePartConfig cfg{m, model.hidden, inner, model.num_experts,
                                  model.topk, CoarseTiling(model.hidden)};
     baselines::MoePart1 part1(world, cfg, routing,
@@ -183,39 +251,37 @@ sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
       co_await part2.Run(ctx);
     });
   } else {
-    rt::World world = MakeWorld(tp_);
-    tl::AgMoeConfig cfg1;
-    cfg1.m = m;
-    cfg1.hidden = model.hidden;
-    cfg1.n = inner;
-    cfg1.num_experts = model.num_experts;
-    cfg1.topk = model.topk;
-    cfg1.gemm = CoarseTiling(model.hidden);
-    cfg1.gemm.bn = 128;
-    cfg1.channels_per_rank = 4;
-    cfg1.comm = tl::CommResource::kSmPull;  // matches bench_fig9 tuning
-    // Large-batch e2e shapes are compute-dominated: keep the comm role lean.
-    cfg1.comm_sms = 8;
-    tl::AgMoe part1(world, cfg1, routing);
-    tl::MoeRsConfig cfg2;
-    cfg2.m = m;
-    cfg2.k = inner;
-    cfg2.hidden = model.hidden;
-    cfg2.num_experts = model.num_experts;
-    cfg2.topk = model.topk;
-    cfg2.gemm = CoarseTiling(inner);
-    cfg2.gemm.bn = 128;
-    cfg2.sorted_channel_rows = 2048;
-    cfg2.reduce_block_tokens = 128;
-    cfg2.rs_block_m = RsBlock(m / tp_, 128);
-    cfg2.dma_push = false;  // matches bench_fig9 tuning
-    cfg2.comm_sms = 8;
-    cfg2.reduce_sms = 8;
-    tl::MoeRs part2(world, cfg2, routing);
-    t = world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
-      co_await part1.Run(ctx);
-      co_await part2.Run(ctx);
-    });
+    const tl::MoeShape shape{m, model.hidden, inner, model.num_experts,
+                             model.topk};
+    tl::TuneCandidate part1 = HandPickedMoePart1(model.hidden);
+    tl::TuneCandidate part2 = HandPickedMoePart2(m, tp_, inner);
+    if (tuned) {
+      const auto dims = {m, model.hidden, inner,
+                         static_cast<int64_t>(model.num_experts),
+                         static_cast<int64_t>(model.topk),
+                         static_cast<int64_t>(kMoeRoutingSeed)};
+      part1 = tuned_cache_
+                  ->GetOrTune(tl::TunedConfigCache::Key("ag_moe", dims, spec),
+                              [&] {
+                                const tl::TuneResult r = tl::TuneAgMoe(
+                                    spec, shape, routing,
+                                    tl::TuningSpace::MoePart1(), part1);
+                                return tl::TunedEntry{r.best, r.best_cost};
+                              })
+                  .config;
+      part2 = tuned_cache_
+                  ->GetOrTune(tl::TunedConfigCache::Key("moe_rs", dims, spec),
+                              [&] {
+                                const tl::TuneResult r = tl::TuneMoeRs(
+                                    spec, shape, routing,
+                                    tl::TuningSpace::MoePart2(), part2);
+                                return tl::TunedEntry{r.best, r.best_cost};
+                              })
+                  .config;
+    }
+    // Both parts chained per rank inside one world, exactly as the fused
+    // MoE layer executes (no global barrier between the parts).
+    t = tl::SimulateMoeLayer(spec, shape, routing, part1, part2);
   }
   t += TimeActivation(m * model.topk, inner);
   cache_[key] = t;

@@ -4,6 +4,12 @@
 // for each unique component shape (coarse tiling keeps event counts small;
 // total simulated time is tiling-invariant because tile-step cost is linear
 // in FLOPs). Results are memoized per shape across models.
+//
+// Two TileLink config sources: the hand-picked defaults (the configs the
+// paper's figures hard-code), or — after EnableTuning(cache) — per-shape
+// configs from Autotuner::Search routed through a TunedConfigCache, so
+// identical layers and identical shapes across models share one search and
+// benchmarks can warm-start from a previous run's cache file.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,8 @@
 #include "models/model_zoo.h"
 #include "sim/machine_spec.h"
 #include "sim/time.h"
+#include "tilelink/builder/kernel_tuning.h"
+#include "tilelink/builder/tuned_config_cache.h"
 
 namespace tilelink::models {
 
@@ -43,6 +51,13 @@ class E2eEstimator {
   // the paper's 16-GPU setup (batch doubles, per-GPU work unchanged).
   E2eEstimator(int tp, int64_t batch, int64_t seq, bool two_node);
 
+  // Obtain every TileLink kernel config from Autotuner::Search through the
+  // per-shape `cache` (not owned; must outlive the estimator) instead of
+  // the hand-picked defaults. The hand-picked config seeds each search, so
+  // a tuned component is never slower than its default.
+  void EnableTuning(tl::TunedConfigCache* cache);
+  bool tuning_enabled() const { return tuned_cache_ != nullptr; }
+
   LayerBreakdown LayerTime(const ModelConfig& model, Method method);
   E2eResult Run(const ModelConfig& model);
 
@@ -53,9 +68,12 @@ class E2eEstimator {
   sim::TimeNs TimeMoe(Method method, const ModelConfig& model);
   sim::TimeNs TimeActivation(int64_t m, int64_t n);
 
+  sim::MachineSpec Spec() const;
+
   int tp_;
   int64_t batch_, seq_;
   bool two_node_;
+  tl::TunedConfigCache* tuned_cache_ = nullptr;
   std::map<std::string, sim::TimeNs> cache_;
 };
 

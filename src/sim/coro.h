@@ -10,7 +10,9 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 
 #include "common/check.h"
@@ -19,6 +21,13 @@
 namespace tilelink::sim {
 
 class Simulator;
+
+// Size-bucketed pool for coroutine frames (defined in simulator.cc; no-op
+// pass-through to the global allocator under ASan). Simulated programs spawn
+// millions of short-lived activity frames of a handful of distinct sizes, so
+// recycling them removes the allocator from the event-loop hot path.
+void* FramePoolAlloc(std::size_t size);
+void FramePoolFree(void* ptr, std::size_t size) noexcept;
 
 template <typename A>
 concept BindableAwaitable = requires(A a, Simulator* s) { a.Bind(s); };
@@ -33,6 +42,14 @@ class [[nodiscard]] Coro {
     std::coroutine_handle<> continuation;  // resumed when this coro finishes
     std::exception_ptr error;
     bool owned_by_sim = false;  // root coroutine: simulator destroys it
+
+    // Route frame allocation through the size-bucketed pool.
+    static void* operator new(std::size_t size) {
+      return FramePoolAlloc(size);
+    }
+    static void operator delete(void* ptr, std::size_t size) noexcept {
+      FramePoolFree(ptr, size);
+    }
 
     Coro get_return_object() { return Coro(Handle::from_promise(*this)); }
     std::suspend_always initial_suspend() noexcept { return {}; }

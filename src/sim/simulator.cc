@@ -1,10 +1,73 @@
 #include "sim/simulator.h"
 
+#include <array>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/log.h"
 
+// Coroutine frame pooling is a no-op under AddressSanitizer so freed frames
+// stay poisoned and use-after-free on a frame is still caught.
+#if defined(__SANITIZE_ADDRESS__)
+#define TILELINK_FRAME_POOL_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TILELINK_FRAME_POOL_DISABLED 1
+#endif
+#endif
+
 namespace tilelink::sim {
+
+#ifndef TILELINK_FRAME_POOL_DISABLED
+namespace {
+
+// Size-bucketed free lists for coroutine frames (64-byte granularity, frames
+// up to 2 KiB pooled; larger ones fall through to the global allocator).
+// Pooled memory is retained for the thread's lifetime — the simulator spawns
+// millions of short-lived activity frames of only a handful of distinct
+// sizes, so steady state allocates nothing.
+constexpr std::size_t kFrameGranularity = 64;
+constexpr std::size_t kFrameBuckets = 32;
+
+struct FreeFrame {
+  FreeFrame* next;
+};
+
+thread_local std::array<FreeFrame*, kFrameBuckets> g_frame_pool = {};
+
+inline std::size_t BucketOf(std::size_t size) {
+  return (size + kFrameGranularity - 1) / kFrameGranularity;
+}
+
+}  // namespace
+#endif  // TILELINK_FRAME_POOL_DISABLED
+
+void* FramePoolAlloc(std::size_t size) {
+#ifndef TILELINK_FRAME_POOL_DISABLED
+  const std::size_t bucket = BucketOf(size);
+  if (bucket < kFrameBuckets) {
+    if (FreeFrame* frame = g_frame_pool[bucket]; frame != nullptr) {
+      g_frame_pool[bucket] = frame->next;
+      return frame;
+    }
+    return ::operator new(bucket * kFrameGranularity);
+  }
+#endif
+  return ::operator new(size);
+}
+
+void FramePoolFree(void* ptr, std::size_t size) noexcept {
+#ifndef TILELINK_FRAME_POOL_DISABLED
+  const std::size_t bucket = BucketOf(size);
+  if (bucket < kFrameBuckets) {
+    auto* frame = static_cast<FreeFrame*>(ptr);
+    frame->next = g_frame_pool[bucket];
+    g_frame_pool[bucket] = frame;
+    return;
+  }
+#endif
+  ::operator delete(ptr);
+}
 
 std::coroutine_handle<> Coro::promise_type::FinalAwaiter::await_suspend(
     Coro::Handle h) noexcept {
@@ -28,6 +91,15 @@ Simulator::~Simulator() {
   for (void* frame : live_root_frames_) {
     Coro::Handle::from_address(frame).destroy();
   }
+  // Callables still queued at teardown own captures: destroy without running.
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (ev.callback) {
+      auto* node = static_cast<CallbackNode*>(ev.payload);
+      node->invoke(node, /*run=*/false);
+    }
+  }
 }
 
 void Simulator::Spawn(Coro coro, std::string name) {
@@ -41,14 +113,9 @@ void Simulator::Spawn(Coro coro, std::string name) {
   (void)name;
 }
 
-void Simulator::At(TimeNs t, std::function<void()> fn) {
-  TL_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
-}
-
 void Simulator::ScheduleResume(TimeNs t, std::coroutine_handle<> h) {
   TL_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, h, nullptr});
+  queue_.push(Event{t, next_seq_++, h.address(), /*callback=*/false});
 }
 
 void Simulator::NotifyRootDone(Coro::Handle h) {
@@ -68,15 +135,17 @@ void Simulator::DestroyFinishedRoots() {
 
 void Simulator::Run() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const Event ev = queue_.top();
     queue_.pop();
     TL_CHECK_GE(ev.t, now_);
     now_ = ev.t;
     ++processed_events_;
-    if (ev.resume) {
-      ev.resume.resume();
+    if (!ev.callback) {
+      std::coroutine_handle<>::from_address(ev.payload).resume();
     } else {
-      ev.fn();
+      auto* node = static_cast<CallbackNode*>(ev.payload);
+      node->invoke(node, /*run=*/true);
+      FreeCallbackNode(node);
     }
     DestroyFinishedRoots();  // rethrows root errors promptly
   }

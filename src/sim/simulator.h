@@ -5,16 +5,28 @@
 // ties in time break by insertion sequence, and all state mutation happens on
 // the single event loop, so a given program produces bit-identical timing and
 // numerics on every run.
+//
+// Hot path: an Event is a trivially-copyable 32-byte record whose payload is
+// either a coroutine frame address or a pointer to a pooled CallbackNode
+// (small-buffer storage for the callable), so priority-queue sifts are
+// memcpy-speed and scheduling a callback never touches the heap after the
+// node pool warms up. Coroutine frames are also pooled (see FramePoolAlloc
+// in coro.h) — the autotuner runs thousands of short simulations per search,
+// so allocation churn dominates without these.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <deque>
 #include <memory>
+#include <new>
 #include <queue>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/coro.h"
@@ -33,6 +45,28 @@ class DeadlockError : public tilelink::Error {
 };
 
 class Simulator {
+ private:
+  // Pooled storage for one scheduled callback. The callable lives in the
+  // inline buffer (or, when larger, in one boxed heap allocation the node
+  // points to); `invoke` moves it out, destroys the stored copy and — when
+  // `run` — calls it. Nodes are recycled through a free list.
+  struct CallbackNode {
+    static constexpr std::size_t kInlineBytes = 48;
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+    void (*invoke)(CallbackNode*, bool run) = nullptr;
+    CallbackNode* next_free = nullptr;
+  };
+
+  // Trivially copyable: payload is a coroutine frame address (callback ==
+  // false) or a CallbackNode* (callback == true).
+  struct Event {
+    TimeNs t;
+    uint64_t seq;
+    void* payload;
+    bool callback;
+  };
+  static_assert(std::is_trivially_copyable_v<Event>);
+
  public:
   Simulator();
   ~Simulator();
@@ -45,8 +79,16 @@ class Simulator {
   void Spawn(Coro coro, std::string name = "");
 
   // Schedules a plain callback at absolute time t (>= Now()).
-  void At(TimeNs t, std::function<void()> fn);
-  void After(TimeNs delta, std::function<void()> fn) { At(now_ + delta, std::move(fn)); }
+  template <typename F>
+  void At(TimeNs t, F&& fn) {
+    TL_CHECK_GE(t, now_);
+    queue_.push(Event{t, next_seq_++, MakeCallback(std::forward<F>(fn)),
+                      /*callback=*/true});
+  }
+  template <typename F>
+  void After(TimeNs delta, F&& fn) {
+    At(now_ + delta, std::forward<F>(fn));
+  }
 
   // Schedules a coroutine resumption at absolute time t.
   void ScheduleResume(TimeNs t, std::coroutine_handle<> h);
@@ -72,13 +114,51 @@ class Simulator {
   void NotifyRootDone(Coro::Handle h);
 
  private:
-  struct Event {
-    TimeNs t;
-    uint64_t seq;
-    // Exactly one of these is set.
-    std::coroutine_handle<> resume;
-    std::function<void()> fn;
-  };
+  template <typename F>
+  CallbackNode* MakeCallback(F&& fn) {
+    using Fn = std::decay_t<F>;
+    CallbackNode* node = AllocCallbackNode();
+    if constexpr (sizeof(Fn) <= CallbackNode::kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      new (static_cast<void*>(node->storage)) Fn(std::forward<F>(fn));
+      node->invoke = [](CallbackNode* n, bool run) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(n->storage));
+        if (run) {
+          Fn local(std::move(*f));
+          f->~Fn();
+          local();
+        } else {
+          f->~Fn();
+        }
+      };
+    } else {
+      // Callable too large for the inline buffer: box it in one allocation.
+      Fn* boxed = new Fn(std::forward<F>(fn));
+      std::memcpy(node->storage, &boxed, sizeof(boxed));
+      node->invoke = [](CallbackNode* n, bool run) {
+        Fn* f;
+        std::memcpy(&f, n->storage, sizeof(f));
+        std::unique_ptr<Fn> owned(f);
+        if (run) (*owned)();
+      };
+    }
+    return node;
+  }
+
+  CallbackNode* AllocCallbackNode() {
+    if (free_callbacks_ != nullptr) {
+      CallbackNode* node = free_callbacks_;
+      free_callbacks_ = node->next_free;
+      return node;
+    }
+    callback_arena_.emplace_back();
+    return &callback_arena_.back();
+  }
+  void FreeCallbackNode(CallbackNode* node) {
+    node->next_free = free_callbacks_;
+    free_callbacks_ = node;
+  }
+
   struct EventCompare {
     bool operator()(const Event& a, const Event& b) const {
       if (a.t != b.t) return a.t > b.t;
@@ -93,6 +173,9 @@ class Simulator {
   uint64_t processed_events_ = 0;
   int live_roots_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  // Node storage (std::deque: stable addresses) plus the recycling list.
+  std::deque<CallbackNode> callback_arena_;
+  CallbackNode* free_callbacks_ = nullptr;
   std::vector<Coro::Handle> finished_roots_;
   // Frames of sim-owned roots still suspended; destroyed at teardown so a
   // deadlocked (never-completing) program does not leak its coroutines.

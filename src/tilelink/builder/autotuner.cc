@@ -1,19 +1,104 @@
 #include "tilelink/builder/autotuner.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/check.h"
 
 namespace tilelink::tl {
+namespace {
+
+void PrintCandidate(const char* tag, const TuneCandidate& c, sim::TimeNs cost,
+                    const char* suffix) {
+  std::printf("[%s] %-60s %8.3f ms%s\n", tag, c.Describe().c_str(),
+              static_cast<double>(cost) / 1e6, suffix);
+}
+
+}  // namespace
 
 TuneResult Autotuner::Search(const TuningSpace& space,
                              const TuneCandidate& base, const EvalFn& eval,
-                             const BoundFn& lower_bound) const {
-  const std::vector<TuneCandidate> candidates = space.Enumerate(base);
+                             const BoundFn& lower_bound,
+                             const EvalFn& coarse) const {
+  std::vector<TuneCandidate> candidates = space.Enumerate(base);
   TL_CHECK_MSG(!candidates.empty(), "empty tuning space");
+  // The base (seed) config always gets a full-fidelity run: a halved or
+  // pruned search can then never return something worse than the seed.
+  if (std::find(candidates.begin(), candidates.end(), base) ==
+      candidates.end()) {
+    candidates.push_back(base);
+  }
+
   TuneResult result;
   result.best_cost = kInfeasible;
-  for (const TuneCandidate& c : candidates) {
+
+  // --- Successive halving: coarse-score everyone, keep the top fraction. --
+  std::vector<TuneCandidate> finalists;
+  if (coarse && static_cast<int>(candidates.size()) >=
+                    options_.min_coarse_space) {
+    std::vector<std::pair<sim::TimeNs, std::size_t>> scored;
+    std::vector<std::size_t> unscored;
+    scored.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const sim::TimeNs cost = coarse(candidates[i]);
+      ++result.coarse_evals;
+      if (cost == kInfeasible) {
+        // A coarse evaluator may judge feasibility on a shrunken problem
+        // whose divisibility constraints are tighter: defer to the
+        // full-fidelity round (a cheap feasibility check there) instead of
+        // dropping a possibly-feasible candidate.
+        unscored.push_back(i);
+        if (options_.verbose) {
+          PrintCandidate("tune/coarse", candidates[i], 0,
+                         "  coarse-infeasible (deferred)");
+        }
+        continue;
+      }
+      scored.emplace_back(cost, i);
+      if (options_.verbose) {
+        PrintCandidate("tune/coarse", candidates[i], cost, "");
+      }
+    }
+    std::stable_sort(scored.begin(), scored.end());
+    const std::size_t keep = std::min<std::size_t>(
+        scored.size(),
+        std::max<std::size_t>(
+            static_cast<std::size_t>(options_.min_survivors),
+            static_cast<std::size_t>(options_.keep_fraction *
+                                         static_cast<double>(scored.size()) +
+                                     0.999)));
+    result.halved = static_cast<int>(scored.size() - keep);
+    finalists.reserve(keep + unscored.size() + 1);
+    // Survivors are in ascending coarse-score order, so the lower bound
+    // starts pruning right after the first (likely-argmin) simulation.
+    for (std::size_t i = 0; i < keep; ++i) {
+      finalists.push_back(candidates[scored[i].second]);
+    }
+    for (std::size_t i : unscored) finalists.push_back(candidates[i]);
+    if (std::find(finalists.begin(), finalists.end(), base) ==
+        finalists.end()) {
+      finalists.push_back(base);
+    }
+  } else {
+    finalists = std::move(candidates);
+    if (lower_bound) {
+      // Visit in ascending-bound order: the likely argmin is simulated
+      // first, which makes the bound prune most of the rest.
+      std::vector<std::pair<sim::TimeNs, std::size_t>> order;
+      order.reserve(finalists.size());
+      for (std::size_t i = 0; i < finalists.size(); ++i) {
+        order.emplace_back(lower_bound(finalists[i]), i);
+      }
+      std::stable_sort(order.begin(), order.end());
+      std::vector<TuneCandidate> sorted;
+      sorted.reserve(finalists.size());
+      for (const auto& [bound, i] : order) sorted.push_back(finalists[i]);
+      finalists = std::move(sorted);
+    }
+  }
+
+  // --- Full-fidelity evaluation with lower-bound pruning. -----------------
+  for (const TuneCandidate& c : finalists) {
     if (lower_bound && result.best_cost != kInfeasible) {
       const sim::TimeNs bound = lower_bound(c);
       if (bound >= result.best_cost) {
@@ -41,9 +126,7 @@ TuneResult Autotuner::Search(const TuningSpace& space,
       result.best_cost = cost;
     }
     if (options_.verbose) {
-      std::printf("[tune] %-60s %8.3f ms%s\n", c.Describe().c_str(),
-                  static_cast<double>(cost) / 1e6,
-                  improved ? "  <- best" : "");
+      PrintCandidate("tune", c, cost, improved ? "  <- best" : "");
     }
   }
   TL_CHECK_MSG(result.best_cost != kInfeasible,

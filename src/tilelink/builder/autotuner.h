@@ -1,12 +1,26 @@
-// Autotuner: exhaustive search over a TuningSpace scored by the simulator.
+// Autotuner: search over a TuningSpace scored by the simulator.
 //
 // The evaluator runs one candidate end-to-end (typically: build a
 // timing-only World, construct the kernel with the candidate's knobs,
-// RunSpmd, return the makespan). An optional analytic lower bound — built
-// from sim::CostModel formulas, which cost nanoseconds instead of a full
-// DES run — prunes candidates that cannot beat the best simulated time
-// found so far. Candidates the evaluator rejects as infeasible (by
-// returning kInfeasible) are skipped.
+// RunSpmd, return the makespan). Two optional accelerators make large
+// spaces tractable:
+//
+//  - An analytic lower bound — built from sim::CostModel formulas (the
+//    overlap-aware max(compute, comm) + launch latency), which cost
+//    nanoseconds instead of a full DES run — prunes candidates that cannot
+//    beat the best simulated time found so far. When a bound is supplied,
+//    candidates are visited in ascending-bound order so the likely argmin
+//    is simulated first and the bound prunes the rest.
+//
+//  - A coarse evaluator (same metric on a cheapened simulation — e.g. the
+//    reduction loop collapsed to one k-step) enables successive halving:
+//    every candidate is scored coarsely, only the best keep_fraction
+//    survive to full-fidelity simulation. The base candidate is always
+//    re-evaluated at full fidelity, so a halved search can never return a
+//    config worse than the seed it started from.
+//
+// Candidates the evaluator rejects as infeasible (by returning kInfeasible)
+// are skipped.
 #pragma once
 
 #include <functional>
@@ -21,10 +35,13 @@ namespace tilelink::tl {
 struct TuneResult {
   TuneCandidate best;
   sim::TimeNs best_cost = 0;
-  // Every (candidate, simulated cost) pair actually evaluated, in order.
+  // Every (candidate, simulated cost) pair actually evaluated at full
+  // fidelity, in evaluation order.
   std::vector<std::pair<TuneCandidate, sim::TimeNs>> evaluated;
-  int pruned = 0;      // skipped via the lower bound
-  int infeasible = 0;  // rejected by the evaluator
+  int pruned = 0;        // skipped via the lower bound
+  int infeasible = 0;    // rejected by the evaluator (either fidelity)
+  int halved = 0;        // eliminated by the coarse successive-halving round
+  int coarse_evals = 0;  // coarse scores paid for the halving round
 };
 
 class Autotuner {
@@ -39,16 +56,25 @@ class Autotuner {
 
   struct Options {
     bool verbose = false;  // print one line per candidate to stdout
+    // Successive halving (active when Search is given a coarse evaluator
+    // and the space has at least min_coarse_space candidates): keep the
+    // best keep_fraction of coarse scores, at least min_survivors.
+    double keep_fraction = 0.125;
+    int min_survivors = 4;
+    int min_coarse_space = 8;
   };
 
   Autotuner() = default;
   explicit Autotuner(Options options) : options_(options) {}
 
-  // Returns the argmin candidate over space.Enumerate(base). `lower_bound`
-  // may be null. Requires a non-empty, not-all-infeasible space.
+  const Options& options() const { return options_; }
+
+  // Returns the argmin candidate over space.Enumerate(base) plus the base
+  // itself. `lower_bound` and `coarse` may be null. Requires a non-empty,
+  // not-all-infeasible space.
   TuneResult Search(const TuningSpace& space, const TuneCandidate& base,
-                    const EvalFn& eval,
-                    const BoundFn& lower_bound = nullptr) const;
+                    const EvalFn& eval, const BoundFn& lower_bound = nullptr,
+                    const EvalFn& coarse = nullptr) const;
 
  private:
   Options options_{};

@@ -1,0 +1,234 @@
+#include "tilelink/builder/tuned_config_cache.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace tilelink::tl {
+namespace {
+
+// Minimal recursive-descent parser for the flat JSON this cache writes:
+// { "key": { "field": value-or-string, ... }, ... }. Not a general JSON
+// parser — but strict enough to reject anything it did not produce.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      // Keys/values never contain escapes; reject rather than mis-parse.
+      if (text_[pos_] == '\\') return false;
+      out->push_back(text_[pos_++]);
+    }
+    return Consume('"');
+  }
+
+  bool ParseInt(int64_t* out) {
+    SkipWs();
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    bool any = false;
+    int64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const int digit = text_[pos_] - '0';
+      // Reject overflow instead of wrapping: a corrupted cache file must
+      // fail the parse, not produce a garbage config.
+      if (value > (std::numeric_limits<int64_t>::max() - digit) / 10) {
+        return false;
+      }
+      value = value * 10 + digit;
+      any = true;
+      ++pos_;
+    }
+    if (!any) return false;  // also rejects a bare "-"
+    *out = negative ? -value : value;
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool ParseEntryObject(JsonScanner& scan, TunedEntry* entry) {
+  if (!scan.Consume('{')) return false;
+  bool first = true;
+  while (!scan.Peek('}')) {
+    if (!first && !scan.Consume(',')) return false;
+    first = false;
+    std::string field;
+    if (!scan.ParseString(&field) || !scan.Consume(':')) return false;
+    TuneCandidate& c = entry->config;
+    if (field == "comm" || field == "order") {
+      std::string name;
+      if (!scan.ParseString(&name)) return false;
+      if (field == "comm" && !ParseCommResource(name, &c.comm)) return false;
+      if (field == "order" && !ParseTileOrder(name, &c.order)) return false;
+      continue;
+    }
+    int64_t value = 0;
+    if (!scan.ParseInt(&value)) return false;
+    // Every config field is an int; out-of-range means a corrupted file.
+    if (field != "cost_ns" &&
+        (value > std::numeric_limits<int>::max() ||
+         value < std::numeric_limits<int>::min())) {
+      return false;
+    }
+    const int v = static_cast<int>(value);
+    if (field == "bm") {
+      c.gemm.bm = v;
+    } else if (field == "bn") {
+      c.gemm.bn = v;
+    } else if (field == "bk") {
+      c.gemm.bk = v;
+    } else if (field == "comm_tile_m") {
+      c.comm_tile_m = v;
+    } else if (field == "comm_sms") {
+      c.comm_sms = v;
+    } else if (field == "channels_per_rank") {
+      c.channels_per_rank = v;
+    } else if (field == "block_q") {
+      c.block_q = v;
+    } else if (field == "block_kv") {
+      c.block_kv = v;
+    } else if (field == "sorted_channel_rows") {
+      c.sorted_channel_rows = v;
+    } else if (field == "reduce_block_tokens") {
+      c.reduce_block_tokens = v;
+    } else if (field == "reduce_sms") {
+      c.reduce_sms = v;
+    } else if (field == "cost_ns") {
+      entry->cost = value;
+    } else {
+      return false;  // unknown field: not ours
+    }
+  }
+  return scan.Consume('}');
+}
+
+}  // namespace
+
+std::string TunedConfigCache::Key(const std::string& kind,
+                                  std::initializer_list<int64_t> dims,
+                                  const sim::MachineSpec& spec) {
+  std::ostringstream os;
+  os << kind << "/";
+  bool first = true;
+  for (int64_t d : dims) {
+    os << (first ? "" : "x") << d;
+    first = false;
+  }
+  os << "/R" << spec.num_devices << ".sm" << spec.sms_per_device << ".nv"
+     << static_cast<int64_t>(spec.nvlink_gbps);
+  return os.str();
+}
+
+const TunedEntry* TunedConfigCache::Find(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void TunedConfigCache::Put(const std::string& key, const TunedEntry& entry) {
+  entries_[key] = entry;
+}
+
+const TunedEntry& TunedConfigCache::GetOrTune(
+    const std::string& key, const std::function<TunedEntry()>& tune) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return entries_.emplace(key, tune()).first->second;
+}
+
+std::string TunedConfigCache::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    const TuneCandidate& c = entry.config;
+    os << (first ? "" : ",\n");
+    first = false;
+    os << "  \"" << key << "\": {\"bm\": " << c.gemm.bm
+       << ", \"bn\": " << c.gemm.bn << ", \"bk\": " << c.gemm.bk
+       << ", \"comm_tile_m\": " << c.comm_tile_m
+       << ", \"comm_sms\": " << c.comm_sms << ", \"comm\": \""
+       << CommResourceName(c.comm) << "\", \"order\": \""
+       << TileOrderName(c.order)
+       << "\", \"channels_per_rank\": " << c.channels_per_rank
+       << ", \"block_q\": " << c.block_q << ", \"block_kv\": " << c.block_kv
+       << ", \"sorted_channel_rows\": " << c.sorted_channel_rows
+       << ", \"reduce_block_tokens\": " << c.reduce_block_tokens
+       << ", \"reduce_sms\": " << c.reduce_sms
+       << ", \"cost_ns\": " << entry.cost << "}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+bool TunedConfigCache::FromJson(const std::string& json) {
+  JsonScanner scan(json);
+  if (!scan.Consume('{')) return false;
+  bool first = true;
+  while (!scan.Peek('}')) {
+    if (!first && !scan.Consume(',')) return false;
+    first = false;
+    std::string key;
+    if (!scan.ParseString(&key) || !scan.Consume(':')) return false;
+    TunedEntry entry;
+    if (!ParseEntryObject(scan, &entry)) return false;
+    entries_[key] = entry;
+  }
+  return scan.Consume('}');
+}
+
+bool TunedConfigCache::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+bool TunedConfigCache::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromJson(buf.str());
+}
+
+}  // namespace tilelink::tl

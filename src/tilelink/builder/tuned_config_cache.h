@@ -1,0 +1,68 @@
+// TunedConfigCache: per-shape store of autotuned kernel configs.
+//
+// The e2e model sweep tunes every fused kernel it composes; identical
+// layers (and identical shapes across models) share one search. Keys
+// combine the kernel kind, the problem shape, and a MachineSpec fingerprint
+// so a cache never leaks configs across machines. The whole cache
+// round-trips through a small JSON document, letting benchmarks warm-start
+// from a previous run's search results (scripts/ci.sh keeps one per bench).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <string>
+
+#include "sim/machine_spec.h"
+#include "sim/time.h"
+#include "tilelink/builder/tuning_space.h"
+
+namespace tilelink::tl {
+
+struct TunedEntry {
+  TuneCandidate config;
+  sim::TimeNs cost = 0;  // simulated makespan of `config`
+
+  friend bool operator==(const TunedEntry&, const TunedEntry&) = default;
+};
+
+class TunedConfigCache {
+ public:
+  // "kind/d0xd1x.../R8.sm132.nv150": stable, human-greppable key.
+  static std::string Key(const std::string& kind,
+                         std::initializer_list<int64_t> dims,
+                         const sim::MachineSpec& spec);
+
+  // nullptr on miss. The pointer is invalidated by Put/LoadJson.
+  const TunedEntry* Find(const std::string& key) const;
+  void Put(const std::string& key, const TunedEntry& entry);
+
+  // Returns the cached entry, running `tune` (and storing its result) on a
+  // miss. This is the one call sites use: every config flows through here,
+  // so hits()/misses() count real searches avoided/performed.
+  const TunedEntry& GetOrTune(const std::string& key,
+                              const std::function<TunedEntry()>& tune);
+
+  std::size_t size() const { return entries_.size(); }
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+
+  // Deterministic (sorted-key) JSON document of every entry.
+  std::string ToJson() const;
+  // Merges entries parsed from `json` into the cache; false on malformed
+  // input (entries parsed before the error are kept).
+  bool FromJson(const std::string& json);
+
+  // File convenience wrappers; Load returns false if the file is absent or
+  // malformed.
+  bool SaveFile(const std::string& path) const;
+  bool LoadFile(const std::string& path);
+
+ private:
+  std::map<std::string, TunedEntry> entries_;
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace tilelink::tl

@@ -4,9 +4,7 @@
 
 namespace tilelink::tl {
 
-namespace {
-
-const char* ResourceName(CommResource r) {
+const char* CommResourceName(CommResource r) {
   switch (r) {
     case CommResource::kSmPull:
       return "sm_pull";
@@ -18,14 +16,50 @@ const char* ResourceName(CommResource r) {
   return "?";
 }
 
-}  // namespace
+bool ParseCommResource(const std::string& name, CommResource* out) {
+  for (CommResource r : {CommResource::kSmPull, CommResource::kSmPush,
+                         CommResource::kDma}) {
+    if (name == CommResourceName(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseTileOrder(const std::string& name, TileOrder* out) {
+  for (TileOrder o : {TileOrder::kRowMajor, TileOrder::kOwnerFirst,
+                      TileOrder::kNextRankFirst}) {
+    if (name == TileOrderName(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
 
 std::string TuneCandidate::Describe() const {
+  const TuneCandidate def;
   std::ostringstream os;
   os << "gemm=" << gemm.bm << "x" << gemm.bn << " comm_tile=" << comm_tile_m
-     << " resource=" << ResourceName(comm);
+     << " resource=" << CommResourceName(comm);
   if (comm != CommResource::kDma) os << " comm_sms=" << comm_sms;
   os << " order=" << TileOrderName(order);
+  // Kernel-family knobs print only when they deviate from the defaults, so
+  // MLP-kernel logs keep their compact historical shape.
+  if (channels_per_rank != def.channels_per_rank) {
+    os << " channels=" << channels_per_rank;
+  }
+  if (block_q != def.block_q || block_kv != def.block_kv) {
+    os << " flash=" << block_q << "x" << block_kv;
+  }
+  if (sorted_channel_rows != def.sorted_channel_rows) {
+    os << " sorted_rows=" << sorted_channel_rows;
+  }
+  if (reduce_block_tokens != def.reduce_block_tokens) {
+    os << " reduce_tokens=" << reduce_block_tokens;
+  }
+  if (reduce_sms != def.reduce_sms) os << " reduce_sms=" << reduce_sms;
   return os.str();
 }
 
@@ -54,53 +88,136 @@ TuningSpace& TuningSpace::Orders(std::vector<TileOrder> values) {
   return *this;
 }
 
+TuningSpace& TuningSpace::ChannelsPerRank(std::vector<int> values) {
+  channels_per_rank_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::AttnBlocks(std::vector<std::pair<int, int>> q_kv) {
+  attn_blocks_ = std::move(q_kv);
+  return *this;
+}
+
+TuningSpace& TuningSpace::SortedChannelRows(std::vector<int> values) {
+  sorted_channel_rows_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::ReduceBlockTokens(std::vector<int> values) {
+  reduce_block_tokens_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::ReduceSms(std::vector<int> values) {
+  reduce_sms_ = std::move(values);
+  return *this;
+}
+
 std::vector<TuneCandidate> TuningSpace::Enumerate(
     const TuneCandidate& base) const {
-  std::vector<TuneCandidate> out;
-  const auto gemms = gemm_tiles_.empty()
-                         ? std::vector<std::pair<int, int>>{
-                               {base.gemm.bm, base.gemm.bn}}
-                         : gemm_tiles_;
-  const auto comm_tiles =
-      comm_tile_m_.empty() ? std::vector<int>{base.comm_tile_m} : comm_tile_m_;
-  const auto sms = comm_sms_.empty() ? std::vector<int>{base.comm_sms}
-                                     : comm_sms_;
-  const auto resources = resources_.empty()
-                             ? std::vector<CommResource>{base.comm}
-                             : resources_;
-  const auto orders =
-      orders_.empty() ? std::vector<TileOrder>{base.order} : orders_;
-  for (const auto& [bm, bn] : gemms) {
-    for (int ct : comm_tiles) {
-      for (CommResource r : resources) {
-        // DMA ignores the comm-SM axis; emit one candidate for it.
-        const auto& sm_axis =
-            r == CommResource::kDma ? std::vector<int>{base.comm_sms} : sms;
-        for (int s : sm_axis) {
-          for (TileOrder o : orders) {
-            TuneCandidate c = base;
-            c.gemm.bm = bm;
-            c.gemm.bn = bn;
-            c.comm_tile_m = ct;
-            c.comm = r;
-            c.comm_sms = s;
-            c.order = o;
-            out.push_back(c);
-          }
-        }
+  // Progressive cartesian product: each set axis multiplies the candidate
+  // list; unset axes leave the base value in place. Expansion order keeps
+  // the earlier-set axes slow-varying (matching the historical nested-loop
+  // enumeration order).
+  std::vector<TuneCandidate> out{base};
+  auto expand = [&out](const auto& values, auto apply) {
+    if (values.empty()) return;
+    std::vector<TuneCandidate> next;
+    next.reserve(out.size() * values.size());
+    for (const TuneCandidate& c : out) {
+      for (const auto& v : values) {
+        TuneCandidate cc = c;
+        apply(cc, v);
+        next.push_back(cc);
       }
     }
+    out = std::move(next);
+  };
+  expand(gemm_tiles_, [](TuneCandidate& c, const std::pair<int, int>& t) {
+    c.gemm.bm = t.first;
+    c.gemm.bn = t.second;
+  });
+  expand(comm_tile_m_, [](TuneCandidate& c, int v) { c.comm_tile_m = v; });
+  expand(channels_per_rank_,
+         [](TuneCandidate& c, int v) { c.channels_per_rank = v; });
+  expand(resources_,
+         [](TuneCandidate& c, CommResource r) { c.comm = r; });
+  // DMA ignores the comm-SM axis: expand it only for SM-resource candidates
+  // so DMA variants are evaluated once (at the base SM count).
+  if (!comm_sms_.empty()) {
+    std::vector<TuneCandidate> next;
+    next.reserve(out.size() * comm_sms_.size());
+    for (const TuneCandidate& c : out) {
+      if (c.comm == CommResource::kDma) {
+        next.push_back(c);
+        continue;
+      }
+      for (int s : comm_sms_) {
+        TuneCandidate cc = c;
+        cc.comm_sms = s;
+        next.push_back(cc);
+      }
+    }
+    out = std::move(next);
   }
+  expand(orders_, [](TuneCandidate& c, TileOrder o) { c.order = o; });
+  expand(attn_blocks_, [](TuneCandidate& c, const std::pair<int, int>& b) {
+    c.block_q = b.first;
+    c.block_kv = b.second;
+  });
+  expand(sorted_channel_rows_,
+         [](TuneCandidate& c, int v) { c.sorted_channel_rows = v; });
+  expand(reduce_block_tokens_,
+         [](TuneCandidate& c, int v) { c.reduce_block_tokens = v; });
+  expand(reduce_sms_, [](TuneCandidate& c, int v) { c.reduce_sms = v; });
   return out;
 }
 
 TuningSpace TuningSpace::Mlp() {
   TuningSpace space;
+  // Synchronization granularity stays at the base candidate's value (the
+  // finest supported unless the seed overrides it): the coarse {0, 4} axis
+  // doubled the space for configs the halving round never kept.
   space.CommTileM({64, 128, 256, 512, 1024})
       .CommSms({8, 20, 32})
       .Resources({CommResource::kSmPull, CommResource::kSmPush,
                   CommResource::kDma})
       .Orders({TileOrder::kOwnerFirst, TileOrder::kNextRankFirst});
+  return space;
+}
+
+TuningSpace TuningSpace::Attention() {
+  TuningSpace space;
+  space.AttnBlocks({{64, 128},
+                    {64, 256},
+                    {128, 128},
+                    {128, 256},
+                    {128, 512},
+                    {128, 1024},
+                    {256, 256},
+                    {256, 512}});
+  return space;
+}
+
+TuningSpace TuningSpace::MoePart1() {
+  TuningSpace space;
+  space.CommTileM({128, 256, 512})
+      .CommSms({8, 20, 32})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma})
+      .ChannelsPerRank({0, 4});
+  return space;
+}
+
+TuningSpace TuningSpace::MoePart2() {
+  TuningSpace space;
+  // comm_tile_m doubles as the RS chunk rows for the RS role.
+  space.CommTileM({128, 256, 512})
+      .CommSms({8, 20})
+      .Resources({CommResource::kSmPush, CommResource::kDma})
+      .SortedChannelRows({1024, 2048, 4096})
+      .ReduceBlockTokens({64, 128})
+      .ReduceSms({8, 16});
   return space;
 }
 

@@ -2,14 +2,17 @@
 //
 // One TuneCandidate fixes every knob the paper decouples per role —
 // compute tile size, communication tile size, communication resource
-// binding (SM pull / SM push / DMA), comm SM count, and compute tile
-// order. A TuningSpace is a per-axis value list; Enumerate() takes the
-// cartesian product over the axes that are set and inherits the rest from
-// a base candidate, so kernels only pay for the knobs they expose.
+// binding (SM pull / SM push / DMA), comm SM count, synchronization
+// granularity (channels per rank), compute tile order, and the
+// kernel-family-specific knobs (flash block sizes, MoE channel/reduce
+// granularities). A TuningSpace is a per-axis value list; Enumerate() takes
+// the cartesian product over the axes that are set and inherits the rest
+// from a base candidate, so kernels only pay for the knobs they expose.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compute/gemm.h"
@@ -20,13 +23,30 @@ namespace tilelink::tl {
 
 struct TuneCandidate {
   compute::GemmTiling gemm{128, 256, 64};
-  int comm_tile_m = 128;      // comm role tile rows (AG tile / RS chunk)
-  int comm_sms = 20;          // SM-resource variants only
+  int comm_tile_m = 128;       // comm role tile rows (AG tile / RS chunk)
+  int comm_sms = 20;           // SM-resource variants only
   CommResource comm = CommResource::kDma;
   TileOrder order = TileOrder::kOwnerFirst;
+  // Synchronization granularity: barrier channels per rank (0 -> one channel
+  // per comm tile, the finest granularity the counting protocol supports).
+  int channels_per_rank = 0;
+  // Attention kernels (ag_attention / flash core).
+  int block_q = 128;
+  int block_kv = 128;
+  // MoE part-2 kernel (moe_rs).
+  int sorted_channel_rows = 512;  // pc1 granularity over sorted slots
+  int reduce_block_tokens = 64;   // topk-reduce chunk
+  int reduce_sms = 16;
 
   std::string Describe() const;
+
+  friend bool operator==(const TuneCandidate&, const TuneCandidate&) = default;
 };
+
+// Printable names shared with the tuned-config cache serialization.
+const char* CommResourceName(CommResource r);
+bool ParseCommResource(const std::string& name, CommResource* out);
+bool ParseTileOrder(const std::string& name, TileOrder* out);
 
 class TuningSpace {
  public:
@@ -36,6 +56,11 @@ class TuningSpace {
   TuningSpace& CommSms(std::vector<int> values);
   TuningSpace& Resources(std::vector<CommResource> values);
   TuningSpace& Orders(std::vector<TileOrder> values);
+  TuningSpace& ChannelsPerRank(std::vector<int> values);
+  TuningSpace& AttnBlocks(std::vector<std::pair<int, int>> q_kv);
+  TuningSpace& SortedChannelRows(std::vector<int> values);
+  TuningSpace& ReduceBlockTokens(std::vector<int> values);
+  TuningSpace& ReduceSms(std::vector<int> values);
 
   // Cartesian product. DMA candidates ignore comm_sms, so that axis is
   // collapsed to the base value for them (no duplicate evaluations).
@@ -43,8 +68,20 @@ class TuningSpace {
 
   // The default search space for the paper's MLP kernels: comm tiles from
   // 64 to 1024 rows, 8-32 comm SMs, all three resource bindings, both ring
-  // tile orders.
+  // tile orders, and coarse/fine synchronization granularity.
   static TuningSpace Mlp();
+
+  // AG-KV + flash attention: flash block sizes (comm is always DMA-driven
+  // host copies, so no resource/SM axes).
+  static TuningSpace Attention();
+
+  // MoE part 1 (AG + Gather + GroupGEMM): comm tile rows, resource binding,
+  // comm SM count, synchronization granularity.
+  static TuningSpace MoePart1();
+
+  // MoE part 2 (GroupGEMM + Scatter + TopkReduce + RS): sorted-slot channel
+  // granularity, reduce chunking/SMs, RS chunk rows, SM-push vs DMA-push.
+  static TuningSpace MoePart2();
 
  private:
   std::vector<std::pair<int, int>> gemm_tiles_;
@@ -52,6 +89,11 @@ class TuningSpace {
   std::vector<int> comm_sms_;
   std::vector<CommResource> resources_;
   std::vector<TileOrder> orders_;
+  std::vector<int> channels_per_rank_;
+  std::vector<std::pair<int, int>> attn_blocks_;
+  std::vector<int> sorted_channel_rows_;
+  std::vector<int> reduce_block_tokens_;
+  std::vector<int> reduce_sms_;
 };
 
 }  // namespace tilelink::tl

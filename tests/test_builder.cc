@@ -258,7 +258,9 @@ TEST(AutotunerTest, PicksCostArgminOnToySpace) {
   EXPECT_EQ(result.best.comm_tile_m, 32);
   EXPECT_EQ(result.best.comm_sms, 4);
   EXPECT_EQ(result.best_cost, 1000);
-  EXPECT_EQ(result.evaluated.size(), 6u);
+  // 6 enumerated candidates plus the out-of-space base config, which the
+  // tuner always evaluates so a search can never return worse than its seed.
+  EXPECT_EQ(result.evaluated.size(), 7u);
 }
 
 TEST(AutotunerTest, LowerBoundPrunesWithoutChangingArgmin) {
@@ -286,6 +288,7 @@ TEST(AutotunerTest, SkipsInfeasibleCandidates) {
   TuningSpace space;
   space.CommTileM({16, 32, 64});
   TuneCandidate base;
+  base.comm_tile_m = 64;  // inside the space: no extra seed evaluation
   auto eval = [](const TuneCandidate& c) -> sim::TimeNs {
     if (c.comm_tile_m != 32) return Autotuner::kInfeasible;
     return 7;

@@ -1,0 +1,370 @@
+// Tune-everything pipeline tests.
+//
+// 1. Successive halving: finds the same argmin as the exhaustive search on
+//    a seeded space whose coarse scores preserve the ranking; never returns
+//    worse than the seed even under an adversarial coarse evaluator; skips
+//    (halves) candidates.
+// 2. TunedConfigCache: hits avoid re-searching, the JSON round-trip is
+//    lossless, and searches + serialization are deterministic across runs.
+// 3. The new per-kernel evaluators and their analytic lower bounds:
+//    feasibility, soundness (bound <= simulated time) and coarse/full
+//    argmin agreement on small machine specs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "compute/moe_routing.h"
+#include "tilelink/builder/kernel_tuning.h"
+#include "tilelink/builder/tuned_config_cache.h"
+
+namespace tilelink::tl {
+namespace {
+
+// ---------------------------------------------------------------------- //
+// Successive halving
+// ---------------------------------------------------------------------- //
+
+// Deterministic synthetic landscape over the comm-tile/SM axes.
+sim::TimeNs ToyCost(const TuneCandidate& c) {
+  const int64_t tile_penalty = (c.comm_tile_m - 256) * (c.comm_tile_m - 256);
+  const int64_t sm_penalty = (c.comm_sms - 16) * (c.comm_sms - 16) * 50;
+  return 100000 + tile_penalty + sm_penalty;
+}
+
+TuningSpace ToySpace() {
+  TuningSpace space;
+  space.CommTileM({64, 128, 256, 512, 1024})
+      .CommSms({4, 8, 16, 24, 32, 48});
+  return space;
+}
+
+TEST(HalvingTest, MatchesExhaustiveArgminOnSeededSpace) {
+  TuneCandidate base;
+  base.comm = CommResource::kSmPull;  // keep the comm_sms axis live
+  const Autotuner tuner;
+  int full_evals = 0;
+  auto eval = [&full_evals](const TuneCandidate& c) {
+    ++full_evals;
+    return ToyCost(c);
+  };
+  // Coarse scores are scaled + offset but order-preserving.
+  auto coarse = [](const TuneCandidate& c) { return ToyCost(c) / 4 + 17; };
+
+  const TuneResult exhaustive =
+      tuner.Search(ToySpace(), base, [](const TuneCandidate& c) {
+        return ToyCost(c);
+      });
+  full_evals = 0;
+  const TuneResult halved =
+      tuner.Search(ToySpace(), base, eval, nullptr, coarse);
+
+  EXPECT_EQ(halved.best, exhaustive.best);
+  EXPECT_EQ(halved.best_cost, exhaustive.best_cost);
+  EXPECT_EQ(halved.best.comm_tile_m, 256);
+  EXPECT_EQ(halved.best.comm_sms, 16);
+  // The halving round must actually skip full-fidelity work.
+  EXPECT_GT(halved.halved, 0);
+  EXPECT_EQ(halved.coarse_evals, 31);  // 30 enumerated + out-of-space base
+  EXPECT_LT(full_evals, 31);
+  EXPECT_EQ(full_evals, static_cast<int>(halved.evaluated.size()));
+}
+
+TEST(HalvingTest, NeverWorseThanSeedUnderAdversarialCoarse) {
+  TuneCandidate base;
+  base.comm = CommResource::kSmPull;
+  base.comm_tile_m = 256;
+  base.comm_sms = 16;  // the seed IS the landscape argmin
+  // Adversarial coarse: inverts the ranking, so the halving round keeps
+  // exactly the worst candidates.
+  auto coarse = [](const TuneCandidate& c) {
+    return sim::TimeNs{10000000} - ToyCost(c);
+  };
+  const TuneResult result = Autotuner().Search(
+      ToySpace(), base, [](const TuneCandidate& c) { return ToyCost(c); },
+      nullptr, coarse);
+  // The seed is always re-evaluated at full fidelity, so even a perfectly
+  // misleading coarse round cannot push the result past it.
+  EXPECT_EQ(result.best, base);
+  EXPECT_EQ(result.best_cost, ToyCost(base));
+}
+
+TEST(HalvingTest, SkipsTinySpaces) {
+  TuningSpace space;
+  space.CommTileM({64, 128});
+  TuneCandidate base;
+  base.comm_tile_m = 64;
+  int coarse_calls = 0;
+  auto coarse = [&coarse_calls](const TuneCandidate& c) {
+    ++coarse_calls;
+    return ToyCost(c);
+  };
+  const TuneResult result = Autotuner().Search(
+      space, base, [](const TuneCandidate& c) { return ToyCost(c); }, nullptr,
+      coarse);
+  EXPECT_EQ(coarse_calls, 0);  // below min_coarse_space: plain exhaustive
+  EXPECT_EQ(result.coarse_evals, 0);
+  EXPECT_EQ(result.evaluated.size(), 2u);
+}
+
+// On a real simulated kernel: halving (coarse = collapsed reduction loop)
+// must agree with brute force about the argmin's cost on this small,
+// well-separated space.
+TEST(HalvingTest, AgreesWithBruteForceOnSimulatedAgGemm) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(4, 16);
+  const MlpPartShape shape{512, 64, 128};
+  TuneCandidate base;
+  base.gemm = compute::GemmTiling{32, 32, 16};
+  TuningSpace space;
+  space.CommTileM({16, 32, 64, 128})
+      .CommSms({2, 4, 8})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma});
+  Autotuner::Options opts;
+  opts.min_survivors = 3;
+  const TuneResult halved =
+      TuneAgGemm(spec, shape, space, base, Autotuner(opts));
+  sim::TimeNs brute_best = Autotuner::kInfeasible;
+  for (const TuneCandidate& c : space.Enumerate(base)) {
+    const sim::TimeNs t = SimulateAgGemm(spec, shape, c);
+    if (t != Autotuner::kInfeasible) brute_best = std::min(brute_best, t);
+  }
+  // Halving may in principle drop the global argmin, but must never lose to
+  // it by more than the coarse ranking error on this well-separated space —
+  // and the returned cost must be what the returned config simulates to.
+  EXPECT_EQ(halved.best_cost, brute_best);
+  EXPECT_EQ(SimulateAgGemm(spec, shape, halved.best), halved.best_cost);
+  EXPECT_GT(halved.halved, 0);
+}
+
+// ---------------------------------------------------------------------- //
+// TunedConfigCache
+// ---------------------------------------------------------------------- //
+
+TunedEntry DistinctEntry() {
+  TunedEntry e;
+  e.config.gemm = compute::GemmTiling{64, 96, 32};
+  e.config.comm_tile_m = 192;
+  e.config.comm_sms = 12;
+  e.config.comm = CommResource::kSmPush;
+  e.config.order = TileOrder::kNextRankFirst;
+  e.config.channels_per_rank = 6;
+  e.config.block_q = 48;
+  e.config.block_kv = 320;
+  e.config.sorted_channel_rows = 768;
+  e.config.reduce_block_tokens = 96;
+  e.config.reduce_sms = 24;
+  e.cost = 123456789;
+  return e;
+}
+
+TEST(TunedConfigCacheTest, HitAvoidsReSearch) {
+  TunedConfigCache cache;
+  const std::string key =
+      TunedConfigCache::Key("ag_gemm", {512, 64, 128},
+                            sim::MachineSpec::Test(4, 16));
+  int searches = 0;
+  auto tune = [&searches] {
+    ++searches;
+    return DistinctEntry();
+  };
+  const TunedEntry& first = cache.GetOrTune(key, tune);
+  EXPECT_EQ(searches, 1);
+  EXPECT_EQ(cache.misses(), 1);
+  const TunedEntry& second = cache.GetOrTune(key, tune);
+  EXPECT_EQ(searches, 1);  // hit: the search lambda must not run again
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(first, second);
+  // A different shape is a different key.
+  cache.GetOrTune(TunedConfigCache::Key("ag_gemm", {1024, 64, 128},
+                                        sim::MachineSpec::Test(4, 16)),
+                  tune);
+  EXPECT_EQ(searches, 2);
+}
+
+TEST(TunedConfigCacheTest, KeySeparatesKindShapeAndMachine) {
+  const sim::MachineSpec a = sim::MachineSpec::Test(4, 16);
+  const sim::MachineSpec b = sim::MachineSpec::Test(8, 16);
+  EXPECT_NE(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, a),
+            TunedConfigCache::Key("gemm_rs", {1, 2, 3}, a));
+  EXPECT_NE(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, a),
+            TunedConfigCache::Key("ag_gemm", {1, 2, 4}, a));
+  EXPECT_NE(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, a),
+            TunedConfigCache::Key("ag_gemm", {1, 2, 3}, b));
+}
+
+TEST(TunedConfigCacheTest, JsonRoundTripIsLossless) {
+  TunedConfigCache cache;
+  cache.Put("a/1x2/R4.sm16.nv150", DistinctEntry());
+  TunedEntry defaults;  // all-default config round-trips too
+  defaults.cost = 42;
+  cache.Put("b/8x9x10/R8.sm132.nv150", defaults);
+
+  TunedConfigCache loaded;
+  ASSERT_TRUE(loaded.FromJson(cache.ToJson()));
+  ASSERT_EQ(loaded.size(), 2u);
+  const TunedEntry* a = loaded.Find("a/1x2/R4.sm16.nv150");
+  const TunedEntry* b = loaded.Find("b/8x9x10/R8.sm132.nv150");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a, DistinctEntry());
+  EXPECT_EQ(*b, defaults);
+  // Serialization is canonical: a round-trip reproduces the document.
+  EXPECT_EQ(loaded.ToJson(), cache.ToJson());
+}
+
+TEST(TunedConfigCacheTest, RejectsMalformedJson) {
+  TunedConfigCache cache;
+  EXPECT_FALSE(cache.FromJson(""));
+  EXPECT_FALSE(cache.FromJson("{ \"k\": { \"bm\": } }"));
+  EXPECT_FALSE(cache.FromJson("{ \"k\": { \"unknown_field\": 3 } }"));
+  EXPECT_FALSE(cache.FromJson("{ \"k\": { \"comm\": \"warp_specialized\" } }"));
+}
+
+TEST(TunedConfigCacheTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tuned_cache_test.json";
+  {
+    TunedConfigCache cache;
+    cache.Put("k/1/R4.sm16.nv150", DistinctEntry());
+    ASSERT_TRUE(cache.SaveFile(path));
+  }
+  TunedConfigCache loaded;
+  ASSERT_TRUE(loaded.LoadFile(path));
+  const TunedEntry* e = loaded.Find("k/1/R4.sm16.nv150");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e, DistinctEntry());
+  std::remove(path.c_str());
+  TunedConfigCache missing;
+  EXPECT_FALSE(missing.LoadFile(path));
+}
+
+// The full pipeline is deterministic: searching the same space twice yields
+// identical results, and caches filled by both serialize identically.
+TEST(TunedConfigCacheTest, SearchAndSerializationDeterministic) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(4, 16);
+  const MlpPartShape shape{512, 64, 128};
+  TuneCandidate base;
+  base.gemm = compute::GemmTiling{32, 32, 16};
+  TuningSpace space;
+  space.CommTileM({16, 32, 64})
+      .CommSms({2, 4, 8})
+      .Resources({CommResource::kSmPull, CommResource::kDma});
+  const std::string key = TunedConfigCache::Key("ag_gemm", {512, 64, 128},
+                                                spec);
+  std::string jsons[2];
+  for (std::string& json : jsons) {
+    TunedConfigCache cache;
+    const TunedEntry& e = cache.GetOrTune(key, [&] {
+      const TuneResult r = TuneAgGemm(spec, shape, space, base);
+      return TunedEntry{r.best, r.best_cost};
+    });
+    EXPECT_GT(e.cost, 0);
+    json = cache.ToJson();
+  }
+  EXPECT_EQ(jsons[0], jsons[1]);
+}
+
+// ---------------------------------------------------------------------- //
+// New evaluators and bounds
+// ---------------------------------------------------------------------- //
+
+TEST(KernelTuningTest, AttentionBoundsAreSound) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(4, 16);
+  const AttnShape shape{4, 256, 32};
+  TuneCandidate base;
+  TuningSpace space;
+  space.AttnBlocks({{16, 16}, {16, 32}, {32, 32}, {32, 64}});
+  for (const TuneCandidate& c : space.Enumerate(base)) {
+    const sim::TimeNs t = SimulateAgAttention(spec, shape, c);
+    ASSERT_NE(t, Autotuner::kInfeasible) << c.Describe();
+    EXPECT_LE(AgAttentionLowerBound(spec, shape, c), t) << c.Describe();
+  }
+  const FlashShape flash{4, 128, 256, 32};
+  for (const TuneCandidate& c : space.Enumerate(base)) {
+    const sim::TimeNs t = SimulateFlashCore(spec, flash, c);
+    ASSERT_NE(t, Autotuner::kInfeasible) << c.Describe();
+    EXPECT_LE(FlashCoreLowerBound(spec, flash, c), t) << c.Describe();
+  }
+}
+
+TEST(KernelTuningTest, MoeBoundsAreSound) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(2, 16);
+  const MoeShape shape{128, 32, 32, 4, 2};
+  Rng rng(7);
+  const compute::MoeRouting routing =
+      compute::RandomRouting(shape.m, shape.num_experts, shape.topk, rng);
+  TuneCandidate base;
+  base.gemm = compute::GemmTiling{16, 16, 8};
+  TuningSpace space;
+  space.CommTileM({16, 32, 64})
+      .CommSms({2, 4})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma})
+      .SortedChannelRows({32, 64})
+      .ReduceBlockTokens({8, 16})
+      .ReduceSms({2, 4});
+  int part1_feasible = 0, part2_feasible = 0;
+  for (const TuneCandidate& c : space.Enumerate(base)) {
+    const sim::TimeNs t1 = SimulateAgMoe(spec, shape, routing, c);
+    if (t1 != Autotuner::kInfeasible) {
+      ++part1_feasible;
+      EXPECT_LE(AgMoeLowerBound(spec, shape, c), t1) << c.Describe();
+    }
+    const sim::TimeNs t2 = SimulateMoeRs(spec, shape, routing, c);
+    if (t2 != Autotuner::kInfeasible) {
+      ++part2_feasible;
+      EXPECT_LE(MoeRsLowerBound(spec, shape, c), t2) << c.Describe();
+    }
+  }
+  EXPECT_GT(part1_feasible, 0);
+  EXPECT_GT(part2_feasible, 0);
+}
+
+// Chaining both tuned MoE parts in one world composes: the layer makespan
+// is at least each part alone and at most their sum plus slack.
+TEST(KernelTuningTest, MoeLayerComposition) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(2, 16);
+  const MoeShape shape{128, 32, 32, 4, 2};
+  Rng rng(7);
+  const compute::MoeRouting routing =
+      compute::RandomRouting(shape.m, shape.num_experts, shape.topk, rng);
+  TuneCandidate part1;
+  part1.gemm = compute::GemmTiling{16, 16, 8};
+  part1.comm_tile_m = 16;
+  part1.comm = CommResource::kSmPull;
+  part1.comm_sms = 2;
+  TuneCandidate part2 = part1;
+  part2.comm = CommResource::kSmPush;
+  part2.comm_tile_m = 16;
+  part2.reduce_block_tokens = 8;
+  part2.sorted_channel_rows = 64;
+  part2.reduce_sms = 2;
+  const sim::TimeNs t1 = SimulateAgMoe(spec, shape, routing, part1);
+  const sim::TimeNs t2 = SimulateMoeRs(spec, shape, routing, part2);
+  const sim::TimeNs layer = SimulateMoeLayer(spec, shape, routing, part1,
+                                             part2);
+  ASSERT_NE(t1, Autotuner::kInfeasible);
+  ASSERT_NE(t2, Autotuner::kInfeasible);
+  ASSERT_NE(layer, Autotuner::kInfeasible);
+  EXPECT_GE(layer, std::max(t1, t2));
+  EXPECT_LE(layer, t1 + t2);
+}
+
+TEST(KernelTuningTest, TuneFlashCorePicksLargeBlocks) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(1, 16);
+  const FlashShape shape{8, 512, 512, 64};
+  TuneCandidate base;
+  base.block_q = 16;
+  base.block_kv = 16;  // deliberately poor seed
+  TuningSpace space;
+  space.AttnBlocks({{16, 16}, {32, 32}, {64, 64}, {128, 128}});
+  const TuneResult r = TuneFlashCore(spec, shape, space, base);
+  // Larger flash tiles keep the MMA pipeline fuller (GemmEfficiency is
+  // monotone in tile area at these sizes): the tuner must escape the seed.
+  EXPECT_LT(r.best_cost, SimulateFlashCore(spec, shape, base));
+  EXPECT_GE(r.best.block_q * r.best.block_kv, 64 * 64);
+}
+
+}  // namespace
+}  // namespace tilelink::tl
