@@ -9,8 +9,14 @@
 // its hand-picked default (MoE layers get a 1% interaction tolerance — the
 // two MoE parts are tuned in isolation but timed chained per rank).
 //
+// The 16xH800 section's inter-node DP sync is *simulated* (tile-granular
+// gradient AllReduce over the NIC fabric, tilelink/multinode) — the bench
+// exits nonzero if the emergent speedup dilution leaves the ballpark of the
+// paper's 1.32x -> 1.29x.
+//
 // Flags: --cache <path> warm-starts / persists the tuned-config cache;
-// --json <path> writes per-model latencies/speedups and the geomeans.
+// --json <path> writes per-model latencies/speedups, the per-layer
+// component breakdown (attn / ffn / dp-sync) and the geomeans.
 #include <cmath>
 
 #include "bench/bench_common.h"
@@ -24,6 +30,13 @@ struct SectionResult {
   double moe_geomean = 0.0;
   bool ok = true;
 };
+
+// Emergent-dilution ballpark: the two-node geomean must sit below the
+// single-node one (the NIC sync is real) but not crater it. The paper
+// measures 1.32x -> 1.29x (ratio ~1.023); the reproduction's simulated
+// flows land near 1.06 — gate loosely around both.
+constexpr double kMinDilution = 1.005;
+constexpr double kMaxDilution = 1.15;
 
 SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
                          tilelink::bench::BenchReport* report) {
@@ -43,17 +56,14 @@ SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
   SectionResult out;
   double log_sum = 0.0, dense_log = 0.0, moe_log = 0.0;
   int dense_n = 0, moe_n = 0;
+  std::vector<models::E2eResult> rows;
   for (const models::ModelConfig& m : models::Figure11Models()) {
     const models::E2eResult tun = tuned.Run(m);
     // Only the TileLink layer is needed from the defaults estimator (its
     // Torch side would re-simulate the exact layers `tuned` already ran);
-    // apply the same two-node DP-sync add-on Run() applies.
-    sim::TimeNs def_layer =
+    // LayerTime includes the default-config DP sync on two nodes.
+    const sim::TimeNs def_layer =
         defaults.LayerTime(m, models::Method::kTileLink).total();
-    if (two_node) {
-      def_layer += static_cast<sim::TimeNs>(
-          0.08 / 1.08 * static_cast<double>(tun.torch_layer));
-    }
     const double vs_default = static_cast<double>(def_layer) /
                               static_cast<double>(tun.tilelink_layer);
     // Regression gate: the searches are seeded with the hand-picked configs,
@@ -80,6 +90,18 @@ SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
     report->Record(prefix + ".tilelink_default_ms", ToMsD(def_layer));
     report->Record(prefix + ".tilelink_tuned_ms", ToMsD(tun.tilelink_layer));
     report->Record(prefix + ".speedup", tun.speedup);
+    // Per-layer component breakdown (attn / ffn / simulated dp-sync).
+    report->Record(prefix + ".attn_ms", ToMsD(tun.tilelink_breakdown.attn_block));
+    report->Record(prefix + ".ffn_ms", ToMsD(tun.tilelink_breakdown.ffn_block));
+    report->Record(prefix + ".torch_attn_ms",
+                   ToMsD(tun.torch_breakdown.attn_block));
+    report->Record(prefix + ".torch_ffn_ms",
+                   ToMsD(tun.torch_breakdown.ffn_block));
+    if (two_node) {
+      report->Record(prefix + ".dp_sync_ms",
+                     ToMsD(tun.tilelink_breakdown.dp_sync));
+    }
+    rows.push_back(tun);
   }
   out.geomean = std::exp(log_sum / (dense_n + moe_n));
   out.dense_geomean = std::exp(dense_log / dense_n);
@@ -90,6 +112,22 @@ SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
   report->Record("fig11." + section + ".geomean", out.geomean);
   report->Record("fig11." + section + ".dense_geomean", out.dense_geomean);
   report->Record("fig11." + section + ".moe_geomean", out.moe_geomean);
+  if (two_node) {
+    // Per-layer component table: where the tuned layer's time goes and what
+    // the simulated NIC gradient sync costs each model.
+    std::printf("\n-- per-layer breakdown, %s (TileLink tuned) --\n",
+                section.c_str());
+    std::printf("%-16s %11s %11s %11s %9s\n", "model", "attn", "ffn",
+                "dp sync", "dp share");
+    for (const models::E2eResult& tun : rows) {
+      const models::LayerBreakdown& b = tun.tilelink_breakdown;
+      std::printf("%-16s %9.3fms %9.3fms %9.3fms %8.1f%%\n",
+                  tun.model.c_str(), ToMsD(b.attn_block), ToMsD(b.ffn_block),
+                  ToMsD(b.dp_sync),
+                  100.0 * static_cast<double>(b.dp_sync) /
+                      static_cast<double>(b.total()));
+    }
+  }
   return out;
 }
 
@@ -101,8 +139,12 @@ int main(int argc, char** argv) {
   BenchReport report(argc, argv);
   tl::TunedConfigCache cache;
   if (!report.cache_path().empty() && cache.LoadFile(report.cache_path())) {
-    std::printf("warm-started %zu tuned configs from %s\n", cache.size(),
-                report.cache_path().c_str());
+    // Both sections tune on H800-constant specs, so one calibration hash
+    // covers every key; entries from older calibrations are unreachable.
+    const std::size_t stale = cache.PruneStaleCalibration(
+        tl::CostCalibrationHash(sim::MachineSpec::H800x8()));
+    std::printf("warm-started %zu tuned configs from %s (%zu stale pruned)\n",
+                cache.size(), report.cache_path().c_str(), stale);
   }
   const SectionResult one = RunSection(false, &cache, &report);
   const SectionResult two = RunSection(true, &cache, &report);
@@ -127,11 +169,25 @@ int main(int argc, char** argv) {
       one.moe_geomean, two.geomean, 100.0 * two.geomean / paper_16x);
   report.Record("fig11.8xH800.geomean_vs_paper", one.geomean / paper_8x);
   report.Record("fig11.16xH800.geomean_vs_paper", two.geomean / paper_16x);
+  // Emergent dilution: the two-node geomean relative to the single-node one
+  // now comes from simulated NIC flows, so gate it against the paper's
+  // ballpark instead of asserting it.
+  const double dilution = one.geomean / two.geomean;
+  std::printf(
+      "Simulated dilution: %.3fx (paper %.3fx; accepted band %.3f..%.3f).\n",
+      dilution, paper_8x / paper_16x, kMinDilution, kMaxDilution);
+  report.Record("fig11.dilution", dilution);
   report.WriteJson();
+  bool ok = one.ok && two.ok;
+  if (dilution < kMinDilution || dilution > kMaxDilution) {
+    std::printf("\nFAIL: simulated two-node dilution %.3fx left the paper's "
+                "ballpark [%.3f, %.3f].\n",
+                dilution, kMinDilution, kMaxDilution);
+    ok = false;
+  }
   if (!(one.ok && two.ok)) {
     std::printf("\nFAIL: a tuned config regressed past its hand-picked "
                 "default.\n");
-    return 1;
   }
-  return 0;
+  return ok ? 0 : 1;
 }

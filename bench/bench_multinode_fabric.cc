@@ -1,0 +1,90 @@
+// Multi-node fabric smoke: hierarchical vs flat collectives at 2x8, and
+// the DP gradient-sync NIC-knob search, on the paper's H800x16 machine.
+//
+// Exit is nonzero if (a) a hierarchical collective loses to its flat
+// single-stage baseline at any tested shard size, or (b) the tuner's
+// NIC-knob search returns a DP-sync config worse than the hand-picked
+// two-node defaults. scripts/ci.sh runs this as the 16-GPU smoke stage.
+//
+// Flags: --json <path> records every latency and ratio.
+#include <cstdint>
+
+#include "bench/bench_common.h"
+#include "tilelink/multinode/hier_collectives.h"
+#include "tilelink/multinode/multinode_tuning.h"
+
+int main(int argc, char** argv) {
+  using namespace tilelink;
+  using namespace tilelink::bench;
+  BenchReport report(argc, argv);
+  const sim::MachineSpec spec = sim::MachineSpec::H800x16();
+  const multinode::HierConfig cfg;
+  bool ok = true;
+
+  std::printf("=== Multi-node fabric: 2x8 H800, hierarchical vs flat ===\n");
+  ResultTable table("tile-granular collectives (2x8, per-rank shard)",
+                    {"hier", "flat"});
+  struct Shape {
+    const char* name;
+    int64_t tiles;
+    uint64_t tile_bytes;
+  };
+  // 4 MiB to 64 MiB per-rank shards: the AG/RS volumes of the paper's
+  // figure-8/11 layer shapes at TP=8.
+  const Shape shapes[] = {{"ag_4MiB", 16, 256 << 10},
+                          {"ag_16MiB", 32, 512 << 10},
+                          {"ag_64MiB", 64, 1 << 20}};
+  for (const Shape& s : shapes) {
+    const sim::TimeNs hier =
+        multinode::SimulateHierAllGather(spec, s.tiles, s.tile_bytes, cfg);
+    const sim::TimeNs flat =
+        multinode::SimulateFlatAllGather(spec, s.tiles, s.tile_bytes, cfg);
+    table.Add(s.name, "hier", ToMsD(hier));
+    table.Add(s.name, "flat", ToMsD(flat));
+    ok = ok && hier < flat;
+    const std::string rs_name =
+        std::string("rs") + (s.name + 2);  // same volumes, RS direction
+    const sim::TimeNs hier_rs = multinode::SimulateHierReduceScatter(
+        spec, s.tiles, s.tile_bytes, cfg);
+    const sim::TimeNs flat_rs = multinode::SimulateFlatReduceScatter(
+        spec, s.tiles, s.tile_bytes, cfg);
+    table.Add(rs_name, "hier", ToMsD(hier_rs));
+    table.Add(rs_name, "flat", ToMsD(flat_rs));
+    ok = ok && hier_rs < flat_rs;
+  }
+  // Relative view: flat_time / hier_time, higher means hierarchy wins more.
+  table.Print("flat");
+  table.Export(&report, "multinode.collectives", "flat");
+
+  std::printf("\n=== DP gradient sync: NIC-knob search vs defaults ===\n");
+  std::printf("%-12s %13s %13s %9s  %s\n", "grad bytes", "default", "tuned",
+              "ratio", "tuned knobs");
+  const tl::TuneCandidate defaults = multinode::DefaultDpSyncCandidate();
+  for (uint64_t bytes : {48ull << 20, 128ull << 20, 448ull << 20}) {
+    const sim::TimeNs def = multinode::SimulateDpSync(spec, bytes, defaults);
+    const tl::TuneResult r = multinode::TuneDpSync(
+        spec, bytes, tl::TuningSpace::MultiNode(), defaults);
+    const double ratio = static_cast<double>(def) /
+                         static_cast<double>(r.best_cost);
+    std::printf("%9lluMiB %11.3fms %11.3fms %8.2fx  nic_chunk=%d staging=%d\n",
+                (unsigned long long)(bytes >> 20), ToMsD(def),
+                ToMsD(r.best_cost), ratio, r.best.nic_chunk_tiles,
+                r.best.staging_depth);
+    const std::string prefix =
+        "multinode.dp_sync." + std::to_string(bytes >> 20) + "MiB";
+    report.Record(prefix + ".default_ms", ToMsD(def));
+    report.Record(prefix + ".tuned_ms", ToMsD(r.best_cost));
+    report.Record(prefix + ".speedup", ratio);
+    ok = ok && r.best_cost <= def;
+  }
+
+  report.WriteJson();
+  if (!ok) {
+    std::printf("\nFAIL: hierarchical lost to flat, or a tuned DP-sync "
+                "config lost to the hand-picked defaults.\n");
+    return 1;
+  }
+  std::printf("\nOK: hierarchical beats flat at 2x8; tuned DP-sync configs "
+              "are never worse than the defaults.\n");
+  return 0;
+}

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# CI: tier-1 verify plus the tuned-bench smoke stage.
+# CI: tier-1 verify plus the tuned-bench smoke stages.
 #   1. RelWithDebInfo, -Wall -Wextra -Werror (warnings are errors)
 #   2. Debug + AddressSanitizer
 #   3. Bench smoke: the autotuned fig8/fig11 benches (each exits nonzero if
-#      any tuned config loses to its hand-picked default, and fig8 also if
-#      the halving/bound machinery stops skipping candidates), plus the
-#      simulator microbenchmarks. Machine-readable results land in
+#      any tuned config loses to its hand-picked default, fig8 also if the
+#      halving/bound machinery stops skipping candidates, and fig11 also if
+#      the simulated two-node dilution leaves the paper's ballpark), plus
+#      the simulator microbenchmarks. Machine-readable results land in
 #      build-ci/BENCH_*.json; fig11 warm-starts its tuned-config cache from
 #      build-ci/BENCH_fig11_cache.json when a previous run left one.
+#   4. 16-GPU smoke: the two-node fabric bench — fails if a hierarchical
+#      collective loses to its flat single-stage baseline at 2x8 or a tuned
+#      DP-sync config loses to the hand-picked two-node defaults.
 # Usage: scripts/ci.sh [--fast]   (--fast skips the ASan and bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,22 +19,25 @@ cd "$(dirname "$0")/.."
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "=== [1/3] RelWithDebInfo, -Wall -Wextra -Werror ==="
+echo "=== [1/4] RelWithDebInfo, -Wall -Wextra -Werror ==="
 cmake -B build-ci -S . -DTILELINK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j
 (cd build-ci && ctest --output-on-failure -j"$(nproc)")
 
 if [[ "$FAST" == "0" ]]; then
-  echo "=== [2/3] Debug + ASan ==="
+  echo "=== [2/4] Debug + ASan ==="
   cmake -B build-asan -S . -DTILELINK_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
-  echo "=== [3/3] Bench smoke (tuned configs must beat hand-picked) ==="
+  echo "=== [3/4] Bench smoke (tuned configs must beat hand-picked) ==="
   ./build-ci/bench_micro_sim --json build-ci/BENCH_micro_sim.json
   ./build-ci/bench_fig8_mlp --json build-ci/BENCH_fig8.json
   ./build-ci/bench_fig11_e2e --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
+
+  echo "=== [4/4] 16-GPU smoke (hierarchical must beat flat at 2x8) ==="
+  ./build-ci/bench_multinode_fabric --json build-ci/BENCH_multinode.json
 fi
 
 echo "CI OK"

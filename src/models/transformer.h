@@ -32,7 +32,11 @@ enum class Method {
 struct LayerBreakdown {
   sim::TimeNs attn_block = 0;  // AG+QKV, flash core, out-proj+RS
   sim::TimeNs ffn_block = 0;   // MLP or MoE (plus shared expert if any)
-  sim::TimeNs total() const { return attn_block + ffn_block; }
+  // Two-node runs only: simulated inter-node data-parallel gradient sync
+  // (multinode::DpAllReduce over the NIC fabric), method-shared like the
+  // flash core — both frameworks ride the same collective.
+  sim::TimeNs dp_sync = 0;
+  sim::TimeNs total() const { return attn_block + ffn_block + dp_sync; }
 };
 
 struct E2eResult {
@@ -42,13 +46,18 @@ struct E2eResult {
   sim::TimeNs torch_total = 0;
   sim::TimeNs tilelink_total = 0;
   double speedup = 0.0;
+  LayerBreakdown torch_breakdown;
+  LayerBreakdown tilelink_breakdown;
 };
 
 class E2eEstimator {
  public:
   // tp = tensor-parallel degree (devices per TP group; one node).
-  // two_node adds the inter-node data-parallel synchronization overhead of
-  // the paper's 16-GPU setup (batch doubles, per-GPU work unchanged).
+  // two_node adds the inter-node data-parallel synchronization of the
+  // paper's 16-GPU setup (batch doubles, per-GPU work unchanged): a
+  // simulated per-layer gradient AllReduce across the node-spanning DP
+  // pairs over the NIC fabric (tilelink/multinode), not a calibrated
+  // constant — the Figure-11 dilution emerges from the flows.
   E2eEstimator(int tp, int64_t batch, int64_t seq, bool two_node);
 
   // Obtain every TileLink kernel config from Autotuner::Search through the
@@ -67,8 +76,10 @@ class E2eEstimator {
   sim::TimeNs TimeFlashCore(int64_t bh, int64_t sq, int64_t skv, int64_t d);
   sim::TimeNs TimeMoe(Method method, const ModelConfig& model);
   sim::TimeNs TimeActivation(int64_t m, int64_t n);
+  sim::TimeNs TimeDpSync(const ModelConfig& model);
 
   sim::MachineSpec Spec() const;
+  sim::MachineSpec TwoNodeSpec() const;
 
   int tp_;
   int64_t batch_, seq_;

@@ -33,12 +33,12 @@ World::World(const sim::MachineSpec& spec, ExecMode mode)
       std::make_unique<HostBarrier>(&sim_, spec.num_devices, "world.comm");
 }
 
+sim::Network& World::fabric_for(int src, int dst) {
+  return spec_.node_of(src) == spec_.node_of(dst) ? *intra_ : *inter_;
+}
+
 sim::Coro World::Transfer(int src, int dst, uint64_t bytes) {
-  if (spec_.node_of(src) == spec_.node_of(dst)) {
-    co_await intra_->Transfer(src, dst, bytes);
-  } else {
-    co_await inter_->Transfer(src, dst, bytes);
-  }
+  co_await fabric_for(src, dst).Transfer(src, dst, bytes);
 }
 
 std::vector<Buffer*> World::AllocSymmetric(const std::string& name,

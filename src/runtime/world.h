@@ -79,6 +79,10 @@ class World {
   // (NVLink within a node, NIC across nodes).
   sim::Coro Transfer(int src, int dst, uint64_t bytes);
 
+  // The fabric Transfer(src, dst, ...) rides: NVLink when both devices
+  // share a node, the NIC otherwise.
+  sim::Network& fabric_for(int src, int dst);
+
   sim::Network& intra_fabric() { return *intra_; }
   sim::Network& inter_fabric() { return *inter_; }
 

@@ -28,6 +28,10 @@ struct MachineSpec {
   // Inter-node fabric (IB NICs, aggregated per device).
   double nic_gbps = 48.0;
   TimeNs nic_latency = Us(6.5);
+  // Concurrent RDMA queue pairs a device's NIC sustains at full rate; the
+  // per-fabric channel budget for NIC-bound communication roles (clamps the
+  // staging depth of multi-node collectives).
+  int nic_queue_pairs = 16;
 
   // Software overheads.
   TimeNs kernel_launch_latency = Us(6.0);

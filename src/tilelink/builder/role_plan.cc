@@ -4,6 +4,23 @@
 
 namespace tilelink::tl {
 
+const char* FabricBindingName(FabricBinding fabric) {
+  switch (fabric) {
+    case FabricBinding::kNvlink:
+      return "nvlink";
+    case FabricBinding::kNic:
+      return "nic";
+    case FabricBinding::kCopyEngine:
+      return "copy_engine";
+  }
+  return "?";
+}
+
+FabricBinding FabricForResource(CommResource r) {
+  return r == CommResource::kDma ? FabricBinding::kCopyEngine
+                                 : FabricBinding::kNvlink;
+}
+
 const char* TileOrderName(TileOrder order) {
   switch (order) {
     case TileOrder::kRowMajor:
@@ -24,6 +41,39 @@ int64_t SwizzleTileM(int64_t raw_m, int64_t tiles_m, int64_t tiles_m_per_rank,
   return (raw_m + first_rank * tiles_m_per_rank) % tiles_m;
 }
 
+ResourceBudget ResourceBudget::ForDevice(const sim::MachineSpec& spec) {
+  ResourceBudget budget(spec.sms_per_device);
+  // NVLink SM-copy channels are plentiful at kernel granularity (one per
+  // comm block); copy engines and NIC queue pairs are the scarce resources.
+  budget.SetFabricChannels(FabricBinding::kCopyEngine,
+                           spec.copy_engines_per_device);
+  budget.SetFabricChannels(FabricBinding::kNic, spec.nic_queue_pairs);
+  return budget;
+}
+
+void ResourceBudget::SetFabricChannels(FabricBinding fabric, int capacity) {
+  fabric_capacity_[static_cast<int>(fabric)] = capacity;
+}
+
+int ResourceBudget::fabric_capacity(FabricBinding fabric) const {
+  return fabric_capacity_[static_cast<int>(fabric)];
+}
+
+int ResourceBudget::fabric_used(FabricBinding fabric) const {
+  return fabric_used_[static_cast<int>(fabric)];
+}
+
+int ResourceBudget::ClaimFabric(FabricBinding fabric, int want) {
+  const int f = static_cast<int>(fabric);
+  int granted = std::max(want, 1);
+  if (fabric_capacity_[f] >= 0) {
+    granted = std::max(1, std::min(granted,
+                                   fabric_capacity_[f] - fabric_used_[f]));
+  }
+  fabric_used_[f] += granted;
+  return granted;
+}
+
 int ResourceBudget::ClaimComm(int want, int64_t work_items) {
   const int blocks =
       static_cast<int>(std::min<int64_t>(want, work_items));
@@ -40,15 +90,25 @@ int ResourceBudget::ClaimCompute(int64_t tiles) {
 
 RolePlan& RolePlan::Comm(const std::string& name, int want_sms,
                          int64_t work_items, BlockProgram program) {
+  return Comm(name, FabricBinding::kNvlink, want_sms, work_items,
+              std::move(program));
+}
+
+RolePlan& RolePlan::Comm(const std::string& name, FabricBinding fabric,
+                         int want_sms, int64_t work_items,
+                         BlockProgram program, int want_channels) {
+  const int blocks = budget_.ClaimComm(want_sms, work_items);
+  const int channels =
+      budget_.ClaimFabric(fabric, want_channels > 0 ? want_channels : blocks);
   spec_.roles.push_back(
-      Role{name, budget_.ClaimComm(want_sms, work_items), std::move(program)});
+      Role{name, blocks, std::move(program), fabric, channels});
   return *this;
 }
 
 RolePlan& RolePlan::Compute(const std::string& name, int64_t tiles,
                             BlockProgram program) {
-  spec_.roles.push_back(
-      Role{name, budget_.ClaimCompute(tiles), std::move(program)});
+  spec_.roles.push_back(Role{name, budget_.ClaimCompute(tiles),
+                             std::move(program), FabricBinding::kNvlink, 0});
   return *this;
 }
 

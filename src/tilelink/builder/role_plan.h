@@ -16,9 +16,17 @@
 #include <string>
 #include <vector>
 
+#include "sim/machine_spec.h"
+#include "tilelink/kernels/kernel_common.h"
 #include "tilelink/program.h"
 
 namespace tilelink::tl {
+
+const char* FabricBindingName(FabricBinding fabric);
+
+// Default fabric of a §3.1 resource binding: SM roles move tiles over
+// NVLink, DMA roles occupy copy engines.
+FabricBinding FabricForResource(CommResource r);
 
 // Compute-role m-tile visit order (§3.1 tile order).
 enum class TileOrder {
@@ -37,10 +45,18 @@ const char* TileOrderName(TileOrder order);
 int64_t SwizzleTileM(int64_t raw_m, int64_t tiles_m, int64_t tiles_m_per_rank,
                      int rank, int ranks, TileOrder order);
 
-// Splits one device's SMs among the roles of a fused kernel, in role order.
+// Splits one device's SMs among the roles of a fused kernel, in role order,
+// and tracks per-fabric channel budgets so communication roles bound to
+// different fabrics (NVLink channels, NIC queue pairs, copy engines) are
+// capped independently of the SM split.
 class ResourceBudget {
  public:
   explicit ResourceBudget(int total_sms) : total_(total_sms) {}
+
+  // Budget for one device of `spec`: its SMs, its copy engines, and the
+  // fabric channel counts the runtime exposes (NVLink SM-copy channels are
+  // effectively unbounded at kernel granularity; NIC queue pairs are not).
+  static ResourceBudget ForDevice(const sim::MachineSpec& spec);
 
   int total() const { return total_; }
   int used() const { return used_; }
@@ -54,9 +70,22 @@ class ResourceBudget {
   // Compute role: claims min(tiles, remaining) blocks, at least 1.
   int ClaimCompute(int64_t tiles);
 
+  // Caps the number of channels a role may open on `fabric` (negative:
+  // unlimited, the default).
+  void SetFabricChannels(FabricBinding fabric, int capacity);
+  int fabric_capacity(FabricBinding fabric) const;
+  int fabric_used(FabricBinding fabric) const;
+
+  // Claims up to `want` channels on `fabric`; returns the granted count
+  // (at least 1 so a clamped role still makes progress, like ClaimCompute).
+  int ClaimFabric(FabricBinding fabric, int want);
+
  private:
+  static constexpr int kNumFabrics = 3;
   int total_;
   int used_ = 0;
+  int fabric_capacity_[kNumFabrics] = {-1, -1, -1};  // -1: unlimited
+  int fabric_used_[kNumFabrics] = {0, 0, 0};
 };
 
 // Ordered role list with budget-driven block counts; produces the
@@ -70,9 +99,16 @@ class RolePlan {
 
   ResourceBudget& budget() { return budget_; }
 
-  // Adds a communication role sized by ClaimComm.
+  // Adds a communication role sized by ClaimComm, bound to the NVLink
+  // fabric (the single-node default every intra-node kernel uses).
   RolePlan& Comm(const std::string& name, int want_sms, int64_t work_items,
                  BlockProgram program);
+  // Adds a communication role bound to an explicit fabric; the role's
+  // channel count is additionally clamped by the budget's per-fabric
+  // channel capacity (`want_channels` defaults to the block count).
+  RolePlan& Comm(const std::string& name, FabricBinding fabric, int want_sms,
+                 int64_t work_items, BlockProgram program,
+                 int want_channels = 0);
   // Adds a compute role sized by ClaimCompute.
   RolePlan& Compute(const std::string& name, int64_t tiles,
                     BlockProgram program);

@@ -1,5 +1,6 @@
 #include "tilelink/builder/tuned_config_cache.h"
 
+#include <bit>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -7,8 +8,53 @@
 #include <sstream>
 
 #include "common/string_utils.h"
+#include "sim/cost_model.h"
 
 namespace tilelink::tl {
+namespace {
+
+void HashMix(uint32_t* h, uint64_t value) {
+  // FNV-1a over the value's bytes.
+  for (int i = 0; i < 8; ++i) {
+    *h ^= static_cast<uint32_t>((value >> (8 * i)) & 0xff);
+    *h *= 16777619u;
+  }
+}
+
+}  // namespace
+
+uint32_t CostCalibrationHash(const sim::MachineSpec& spec) {
+  // Fingerprint the cost model by what it *outputs* at fixed probe points,
+  // not by which constants it happens to contain: any recalibration — a
+  // MachineSpec number or a formula coefficient — changes some probe and
+  // therefore the hash, so stale cached costs stop matching their keys.
+  const sim::CostModel cost(spec);
+  uint32_t h = 2166136261u;
+  HashMix(&h, static_cast<uint64_t>(cost.GemmTileStep(128, 256, 64)));
+  HashMix(&h, static_cast<uint64_t>(cost.GemmTileStep(32, 32, 64)));
+  HashMix(&h, static_cast<uint64_t>(cost.FlashAttnTileStep(128, 128, 128)));
+  HashMix(&h, static_cast<uint64_t>(cost.MemoryBound(1 << 20, 20)));
+  HashMix(&h, static_cast<uint64_t>(cost.NvlinkTransfer(1 << 20)));
+  HashMix(&h, static_cast<uint64_t>(cost.BlockPrologue()));
+  HashMix(&h, static_cast<uint64_t>(cost.BlockEpilogue()));
+  // Fabric parameters and software latencies the DES bills directly (not
+  // via CostModel); bandwidths hash their full bit patterns so fractional
+  // recalibrations change the key too.
+  HashMix(&h, static_cast<uint64_t>(spec.nic_latency));
+  HashMix(&h, std::bit_cast<uint64_t>(spec.nic_gbps));
+  HashMix(&h, static_cast<uint64_t>(spec.nic_queue_pairs));
+  HashMix(&h, std::bit_cast<uint64_t>(spec.nvlink_gbps));
+  HashMix(&h, static_cast<uint64_t>(spec.copy_engines_per_device));
+  HashMix(&h, static_cast<uint64_t>(spec.kernel_launch_latency));
+  HashMix(&h, static_cast<uint64_t>(spec.host_sync_latency));
+  HashMix(&h, static_cast<uint64_t>(spec.collective_setup_latency));
+  HashMix(&h, static_cast<uint64_t>(spec.dma_setup_latency));
+  HashMix(&h, std::bit_cast<uint64_t>(spec.dma_efficiency));
+  HashMix(&h, static_cast<uint64_t>(spec.signal_visibility_latency));
+  HashMix(&h, static_cast<uint64_t>(spec.local_signal_latency));
+  return h;
+}
+
 namespace {
 
 // Minimal recursive-descent parser for the flat JSON this cache writes:
@@ -129,6 +175,10 @@ bool ParseEntryObject(JsonScanner& scan, TunedEntry* entry) {
       c.reduce_block_tokens = v;
     } else if (field == "reduce_sms") {
       c.reduce_sms = v;
+    } else if (field == "nic_chunk_tiles") {
+      c.nic_chunk_tiles = v;
+    } else if (field == "staging_depth") {
+      c.staging_depth = v;
     } else if (field == "cost_ns") {
       entry->cost = value;
     } else {
@@ -150,9 +200,36 @@ std::string TunedConfigCache::Key(const std::string& kind,
     os << (first ? "" : "x") << d;
     first = false;
   }
-  os << "/R" << spec.num_devices << ".sm" << spec.sms_per_device << ".nv"
+  // Node topology is part of the machine: a 2x8 and a 4x4 sixteen-device
+  // machine tune multi-node collectives completely differently.
+  os << "/R" << spec.num_devices << ".n" << spec.devices_per_node << ".sm"
+     << spec.sms_per_device << ".nv"
      << static_cast<int64_t>(spec.nvlink_gbps);
+  // Calibration hash: recalibrating the cost model changes the key, so a
+  // warm-started cache silently re-tunes instead of serving stale costs.
+  char cal[16];
+  std::snprintf(cal, sizeof(cal), ".c%08x", CostCalibrationHash(spec));
+  os << cal;
   return os.str();
+}
+
+std::size_t TunedConfigCache::PruneStaleCalibration(
+    uint32_t calibration_hash) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".c%08x", calibration_hash);
+  const std::string want(suffix);
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::string& key = it->first;
+    if (key.size() < want.size() ||
+        key.compare(key.size() - want.size(), want.size(), want) != 0) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
 }
 
 const TunedEntry* TunedConfigCache::Find(const std::string& key) const {
@@ -194,6 +271,8 @@ std::string TunedConfigCache::ToJson() const {
        << ", \"sorted_channel_rows\": " << c.sorted_channel_rows
        << ", \"reduce_block_tokens\": " << c.reduce_block_tokens
        << ", \"reduce_sms\": " << c.reduce_sms
+       << ", \"nic_chunk_tiles\": " << c.nic_chunk_tiles
+       << ", \"staging_depth\": " << c.staging_depth
        << ", \"cost_ns\": " << entry.cost << "}";
   }
   os << "\n}\n";

@@ -20,6 +20,12 @@
 
 namespace tilelink::tl {
 
+// Fingerprint of the cost model's calibration: a hash of its outputs at
+// fixed probe points plus the simulator-billed latencies. Part of every
+// cache key, so recalibration invalidates cached costs instead of silently
+// serving them.
+uint32_t CostCalibrationHash(const sim::MachineSpec& spec);
+
 struct TunedEntry {
   TuneCandidate config;
   sim::TimeNs cost = 0;  // simulated makespan of `config`
@@ -29,7 +35,8 @@ struct TunedEntry {
 
 class TunedConfigCache {
  public:
-  // "kind/d0xd1x.../R8.sm132.nv150": stable, human-greppable key.
+  // "kind/d0xd1x.../R8.n8.sm132.nv150.c<hash>": stable, human-greppable
+  // key; the trailing component is CostCalibrationHash(spec).
   static std::string Key(const std::string& kind,
                          std::initializer_list<int64_t> dims,
                          const sim::MachineSpec& spec);
@@ -47,6 +54,12 @@ class TunedConfigCache {
   std::size_t size() const { return entries_.size(); }
   int hits() const { return hits_; }
   int misses() const { return misses_; }
+
+  // Drops entries whose key's calibration suffix does not match
+  // `calibration_hash` — the generations a recalibration orphaned. Without
+  // this, a warm-started cache file grows by one full generation per
+  // recalibration and never shrinks. Returns the number removed.
+  std::size_t PruneStaleCalibration(uint32_t calibration_hash);
 
   // Deterministic (sorted-key) JSON document of every entry.
   std::string ToJson() const;

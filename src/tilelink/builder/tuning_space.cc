@@ -60,6 +60,12 @@ std::string TuneCandidate::Describe() const {
     os << " reduce_tokens=" << reduce_block_tokens;
   }
   if (reduce_sms != def.reduce_sms) os << " reduce_sms=" << reduce_sms;
+  if (nic_chunk_tiles != def.nic_chunk_tiles) {
+    os << " nic_chunk=" << nic_chunk_tiles;
+  }
+  if (staging_depth != def.staging_depth) {
+    os << " staging=" << staging_depth;
+  }
   return os.str();
 }
 
@@ -110,6 +116,16 @@ TuningSpace& TuningSpace::ReduceBlockTokens(std::vector<int> values) {
 
 TuningSpace& TuningSpace::ReduceSms(std::vector<int> values) {
   reduce_sms_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::NicChunkTiles(std::vector<int> values) {
+  nic_chunk_tiles_ = std::move(values);
+  return *this;
+}
+
+TuningSpace& TuningSpace::StagingDepth(std::vector<int> values) {
+  staging_depth_ = std::move(values);
   return *this;
 }
 
@@ -170,6 +186,9 @@ std::vector<TuneCandidate> TuningSpace::Enumerate(
   expand(reduce_block_tokens_,
          [](TuneCandidate& c, int v) { c.reduce_block_tokens = v; });
   expand(reduce_sms_, [](TuneCandidate& c, int v) { c.reduce_sms = v; });
+  expand(nic_chunk_tiles_,
+         [](TuneCandidate& c, int v) { c.nic_chunk_tiles = v; });
+  expand(staging_depth_, [](TuneCandidate& c, int v) { c.staging_depth = v; });
   return out;
 }
 
@@ -206,6 +225,15 @@ TuningSpace TuningSpace::MoePart1() {
       .Resources({CommResource::kSmPull, CommResource::kSmPush,
                   CommResource::kDma})
       .ChannelsPerRank({0, 4});
+  return space;
+}
+
+TuningSpace TuningSpace::MultiNode() {
+  TuningSpace space;
+  // NIC messages pay ~3x the NVLink latency, so the chunk axis reaches much
+  // coarser sizes than the intra-node comm-tile axis; depths beyond the NIC
+  // queue-pair budget are clamped by ResourceBudget at bind time.
+  space.NicChunkTiles({1, 2, 4, 8, 16}).StagingDepth({1, 2, 4, 8});
   return space;
 }
 

@@ -37,6 +37,11 @@ struct TuneCandidate {
   int sorted_channel_rows = 512;  // pc1 granularity over sorted slots
   int reduce_block_tokens = 64;   // topk-reduce chunk
   int reduce_sms = 16;
+  // Multi-node collectives (tilelink/multinode): tiles per NIC message and
+  // the number of NIC messages kept in flight per peer (staging depth,
+  // clamped by the NIC channel budget).
+  int nic_chunk_tiles = 4;
+  int staging_depth = 2;
 
   std::string Describe() const;
 
@@ -61,6 +66,8 @@ class TuningSpace {
   TuningSpace& SortedChannelRows(std::vector<int> values);
   TuningSpace& ReduceBlockTokens(std::vector<int> values);
   TuningSpace& ReduceSms(std::vector<int> values);
+  TuningSpace& NicChunkTiles(std::vector<int> values);
+  TuningSpace& StagingDepth(std::vector<int> values);
 
   // Cartesian product. DMA candidates ignore comm_sms, so that axis is
   // collapsed to the base value for them (no duplicate evaluations).
@@ -83,6 +90,10 @@ class TuningSpace {
   // granularity, reduce chunking/SMs, RS chunk rows, SM-push vs DMA-push.
   static TuningSpace MoePart2();
 
+  // Multi-node collectives (hierarchical AG/RS, DP gradient sync): NIC
+  // chunk size in tiles and per-peer staging depth.
+  static TuningSpace MultiNode();
+
  private:
   std::vector<std::pair<int, int>> gemm_tiles_;
   std::vector<int> comm_tile_m_;
@@ -94,6 +105,8 @@ class TuningSpace {
   std::vector<int> sorted_channel_rows_;
   std::vector<int> reduce_block_tokens_;
   std::vector<int> reduce_sms_;
+  std::vector<int> nic_chunk_tiles_;
+  std::vector<int> staging_depth_;
 };
 
 }  // namespace tilelink::tl

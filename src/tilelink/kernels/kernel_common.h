@@ -12,4 +12,15 @@ enum class CommResource {
             // host-interference latency)
 };
 
+// Which fabric (or engine) a communication role occupies. SM roles moving
+// tiles between peers ride NVLink within a node; multi-node roles ride the
+// NIC; DMA roles occupy copy engines. Budgeting them separately is what
+// lets a fused multi-node kernel overlap an NVLink stage with a NIC stage
+// without over-subscribing either.
+enum class FabricBinding {
+  kNvlink,      // intra-node peer fabric (SM pull/push channels)
+  kNic,         // inter-node fabric (RDMA queue pairs)
+  kCopyEngine,  // per-device DMA engines driven by host primitives
+};
+
 }  // namespace tilelink::tl

@@ -1,0 +1,607 @@
+#include "tilelink/multinode/hier_collectives.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "sim/coro_utils.h"
+#include "tilelink/builder/role_plan.h"
+
+namespace tilelink::multinode {
+namespace {
+
+// One chunk moving over an explicit fabric; publishes the in-order arrival
+// signal at the receiver and the sender's drain counter.
+sim::Coro TransferChunk(sim::Network* net, int src, int dst, uint64_t bytes,
+                        InOrderSignal* sig, std::size_t index, int64_t tiles,
+                        sim::Flag* done) {
+  co_await net->Transfer(src, dst, bytes);
+  if (sig != nullptr) sig->Complete(index, tiles);
+  done->Add(1);
+}
+
+// Rendezvous + NCCL-analog setup, identical to the operator-centric
+// collectives so flat-vs-hierarchical comparisons start from the same gate.
+sim::Coro CollectiveEntry(rt::RankCtx& ctx) {
+  co_await ctx.world->comm_barrier().Arrive();
+  co_await sim::Delay{ctx.world->spec().collective_setup_latency};
+}
+
+sim::TimeNs ReduceCost(rt::World& world, uint64_t bytes, int sms) {
+  // Read partial, read accumulator, write accumulator.
+  return world.cost().MemoryBound(3 * bytes, sms);
+}
+
+// Clamps the per-peer NIC staging depth by the device's NIC channel budget
+// (queue pairs shared across all `peers` concurrent rail exchanges).
+int ClampStagingDepth(const sim::MachineSpec& spec, int want, int peers) {
+  if (peers <= 0) return std::max(1, want);
+  tl::ResourceBudget budget = tl::ResourceBudget::ForDevice(spec);
+  const int granted =
+      budget.ClaimFabric(tl::FabricBinding::kNic, want * peers);
+  return std::max(1, granted / peers);
+}
+
+// Index of source node `src_node` in a receiver-side per-source array that
+// skips the receiver's own node.
+int SourceIndex(int src_node, int my_node) {
+  return src_node < my_node ? src_node : src_node - 1;
+}
+
+// Collectives address rail peers as (node, local) pairs; ragged layouts
+// (a partially filled last node) are not modeled.
+void CheckDenseTopology(const sim::MachineSpec& spec) {
+  TL_CHECK_EQ(spec.num_devices % spec.devices_per_node, 0);
+}
+
+}  // namespace
+
+HierConfig HierConfig::FromCandidate(const tl::TuneCandidate& c) {
+  HierConfig cfg;
+  cfg.nic_chunk_tiles = std::max(1, c.nic_chunk_tiles);
+  cfg.staging_depth = std::max(1, c.staging_depth);
+  cfg.reduce_sms = std::max(1, c.reduce_sms);
+  if (c.channels_per_rank > 0) cfg.intra_channels = c.channels_per_rank;
+  return cfg;
+}
+
+void InOrderSignal::Complete(std::size_t index, int64_t tiles) {
+  TL_CHECK_GT(tiles, 0);
+  if (done_.size() <= index) done_.resize(index + 1, 0);
+  TL_CHECK_EQ(done_[index], 0);
+  done_[index] = tiles;
+  while (cursor_ < done_.size() && done_[cursor_] > 0) {
+    arrived_.Add(static_cast<uint64_t>(done_[cursor_]));
+    ++cursor_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HierAllGather
+// ---------------------------------------------------------------------------
+
+HierAllGather::HierAllGather(rt::World& world, int64_t num_tiles,
+                             uint64_t tile_bytes, const HierConfig& cfg)
+    : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
+      cfg_(cfg) {
+  TL_CHECK_GT(num_tiles, 0);
+  TL_CHECK_GT(tile_bytes, 0u);
+  const sim::MachineSpec& spec = world.spec();
+  CheckDenseTopology(spec);
+  nodes_ = spec.num_nodes();
+  per_node_ = spec.devices_per_node;
+  staging_depth_ = ClampStagingDepth(spec, cfg.staging_depth, nodes_ - 1);
+  rail_.resize(static_cast<size_t>(world.size()));
+  ring_.resize(static_cast<size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) {
+    for (int k = 0; k + 1 < nodes_; ++k) {
+      rail_[static_cast<size_t>(r)].push_back(std::make_unique<InOrderSignal>(
+          &world.sim(), "hier_ag.rail.r" + std::to_string(r)));
+    }
+    ring_[static_cast<size_t>(r)] = std::make_unique<InOrderSignal>(
+        &world.sim(), "hier_ag.ring.r" + std::to_string(r));
+  }
+}
+
+sim::Coro HierAllGather::RailSend(rt::RankCtx& ctx, int peer) {
+  const int r = ctx.rank;
+  InOrderSignal* sig =
+      rail_[static_cast<size_t>(peer)]
+           [static_cast<size_t>(SourceIndex(r / per_node_, peer / per_node_))]
+               .get();
+  sim::Flag done(ctx.sim(), "hier_ag.rail_send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  for (int64_t off = 0; off < num_tiles_;) {
+    const int64_t tiles = std::min<int64_t>(cfg_.nic_chunk_tiles,
+                                            num_tiles_ - off);
+    if (idx >= static_cast<std::size_t>(staging_depth_)) {
+      co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
+                           1);
+    }
+    ctx.sim()->Spawn(
+        TransferChunk(&world_.inter_fabric(), r, peer,
+                      static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
+                      tiles, &done),
+        "hier_ag.rail_chunk");
+    ++idx;
+    off += tiles;
+  }
+  co_await done.WaitGe(idx);
+}
+
+sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int n = r / per_node_, l = r % per_node_;
+  const int right = n * per_node_ + (l + 1) % per_node_;
+  const int64_t group = static_cast<int64_t>(nodes_) * num_tiles_;
+  sim::Flag done(ctx.sim(), "hier_ag.ring_send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  // Blocks travel the ring oldest-first: block j originated j hops to the
+  // left; within a block, the owner's shard leads and its rail segments
+  // follow in source-node order.
+  for (int j = 0; j < per_node_ - 1; ++j) {
+    for (int seg = 0; seg < nodes_; ++seg) {
+      for (int64_t off = 0; off < num_tiles_;) {
+        const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
+                                                num_tiles_ - off);
+        if (j == 0) {
+          if (seg > 0) {
+            // Own block's rail segment: forward tiles as they land.
+            co_await rail_[static_cast<size_t>(r)][static_cast<size_t>(
+                               seg - 1)]
+                ->tiles_arrived()
+                .WaitGe(static_cast<uint64_t>(off + tiles));
+          }
+        } else {
+          // Forwarded block: must have arrived from the left neighbor.
+          co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
+              static_cast<uint64_t>((j - 1) * group +
+                                    static_cast<int64_t>(seg) * num_tiles_ +
+                                    off + tiles));
+        }
+        if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
+          co_await done.WaitGe(
+              idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
+        }
+        ctx.sim()->Spawn(
+            TransferChunk(&world_.intra_fabric(), r, right,
+                          static_cast<uint64_t>(tiles) * tile_bytes_,
+                          ring_[static_cast<size_t>(right)].get(), idx, tiles,
+                          &done),
+            "hier_ag.ring_chunk");
+        ++idx;
+        off += tiles;
+      }
+    }
+  }
+  co_await done.WaitGe(idx);
+}
+
+sim::Coro HierAllGather::Run(rt::RankCtx& ctx) {
+  co_await CollectiveEntry(ctx);
+  const int r = ctx.rank;
+  const int n = r / per_node_, l = r % per_node_;
+  std::vector<sim::Coro> work;
+  for (int nn = 0; nn < nodes_; ++nn) {
+    if (nn == n) continue;
+    work.push_back(RailSend(ctx, nn * per_node_ + l));
+  }
+  if (per_node_ > 1) work.push_back(RingSend(ctx));
+  co_await sim::WhenAll(std::move(work));
+  // Sends drained; wait for every inbound tile.
+  for (int k = 0; k + 1 < nodes_; ++k) {
+    co_await rail_[static_cast<size_t>(r)][static_cast<size_t>(k)]
+        ->tiles_arrived()
+        .WaitGe(static_cast<uint64_t>(num_tiles_));
+  }
+  if (per_node_ > 1) {
+    co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
+        static_cast<uint64_t>((per_node_ - 1) *
+                              static_cast<int64_t>(nodes_) * num_tiles_));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlatAllGather
+// ---------------------------------------------------------------------------
+
+FlatAllGather::FlatAllGather(rt::World& world, int64_t num_tiles,
+                             uint64_t tile_bytes, const HierConfig& cfg)
+    : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
+      cfg_(cfg) {
+  TL_CHECK_GT(num_tiles, 0);
+  for (int r = 0; r < world.size(); ++r) {
+    ring_.push_back(std::make_unique<InOrderSignal>(
+        &world.sim(), "flat_ag.ring.r" + std::to_string(r)));
+  }
+}
+
+sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
+  co_await CollectiveEntry(ctx);
+  const int r = ctx.rank;
+  const int R = world_.size();
+  const int right = (r + 1) % R;
+  sim::Flag done(ctx.sim(), "flat_ag.send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  for (int j = 0; j < R - 1; ++j) {
+    for (int64_t off = 0; off < num_tiles_;) {
+      const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
+                                              num_tiles_ - off);
+      if (j > 0) {
+        co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
+            static_cast<uint64_t>((j - 1) * num_tiles_ + off + tiles));
+      }
+      if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
+        co_await done.WaitGe(
+            idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
+      }
+      ctx.sim()->Spawn(
+          TransferChunk(&world_.fabric_for(r, right), r, right,
+                        static_cast<uint64_t>(tiles) * tile_bytes_,
+                        ring_[static_cast<size_t>(right)].get(), idx, tiles,
+                        &done),
+          "flat_ag.chunk");
+      ++idx;
+      off += tiles;
+    }
+  }
+  co_await done.WaitGe(idx);
+  co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
+      static_cast<uint64_t>(static_cast<int64_t>(R - 1) * num_tiles_));
+}
+
+// ---------------------------------------------------------------------------
+// HierReduceScatter
+// ---------------------------------------------------------------------------
+
+HierReduceScatter::HierReduceScatter(rt::World& world, int64_t num_tiles,
+                                     uint64_t tile_bytes,
+                                     const HierConfig& cfg)
+    : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
+      cfg_(cfg) {
+  TL_CHECK_GT(num_tiles, 0);
+  const sim::MachineSpec& spec = world.spec();
+  CheckDenseTopology(spec);
+  nodes_ = spec.num_nodes();
+  per_node_ = spec.devices_per_node;
+  staging_depth_ = ClampStagingDepth(spec, cfg.staging_depth, nodes_ - 1);
+  group_tiles_ = static_cast<int64_t>(nodes_) * num_tiles_;
+  for (int r = 0; r < world.size(); ++r) {
+    ring_.push_back(std::make_unique<InOrderSignal>(
+        &world.sim(), "hier_rs.ring.r" + std::to_string(r)));
+    ring_reduced_.push_back(std::make_unique<sim::Flag>(
+        &world.sim(), "hier_rs.ring_red.r" + std::to_string(r)));
+    rail_.emplace_back();
+    for (int k = 0; k + 1 < nodes_; ++k) {
+      rail_.back().push_back(std::make_unique<InOrderSignal>(
+          &world.sim(), "hier_rs.rail.r" + std::to_string(r)));
+    }
+  }
+}
+
+sim::Coro HierReduceScatter::RingSend(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int n = r / per_node_, l = r % per_node_;
+  const int right = n * per_node_ + (l + 1) % per_node_;
+  sim::Flag done(ctx.sim(), "hier_rs.ring_send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  // Step s forwards the accumulated partial of the group destined for the
+  // rank s+1 hops to the right's left... i.e. local dest (l - s - 1); the
+  // s=0 group is the local partial, later steps forward what the reducer
+  // finished for the previous step.
+  for (int s = 0; s < per_node_ - 1; ++s) {
+    for (int64_t off = 0; off < group_tiles_;) {
+      const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
+                                              group_tiles_ - off);
+      if (s > 0) {
+        co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
+            static_cast<uint64_t>((s - 1) * group_tiles_ + off + tiles));
+      }
+      if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
+        co_await done.WaitGe(
+            idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
+      }
+      ctx.sim()->Spawn(
+          TransferChunk(&world_.intra_fabric(), r, right,
+                        static_cast<uint64_t>(tiles) * tile_bytes_,
+                        ring_[static_cast<size_t>(right)].get(), idx, tiles,
+                        &done),
+          "hier_rs.ring_chunk");
+      ++idx;
+      off += tiles;
+    }
+  }
+  co_await done.WaitGe(idx);
+}
+
+sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int64_t total =
+      static_cast<int64_t>(per_node_ - 1) * group_tiles_;
+  int64_t cum = 0;
+  while (cum < total) {
+    const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
+                                            total - cum);
+    co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
+        static_cast<uint64_t>(cum + tiles));
+    co_await sim::Delay{ReduceCost(
+        world_, static_cast<uint64_t>(tiles) * tile_bytes_, cfg_.reduce_sms)};
+    ring_reduced_[static_cast<size_t>(r)]->Add(
+        static_cast<uint64_t>(tiles));
+    cum += tiles;
+  }
+}
+
+sim::Coro HierReduceScatter::RailSend(rt::RankCtx& ctx, int peer,
+                                      int peer_index) {
+  const int r = ctx.rank;
+  const int peer_node = peer / per_node_;
+  InOrderSignal* sig =
+      rail_[static_cast<size_t>(peer)][static_cast<size_t>(peer_index)].get();
+  sim::Flag done(ctx.sim(), "hier_rs.rail_send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  // The fully node-reduced tiles of the peer node's block: they are the
+  // `peer_node` segment of this rank's own group, which arrives (reduced)
+  // during the final intra ring step.
+  const int64_t own_group_base =
+      static_cast<int64_t>(per_node_ - 2) * group_tiles_;
+  for (int64_t off = 0; off < num_tiles_;) {
+    const int64_t tiles = std::min<int64_t>(cfg_.nic_chunk_tiles,
+                                            num_tiles_ - off);
+    if (per_node_ > 1) {
+      co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
+          static_cast<uint64_t>(own_group_base +
+                                static_cast<int64_t>(peer_node) * num_tiles_ +
+                                off + tiles));
+    }
+    if (idx >= static_cast<std::size_t>(staging_depth_)) {
+      co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
+                           1);
+    }
+    ctx.sim()->Spawn(
+        TransferChunk(&world_.inter_fabric(), r, peer,
+                      static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
+                      tiles, &done),
+        "hier_rs.rail_chunk");
+    ++idx;
+    off += tiles;
+  }
+  co_await done.WaitGe(idx);
+}
+
+sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
+  std::vector<sim::Coro> per_source;
+  for (int k = 0; k + 1 < nodes_; ++k) {
+    per_source.push_back([](HierReduceScatter* self, rt::RankCtx& c,
+                            int src) -> sim::Coro {
+      int64_t cum = 0;
+      while (cum < self->num_tiles_) {
+        const int64_t tiles = std::min<int64_t>(self->cfg_.nic_chunk_tiles,
+                                                self->num_tiles_ - cum);
+        co_await self->rail_[static_cast<size_t>(c.rank)]
+            [static_cast<size_t>(src)]
+                ->tiles_arrived()
+                .WaitGe(static_cast<uint64_t>(cum + tiles));
+        co_await sim::Delay{ReduceCost(
+            self->world_, static_cast<uint64_t>(tiles) * self->tile_bytes_,
+            self->cfg_.reduce_sms)};
+        cum += tiles;
+      }
+    }(this, ctx, k));
+  }
+  co_await sim::WhenAll(std::move(per_source));
+}
+
+sim::Coro HierReduceScatter::Run(rt::RankCtx& ctx) {
+  co_await CollectiveEntry(ctx);
+  const int r = ctx.rank;
+  const int n = r / per_node_, l = r % per_node_;
+  std::vector<sim::Coro> work;
+  if (per_node_ > 1) {
+    work.push_back(RingSend(ctx));
+    work.push_back(RingReducer(ctx));
+  }
+  for (int nn = 0; nn < nodes_; ++nn) {
+    if (nn == n) continue;
+    work.push_back(
+        RailSend(ctx, nn * per_node_ + l, SourceIndex(n, nn)));
+  }
+  if (nodes_ > 1) work.push_back(RailReducer(ctx));
+  co_await sim::WhenAll(std::move(work));
+}
+
+// ---------------------------------------------------------------------------
+// FlatReduceScatter
+// ---------------------------------------------------------------------------
+
+FlatReduceScatter::FlatReduceScatter(rt::World& world, int64_t num_tiles,
+                                     uint64_t tile_bytes,
+                                     const HierConfig& cfg)
+    : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
+      cfg_(cfg) {
+  TL_CHECK_GT(num_tiles, 0);
+  for (int r = 0; r < world.size(); ++r) {
+    ring_.push_back(std::make_unique<InOrderSignal>(
+        &world.sim(), "flat_rs.ring.r" + std::to_string(r)));
+    ring_reduced_.push_back(std::make_unique<sim::Flag>(
+        &world.sim(), "flat_rs.ring_red.r" + std::to_string(r)));
+  }
+}
+
+sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int R = world_.size();
+  const int right = (r + 1) % R;
+  sim::Flag done(ctx.sim(), "flat_rs.send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  for (int s = 0; s < R - 1; ++s) {
+    for (int64_t off = 0; off < num_tiles_;) {
+      const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
+                                              num_tiles_ - off);
+      if (s > 0) {
+        co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
+            static_cast<uint64_t>((s - 1) * num_tiles_ + off + tiles));
+      }
+      if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
+        co_await done.WaitGe(
+            idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
+      }
+      ctx.sim()->Spawn(
+          TransferChunk(&world_.fabric_for(r, right), r, right,
+                        static_cast<uint64_t>(tiles) * tile_bytes_,
+                        ring_[static_cast<size_t>(right)].get(), idx, tiles,
+                        &done),
+          "flat_rs.chunk");
+      ++idx;
+      off += tiles;
+    }
+  }
+  co_await done.WaitGe(idx);
+}
+
+sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int64_t total =
+      static_cast<int64_t>(world_.size() - 1) * num_tiles_;
+  int64_t cum = 0;
+  while (cum < total) {
+    const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
+                                            total - cum);
+    co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
+        static_cast<uint64_t>(cum + tiles));
+    co_await sim::Delay{ReduceCost(
+        world_, static_cast<uint64_t>(tiles) * tile_bytes_, cfg_.reduce_sms)};
+    ring_reduced_[static_cast<size_t>(r)]->Add(
+        static_cast<uint64_t>(tiles));
+    cum += tiles;
+  }
+}
+
+sim::Coro FlatReduceScatter::Run(rt::RankCtx& ctx) {
+  co_await CollectiveEntry(ctx);
+  std::vector<sim::Coro> work;
+  if (world_.size() > 1) {
+    work.push_back(RingSend(ctx));
+    work.push_back(RingReducer(ctx));
+  }
+  co_await sim::WhenAll(std::move(work));
+}
+
+// ---------------------------------------------------------------------------
+// DpAllReduce
+// ---------------------------------------------------------------------------
+
+DpAllReduce::DpAllReduce(rt::World& world, int64_t num_tiles,
+                         uint64_t tile_bytes, const HierConfig& cfg)
+    : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
+      cfg_(cfg) {
+  TL_CHECK_GT(num_tiles, 0);
+  const sim::MachineSpec& spec = world.spec();
+  CheckDenseTopology(spec);
+  nodes_ = spec.num_nodes();
+  per_node_ = spec.devices_per_node;
+  // Each DP group member exchanges with every other member in both phases.
+  staging_depth_ =
+      ClampStagingDepth(spec, cfg.staging_depth, 2 * (nodes_ - 1));
+  for (int r = 0; r < world.size(); ++r) {
+    rs_arrived_.emplace_back();
+    ag_arrived_.emplace_back();
+    for (int k = 0; k + 1 < nodes_; ++k) {
+      rs_arrived_.back().push_back(std::make_unique<InOrderSignal>(
+          &world.sim(), "dp_ar.rs.r" + std::to_string(r)));
+      ag_arrived_.back().push_back(std::make_unique<InOrderSignal>(
+          &world.sim(), "dp_ar.ag.r" + std::to_string(r)));
+    }
+    block_reduced_.push_back(std::make_unique<sim::Flag>(
+        &world.sim(), "dp_ar.red.r" + std::to_string(r)));
+  }
+}
+
+// Tiles of group-member block b (the last block absorbs the remainder).
+static int64_t DpBlockTiles(int64_t num_tiles, int nodes, int b) {
+  const int64_t base = num_tiles / nodes;
+  return b == nodes - 1 ? num_tiles - base * (nodes - 1) : base;
+}
+
+sim::Coro DpAllReduce::SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase) {
+  const int r = ctx.rank;
+  const int n = r / per_node_, peer_node = peer / per_node_;
+  // RS phase: send the partial of the peer's block. AG phase: send this
+  // rank's reduced block.
+  const int64_t tiles_total =
+      DpBlockTiles(num_tiles_, nodes_, rs_phase ? peer_node : n);
+  InOrderSignal* sig =
+      (rs_phase ? rs_arrived_ : ag_arrived_)[static_cast<size_t>(peer)]
+          [static_cast<size_t>(SourceIndex(n, peer_node))]
+              .get();
+  sim::Flag done(ctx.sim(), "dp_ar.send.r" + std::to_string(r));
+  std::size_t idx = 0;
+  for (int64_t off = 0; off < tiles_total;) {
+    const int64_t tiles =
+        std::min<int64_t>(cfg_.nic_chunk_tiles, tiles_total - off);
+    if (!rs_phase) {
+      // A reduced chunk leaves as soon as the reducer finishes it.
+      co_await block_reduced_[static_cast<size_t>(r)]->WaitGe(
+          static_cast<uint64_t>(off + tiles));
+    }
+    if (idx >= static_cast<std::size_t>(staging_depth_)) {
+      co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
+                           1);
+    }
+    ctx.sim()->Spawn(
+        TransferChunk(&world_.inter_fabric(), r, peer,
+                      static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
+                      tiles, &done),
+        "dp_ar.chunk");
+    ++idx;
+    off += tiles;
+  }
+  co_await done.WaitGe(idx);
+}
+
+sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int n = r / per_node_;
+  const int64_t my_tiles = DpBlockTiles(num_tiles_, nodes_, n);
+  int64_t cum = 0;
+  while (cum < my_tiles) {
+    const int64_t tiles =
+        std::min<int64_t>(cfg_.nic_chunk_tiles, my_tiles - cum);
+    for (int k = 0; k + 1 < nodes_; ++k) {
+      co_await rs_arrived_[static_cast<size_t>(r)][static_cast<size_t>(k)]
+          ->tiles_arrived()
+          .WaitGe(static_cast<uint64_t>(cum + tiles));
+      co_await sim::Delay{ReduceCost(
+          world_, static_cast<uint64_t>(tiles) * tile_bytes_,
+          cfg_.reduce_sms)};
+    }
+    block_reduced_[static_cast<size_t>(r)]->Add(
+        static_cast<uint64_t>(tiles));
+    cum += tiles;
+  }
+}
+
+sim::Coro DpAllReduce::Run(rt::RankCtx& ctx) {
+  co_await CollectiveEntry(ctx);
+  if (nodes_ <= 1) co_return;  // single node: no DP group to sync
+  const int r = ctx.rank;
+  const int n = r / per_node_, l = r % per_node_;
+  std::vector<sim::Coro> work;
+  for (int nn = 0; nn < nodes_; ++nn) {
+    if (nn == n) continue;
+    work.push_back(SendToPeer(ctx, nn * per_node_ + l, /*rs_phase=*/true));
+    work.push_back(SendToPeer(ctx, nn * per_node_ + l, /*rs_phase=*/false));
+  }
+  work.push_back(Reducer(ctx));
+  co_await sim::WhenAll(std::move(work));
+  // Every other member's reduced block must have landed here.
+  for (int k = 0; k + 1 < nodes_; ++k) {
+    const int src_node = k < n ? k : k + 1;
+    co_await ag_arrived_[static_cast<size_t>(r)][static_cast<size_t>(k)]
+        ->tiles_arrived()
+        .WaitGe(static_cast<uint64_t>(DpBlockTiles(num_tiles_, nodes_,
+                                                   src_node)));
+  }
+}
+
+}  // namespace tilelink::multinode

@@ -1,0 +1,192 @@
+// Hierarchical tile-granular collectives over the two-fabric machine.
+//
+// The flow-level Network always modeled both fabrics (NVLink within a node,
+// NICs across nodes), but every collective above it was single-fabric: a
+// flat ring over the world treats the two NIC hops of a 2x8 ring like
+// NVLink hops and bottlenecks on them. These collectives split the work
+// into an intra-node NVLink ring stage and an inter-node NIC "rail"
+// exchange stage (rank (node, l) talks to (node', l)), pipelined against
+// each other at tile granularity: a NIC chunk enters the NVLink ring as
+// soon as it lands, and a reduced chunk leaves for the rail peer as soon
+// as the ring finishes it. The flat single-stage variants are kept as the
+// baseline the benchmarks compare against (T3/Syncopate both show the gap
+// between the two is the point of modeling the hierarchy at all).
+//
+// All collectives here are timing-oriented: they move `num_tiles` tiles of
+// `tile_bytes` per rank through the fabric models (no tensor payloads) —
+// the granularity the multi-node e2e path and the autotuner need.
+//
+// SPMD usage: construct once outside World::RunSpmd, co_await Run(ctx) on
+// every rank. Objects are single-shot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/world.h"
+#include "sim/coro.h"
+#include "sim/flag.h"
+#include "tilelink/builder/tuning_space.h"
+
+namespace tilelink::multinode {
+
+// Knobs of the multi-node design space (the TuningSpace::MultiNode() axes
+// plus the intra-node channel width the single-node kernels already tune).
+struct HierConfig {
+  int nic_chunk_tiles = 4;   // tiles per NIC message
+  int staging_depth = 2;     // NIC messages in flight per peer (clamped by
+                             // the ResourceBudget NIC channel budget)
+  int intra_chunk_tiles = 2; // tiles per NVLink ring message
+  int intra_channels = 4;    // NVLink ring messages in flight
+  int reduce_sms = 20;       // SMs billed for reduction epilogues
+
+  static HierConfig FromCandidate(const tl::TuneCandidate& c);
+};
+
+// Per-sender chunk-completion reordering: flow completions under max-min
+// sharing are only approximately FIFO, but downstream consumers must see a
+// prefix ("tiles 0..k arrived"), so completions are published in order.
+class InOrderSignal {
+ public:
+  InOrderSignal(sim::Simulator* sim, std::string name)
+      : arrived_(sim, std::move(name)) {}
+
+  // Marks chunk `index` (covering `tiles` tiles) complete; publishes every
+  // contiguous finished prefix to the flag.
+  void Complete(std::size_t index, int64_t tiles);
+
+  sim::Flag& tiles_arrived() { return arrived_; }
+
+ private:
+  sim::Flag arrived_;
+  std::vector<int64_t> done_;  // tiles of chunk i, 0 = not yet complete
+  std::size_t cursor_ = 0;
+};
+
+// Two-stage AllGather: every rank contributes num_tiles tiles; every rank
+// ends holding all world_size * num_tiles tiles. Stage 1 exchanges shards
+// between rail peers over the NIC; stage 2 runs a chunked NVLink ring over
+// each node's ranks, forwarding rail tiles as they land.
+class HierAllGather {
+ public:
+  HierAllGather(rt::World& world, int64_t num_tiles, uint64_t tile_bytes,
+                const HierConfig& cfg);
+  sim::Coro Run(rt::RankCtx& ctx);
+
+  // Effective per-peer NIC staging depth after the channel-budget clamp.
+  int effective_staging_depth() const { return staging_depth_; }
+
+ private:
+  sim::Coro RailSend(rt::RankCtx& ctx, int peer);
+  sim::Coro RingSend(rt::RankCtx& ctx);
+
+  rt::World& world_;
+  int64_t num_tiles_;
+  uint64_t tile_bytes_;
+  HierConfig cfg_;
+  int staging_depth_;
+  int nodes_, per_node_;
+  // rail_[r][k]: tiles arrived at rank r from its k-th rail peer (node
+  // order, own node skipped).
+  std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rail_;
+  // ring_[r]: tiles arrived at rank r from its left ring neighbor, in the
+  // ring send-sequence order.
+  std::vector<std::unique_ptr<InOrderSignal>> ring_;
+};
+
+// Flat single-stage baseline: one chunked ring over all ranks in global id
+// order; World::Transfer routes each hop (the node-boundary hops land on
+// the NIC and throttle the whole ring).
+class FlatAllGather {
+ public:
+  FlatAllGather(rt::World& world, int64_t num_tiles, uint64_t tile_bytes,
+                const HierConfig& cfg);
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  rt::World& world_;
+  int64_t num_tiles_;
+  uint64_t tile_bytes_;
+  HierConfig cfg_;
+  std::vector<std::unique_ptr<InOrderSignal>> ring_;
+};
+
+// Two-stage ReduceScatter: every rank holds world_size * num_tiles partial
+// tiles; rank r ends with its num_tiles fully reduced. Stage 1 ring-reduces
+// within the node over NVLink (rank (n, l) accumulates the node's partial
+// for every block with local index l); stage 2 exchanges node partials
+// between rail peers over the NIC and reduces on arrival.
+class HierReduceScatter {
+ public:
+  HierReduceScatter(rt::World& world, int64_t num_tiles, uint64_t tile_bytes,
+                    const HierConfig& cfg);
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  sim::Coro RingSend(rt::RankCtx& ctx);
+  sim::Coro RingReducer(rt::RankCtx& ctx);
+  sim::Coro RailSend(rt::RankCtx& ctx, int peer, int peer_index);
+  sim::Coro RailReducer(rt::RankCtx& ctx);
+
+  rt::World& world_;
+  int64_t num_tiles_;
+  uint64_t tile_bytes_;
+  HierConfig cfg_;
+  int staging_depth_;
+  int nodes_, per_node_;
+  int64_t group_tiles_;  // nodes * num_tiles, one intra-ring group
+  std::vector<std::unique_ptr<InOrderSignal>> ring_;       // raw arrivals
+  std::vector<std::unique_ptr<sim::Flag>> ring_reduced_;   // after reduce
+  std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rail_;
+};
+
+// Flat single-stage baseline ReduceScatter (chunked ring over all ranks).
+class FlatReduceScatter {
+ public:
+  FlatReduceScatter(rt::World& world, int64_t num_tiles, uint64_t tile_bytes,
+                    const HierConfig& cfg);
+  sim::Coro Run(rt::RankCtx& ctx);
+
+ private:
+  sim::Coro RingSend(rt::RankCtx& ctx);
+  sim::Coro RingReducer(rt::RankCtx& ctx);
+
+  rt::World& world_;
+  int64_t num_tiles_;
+  uint64_t tile_bytes_;
+  HierConfig cfg_;
+  std::vector<std::unique_ptr<InOrderSignal>> ring_;
+  std::vector<std::unique_ptr<sim::Flag>> ring_reduced_;
+};
+
+// Cross-node data-parallel AllReduce: each rank holds `num_tiles` gradient
+// tiles replicated across its DP group {(node, l) : node} — the 16-GPU
+// TP8 x DP2 layout, where the group never leaves the NIC. Tile-granular
+// ReduceScatter + AllGather within the group, every member's NIC port
+// active in both directions, reduces overlapped with the wire at chunk
+// granularity.
+class DpAllReduce {
+ public:
+  DpAllReduce(rt::World& world, int64_t num_tiles, uint64_t tile_bytes,
+              const HierConfig& cfg);
+  sim::Coro Run(rt::RankCtx& ctx);
+
+  int effective_staging_depth() const { return staging_depth_; }
+
+ private:
+  sim::Coro SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase);
+  sim::Coro Reducer(rt::RankCtx& ctx);
+
+  rt::World& world_;
+  int64_t num_tiles_;
+  uint64_t tile_bytes_;
+  HierConfig cfg_;
+  int staging_depth_;
+  int nodes_, per_node_;
+  std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rs_arrived_;
+  std::vector<std::unique_ptr<sim::Flag>> block_reduced_;
+  std::vector<std::vector<std::unique_ptr<InOrderSignal>>> ag_arrived_;
+};
+
+}  // namespace tilelink::multinode

@@ -1,0 +1,142 @@
+#include "tilelink/multinode/multinode_tuning.h"
+
+#include <algorithm>
+
+#include "runtime/world.h"
+
+namespace tilelink::multinode {
+namespace {
+
+// Tile count for a gradient buffer: ~1 MiB tiles, clamped so tiny buffers
+// still pipeline and huge ones stay cheap to simulate. Simulated time is
+// nearly invariant in the tile count (chunking is what the knobs control);
+// this only bounds DES event counts.
+constexpr int64_t kMinGradTiles = 16;
+constexpr int64_t kMaxGradTiles = 256;
+
+void GradTiling(uint64_t grad_bytes, int64_t* num_tiles,
+                uint64_t* tile_bytes) {
+  int64_t tiles = static_cast<int64_t>(grad_bytes >> 20);
+  tiles = std::clamp(tiles, kMinGradTiles, kMaxGradTiles);
+  *num_tiles = tiles;
+  *tile_bytes = std::max<uint64_t>(
+      1, (grad_bytes + static_cast<uint64_t>(tiles) - 1) /
+             static_cast<uint64_t>(tiles));
+}
+
+template <typename Collective>
+sim::TimeNs RunCollective(const sim::MachineSpec& spec, int64_t num_tiles,
+                          uint64_t tile_bytes, const HierConfig& cfg) {
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  Collective coll(world, num_tiles, tile_bytes, cfg);
+  return world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+    co_await coll.Run(ctx);
+  });
+}
+
+}  // namespace
+
+tl::TuneCandidate DefaultDpSyncCandidate() {
+  tl::TuneCandidate c;
+  c.nic_chunk_tiles = 4;
+  c.staging_depth = 2;
+  return c;
+}
+
+uint64_t LayerGradBytes(const models::ModelConfig& model, int tp) {
+  const int64_t h = model.hidden;
+  // Attention: QKV projection (column parallel) + out projection (row
+  // parallel), mirroring E2eEstimator::LayerTime's GEMM shapes.
+  int64_t params = h * (3 * h / tp) + (h / tp) * h;
+  if (model.is_moe) {
+    const int64_t inner = std::max<int64_t>(1, model.intermediate / tp);
+    params += 2 * static_cast<int64_t>(model.num_experts) * h * inner;
+    if (model.shared_expert_intermediate > 0) {
+      params += 2 * h * (model.shared_expert_intermediate / tp);
+    }
+  } else {
+    params += 2 * h * (model.intermediate / tp);
+  }
+  return static_cast<uint64_t>(params) * 2;  // bf16
+}
+
+sim::TimeNs SimulateHierAllGather(const sim::MachineSpec& spec,
+                                  int64_t num_tiles, uint64_t tile_bytes,
+                                  const HierConfig& cfg) {
+  return RunCollective<HierAllGather>(spec, num_tiles, tile_bytes, cfg);
+}
+
+sim::TimeNs SimulateFlatAllGather(const sim::MachineSpec& spec,
+                                  int64_t num_tiles, uint64_t tile_bytes,
+                                  const HierConfig& cfg) {
+  return RunCollective<FlatAllGather>(spec, num_tiles, tile_bytes, cfg);
+}
+
+sim::TimeNs SimulateHierReduceScatter(const sim::MachineSpec& spec,
+                                      int64_t num_tiles, uint64_t tile_bytes,
+                                      const HierConfig& cfg) {
+  return RunCollective<HierReduceScatter>(spec, num_tiles, tile_bytes, cfg);
+}
+
+sim::TimeNs SimulateFlatReduceScatter(const sim::MachineSpec& spec,
+                                      int64_t num_tiles, uint64_t tile_bytes,
+                                      const HierConfig& cfg) {
+  return RunCollective<FlatReduceScatter>(spec, num_tiles, tile_bytes, cfg);
+}
+
+sim::TimeNs SimulateDpSync(const sim::MachineSpec& spec, uint64_t grad_bytes,
+                           const tl::TuneCandidate& c) {
+  int64_t num_tiles = 0;
+  uint64_t tile_bytes = 0;
+  GradTiling(grad_bytes, &num_tiles, &tile_bytes);
+  return RunCollective<DpAllReduce>(spec, num_tiles, tile_bytes,
+                                    HierConfig::FromCandidate(c));
+}
+
+sim::TimeNs CoarseSimulateDpSync(const sim::MachineSpec& spec,
+                                 uint64_t grad_bytes,
+                                 const tl::TuneCandidate& c) {
+  // Quarter volume preserves the chunking/staging ranking at a fraction of
+  // the events (chunk counts shrink 4x with the buffer).
+  return SimulateDpSync(spec, std::max<uint64_t>(grad_bytes / 4, 1u << 20),
+                        c);
+}
+
+sim::TimeNs DpSyncLowerBound(const sim::MachineSpec& spec,
+                             uint64_t grad_bytes,
+                             const tl::TuneCandidate& c) {
+  const int nodes = spec.num_nodes();
+  if (nodes <= 1) return 0;
+  // Per rank and phase, (nodes-1)/nodes of the buffer crosses its NIC; RS
+  // and AG phases serialize on the last tile even when fully pipelined.
+  const double frac =
+      static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+  const double wire_bytes = 2.0 * frac * static_cast<double>(grad_bytes);
+  const sim::TimeNs wire =
+      static_cast<sim::TimeNs>(wire_bytes / spec.nic_gbps);
+  const sim::CostModel cost(spec);
+  const sim::TimeNs reduce = cost.MemoryBound(
+      static_cast<uint64_t>(3.0 * frac * static_cast<double>(grad_bytes)),
+      std::max(1, c.reduce_sms));
+  return spec.collective_setup_latency + spec.nic_latency +
+         std::max(wire, reduce);
+}
+
+tl::TuneResult TuneDpSync(const sim::MachineSpec& spec, uint64_t grad_bytes,
+                          const tl::TuningSpace& space,
+                          const tl::TuneCandidate& base,
+                          const tl::Autotuner& tuner) {
+  return tuner.Search(
+      space, base,
+      [&](const tl::TuneCandidate& c) {
+        return SimulateDpSync(spec, grad_bytes, c);
+      },
+      [&](const tl::TuneCandidate& c) {
+        return DpSyncLowerBound(spec, grad_bytes, c);
+      },
+      [&](const tl::TuneCandidate& c) {
+        return CoarseSimulateDpSync(spec, grad_bytes, c);
+      });
+}
+
+}  // namespace tilelink::multinode

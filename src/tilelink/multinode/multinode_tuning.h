@@ -1,0 +1,62 @@
+// Evaluators and searches for the multi-node collectives — the
+// kernel_tuning analog one level up: Simulate*() builds a fresh timing-only
+// World on the multi-node MachineSpec, runs the collective SPMD and returns
+// the makespan; TuneDpSync() wires the evaluator, a coarse (quarter-volume)
+// variant and an analytic lower bound into Autotuner::Search over the
+// TuningSpace::MultiNode() axes.
+#pragma once
+
+#include <cstdint>
+
+#include "models/model_zoo.h"
+#include "sim/machine_spec.h"
+#include "tilelink/builder/kernel_tuning.h"
+#include "tilelink/multinode/hier_collectives.h"
+
+namespace tilelink::multinode {
+
+// Per-rank parameter-gradient bytes of one transformer layer under TP
+// sharding (bf16): the volume each DP group member must all-reduce.
+uint64_t LayerGradBytes(const models::ModelConfig& model, int tp);
+
+// The hand-picked two-node DP-sync knobs: the seed of every NIC-knob
+// search and the defaults baseline the benches gate the tuner against.
+tl::TuneCandidate DefaultDpSyncCandidate();
+
+// ---- Collective makespans (fresh timing-only world per call) -------------
+sim::TimeNs SimulateHierAllGather(const sim::MachineSpec& spec,
+                                  int64_t num_tiles, uint64_t tile_bytes,
+                                  const HierConfig& cfg);
+sim::TimeNs SimulateFlatAllGather(const sim::MachineSpec& spec,
+                                  int64_t num_tiles, uint64_t tile_bytes,
+                                  const HierConfig& cfg);
+sim::TimeNs SimulateHierReduceScatter(const sim::MachineSpec& spec,
+                                      int64_t num_tiles, uint64_t tile_bytes,
+                                      const HierConfig& cfg);
+sim::TimeNs SimulateFlatReduceScatter(const sim::MachineSpec& spec,
+                                      int64_t num_tiles, uint64_t tile_bytes,
+                                      const HierConfig& cfg);
+
+// ---- DP gradient sync ----------------------------------------------------
+// Splits `grad_bytes` into tiles (tile count adapted to the volume so event
+// counts stay bounded) and runs DpAllReduce across the node-spanning DP
+// groups; the TuneCandidate supplies the NIC knobs via
+// HierConfig::FromCandidate.
+sim::TimeNs SimulateDpSync(const sim::MachineSpec& spec, uint64_t grad_bytes,
+                           const tl::TuneCandidate& c);
+sim::TimeNs CoarseSimulateDpSync(const sim::MachineSpec& spec,
+                                 uint64_t grad_bytes,
+                                 const tl::TuneCandidate& c);
+// Overlap-aware bound: max(NIC wire time of both phases, reduce epilogue)
+// plus the unavoidable rendezvous/setup/latency costs.
+sim::TimeNs DpSyncLowerBound(const sim::MachineSpec& spec,
+                             uint64_t grad_bytes, const tl::TuneCandidate& c);
+
+// Full search over the NIC knobs (chunk tiles, staging depth), seeded so a
+// tuned config is never worse than `base`.
+tl::TuneResult TuneDpSync(const sim::MachineSpec& spec, uint64_t grad_bytes,
+                          const tl::TuningSpace& space,
+                          const tl::TuneCandidate& base,
+                          const tl::Autotuner& tuner = tl::Autotuner());
+
+}  // namespace tilelink::multinode

@@ -33,6 +33,7 @@
 #include "runtime/world.h"
 #include "sim/cost_model.h"
 #include "tilelink/block_channel.h"
+#include "tilelink/kernels/kernel_common.h"
 #include "tilelink/mapping.h"
 
 namespace tilelink::tl {
@@ -160,10 +161,14 @@ class TileProgramBuilder {
 };
 
 // One role of a fused kernel: `blocks` thread blocks running `program`.
+// Communication roles additionally declare which fabric they occupy and how
+// many channels RolePlan granted them on it (0 for compute roles).
 struct Role {
   std::string name;
   int blocks = 0;
   BlockProgram program;
+  FabricBinding fabric = FabricBinding::kNvlink;
+  int fabric_channels = 0;
 };
 
 // A fused kernel: roles occupy consecutive block-id ranges in order, so

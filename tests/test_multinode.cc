@@ -1,0 +1,223 @@
+// Multi-node fabric subsystem: hierarchical vs flat collectives, DP
+// gradient sync, fabric channel budgets, and the NIC-knob tuning hooks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/machine_spec.h"
+#include "tilelink/builder/role_plan.h"
+#include "tilelink/multinode/hier_collectives.h"
+#include "tilelink/multinode/multinode_tuning.h"
+
+namespace tilelink::multinode {
+namespace {
+
+using sim::MachineSpec;
+using sim::TimeNs;
+
+MachineSpec TwoNodeSpec(int per_node) {
+  MachineSpec spec = MachineSpec::H800x8();
+  spec.num_devices = 2 * per_node;
+  spec.devices_per_node = per_node;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// InOrderSignal
+// ---------------------------------------------------------------------------
+
+TEST(InOrderSignal, PublishesOnlyContiguousPrefix) {
+  sim::Simulator sim;
+  InOrderSignal sig(&sim, "t");
+  sig.Complete(1, 4);  // out of order: nothing published yet
+  EXPECT_EQ(sig.tiles_arrived().value(), 0u);
+  sig.Complete(2, 4);
+  EXPECT_EQ(sig.tiles_arrived().value(), 0u);
+  sig.Complete(0, 4);  // prefix 0..2 complete
+  EXPECT_EQ(sig.tiles_arrived().value(), 12u);
+  sig.Complete(3, 2);
+  EXPECT_EQ(sig.tiles_arrived().value(), 14u);
+}
+
+// ---------------------------------------------------------------------------
+// ResourceBudget fabric channels
+// ---------------------------------------------------------------------------
+
+TEST(ResourceBudget, FabricChannelsClampClaims) {
+  tl::ResourceBudget budget(132);
+  budget.SetFabricChannels(tl::FabricBinding::kNic, 16);
+  EXPECT_EQ(budget.ClaimFabric(tl::FabricBinding::kNic, 12), 12);
+  EXPECT_EQ(budget.ClaimFabric(tl::FabricBinding::kNic, 12), 4);  // clamped
+  // Exhausted budget still grants one channel so the role makes progress.
+  EXPECT_EQ(budget.ClaimFabric(tl::FabricBinding::kNic, 4), 1);
+  EXPECT_EQ(budget.fabric_used(tl::FabricBinding::kNic), 17);
+  // Unlimited fabric: grants verbatim.
+  EXPECT_EQ(budget.ClaimFabric(tl::FabricBinding::kNvlink, 64), 64);
+}
+
+TEST(ResourceBudget, ForDeviceUsesSpecBudgets) {
+  MachineSpec spec = MachineSpec::H800x8();
+  tl::ResourceBudget budget = tl::ResourceBudget::ForDevice(spec);
+  EXPECT_EQ(budget.total(), spec.sms_per_device);
+  EXPECT_EQ(budget.fabric_capacity(tl::FabricBinding::kNic),
+            spec.nic_queue_pairs);
+  EXPECT_EQ(budget.fabric_capacity(tl::FabricBinding::kCopyEngine),
+            spec.copy_engines_per_device);
+  EXPECT_LT(budget.fabric_capacity(tl::FabricBinding::kNvlink), 0);
+}
+
+TEST(FabricBinding, NamesAndResourceMapping) {
+  EXPECT_STREQ(tl::FabricBindingName(tl::FabricBinding::kNic), "nic");
+  EXPECT_EQ(tl::FabricForResource(tl::CommResource::kSmPull),
+            tl::FabricBinding::kNvlink);
+  EXPECT_EQ(tl::FabricForResource(tl::CommResource::kDma),
+            tl::FabricBinding::kCopyEngine);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical vs flat collectives
+// ---------------------------------------------------------------------------
+
+TEST(HierCollectives, HierarchicalAllGatherBeatsFlatAtTwoByEight) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  const HierConfig cfg;
+  // Paper-scale shard: 32 tiles x 512 KiB = 16 MiB per rank.
+  const TimeNs hier = SimulateHierAllGather(spec, 32, 512 << 10, cfg);
+  const TimeNs flat = SimulateFlatAllGather(spec, 32, 512 << 10, cfg);
+  std::printf("AG 2x8: hier %.3f ms, flat %.3f ms\n", hier / 1e6,
+              flat / 1e6);
+  EXPECT_GT(hier, 0);
+  EXPECT_LT(hier, flat);
+  // The flat ring pushes (R-1)/R of the volume through the two NIC hops;
+  // hierarchy should win by a wide margin, not a rounding error.
+  EXPECT_LT(static_cast<double>(hier), 0.7 * static_cast<double>(flat));
+}
+
+TEST(HierCollectives, HierarchicalReduceScatterBeatsFlatAtTwoByEight) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  const HierConfig cfg;
+  // RS input: one tile per destination rank per tile-slot.
+  const TimeNs hier = SimulateHierReduceScatter(spec, 32, 512 << 10, cfg);
+  const TimeNs flat = SimulateFlatReduceScatter(spec, 32, 512 << 10, cfg);
+  std::printf("RS 2x8: hier %.3f ms, flat %.3f ms\n", hier / 1e6,
+              flat / 1e6);
+  EXPECT_GT(hier, 0);
+  EXPECT_LT(static_cast<double>(hier), 0.7 * static_cast<double>(flat));
+}
+
+TEST(HierCollectives, SingleNodeDegeneratesWithoutDeadlock) {
+  MachineSpec spec = MachineSpec::Test(4);
+  const HierConfig cfg;
+  const TimeNs ag = SimulateHierAllGather(spec, 8, 1 << 20, cfg);
+  const TimeNs rs = SimulateHierReduceScatter(spec, 8, 1 << 20, cfg);
+  EXPECT_GT(ag, 0);
+  EXPECT_GT(rs, 0);
+}
+
+TEST(HierCollectives, DeterministicAcrossRuns) {
+  const MachineSpec spec = TwoNodeSpec(4);
+  const HierConfig cfg;
+  const TimeNs a = SimulateHierAllGather(spec, 16, 256 << 10, cfg);
+  const TimeNs b = SimulateHierAllGather(spec, 16, 256 << 10, cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HierCollectives, AllGatherRespectsWireLowerBound) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  const HierConfig cfg;
+  const int64_t tiles = 32;
+  const uint64_t tile_bytes = 512 << 10;
+  const TimeNs hier = SimulateHierAllGather(spec, tiles, tile_bytes, cfg);
+  // Rail: the full shard crosses the NIC once. Ring: each rank forwards
+  // (D-1) blocks of 2 shards over NVLink. The makespan cannot beat either.
+  const double shard = static_cast<double>(tiles * tile_bytes);
+  const TimeNs rail_floor = static_cast<TimeNs>(shard / spec.nic_gbps);
+  const TimeNs ring_floor =
+      static_cast<TimeNs>(7 * 2 * shard / spec.nvlink_gbps);
+  EXPECT_GE(hier, std::max(rail_floor, ring_floor));
+}
+
+// ---------------------------------------------------------------------------
+// DP gradient sync
+// ---------------------------------------------------------------------------
+
+TEST(DpAllReduce, TracksAnalyticWireTimeForLargeBuffers) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  tl::TuneCandidate c;
+  const uint64_t bytes = 128ull << 20;  // 128 MiB gradient per rank
+  const TimeNs t = SimulateDpSync(spec, bytes, c);
+  // RS sends B/2, AG sends B/2: ~B bytes per NIC port per direction.
+  const double wire = static_cast<double>(bytes) / spec.nic_gbps;
+  std::printf("DP sync 128MiB: %.3f ms (wire floor %.3f ms)\n", t / 1e6,
+              wire / 1e6);
+  EXPECT_GT(static_cast<double>(t), wire);
+  EXPECT_LT(static_cast<double>(t), 1.5 * wire);
+}
+
+TEST(DpAllReduce, StagingDepthHidesMessageLatency) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  // Latency-dominated regime: many small NIC messages.
+  tl::TuneCandidate shallow;
+  shallow.nic_chunk_tiles = 1;
+  shallow.staging_depth = 1;
+  tl::TuneCandidate deep = shallow;
+  deep.staging_depth = 8;
+  const uint64_t bytes = 16ull << 20;
+  const TimeNs t_shallow = SimulateDpSync(spec, bytes, shallow);
+  const TimeNs t_deep = SimulateDpSync(spec, bytes, deep);
+  std::printf("DP sync staging: depth1 %.3f ms, depth8 %.3f ms\n",
+              t_shallow / 1e6, t_deep / 1e6);
+  EXPECT_LT(t_deep, t_shallow);
+}
+
+TEST(DpAllReduce, StagingDepthClampedByNicChannelBudget) {
+  MachineSpec spec = TwoNodeSpec(8);
+  spec.nic_queue_pairs = 4;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  HierConfig cfg;
+  cfg.staging_depth = 64;
+  DpAllReduce ar(world, 32, 1 << 20, cfg);
+  // 2 phases x 1 peer = 2 concurrent exchanges share 4 queue pairs.
+  EXPECT_EQ(ar.effective_staging_depth(), 2);
+}
+
+TEST(DpAllReduce, SingleNodeIsSetupOnly) {
+  MachineSpec spec = MachineSpec::Test(4);
+  tl::TuneCandidate c;
+  const TimeNs t = SimulateDpSync(spec, 64 << 20, c);
+  EXPECT_LT(t, sim::Us(200));  // rendezvous + setup, no wire time
+}
+
+TEST(DpSync, LowerBoundIsSound) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  tl::TuneCandidate c;
+  for (uint64_t bytes : {8ull << 20, 64ull << 20, 256ull << 20}) {
+    EXPECT_LE(DpSyncLowerBound(spec, bytes, c),
+              SimulateDpSync(spec, bytes, c))
+        << bytes;
+  }
+}
+
+TEST(DpSync, TunedConfigNeverLosesToSeed) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  tl::TuneCandidate base;
+  const uint64_t bytes = 48ull << 20;
+  const TimeNs seed_cost = SimulateDpSync(spec, bytes, base);
+  const tl::TuneResult r =
+      TuneDpSync(spec, bytes, tl::TuningSpace::MultiNode(), base);
+  EXPECT_LE(r.best_cost, seed_cost);
+  EXPECT_EQ(r.best_cost, SimulateDpSync(spec, bytes, r.best));
+}
+
+TEST(DpSync, LayerGradBytesMatchesLayerStructure) {
+  const models::ModelConfig dense = models::GetModel("LLaMA2-7B");
+  // 4h^2 (attn) + 2*h*inner (MLP), bf16, divided by tp.
+  const uint64_t expect =
+      2ull * (4ull * 4096 * 4096 + 2ull * 4096 * 11008) / 8;
+  EXPECT_EQ(LayerGradBytes(dense, 8), expect);
+  const models::ModelConfig moe = models::GetModel("Mixtral-8x7B");
+  EXPECT_GT(LayerGradBytes(moe, 8), LayerGradBytes(dense, 8));
+}
+
+}  // namespace
+}  // namespace tilelink::multinode

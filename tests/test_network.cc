@@ -1,7 +1,10 @@
 // Tests for the flow-level interconnect: serial bandwidth, fair sharing,
-// latency accounting, local copies.
+// latency accounting, local copies, cross-fabric independence, World
+// routing, and stale completion events.
 #include <gtest/gtest.h>
 
+#include "runtime/world.h"
+#include "sim/machine_spec.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -101,6 +104,88 @@ TEST(Network, TotalBytesAccounted) {
   sim.Run();
   EXPECT_EQ(net.total_bytes(), 12345u + 55555u);
   EXPECT_EQ(net.active_flow_count(), 0);
+}
+
+TEST(Network, CrossFabricFlowsDoNotContend) {
+  // The two fabrics are separate Networks (as in World): max-min sharing
+  // applies within a fabric, never across — concurrent NVLink and NIC flows
+  // between the same device pair each run at their own port bandwidth.
+  Simulator sim;
+  Network nvlink(&sim, 4, kBw, /*latency=*/0, "nvl");
+  Network nic(&sim, 4, kBw / 4, /*latency=*/0, "nic");
+  TimeNs d_intra1 = 0, d_intra2 = 0, d_inter = 0;
+  // Two intra flows share an ingress port; the inter flow is unaffected.
+  sim.Spawn(OneTransfer(&nvlink, 0, 2, 100000, &d_intra1, &sim));
+  sim.Spawn(OneTransfer(&nvlink, 1, 2, 100000, &d_intra2, &sim));
+  sim.Spawn(OneTransfer(&nic, 0, 2, 100000, &d_inter, &sim));
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(d_intra1), 2000.0, 10.0);  // bw/2
+  EXPECT_NEAR(static_cast<double>(d_intra2), 2000.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(d_inter), 4000.0, 10.0);  // nic bw, alone
+}
+
+TEST(Network, StaleCompletionEventsAreIgnored) {
+  // Regression: flow A's completion is scheduled, then a joining flow slows
+  // A (stale event #1 fires mid-flight), then the other flow finishes and A
+  // speeds back up (stale event #2 fires after A's reschedule). A must
+  // complete exactly once, at the rate-integrated time.
+  Simulator sim;
+  Network net(&sim, 4, kBw, /*latency=*/0, "nvl");
+  TimeNs da = 0, db = 0;
+  sim.Spawn(OneTransfer(&net, 0, 2, 300000, &da, &sim));       // A
+  sim.Spawn(LateTransfer(&net, 1000, 1, 2, 50000, &db, &sim)); // B
+  sim.Run();
+  // A alone until t=1000 (100000 done, eta was 3000). Shared 50/50 until B
+  // ends at t=2000 (A: +50000). A alone again: 150000 left at 100 B/ns ->
+  // finishes at 3500, after both stale etas (3000 gen-1, 5000 gen-2).
+  EXPECT_NEAR(static_cast<double>(db), 2000.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(da), 3500.0, 20.0);
+  EXPECT_EQ(net.active_flow_count(), 0);
+}
+
+TEST(World, TransferRoutesByNodeBoundary) {
+  MachineSpec spec = MachineSpec::H800x8();
+  spec.num_devices = 4;
+  spec.devices_per_node = 2;  // nodes {0,1} and {2,3}
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  EXPECT_EQ(&world.fabric_for(0, 1), &world.intra_fabric());
+  EXPECT_EQ(&world.fabric_for(2, 3), &world.intra_fabric());
+  EXPECT_EQ(&world.fabric_for(1, 2), &world.inter_fabric());
+  EXPECT_EQ(&world.fabric_for(3, 0), &world.inter_fabric());
+  world.sim().Spawn([](rt::World* w) -> Coro {
+    co_await w->Transfer(0, 1, 1000);  // same node -> NVLink
+    co_await w->Transfer(0, 2, 2000);  // cross node -> NIC
+    co_await w->Transfer(3, 3, 4000);  // src == dst: local copy, same node
+  }(&world));
+  world.sim().Run();
+  EXPECT_EQ(world.intra_fabric().total_bytes(), 1000u + 4000u);
+  EXPECT_EQ(world.inter_fabric().total_bytes(), 2000u);
+}
+
+TEST(World, ConcurrentIntraAndInterTransfersOverlap) {
+  MachineSpec spec = MachineSpec::H800x8();
+  spec.num_devices = 4;
+  spec.devices_per_node = 2;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  const uint64_t bytes = 64 << 20;
+  TimeNs intra_done = 0, inter_done = 0;
+  Simulator& sim = world.sim();
+  sim.Spawn([](rt::World* w, uint64_t b, TimeNs* done) -> Coro {
+    co_await w->Transfer(0, 1, b);
+    *done = w->sim().Now();
+  }(&world, bytes, &intra_done));
+  sim.Spawn([](rt::World* w, uint64_t b, TimeNs* done) -> Coro {
+    co_await w->Transfer(1, 3, b);
+    *done = w->sim().Now();
+  }(&world, bytes, &inter_done));
+  sim.Run();
+  // Device 1 is endpoint of both, yet neither slows the other: different
+  // fabrics, different ports.
+  const double b = static_cast<double>(bytes);
+  EXPECT_NEAR(static_cast<double>(intra_done - spec.nvlink_latency),
+              b / spec.nvlink_gbps, b / spec.nvlink_gbps * 0.01);
+  EXPECT_NEAR(static_cast<double>(inter_done - spec.nic_latency),
+              b / spec.nic_gbps, b / spec.nic_gbps * 0.01);
 }
 
 }  // namespace

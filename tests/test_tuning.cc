@@ -155,6 +155,8 @@ TunedEntry DistinctEntry() {
   e.config.sorted_channel_rows = 768;
   e.config.reduce_block_tokens = 96;
   e.config.reduce_sms = 24;
+  e.config.nic_chunk_tiles = 12;
+  e.config.staging_depth = 5;
   e.cost = 123456789;
   return e;
 }
@@ -192,6 +194,64 @@ TEST(TunedConfigCacheTest, KeySeparatesKindShapeAndMachine) {
             TunedConfigCache::Key("ag_gemm", {1, 2, 4}, a));
   EXPECT_NE(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, a),
             TunedConfigCache::Key("ag_gemm", {1, 2, 3}, b));
+}
+
+TEST(TunedConfigCacheTest, KeyCarriesCalibrationHash) {
+  // Recalibrating the cost model — a MachineSpec constant the shape part of
+  // the key never sees — must change the key, so a warm-started cache
+  // re-tunes instead of serving stale costs.
+  const sim::MachineSpec base = sim::MachineSpec::Test(4, 16);
+  sim::MachineSpec recal = base;
+  recal.tensor_tflops *= 1.5;
+  sim::MachineSpec recal_latency = base;
+  recal_latency.collective_setup_latency += sim::Us(5);
+  const std::string k = TunedConfigCache::Key("ag_gemm", {1, 2, 3}, base);
+  EXPECT_NE(k, TunedConfigCache::Key("ag_gemm", {1, 2, 3}, recal));
+  EXPECT_NE(k, TunedConfigCache::Key("ag_gemm", {1, 2, 3}, recal_latency));
+  // Same spec -> stable key (and a cache round-trip preserves the entry
+  // under it).
+  EXPECT_EQ(k, TunedConfigCache::Key("ag_gemm", {1, 2, 3}, base));
+  EXPECT_NE(CostCalibrationHash(base), CostCalibrationHash(recal));
+
+  TunedConfigCache cache;
+  cache.Put(k, DistinctEntry());
+  TunedConfigCache loaded;
+  ASSERT_TRUE(loaded.FromJson(cache.ToJson()));
+  const TunedEntry* e =
+      loaded.Find(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, base));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e, DistinctEntry());
+  // The recalibrated machine misses: its key differs.
+  EXPECT_EQ(loaded.Find(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, recal)),
+            nullptr);
+  // Node topology is part of the key: 2x8 and 4x4 sixteen-device machines
+  // must not share entries (dp_sync tunes on the node layout).
+  sim::MachineSpec two_by_eight = base;
+  two_by_eight.num_devices = 16;
+  two_by_eight.devices_per_node = 8;
+  sim::MachineSpec four_by_four = base;
+  four_by_four.num_devices = 16;
+  four_by_four.devices_per_node = 4;
+  EXPECT_NE(TunedConfigCache::Key("dp_sync", {1}, two_by_eight),
+            TunedConfigCache::Key("dp_sync", {1}, four_by_four));
+}
+
+TEST(TunedConfigCacheTest, PruneDropsStaleCalibrationGenerations) {
+  const sim::MachineSpec base = sim::MachineSpec::Test(4, 16);
+  sim::MachineSpec recal = base;
+  recal.tensor_tflops *= 1.5;
+  TunedConfigCache cache;
+  cache.Put(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, base),
+            DistinctEntry());
+  cache.Put(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, recal),
+            DistinctEntry());
+  ASSERT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.PruneStaleCalibration(CostCalibrationHash(base)), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Find(TunedConfigCache::Key("ag_gemm", {1, 2, 3}, base)),
+            nullptr);
+  // Idempotent on a clean cache.
+  EXPECT_EQ(cache.PruneStaleCalibration(CostCalibrationHash(base)), 0u);
 }
 
 TEST(TunedConfigCacheTest, JsonRoundTripIsLossless) {
