@@ -6,12 +6,75 @@
 // NIC-knob search returns a DP-sync config worse than the hand-picked
 // two-node defaults. scripts/ci.sh runs this as the 16-GPU smoke stage.
 //
-// Flags: --json <path> records every latency and ratio.
+// Flags: --json <path> records every latency and ratio. --payload
+// additionally runs the functional 2x8 validation first: every collective
+// moves real per-tile data, must match the single-rank references
+// bit-exactly with zero consistency violations, and an injected
+// prefix-publication fault on the NIC rail stage must be *caught* by the
+// checker. The timing gates below are identical with or without it.
 #include <cstdint>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "tilelink/multinode/hier_collectives.h"
 #include "tilelink/multinode/multinode_tuning.h"
+#include "tilelink/multinode/payload_validation.h"
+
+namespace {
+
+bool RunPayloadValidation(const tilelink::sim::MachineSpec& spec,
+                          tilelink::bench::BenchReport* report) {
+  using namespace tilelink::multinode;
+  const HierConfig cfg;
+  const int64_t tiles = 24;
+  const uint64_t tile_bytes = 64 << 10;
+  const int64_t tile_elems = 128;
+  bool ok = true;
+
+  std::printf("=== Functional payload validation (2x8, bit-exact + checker) "
+              "===\n");
+  struct Case {
+    const char* name;
+    PayloadReport r;
+  };
+  const Case cases[] = {
+      {"hier_ag", ValidateHierAllGather(spec, tiles, tile_bytes, tile_elems,
+                                        cfg)},
+      {"hier_rs", ValidateHierReduceScatter(spec, tiles, tile_bytes,
+                                            tile_elems, cfg)},
+      {"flat_ag", ValidateFlatAllGather(spec, tiles, tile_bytes, tile_elems,
+                                        cfg)},
+      {"flat_rs", ValidateFlatReduceScatter(spec, tiles, tile_bytes,
+                                            tile_elems, cfg)},
+      {"dp_ar", ValidateDpAllReduce(spec, tiles, tile_bytes, tile_elems,
+                                    cfg)},
+  };
+  for (const Case& c : cases) {
+    std::printf("  %-8s bit_exact=%d violations=%zu\n", c.name,
+                c.r.bit_exact ? 1 : 0, c.r.violations);
+    report->Record(std::string("multinode.payload.") + c.name + ".ok",
+                   c.r.ok() ? 1.0 : 0.0);
+    ok = ok && c.r.ok();
+  }
+
+  // Fault canary: drop one rail chunk's in-order publication (the §4.2
+  // acquire/release inversion on the NIC stage) — the checker must report
+  // it, not let a silently wrong answer through.
+  HierConfig fault = cfg;
+  fault.unsafe_rail_src = 0;
+  fault.unsafe_rail_chunk = 0;
+  const PayloadReport f =
+      ValidateHierAllGather(spec, tiles, tile_bytes, tile_elems, fault);
+  std::printf("  fault    violations=%zu (must be >= 1)\n", f.violations);
+  report->Record("multinode.payload.fault_detected",
+                 f.violations >= 1 ? 1.0 : 0.0);
+  ok = ok && f.violations >= 1;
+  std::printf("%s\n\n", ok ? "payload validation OK"
+                           : "payload validation FAILED");
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tilelink;
@@ -20,6 +83,11 @@ int main(int argc, char** argv) {
   const sim::MachineSpec spec = sim::MachineSpec::H800x16();
   const multinode::HierConfig cfg;
   bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--payload") == 0) {
+      ok = RunPayloadValidation(spec, &report) && ok;
+    }
+  }
 
   std::printf("=== Multi-node fabric: 2x8 H800, hierarchical vs flat ===\n");
   ResultTable table("tile-granular collectives (2x8, per-rank shard)",
@@ -80,8 +148,9 @@ int main(int argc, char** argv) {
 
   report.WriteJson();
   if (!ok) {
-    std::printf("\nFAIL: hierarchical lost to flat, or a tuned DP-sync "
-                "config lost to the hand-picked defaults.\n");
+    std::printf("\nFAIL: hierarchical lost to flat, a tuned DP-sync config "
+                "lost to the hand-picked defaults, or (with --payload) the "
+                "functional validation failed.\n");
     return 1;
   }
   std::printf("\nOK: hierarchical beats flat at 2x8; tuned DP-sync configs "

@@ -9,9 +9,12 @@
 #      the simulator microbenchmarks. Machine-readable results land in
 #      build-ci/BENCH_*.json; fig11 warm-starts its tuned-config cache from
 #      build-ci/BENCH_fig11_cache.json when a previous run left one.
-#   4. 16-GPU smoke: the two-node fabric bench — fails if a hierarchical
-#      collective loses to its flat single-stage baseline at 2x8 or a tuned
-#      DP-sync config loses to the hand-picked two-node defaults.
+#   4. 16-GPU smoke: the two-node fabric bench with --payload — fails if
+#      the functional 2x8 collectives are not bit-exact with zero
+#      consistency violations (or an injected NIC-stage fault goes
+#      uncaught), if a hierarchical collective loses to its flat
+#      single-stage baseline at 2x8, or if a tuned DP-sync config loses to
+#      the hand-picked two-node defaults.
 # Usage: scripts/ci.sh [--fast]   (--fast skips the ASan and bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,7 +31,12 @@ if [[ "$FAST" == "0" ]]; then
   echo "=== [2/4] Debug + ASan ==="
   cmake -B build-asan -S . -DTILELINK_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-asan -j
-  (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+  # ctest includes test_multinode, so the functional collectives' payload
+  # and staging buffers are leak-checked here (the coroutine frame pools
+  # are already gated off under ASan). detect_leaks is pinned on so a
+  # platform default can't silently drop the leak check.
+  (cd build-asan && ASAN_OPTIONS=detect_leaks=1 \
+      ctest --output-on-failure -j"$(nproc)")
 
   echo "=== [3/4] Bench smoke (tuned configs must beat hand-picked) ==="
   ./build-ci/bench_micro_sim --json build-ci/BENCH_micro_sim.json
@@ -36,8 +44,9 @@ if [[ "$FAST" == "0" ]]; then
   ./build-ci/bench_fig11_e2e --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
 
-  echo "=== [4/4] 16-GPU smoke (hierarchical must beat flat at 2x8) ==="
-  ./build-ci/bench_multinode_fabric --json build-ci/BENCH_multinode.json
+  echo "=== [4/4] 16-GPU smoke (functional payload + hier must beat flat) ==="
+  ./build-ci/bench_multinode_fabric --payload \
+      --json build-ci/BENCH_multinode.json
 fi
 
 echo "CI OK"

@@ -8,6 +8,7 @@ namespace {
 sim::Coro TransferAndCommit(rt::World& world, Tensor src, Tensor dst,
                             uint64_t wire_bytes) {
   const sim::TimeNs start = world.sim().Now();
+  const uint64_t wt = world.checker().OpenWrite(start);
   co_await world.Transfer(src.device(), dst.device(), wire_bytes);
   if (world.functional()) {
     CopyTensor(src, dst);
@@ -16,6 +17,7 @@ sim::Coro TransferAndCommit(rt::World& world, Tensor src, Tensor dst,
   dst.BufferRange(&lo, &hi);
   world.checker().RecordWrite(dst.buffer(), lo, hi, start, world.sim().Now(),
                               "p2p_copy");
+  world.checker().CloseWrite(wt);
 }
 
 }  // namespace

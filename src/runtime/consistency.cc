@@ -1,12 +1,28 @@
 #include "runtime/consistency.h"
 
+#include <algorithm>
+
 namespace tilelink::rt {
+
+uint64_t ConsistencyChecker::OpenWrite(sim::TimeNs start) {
+  if (!enabled_) return 0;
+  const uint64_t token = next_token_++;
+  open_writes_.emplace(token, start);
+  return token;
+}
+
+void ConsistencyChecker::CloseWrite(uint64_t token) {
+  if (token == 0) return;
+  open_writes_.erase(token);
+}
 
 void ConsistencyChecker::RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
                                      sim::TimeNs start, sim::TimeNs end,
                                      const std::string& writer) {
   if (!enabled_) return;
+  if (lo >= hi) return;  // empty element ranges never report
   writes_[buf].push_back(WriteInterval{lo, hi, start, end, writer});
+  horizon_ = std::max(horizon_, end);
   // Order-independent audit: a read probed earlier may fall inside this
   // just-committed interval.
   auto it = reads_.find(buf);
@@ -20,12 +36,16 @@ void ConsistencyChecker::RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
       }
     }
   }
+  ++records_since_retire_;
+  MaybeAutoRetire();
 }
 
 void ConsistencyChecker::CheckRead(const Buffer* buf, int64_t lo, int64_t hi,
                                    sim::TimeNs t, const std::string& reader) {
   if (!enabled_) return;
+  if (lo >= hi) return;  // empty element ranges never report
   reads_[buf].push_back(ReadProbe{lo, hi, t, reader});
+  horizon_ = std::max(horizon_, t);
   auto it = writes_.find(buf);
   if (it == writes_.end()) return;
   for (const WriteInterval& w : it->second) {
@@ -38,10 +58,65 @@ void ConsistencyChecker::CheckRead(const Buffer* buf, int64_t lo, int64_t hi,
   }
 }
 
+void ConsistencyChecker::RetireUpTo(sim::TimeNs watermark) {
+  // An open (announced but unrecorded) write bounds how far probes may be
+  // discarded: its order-independent audit still needs every read probed
+  // since its start.
+  sim::TimeNs w = watermark;
+  if (!open_writes_.empty()) {
+    for (const auto& [token, start] : open_writes_) {
+      w = std::min(w, start);
+    }
+  }
+  for (auto it = writes_.begin(); it != writes_.end();) {
+    auto& vec = it->second;
+    const std::size_t before = vec.size();
+    std::erase_if(vec, [w](const WriteInterval& wi) { return wi.end <= w; });
+    retired_ += before - vec.size();
+    it = vec.empty() ? writes_.erase(it) : std::next(it);
+  }
+  for (auto it = reads_.begin(); it != reads_.end();) {
+    auto& vec = it->second;
+    const std::size_t before = vec.size();
+    // Keep reads at exactly `w`: a future write may start at `w` and a read
+    // at a write's start races.
+    std::erase_if(vec, [w](const ReadProbe& r) { return r.t < w; });
+    retired_ += before - vec.size();
+    it = vec.empty() ? reads_.erase(it) : std::next(it);
+  }
+  records_since_retire_ = 0;
+}
+
+void ConsistencyChecker::MaybeAutoRetire() {
+  if (auto_retire_period_ == 0 ||
+      records_since_retire_ < auto_retire_period_) {
+    return;
+  }
+  // `horizon_` only ever holds completed event times, so it is a valid
+  // (past-or-present) watermark.
+  RetireUpTo(horizon_);
+}
+
+std::size_t ConsistencyChecker::live_writes() const {
+  std::size_t n = 0;
+  for (const auto& [buf, vec] : writes_) n += vec.size();
+  return n;
+}
+
+std::size_t ConsistencyChecker::live_reads() const {
+  std::size_t n = 0;
+  for (const auto& [buf, vec] : reads_) n += vec.size();
+  return n;
+}
+
 void ConsistencyChecker::Clear() {
   writes_.clear();
   reads_.clear();
   violations_.clear();
+  open_writes_.clear();
+  horizon_ = 0;
+  records_since_retire_ = 0;
+  retired_ = 0;
 }
 
 }  // namespace tilelink::rt

@@ -7,9 +7,29 @@
 // never triggers this (waits carry acquire, notifies carry release and are
 // scheduled after store completion); the deliberately-unsafe compiler mode
 // used in fault-injection tests does.
+//
+// Semantics (pinned by tests/test_runtime.cc):
+//  * A write interval [start, end) is half-open in time: a read at exactly
+//    `end` is safe (publication and consumption at the same completion
+//    instant are the correct acquire/release rendezvous), a read at exactly
+//    `start` races.
+//  * Element ranges [lo, hi) are half-open too; empty ranges (hi <= lo)
+//    never report and are not stored.
+//  * A read-modify-write actor probes its input at its wake instant and
+//    records its own mutation window starting strictly after that probe
+//    ([wake + 1, end)): its program-ordered self-access never matches,
+//    while any other actor reading inside the mutation window still does.
+//
+// Scale: intervals are retired past a completed-time watermark so e2e-scale
+// runs (the functional 16-GPU collectives register per-chunk intervals) stay
+// bounded in memory and audit time. Writers that commit at completion time
+// (transfer start < record time) must bracket the transfer with
+// OpenWrite/CloseWrite so the watermark cannot advance past an in-flight
+// write and retire the reads it still needs to audit.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +55,14 @@ class ConsistencyChecker {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Announces a write that will be recorded at its completion time.
+  // Retirement never advances past the earliest open start, so a racing
+  // read probed while this write is in flight survives until the
+  // order-independent audit in RecordWrite sees it. Returns a token for
+  // CloseWrite (0 when the checker is disabled).
+  uint64_t OpenWrite(sim::TimeNs start);
+  void CloseWrite(uint64_t token);
+
   // Registers a write of [lo, hi) on buf spanning [start, end) sim-time.
   // Also audits previously probed reads whose time falls inside this
   // interval (writes commit at transfer completion, so a racing read may
@@ -47,6 +75,24 @@ class ConsistencyChecker {
   // an in-flight write (already recorded or recorded later).
   void CheckRead(const Buffer* buf, int64_t lo, int64_t hi, sim::TimeNs t,
                  const std::string& reader);
+
+  // Drops write intervals that ended at or before `watermark` and read
+  // probes strictly before it — they can no longer participate in any
+  // violation. The effective watermark is clamped to the earliest open
+  // write so in-flight audits are never lost. Callers must pass a
+  // watermark <= the current simulated time. Violations are never dropped.
+  void RetireUpTo(sim::TimeNs watermark);
+
+  // Auto-retirement: every `n` recorded writes, RetireUpTo(latest completed
+  // time seen). 0 disables. Defaults to kDefaultAutoRetirePeriod so
+  // long-running functional simulations stay bounded without manual calls.
+  static constexpr std::size_t kDefaultAutoRetirePeriod = 4096;
+  void set_auto_retire_period(std::size_t n) { auto_retire_period_ = n; }
+
+  // Live/retired interval counts (for the retirement regression tests).
+  std::size_t live_writes() const;
+  std::size_t live_reads() const;
+  std::size_t retired_intervals() const { return retired_; }
 
   const std::vector<Violation>& violations() const { return violations_; }
   void Clear();
@@ -63,10 +109,18 @@ class ConsistencyChecker {
     std::string reader;
   };
 
+  void MaybeAutoRetire();
+
   bool enabled_ = false;
   std::unordered_map<const Buffer*, std::vector<WriteInterval>> writes_;
   std::unordered_map<const Buffer*, std::vector<ReadProbe>> reads_;
   std::vector<Violation> violations_;
+  std::map<uint64_t, sim::TimeNs> open_writes_;  // token -> start
+  uint64_t next_token_ = 1;
+  sim::TimeNs horizon_ = 0;  // latest completed time seen
+  std::size_t auto_retire_period_ = kDefaultAutoRetirePeriod;
+  std::size_t records_since_retire_ = 0;
+  std::size_t retired_ = 0;
 };
 
 }  // namespace tilelink::rt

@@ -81,6 +81,11 @@ sim::TimeNs World::RunSpmd(
                "rank" + std::to_string(r));
   }
   sim_.Run();
+  // All in-flight writes have committed (the event loop drained), so every
+  // still-live interval is past its audit window: retire them so successive
+  // SPMD runs on one world don't accumulate checker state. Violations found
+  // so far are kept.
+  checker_.RetireUpTo(sim_.Now());
   sim::TimeNs latest = start;
   for (sim::TimeNs t : finish) latest = std::max(latest, t);
   return latest - start;

@@ -1,5 +1,6 @@
 #include "tensor/tensor_ops.h"
 
+#include <bit>
 #include <cmath>
 #include <functional>
 
@@ -49,6 +50,21 @@ void FillIota(Tensor& t, float base, float step) {
   });
 }
 
+void FillIntLattice(Tensor& t, uint32_t seed, int range) {
+  TL_CHECK_GT(range, 0);
+  auto data = t.buffer()->data();
+  int64_t i = 0;
+  ForEachOffset(t, [&](int64_t off) {
+    // Knuth multiplicative hash over (seed, position): well-spread, cheap,
+    // and identical on every platform.
+    const uint32_t h =
+        (seed + static_cast<uint32_t>(i++) * 2654435761u) * 2654435761u;
+    const int v = static_cast<int>(h % static_cast<uint32_t>(range)) -
+                  range / 2;
+    data[static_cast<size_t>(off)] = static_cast<float>(v);
+  });
+}
+
 void CopyTensor(const Tensor& src, Tensor& dst) {
   TL_CHECK(src.shape() == dst.shape());
   auto s = src.buffer()->data();
@@ -77,6 +93,23 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b) {
     if (diff > max_diff) max_diff = diff;
   });
   return max_diff;
+}
+
+bool BitExact(const Tensor& a, const Tensor& b) {
+  TL_CHECK(a.shape() == b.shape());
+  auto da = a.buffer()->data();
+  auto db = b.buffer()->data();
+  std::vector<int64_t> a_offs;
+  a_offs.reserve(static_cast<size_t>(a.numel()));
+  ForEachOffset(a, [&](int64_t off) { a_offs.push_back(off); });
+  bool ok = true;
+  int64_t i = 0;
+  ForEachOffset(b, [&](int64_t off) {
+    const float va = da[static_cast<size_t>(a_offs[i++])];
+    const float vb = db[static_cast<size_t>(off)];
+    if (std::bit_cast<uint32_t>(va) != std::bit_cast<uint32_t>(vb)) ok = false;
+  });
+  return ok;
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {

@@ -2,11 +2,15 @@
 
 #include <bit>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
+#include "common/check.h"
 #include "common/string_utils.h"
 #include "sim/cost_model.h"
 
@@ -19,6 +23,16 @@ void HashMix(uint32_t* h, uint64_t value) {
     *h ^= static_cast<uint32_t>((value >> (8 * i)) & 0xff);
     *h *= 16777619u;
   }
+}
+
+void HashMixDouble(uint32_t* h, double value) {
+  // Hash the canonical bit pattern, not the raw one: -0.0 == 0.0, so two
+  // numerically identical calibrations must not produce different cache
+  // generations. NaN has no meaningful value identity (and many payloads) —
+  // a NaN calibration parameter is a corrupted spec, reject it.
+  TL_CHECK_MSG(!std::isnan(value), "NaN calibration parameter");
+  if (value == 0.0) value = 0.0;  // collapses -0.0
+  HashMix(h, std::bit_cast<uint64_t>(value));
 }
 
 }  // namespace
@@ -41,15 +55,15 @@ uint32_t CostCalibrationHash(const sim::MachineSpec& spec) {
   // via CostModel); bandwidths hash their full bit patterns so fractional
   // recalibrations change the key too.
   HashMix(&h, static_cast<uint64_t>(spec.nic_latency));
-  HashMix(&h, std::bit_cast<uint64_t>(spec.nic_gbps));
+  HashMixDouble(&h, spec.nic_gbps);
   HashMix(&h, static_cast<uint64_t>(spec.nic_queue_pairs));
-  HashMix(&h, std::bit_cast<uint64_t>(spec.nvlink_gbps));
+  HashMixDouble(&h, spec.nvlink_gbps);
   HashMix(&h, static_cast<uint64_t>(spec.copy_engines_per_device));
   HashMix(&h, static_cast<uint64_t>(spec.kernel_launch_latency));
   HashMix(&h, static_cast<uint64_t>(spec.host_sync_latency));
   HashMix(&h, static_cast<uint64_t>(spec.collective_setup_latency));
   HashMix(&h, static_cast<uint64_t>(spec.dma_setup_latency));
-  HashMix(&h, std::bit_cast<uint64_t>(spec.dma_efficiency));
+  HashMixDouble(&h, spec.dma_efficiency);
   HashMix(&h, static_cast<uint64_t>(spec.signal_visibility_latency));
   HashMix(&h, static_cast<uint64_t>(spec.local_signal_latency));
   return h;
@@ -121,6 +135,13 @@ class JsonScanner {
     if (!any) return false;  // also rejects a bare "-"
     *out = negative ? -value : value;
     return true;
+  }
+
+  // True when only whitespace remains: FromJson must consume the whole
+  // document, a cache file with trailing garbage is corrupted.
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
   }
 
  private:
@@ -280,7 +301,12 @@ std::string TunedConfigCache::ToJson() const {
 }
 
 bool TunedConfigCache::FromJson(const std::string& json) {
+  // Parse into a scratch map and merge only on full success: a corrupted
+  // file must not leave the cache half-loaded. Duplicate keys are
+  // last-wins, both across entries and for repeated fields within one
+  // entry (matching how entries_[key] assignment always behaved).
   JsonScanner scan(json);
+  std::unordered_map<std::string, TunedEntry> parsed;
   if (!scan.Consume('{')) return false;
   bool first = true;
   while (!scan.Peek('}')) {
@@ -290,9 +316,14 @@ bool TunedConfigCache::FromJson(const std::string& json) {
     if (!scan.ParseString(&key) || !scan.Consume(':')) return false;
     TunedEntry entry;
     if (!ParseEntryObject(scan, &entry)) return false;
-    entries_[key] = entry;
+    parsed[key] = entry;
   }
-  return scan.Consume('}');
+  if (!scan.Consume('}')) return false;
+  if (!scan.AtEnd()) return false;  // trailing garbage: not our file
+  for (auto& [key, entry] : parsed) {
+    entries_[key] = std::move(entry);
+  }
+  return true;
 }
 
 bool TunedConfigCache::SaveFile(const std::string& path) const {

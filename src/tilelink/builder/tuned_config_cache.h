@@ -23,7 +23,9 @@ namespace tilelink::tl {
 // Fingerprint of the cost model's calibration: a hash of its outputs at
 // fixed probe points plus the simulator-billed latencies. Part of every
 // cache key, so recalibration invalidates cached costs instead of silently
-// serving them.
+// serving them. Floating-point parameters hash their canonical bit pattern
+// (-0.0 normalized to 0.0, so numerically identical calibrations share one
+// generation); a NaN parameter throws tilelink::Error.
 uint32_t CostCalibrationHash(const sim::MachineSpec& spec);
 
 struct TunedEntry {
@@ -64,7 +66,12 @@ class TunedConfigCache {
   // Deterministic (sorted-key) JSON document of every entry.
   std::string ToJson() const;
   // Merges entries parsed from `json` into the cache; false on malformed
-  // input (entries parsed before the error are kept).
+  // input, in which case the cache is left untouched (all-or-nothing).
+  // Rejected inputs include anything this cache does not write: trailing
+  // content after the root object, unknown fields, and integer literals
+  // outside int64 (INT64_MIN's magnitude overflows the positive
+  // accumulator and is rejected rather than wrapped). Duplicate keys —
+  // across entries or repeated fields within one entry — are last-wins.
   bool FromJson(const std::string& json);
 
   // File convenience wrappers; Load returns false if the file is absent or

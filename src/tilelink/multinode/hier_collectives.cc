@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "sim/coro_utils.h"
@@ -10,14 +11,92 @@
 namespace tilelink::multinode {
 namespace {
 
+// One contiguous fp32 run moved by a payload chunk.
+struct CopyRun {
+  int64_t src_lo, dst_lo, elems;
+};
+
+// Payload + checker instrumentation for one chunk. Empty (world == nullptr)
+// in timing-only mode, so the timing path allocates no strings or runs.
+struct ChunkIo {
+  rt::World* world = nullptr;
+  rt::Buffer* src = nullptr;
+  rt::Buffer* dst = nullptr;
+  std::vector<CopyRun> runs;
+  std::string reader;  // sender-side consume probe (reads of `src`)
+  std::string writer;  // receiver-side write interval (writes of `dst`)
+};
+
 // One chunk moving over an explicit fabric; publishes the in-order arrival
-// signal at the receiver and the sender's drain counter.
+// signal at the receiver and the sender's drain counter. In payload mode the
+// runs are copied when the transfer lands, the source reads are probed at
+// send time and the destination write interval spans the transfer — with
+// OpenWrite bracketing so checker retirement cannot outrun the audit. With
+// `eager_publish` (fault injection) the arrival signal fires when the send
+// starts: consumers wake mid-transfer, which the checker must catch.
 sim::Coro TransferChunk(sim::Network* net, int src, int dst, uint64_t bytes,
                         InOrderSignal* sig, std::size_t index, int64_t tiles,
-                        sim::Flag* done) {
+                        sim::Flag* done, bool eager_publish, ChunkIo io) {
+  rt::ConsistencyChecker* chk =
+      io.world != nullptr ? &io.world->checker() : nullptr;
+  sim::TimeNs start = 0;
+  uint64_t wt = 0;
+  if (chk != nullptr) {
+    start = io.world->sim().Now();
+    for (const CopyRun& run : io.runs) {
+      chk->CheckRead(io.src, run.src_lo, run.src_lo + run.elems, start,
+                     io.reader);
+    }
+    wt = chk->OpenWrite(start);
+  }
+  if (eager_publish && sig != nullptr) sig->Complete(index, tiles);
   co_await net->Transfer(src, dst, bytes);
-  if (sig != nullptr) sig->Complete(index, tiles);
+  if (chk != nullptr) {
+    const sim::TimeNs end = io.world->sim().Now();
+    auto s = io.src->data();
+    auto d = io.dst->data();
+    for (const CopyRun& run : io.runs) {
+      std::copy_n(s.data() + run.src_lo, run.elems, d.data() + run.dst_lo);
+      chk->RecordWrite(io.dst, run.dst_lo, run.dst_lo + run.elems, start, end,
+                       io.writer);
+    }
+    chk->CloseWrite(wt);
+  }
+  if (!eager_publish && sig != nullptr) sig->Complete(index, tiles);
   done->Add(1);
+}
+
+// dst[dst_lo..) += src[src_lo..) over `elems` fp32 values.
+void AddInto(rt::Buffer* dst, int64_t dst_lo, const rt::Buffer* src,
+             int64_t src_lo, int64_t elems) {
+  auto d = dst->data();
+  auto s = src->data();
+  for (int64_t i = 0; i < elems; ++i) {
+    d[static_cast<size_t>(dst_lo + i)] += s[static_cast<size_t>(src_lo + i)];
+  }
+}
+
+std::string RName(const char* stage, int r) {
+  return std::string(stage) + ".r" + std::to_string(r);
+}
+
+std::string EdgeName(const char* stage, int src, int dst) {
+  return std::string(stage) + ".r" + std::to_string(src) + "->r" +
+         std::to_string(dst);
+}
+
+// `primary` scopes the fault to the sender's first rail exchange (its
+// lowest-node peer), so exactly one chunk misbehaves even when the sender
+// runs one send stream per peer node (3+ node topologies).
+bool EagerRailFault(const HierConfig& cfg, int sender, std::size_t index,
+                    bool primary) {
+  return primary && cfg.unsafe_rail_src == sender &&
+         cfg.unsafe_rail_chunk == static_cast<int>(index);
+}
+
+// True when `peer_node` is the lowest node other than `my_node`.
+bool IsPrimaryRailPeer(int peer_node, int my_node) {
+  return peer_node == (my_node == 0 ? 1 : 0);
 }
 
 // Rendezvous + NCCL-analog setup, identical to the operator-centric
@@ -33,7 +112,8 @@ sim::TimeNs ReduceCost(rt::World& world, uint64_t bytes, int sms) {
 }
 
 // Clamps the per-peer NIC staging depth by the device's NIC channel budget
-// (queue pairs shared across all `peers` concurrent rail exchanges).
+// (queue pairs shared across all `peers` concurrent rail exchanges). A
+// single-node topology has no rail peers and claims no NIC channels.
 int ClampStagingDepth(const sim::MachineSpec& spec, int want, int peers) {
   if (peers <= 0) return std::max(1, want);
   tl::ResourceBudget budget = tl::ResourceBudget::ForDevice(spec);
@@ -48,10 +128,29 @@ int SourceIndex(int src_node, int my_node) {
   return src_node < my_node ? src_node : src_node - 1;
 }
 
+// Inverse of SourceIndex: the source node behind per-source slot k.
+int SourceNode(int k, int my_node) { return k < my_node ? k : k + 1; }
+
 // Collectives address rail peers as (node, local) pairs; ragged layouts
 // (a partially filled last node) are not modeled.
 void CheckDenseTopology(const sim::MachineSpec& spec) {
   TL_CHECK_EQ(spec.num_devices % spec.devices_per_node, 0);
+}
+
+void CheckPayloadShapes(rt::World& world,
+                        const std::vector<rt::Buffer*>& in,
+                        const std::vector<rt::Buffer*>& out,
+                        int64_t tile_elems, int64_t in_elems,
+                        int64_t out_elems) {
+  TL_CHECK_MSG(world.functional(),
+               "payload mode requires an ExecMode::kFunctional world");
+  TL_CHECK_GT(tile_elems, 0);
+  TL_CHECK_EQ(static_cast<int>(in.size()), world.size());
+  TL_CHECK_EQ(static_cast<int>(out.size()), world.size());
+  for (int r = 0; r < world.size(); ++r) {
+    TL_CHECK_EQ(in[static_cast<size_t>(r)]->num_elems(), in_elems);
+    TL_CHECK_EQ(out[static_cast<size_t>(r)]->num_elems(), out_elems);
+  }
 }
 
 }  // namespace
@@ -103,8 +202,19 @@ HierAllGather::HierAllGather(rt::World& world, int64_t num_tiles,
   }
 }
 
+void HierAllGather::AttachPayload(std::vector<rt::Buffer*> in,
+                                  std::vector<rt::Buffer*> out,
+                                  int64_t tile_elems) {
+  CheckPayloadShapes(world_, in, out, tile_elems, num_tiles_ * tile_elems,
+                     world_.size() * num_tiles_ * tile_elems);
+  in_ = std::move(in);
+  out_ = std::move(out);
+  tile_elems_ = tile_elems;
+}
+
 sim::Coro HierAllGather::RailSend(rt::RankCtx& ctx, int peer) {
   const int r = ctx.rank;
+  const int64_t E = tile_elems_;
   InOrderSignal* sig =
       rail_[static_cast<size_t>(peer)]
            [static_cast<size_t>(SourceIndex(r / per_node_, peer / per_node_))]
@@ -118,10 +228,23 @@ sim::Coro HierAllGather::RailSend(rt::RankCtx& ctx, int peer) {
       co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
                            1);
     }
+    ChunkIo io;
+    if (payload()) {
+      const int64_t lo = (r * num_tiles_ + off) * E;
+      io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
+                   out_[static_cast<size_t>(peer)],
+                   {{lo, lo, tiles * E}},
+                   RName("hier_ag.rail_send", r),
+                   EdgeName("hier_ag.rail", r, peer)};
+    }
     ctx.sim()->Spawn(
         TransferChunk(&world_.inter_fabric(), r, peer,
                       static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
-                      tiles, &done),
+                      tiles, &done,
+                      EagerRailFault(cfg_, r, idx,
+                                     IsPrimaryRailPeer(peer / per_node_,
+                                                       r / per_node_)),
+                      std::move(io)),
         "hier_ag.rail_chunk");
     ++idx;
     off += tiles;
@@ -134,6 +257,7 @@ sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
   const int n = r / per_node_, l = r % per_node_;
   const int right = n * per_node_ + (l + 1) % per_node_;
   const int64_t group = static_cast<int64_t>(nodes_) * num_tiles_;
+  const int64_t E = tile_elems_;
   sim::Flag done(ctx.sim(), "hier_ag.ring_send.r" + std::to_string(r));
   std::size_t idx = 0;
   // Blocks travel the ring oldest-first: block j originated j hops to the
@@ -163,11 +287,26 @@ sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
           co_await done.WaitGe(
               idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
         }
+        ChunkIo io;
+        if (payload()) {
+          // The chunk's tiles belong to the shard of the block owner's
+          // column: block j originated at local index (l - j), segment 0 is
+          // the owner's own shard, segment s > 0 the rail source s-1.
+          const int lsrc = (l - j + per_node_) % per_node_;
+          const int src_node = seg == 0 ? n : SourceNode(seg - 1, n);
+          const int gsrc = src_node * per_node_ + lsrc;
+          const int64_t lo = (gsrc * num_tiles_ + off) * E;
+          io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
+                       out_[static_cast<size_t>(right)],
+                       {{lo, lo, tiles * E}},
+                       RName("hier_ag.ring_send", r),
+                       EdgeName("hier_ag.ring", r, right)};
+        }
         ctx.sim()->Spawn(
             TransferChunk(&world_.intra_fabric(), r, right,
                           static_cast<uint64_t>(tiles) * tile_bytes_,
                           ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                          &done),
+                          &done, /*eager_publish=*/false, std::move(io)),
             "hier_ag.ring_chunk");
         ++idx;
         off += tiles;
@@ -178,8 +317,15 @@ sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
 }
 
 sim::Coro HierAllGather::Run(rt::RankCtx& ctx) {
-  co_await CollectiveEntry(ctx);
   const int r = ctx.rank;
+  if (payload()) {
+    // Place the local shard before any peer can pull it forward.
+    auto s = in_[static_cast<size_t>(r)]->data();
+    auto d = out_[static_cast<size_t>(r)]->data();
+    std::copy_n(s.data(), num_tiles_ * tile_elems_,
+                d.data() + r * num_tiles_ * tile_elems_);
+  }
+  co_await CollectiveEntry(ctx);
   const int n = r / per_node_, l = r % per_node_;
   std::vector<sim::Coro> work;
   for (int nn = 0; nn < nodes_; ++nn) {
@@ -199,6 +345,13 @@ sim::Coro HierAllGather::Run(rt::RankCtx& ctx) {
         static_cast<uint64_t>((per_node_ - 1) *
                               static_cast<int64_t>(nodes_) * num_tiles_));
   }
+  if (payload()) {
+    // Final consume: the whole gathered buffer must be visible now.
+    world_.checker().CheckRead(
+        out_[static_cast<size_t>(r)], 0,
+        world_.size() * num_tiles_ * tile_elems_, ctx.sim()->Now(),
+        RName("hier_ag.final", r));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -216,10 +369,26 @@ FlatAllGather::FlatAllGather(rt::World& world, int64_t num_tiles,
   }
 }
 
+void FlatAllGather::AttachPayload(std::vector<rt::Buffer*> in,
+                                  std::vector<rt::Buffer*> out,
+                                  int64_t tile_elems) {
+  CheckPayloadShapes(world_, in, out, tile_elems, num_tiles_ * tile_elems,
+                     world_.size() * num_tiles_ * tile_elems);
+  in_ = std::move(in);
+  out_ = std::move(out);
+  tile_elems_ = tile_elems;
+}
+
 sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
-  co_await CollectiveEntry(ctx);
   const int r = ctx.rank;
   const int R = world_.size();
+  const int64_t E = tile_elems_;
+  if (payload()) {
+    auto s = in_[static_cast<size_t>(r)]->data();
+    auto d = out_[static_cast<size_t>(r)]->data();
+    std::copy_n(s.data(), num_tiles_ * E, d.data() + r * num_tiles_ * E);
+  }
+  co_await CollectiveEntry(ctx);
   const int right = (r + 1) % R;
   sim::Flag done(ctx.sim(), "flat_ag.send.r" + std::to_string(r));
   std::size_t idx = 0;
@@ -235,11 +404,21 @@ sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
         co_await done.WaitGe(
             idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
       }
+      ChunkIo io;
+      if (payload()) {
+        const int src_rank = (r - j + R) % R;  // block forwarded at step j
+        const int64_t lo = (src_rank * num_tiles_ + off) * E;
+        io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
+                     out_[static_cast<size_t>(right)],
+                     {{lo, lo, tiles * E}},
+                     RName("flat_ag.send", r),
+                     EdgeName("flat_ag.ring", r, right)};
+      }
       ctx.sim()->Spawn(
           TransferChunk(&world_.fabric_for(r, right), r, right,
                         static_cast<uint64_t>(tiles) * tile_bytes_,
                         ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                        &done),
+                        &done, /*eager_publish=*/false, std::move(io)),
           "flat_ag.chunk");
       ++idx;
       off += tiles;
@@ -248,6 +427,11 @@ sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
   co_await done.WaitGe(idx);
   co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
       static_cast<uint64_t>(static_cast<int64_t>(R - 1) * num_tiles_));
+  if (payload()) {
+    world_.checker().CheckRead(out_[static_cast<size_t>(r)], 0,
+                               R * num_tiles_ * E, ctx.sim()->Now(),
+                               RName("flat_ag.final", r));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -279,10 +463,36 @@ HierReduceScatter::HierReduceScatter(rt::World& world, int64_t num_tiles,
   }
 }
 
+void HierReduceScatter::AttachPayload(std::vector<rt::Buffer*> in,
+                                      std::vector<rt::Buffer*> out,
+                                      int64_t tile_elems) {
+  CheckPayloadShapes(world_, in, out, tile_elems,
+                     world_.size() * num_tiles_ * tile_elems,
+                     num_tiles_ * tile_elems);
+  in_ = std::move(in);
+  out_ = std::move(out);
+  tile_elems_ = tile_elems;
+  ring_acc_.assign(static_cast<size_t>(world_.size()), nullptr);
+  rail_acc_.assign(static_cast<size_t>(world_.size()), {});
+  for (int r = 0; r < world_.size(); ++r) {
+    if (per_node_ > 1) {
+      ring_acc_[static_cast<size_t>(r)] = world_.device(r).Alloc(
+          "hier_rs.ring_acc",
+          (per_node_ - 1) * group_tiles_ * tile_elems);
+    }
+    for (int k = 0; k + 1 < nodes_; ++k) {
+      rail_acc_[static_cast<size_t>(r)].push_back(
+          world_.device(r).Alloc("hier_rs.rail_acc",
+                                 num_tiles_ * tile_elems));
+    }
+  }
+}
+
 sim::Coro HierReduceScatter::RingSend(rt::RankCtx& ctx) {
   const int r = ctx.rank;
   const int n = r / per_node_, l = r % per_node_;
   const int right = n * per_node_ + (l + 1) % per_node_;
+  const int64_t E = tile_elems_;
   sim::Flag done(ctx.sim(), "hier_rs.ring_send.r" + std::to_string(r));
   std::size_t idx = 0;
   // Step s forwards the accumulated partial of the group destined for the
@@ -301,11 +511,38 @@ sim::Coro HierReduceScatter::RingSend(rt::RankCtx& ctx) {
         co_await done.WaitGe(
             idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
       }
+      ChunkIo io;
+      if (payload()) {
+        io.world = &world_;
+        io.dst = ring_acc_[static_cast<size_t>(right)];
+        io.reader = RName("hier_rs.ring_send", r);
+        io.writer = EdgeName("hier_rs.ring", r, right);
+        const int64_t dst_base = static_cast<int64_t>(s) * group_tiles_;
+        if (s == 0) {
+          // Local partials: group (l - 1), node-major segments of the
+          // destination-rank-ordered input.
+          io.src = in_[static_cast<size_t>(r)];
+          const int g = (l - 1 + per_node_) % per_node_;
+          int64_t p = off;
+          while (p < off + tiles) {
+            const int64_t m = p / num_tiles_, t = p % num_tiles_;
+            const int64_t len = std::min(off + tiles - p, num_tiles_ - t);
+            io.runs.push_back(
+                {((m * per_node_ + g) * num_tiles_ + t) * E,
+                 (dst_base + p) * E, len * E});
+            p += len;
+          }
+        } else {
+          io.src = ring_acc_[static_cast<size_t>(r)];
+          io.runs.push_back({((s - 1) * group_tiles_ + off) * E,
+                             (dst_base + off) * E, tiles * E});
+        }
+      }
       ctx.sim()->Spawn(
           TransferChunk(&world_.intra_fabric(), r, right,
                         static_cast<uint64_t>(tiles) * tile_bytes_,
                         ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                        &done),
+                        &done, /*eager_publish=*/false, std::move(io)),
           "hier_rs.ring_chunk");
       ++idx;
       off += tiles;
@@ -316,16 +553,45 @@ sim::Coro HierReduceScatter::RingSend(rt::RankCtx& ctx) {
 
 sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
   const int r = ctx.rank;
+  const int l = r % per_node_;
+  const int64_t E = tile_elems_;
   const int64_t total =
       static_cast<int64_t>(per_node_ - 1) * group_tiles_;
+  const std::string name = RName("hier_rs.ring_reduce", r);
   int64_t cum = 0;
   while (cum < total) {
     const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
                                             total - cum);
     co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
         static_cast<uint64_t>(cum + tiles));
+    const sim::TimeNs wake = ctx.sim()->Now();
+    uint64_t wt = 0;
+    if (payload()) {
+      world_.checker().CheckRead(ring_acc_[static_cast<size_t>(r)], cum * E,
+                                 (cum + tiles) * E, wake, name);
+      wt = world_.checker().OpenWrite(wake);
+    }
     co_await sim::Delay{ReduceCost(
         world_, static_cast<uint64_t>(tiles) * tile_bytes_, cfg_.reduce_sms)};
+    if (payload()) {
+      // Add this rank's own partial to each arrived tile: arrival position
+      // p is step s = p / group_tiles of group (l - s - 2), node-major.
+      for (int64_t p = cum; p < cum + tiles; ++p) {
+        const int64_t s = p / group_tiles_, q = p % group_tiles_;
+        const int g =
+            (l - static_cast<int>(s) - 2 + 2 * per_node_) % per_node_;
+        const int64_t m = q / num_tiles_, t = q % num_tiles_;
+        AddInto(ring_acc_[static_cast<size_t>(r)], p * E,
+                in_[static_cast<size_t>(r)],
+                ((m * per_node_ + g) * num_tiles_ + t) * E, E);
+      }
+      // RMW convention: the mutation window opens strictly after the wake
+      // probe, so the reducer's own read never matches its write.
+      world_.checker().RecordWrite(ring_acc_[static_cast<size_t>(r)],
+                                   cum * E, (cum + tiles) * E, wake + 1,
+                                   ctx.sim()->Now(), name);
+      world_.checker().CloseWrite(wt);
+    }
     ring_reduced_[static_cast<size_t>(r)]->Add(
         static_cast<uint64_t>(tiles));
     cum += tiles;
@@ -335,7 +601,9 @@ sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
 sim::Coro HierReduceScatter::RailSend(rt::RankCtx& ctx, int peer,
                                       int peer_index) {
   const int r = ctx.rank;
+  const int l = r % per_node_;
   const int peer_node = peer / per_node_;
+  const int64_t E = tile_elems_;
   InOrderSignal* sig =
       rail_[static_cast<size_t>(peer)][static_cast<size_t>(peer_index)].get();
   sim::Flag done(ctx.sim(), "hier_rs.rail_send.r" + std::to_string(r));
@@ -358,10 +626,37 @@ sim::Coro HierReduceScatter::RailSend(rt::RankCtx& ctx, int peer,
       co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
                            1);
     }
+    ChunkIo io;
+    if (payload()) {
+      io.world = &world_;
+      io.dst = rail_acc_[static_cast<size_t>(peer)][static_cast<size_t>(
+          SourceIndex(r / per_node_, peer_node))];
+      io.reader = RName("hier_rs.rail_send", r);
+      io.writer = EdgeName("hier_rs.rail", r, peer);
+      if (per_node_ > 1) {
+        io.src = ring_acc_[static_cast<size_t>(r)];
+        io.runs.push_back(
+            {(own_group_base + static_cast<int64_t>(peer_node) * num_tiles_ +
+              off) * E,
+             off * E, tiles * E});
+      } else {
+        // Single-rank node: the node partial is this rank's own input
+        // block for the peer (global block index == peer rank).
+        io.src = in_[static_cast<size_t>(r)];
+        io.runs.push_back(
+            {((static_cast<int64_t>(peer_node) * per_node_ + l) * num_tiles_ +
+              off) * E,
+             off * E, tiles * E});
+      }
+    }
     ctx.sim()->Spawn(
         TransferChunk(&world_.inter_fabric(), r, peer,
                       static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
-                      tiles, &done),
+                      tiles, &done,
+                      EagerRailFault(cfg_, r, idx,
+                                     IsPrimaryRailPeer(peer_node,
+                                                       r / per_node_)),
+                      std::move(io)),
         "hier_rs.rail_chunk");
     ++idx;
     off += tiles;
@@ -374,6 +669,9 @@ sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
   for (int k = 0; k + 1 < nodes_; ++k) {
     per_source.push_back([](HierReduceScatter* self, rt::RankCtx& c,
                             int src) -> sim::Coro {
+      const int64_t E = self->tile_elems_;
+      const std::string name =
+          RName("hier_rs.rail_reduce", c.rank) + ".s" + std::to_string(src);
       int64_t cum = 0;
       while (cum < self->num_tiles_) {
         const int64_t tiles = std::min<int64_t>(self->cfg_.nic_chunk_tiles,
@@ -382,14 +680,61 @@ sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
             [static_cast<size_t>(src)]
                 ->tiles_arrived()
                 .WaitGe(static_cast<uint64_t>(cum + tiles));
+        const sim::TimeNs wake = c.sim()->Now();
+        uint64_t wt = 0;
+        if (self->payload()) {
+          self->world_.checker().CheckRead(
+              self->rail_acc_[static_cast<size_t>(c.rank)]
+                             [static_cast<size_t>(src)],
+              cum * E, (cum + tiles) * E, wake, name);
+          wt = self->world_.checker().OpenWrite(wake);
+        }
         co_await sim::Delay{ReduceCost(
             self->world_, static_cast<uint64_t>(tiles) * self->tile_bytes_,
             self->cfg_.reduce_sms)};
+        if (self->payload()) {
+          AddInto(self->out_[static_cast<size_t>(c.rank)], cum * E,
+                  self->rail_acc_[static_cast<size_t>(c.rank)]
+                                 [static_cast<size_t>(src)],
+                  cum * E, tiles * E);
+          self->world_.checker().RecordWrite(
+              self->out_[static_cast<size_t>(c.rank)], cum * E,
+              (cum + tiles) * E, wake + 1, c.sim()->Now(), name);
+          self->world_.checker().CloseWrite(wt);
+        }
         cum += tiles;
       }
     }(this, ctx, k));
   }
   co_await sim::WhenAll(std::move(per_source));
+}
+
+// Payload mode: fold the own node's fully reduced partial of this rank's
+// block into the output. It is the own-node segment of the own group, which
+// the ring reducer finishes last; a single-rank node contributes its input
+// block directly. Pure flag waits + host copies: adds no simulated time.
+sim::Coro HierReduceScatter::OwnContribution(rt::RankCtx& ctx) {
+  const int r = ctx.rank;
+  const int n = r / per_node_;
+  const int64_t E = tile_elems_;
+  const std::string name = RName("hier_rs.own", r);
+  if (per_node_ > 1) {
+    const int64_t base = static_cast<int64_t>(per_node_ - 2) * group_tiles_ +
+                         static_cast<int64_t>(n) * num_tiles_;
+    co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
+        static_cast<uint64_t>(base + num_tiles_));
+    world_.checker().CheckRead(ring_acc_[static_cast<size_t>(r)], base * E,
+                               (base + num_tiles_) * E, ctx.sim()->Now(),
+                               name);
+    AddInto(out_[static_cast<size_t>(r)], 0,
+            ring_acc_[static_cast<size_t>(r)], base * E, num_tiles_ * E);
+  } else {
+    AddInto(out_[static_cast<size_t>(r)], 0, in_[static_cast<size_t>(r)],
+            static_cast<int64_t>(r) * num_tiles_ * E, num_tiles_ * E);
+  }
+  const sim::TimeNs now = ctx.sim()->Now();
+  world_.checker().RecordWrite(out_[static_cast<size_t>(r)], 0,
+                               num_tiles_ * E, now, now, name);
 }
 
 sim::Coro HierReduceScatter::Run(rt::RankCtx& ctx) {
@@ -407,7 +752,13 @@ sim::Coro HierReduceScatter::Run(rt::RankCtx& ctx) {
         RailSend(ctx, nn * per_node_ + l, SourceIndex(n, nn)));
   }
   if (nodes_ > 1) work.push_back(RailReducer(ctx));
+  if (payload()) work.push_back(OwnContribution(ctx));
   co_await sim::WhenAll(std::move(work));
+  if (payload()) {
+    world_.checker().CheckRead(out_[static_cast<size_t>(r)], 0,
+                               num_tiles_ * tile_elems_, ctx.sim()->Now(),
+                               RName("hier_rs.final", r));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -428,10 +779,30 @@ FlatReduceScatter::FlatReduceScatter(rt::World& world, int64_t num_tiles,
   }
 }
 
+void FlatReduceScatter::AttachPayload(std::vector<rt::Buffer*> in,
+                                      std::vector<rt::Buffer*> out,
+                                      int64_t tile_elems) {
+  CheckPayloadShapes(world_, in, out, tile_elems,
+                     world_.size() * num_tiles_ * tile_elems,
+                     num_tiles_ * tile_elems);
+  in_ = std::move(in);
+  out_ = std::move(out);
+  tile_elems_ = tile_elems;
+  ring_acc_.assign(static_cast<size_t>(world_.size()), nullptr);
+  if (world_.size() > 1) {
+    for (int r = 0; r < world_.size(); ++r) {
+      ring_acc_[static_cast<size_t>(r)] = world_.device(r).Alloc(
+          "flat_rs.ring_acc",
+          static_cast<int64_t>(world_.size() - 1) * num_tiles_ * tile_elems);
+    }
+  }
+}
+
 sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
   const int r = ctx.rank;
   const int R = world_.size();
   const int right = (r + 1) % R;
+  const int64_t E = tile_elems_;
   sim::Flag done(ctx.sim(), "flat_rs.send.r" + std::to_string(r));
   std::size_t idx = 0;
   for (int s = 0; s < R - 1; ++s) {
@@ -446,11 +817,29 @@ sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
         co_await done.WaitGe(
             idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
       }
+      ChunkIo io;
+      if (payload()) {
+        io.world = &world_;
+        io.dst = ring_acc_[static_cast<size_t>(right)];
+        io.reader = RName("flat_rs.send", r);
+        io.writer = EdgeName("flat_rs.ring", r, right);
+        const int g = (r - s - 1 + R) % R;  // block forwarded at step s
+        if (s == 0) {
+          io.src = in_[static_cast<size_t>(r)];
+          io.runs.push_back({(static_cast<int64_t>(g) * num_tiles_ + off) * E,
+                             off * E, tiles * E});
+        } else {
+          io.src = ring_acc_[static_cast<size_t>(r)];
+          io.runs.push_back({((s - 1) * num_tiles_ + off) * E,
+                             (static_cast<int64_t>(s) * num_tiles_ + off) * E,
+                             tiles * E});
+        }
+      }
       ctx.sim()->Spawn(
           TransferChunk(&world_.fabric_for(r, right), r, right,
                         static_cast<uint64_t>(tiles) * tile_bytes_,
                         ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                        &done),
+                        &done, /*eager_publish=*/false, std::move(io)),
           "flat_rs.chunk");
       ++idx;
       off += tiles;
@@ -461,16 +850,39 @@ sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
 
 sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
   const int r = ctx.rank;
+  const int R = world_.size();
+  const int64_t E = tile_elems_;
   const int64_t total =
       static_cast<int64_t>(world_.size() - 1) * num_tiles_;
+  const std::string name = RName("flat_rs.reduce", r);
   int64_t cum = 0;
   while (cum < total) {
     const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
                                             total - cum);
     co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
         static_cast<uint64_t>(cum + tiles));
+    const sim::TimeNs wake = ctx.sim()->Now();
+    uint64_t wt = 0;
+    if (payload()) {
+      world_.checker().CheckRead(ring_acc_[static_cast<size_t>(r)], cum * E,
+                                 (cum + tiles) * E, wake, name);
+      wt = world_.checker().OpenWrite(wake);
+    }
     co_await sim::Delay{ReduceCost(
         world_, static_cast<uint64_t>(tiles) * tile_bytes_, cfg_.reduce_sms)};
+    if (payload()) {
+      for (int64_t p = cum; p < cum + tiles; ++p) {
+        const int64_t s = p / num_tiles_, t = p % num_tiles_;
+        const int g = (r - static_cast<int>(s) - 2 + 2 * R) % R;
+        AddInto(ring_acc_[static_cast<size_t>(r)], p * E,
+                in_[static_cast<size_t>(r)],
+                (static_cast<int64_t>(g) * num_tiles_ + t) * E, E);
+      }
+      world_.checker().RecordWrite(ring_acc_[static_cast<size_t>(r)],
+                                   cum * E, (cum + tiles) * E, wake + 1,
+                                   ctx.sim()->Now(), name);
+      world_.checker().CloseWrite(wt);
+    }
     ring_reduced_[static_cast<size_t>(r)]->Add(
         static_cast<uint64_t>(tiles));
     cum += tiles;
@@ -485,11 +897,44 @@ sim::Coro FlatReduceScatter::Run(rt::RankCtx& ctx) {
     work.push_back(RingReducer(ctx));
   }
   co_await sim::WhenAll(std::move(work));
+  if (payload()) {
+    const int r = ctx.rank;
+    const int R = world_.size();
+    const int64_t E = tile_elems_;
+    const std::string name = RName("flat_rs.final", r);
+    const sim::TimeNs now = ctx.sim()->Now();
+    if (R > 1) {
+      // The fully reduced own block is the last ring arrival.
+      const int64_t base = static_cast<int64_t>(R - 2) * num_tiles_;
+      world_.checker().CheckRead(ring_acc_[static_cast<size_t>(r)], base * E,
+                                 (base + num_tiles_) * E, now, name);
+      AddInto(out_[static_cast<size_t>(r)], 0,
+              ring_acc_[static_cast<size_t>(r)], base * E, num_tiles_ * E);
+    } else {
+      AddInto(out_[static_cast<size_t>(r)], 0, in_[static_cast<size_t>(r)],
+              static_cast<int64_t>(r) * num_tiles_ * E, num_tiles_ * E);
+    }
+    world_.checker().RecordWrite(out_[static_cast<size_t>(r)], 0,
+                                 num_tiles_ * E, now, now, name);
+    world_.checker().CheckRead(out_[static_cast<size_t>(r)], 0,
+                               num_tiles_ * E, now, name);
+  }
 }
 
 // ---------------------------------------------------------------------------
 // DpAllReduce
 // ---------------------------------------------------------------------------
+
+// Tiles of group-member block b (the last block absorbs the remainder).
+static int64_t DpBlockTiles(int64_t num_tiles, int nodes, int b) {
+  const int64_t base = num_tiles / nodes;
+  return b == nodes - 1 ? num_tiles - base * (nodes - 1) : base;
+}
+
+// First tile of group-member block b.
+static int64_t DpBlockStart(int64_t num_tiles, int nodes, int b) {
+  return static_cast<int64_t>(b) * (num_tiles / nodes);
+}
 
 DpAllReduce::DpAllReduce(rt::World& world, int64_t num_tiles,
                          uint64_t tile_bytes, const HierConfig& cfg)
@@ -517,19 +962,35 @@ DpAllReduce::DpAllReduce(rt::World& world, int64_t num_tiles,
   }
 }
 
-// Tiles of group-member block b (the last block absorbs the remainder).
-static int64_t DpBlockTiles(int64_t num_tiles, int nodes, int b) {
-  const int64_t base = num_tiles / nodes;
-  return b == nodes - 1 ? num_tiles - base * (nodes - 1) : base;
+void DpAllReduce::AttachPayload(std::vector<rt::Buffer*> in,
+                                std::vector<rt::Buffer*> out,
+                                int64_t tile_elems) {
+  CheckPayloadShapes(world_, in, out, tile_elems, num_tiles_ * tile_elems,
+                     num_tiles_ * tile_elems);
+  in_ = std::move(in);
+  out_ = std::move(out);
+  tile_elems_ = tile_elems;
+  rs_acc_.assign(static_cast<size_t>(world_.size()), {});
+  for (int r = 0; r < world_.size(); ++r) {
+    const int64_t own_tiles =
+        DpBlockTiles(num_tiles_, nodes_, r / per_node_);
+    for (int k = 0; k + 1 < nodes_; ++k) {
+      rs_acc_[static_cast<size_t>(r)].push_back(
+          world_.device(r).Alloc("dp_ar.rs_acc", own_tiles * tile_elems));
+    }
+  }
 }
 
 sim::Coro DpAllReduce::SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase) {
   const int r = ctx.rank;
   const int n = r / per_node_, peer_node = peer / per_node_;
+  const int64_t E = tile_elems_;
   // RS phase: send the partial of the peer's block. AG phase: send this
   // rank's reduced block.
   const int64_t tiles_total =
       DpBlockTiles(num_tiles_, nodes_, rs_phase ? peer_node : n);
+  const int64_t block_start =
+      DpBlockStart(num_tiles_, nodes_, rs_phase ? peer_node : n);
   InOrderSignal* sig =
       (rs_phase ? rs_arrived_ : ag_arrived_)[static_cast<size_t>(peer)]
           [static_cast<size_t>(SourceIndex(n, peer_node))]
@@ -548,10 +1009,33 @@ sim::Coro DpAllReduce::SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase) {
       co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
                            1);
     }
+    ChunkIo io;
+    if (payload()) {
+      io.world = &world_;
+      if (rs_phase) {
+        io.src = in_[static_cast<size_t>(r)];
+        io.dst = rs_acc_[static_cast<size_t>(peer)]
+                        [static_cast<size_t>(SourceIndex(n, peer_node))];
+        io.runs.push_back({(block_start + off) * E, off * E, tiles * E});
+        io.reader = RName("dp_ar.send_rs", r);
+        io.writer = EdgeName("dp_ar.rs", r, peer);
+      } else {
+        io.src = out_[static_cast<size_t>(r)];
+        io.dst = out_[static_cast<size_t>(peer)];
+        io.runs.push_back(
+            {(block_start + off) * E, (block_start + off) * E, tiles * E});
+        io.reader = RName("dp_ar.send_ag", r);
+        io.writer = EdgeName("dp_ar.ag", r, peer);
+      }
+    }
     ctx.sim()->Spawn(
         TransferChunk(&world_.inter_fabric(), r, peer,
                       static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
-                      tiles, &done),
+                      tiles, &done,
+                      rs_phase &&
+                          EagerRailFault(cfg_, r, idx,
+                                         IsPrimaryRailPeer(peer_node, n)),
+                      std::move(io)),
         "dp_ar.chunk");
     ++idx;
     off += tiles;
@@ -562,18 +1046,44 @@ sim::Coro DpAllReduce::SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase) {
 sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
   const int r = ctx.rank;
   const int n = r / per_node_;
+  const int64_t E = tile_elems_;
   const int64_t my_tiles = DpBlockTiles(num_tiles_, nodes_, n);
+  const int64_t my_start = DpBlockStart(num_tiles_, nodes_, n);
+  const std::string name = RName("dp_ar.reduce", r);
   int64_t cum = 0;
   while (cum < my_tiles) {
     const int64_t tiles =
         std::min<int64_t>(cfg_.nic_chunk_tiles, my_tiles - cum);
+    if (payload()) {
+      // Own contribution first; peer partials accumulate as they land.
+      AddInto(out_[static_cast<size_t>(r)], (my_start + cum) * E,
+              in_[static_cast<size_t>(r)], (my_start + cum) * E, tiles * E);
+    }
     for (int k = 0; k + 1 < nodes_; ++k) {
       co_await rs_arrived_[static_cast<size_t>(r)][static_cast<size_t>(k)]
           ->tiles_arrived()
           .WaitGe(static_cast<uint64_t>(cum + tiles));
+      const sim::TimeNs wake = ctx.sim()->Now();
+      uint64_t wt = 0;
+      if (payload()) {
+        world_.checker().CheckRead(
+            rs_acc_[static_cast<size_t>(r)][static_cast<size_t>(k)], cum * E,
+            (cum + tiles) * E, wake, name);
+        wt = world_.checker().OpenWrite(wake);
+      }
       co_await sim::Delay{ReduceCost(
           world_, static_cast<uint64_t>(tiles) * tile_bytes_,
           cfg_.reduce_sms)};
+      if (payload()) {
+        AddInto(out_[static_cast<size_t>(r)], (my_start + cum) * E,
+                rs_acc_[static_cast<size_t>(r)][static_cast<size_t>(k)],
+                cum * E, tiles * E);
+        world_.checker().RecordWrite(out_[static_cast<size_t>(r)],
+                                     (my_start + cum) * E,
+                                     (my_start + cum + tiles) * E, wake + 1,
+                                     ctx.sim()->Now(), name);
+        world_.checker().CloseWrite(wt);
+      }
     }
     block_reduced_[static_cast<size_t>(r)]->Add(
         static_cast<uint64_t>(tiles));
@@ -583,8 +1093,15 @@ sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
 
 sim::Coro DpAllReduce::Run(rt::RankCtx& ctx) {
   co_await CollectiveEntry(ctx);
-  if (nodes_ <= 1) co_return;  // single node: no DP group to sync
   const int r = ctx.rank;
+  if (nodes_ <= 1) {  // single node: no DP group to sync
+    if (payload()) {
+      auto s = in_[static_cast<size_t>(r)]->data();
+      auto d = out_[static_cast<size_t>(r)]->data();
+      std::copy_n(s.data(), num_tiles_ * tile_elems_, d.data());
+    }
+    co_return;
+  }
   const int n = r / per_node_, l = r % per_node_;
   std::vector<sim::Coro> work;
   for (int nn = 0; nn < nodes_; ++nn) {
@@ -602,6 +1119,55 @@ sim::Coro DpAllReduce::Run(rt::RankCtx& ctx) {
         .WaitGe(static_cast<uint64_t>(DpBlockTiles(num_tiles_, nodes_,
                                                    src_node)));
   }
+  if (payload()) {
+    world_.checker().CheckRead(out_[static_cast<size_t>(r)], 0,
+                               num_tiles_ * tile_elems_, ctx.sim()->Now(),
+                               RName("dp_ar.final", r));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-rank payload references
+// ---------------------------------------------------------------------------
+
+std::vector<float> RefAllGather(const std::vector<rt::Buffer*>& in) {
+  std::vector<float> out;
+  for (const rt::Buffer* b : in) {
+    auto d = b->data();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+std::vector<float> RefReduceScatter(const std::vector<rt::Buffer*>& in,
+                                    int rank, int64_t block_elems) {
+  std::vector<float> out(static_cast<size_t>(block_elems), 0.0f);
+  for (const rt::Buffer* b : in) {
+    auto d = b->data();
+    for (int64_t i = 0; i < block_elems; ++i) {
+      out[static_cast<size_t>(i)] +=
+          d[static_cast<size_t>(rank * block_elems + i)];
+    }
+  }
+  return out;
+}
+
+std::vector<float> RefDpAllReduce(const std::vector<rt::Buffer*>& in,
+                                  int per_node, int rank) {
+  const int l = rank % per_node;
+  TL_CHECK(!in.empty());
+  std::vector<float> out(
+      static_cast<size_t>(in[static_cast<size_t>(l)]->num_elems()), 0.0f);
+  for (std::size_t m = 0;
+       m * static_cast<std::size_t>(per_node) + static_cast<std::size_t>(l) <
+       in.size();
+       ++m) {
+    auto d = in[m * static_cast<std::size_t>(per_node) +
+                static_cast<std::size_t>(l)]
+                 ->data();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += d[i];
+  }
+  return out;
 }
 
 }  // namespace tilelink::multinode

@@ -12,9 +12,17 @@
 // baseline the benchmarks compare against (T3/Syncopate both show the gap
 // between the two is the point of modeling the hierarchy at all).
 //
-// All collectives here are timing-oriented: they move `num_tiles` tiles of
-// `tile_bytes` per rank through the fabric models (no tensor payloads) —
-// the granularity the multi-node e2e path and the autotuner need.
+// Two modes:
+//  * Timing-only (default): `num_tiles` tiles of `tile_bytes` per rank move
+//    through the fabric models, no tensor payloads — the granularity the
+//    multi-node e2e path and the autotuner need.
+//  * Functional payload mode (AttachPayload on a functional World): every
+//    chunk additionally moves `tile_elems` fp32 values per tile through
+//    real buffers, each chunk send registers a write interval and each
+//    forward/reduce a read probe on the World's ConsistencyChecker, and the
+//    result is verifiable bit-exactly against the single-rank references
+//    below. Payload mode adds no simulated time: makespans are identical
+//    with it on or off.
 //
 // SPMD usage: construct once outside World::RunSpmd, co_await Run(ctx) on
 // every rank. Objects are single-shot.
@@ -40,6 +48,18 @@ struct HierConfig {
   int intra_chunk_tiles = 2; // tiles per NVLink ring message
   int intra_channels = 4;    // NVLink ring messages in flight
   int reduce_sms = 20;       // SMs billed for reduction epilogues
+
+  // §4.2 fault injection — the collective analog of
+  // CompilerOptions::unsafe_reorder. When both are >= 0, exactly one NIC
+  // rail chunk — chunk `unsafe_rail_chunk` of rank `unsafe_rail_src`'s
+  // first rail exchange (its lowest-node peer) — publishes its arrival
+  // signal when the send *starts* instead of when the payload lands: the
+  // receiver's in-order prefix advances early, downstream consumers read
+  // mid-flight, and in payload mode the ConsistencyChecker must report the
+  // race instead of letting a silently-wrong answer through. Safe mode
+  // leaves both at -1.
+  int unsafe_rail_src = -1;
+  int unsafe_rail_chunk = -1;
 
   static HierConfig FromCandidate(const tl::TuneCandidate& c);
 };
@@ -74,12 +94,19 @@ class HierAllGather {
                 const HierConfig& cfg);
   sim::Coro Run(rt::RankCtx& ctx);
 
+  // Functional payload mode: in[r] is rank r's shard (num_tiles *
+  // tile_elems fp32), out[r] receives all world_size blocks in global-rank
+  // order. Requires a functional World; call before Run.
+  void AttachPayload(std::vector<rt::Buffer*> in,
+                     std::vector<rt::Buffer*> out, int64_t tile_elems);
+
   // Effective per-peer NIC staging depth after the channel-budget clamp.
   int effective_staging_depth() const { return staging_depth_; }
 
  private:
   sim::Coro RailSend(rt::RankCtx& ctx, int peer);
   sim::Coro RingSend(rt::RankCtx& ctx);
+  bool payload() const { return tile_elems_ > 0; }
 
   rt::World& world_;
   int64_t num_tiles_;
@@ -93,6 +120,9 @@ class HierAllGather {
   // ring_[r]: tiles arrived at rank r from its left ring neighbor, in the
   // ring send-sequence order.
   std::vector<std::unique_ptr<InOrderSignal>> ring_;
+  // Payload mode.
+  std::vector<rt::Buffer*> in_, out_;
+  int64_t tile_elems_ = 0;
 };
 
 // Flat single-stage baseline: one chunked ring over all ranks in global id
@@ -104,12 +134,20 @@ class FlatAllGather {
                 const HierConfig& cfg);
   sim::Coro Run(rt::RankCtx& ctx);
 
+  // Same payload layout as HierAllGather.
+  void AttachPayload(std::vector<rt::Buffer*> in,
+                     std::vector<rt::Buffer*> out, int64_t tile_elems);
+
  private:
+  bool payload() const { return tile_elems_ > 0; }
+
   rt::World& world_;
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
   std::vector<std::unique_ptr<InOrderSignal>> ring_;
+  std::vector<rt::Buffer*> in_, out_;
+  int64_t tile_elems_ = 0;
 };
 
 // Two-stage ReduceScatter: every rank holds world_size * num_tiles partial
@@ -123,11 +161,20 @@ class HierReduceScatter {
                     const HierConfig& cfg);
   sim::Coro Run(rt::RankCtx& ctx);
 
+  // Functional payload mode: in[r] holds one partial tile-block per
+  // destination rank in global-rank order (world_size * num_tiles *
+  // tile_elems fp32); out[r] receives rank r's fully reduced block
+  // (num_tiles * tile_elems). Requires a functional World; call before Run.
+  void AttachPayload(std::vector<rt::Buffer*> in,
+                     std::vector<rt::Buffer*> out, int64_t tile_elems);
+
  private:
   sim::Coro RingSend(rt::RankCtx& ctx);
   sim::Coro RingReducer(rt::RankCtx& ctx);
   sim::Coro RailSend(rt::RankCtx& ctx, int peer, int peer_index);
   sim::Coro RailReducer(rt::RankCtx& ctx);
+  sim::Coro OwnContribution(rt::RankCtx& ctx);  // payload mode only
+  bool payload() const { return tile_elems_ > 0; }
 
   rt::World& world_;
   int64_t num_tiles_;
@@ -139,6 +186,12 @@ class HierReduceScatter {
   std::vector<std::unique_ptr<InOrderSignal>> ring_;       // raw arrivals
   std::vector<std::unique_ptr<sim::Flag>> ring_reduced_;   // after reduce
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rail_;
+  // Payload mode: ring arrival/accumulation area ((per_node-1)*group_tiles
+  // tiles, one slot per arrival position) and per-source rail staging.
+  std::vector<rt::Buffer*> in_, out_;
+  std::vector<rt::Buffer*> ring_acc_;
+  std::vector<std::vector<rt::Buffer*>> rail_acc_;
+  int64_t tile_elems_ = 0;
 };
 
 // Flat single-stage baseline ReduceScatter (chunked ring over all ranks).
@@ -148,9 +201,14 @@ class FlatReduceScatter {
                     const HierConfig& cfg);
   sim::Coro Run(rt::RankCtx& ctx);
 
+  // Same payload layout as HierReduceScatter.
+  void AttachPayload(std::vector<rt::Buffer*> in,
+                     std::vector<rt::Buffer*> out, int64_t tile_elems);
+
  private:
   sim::Coro RingSend(rt::RankCtx& ctx);
   sim::Coro RingReducer(rt::RankCtx& ctx);
+  bool payload() const { return tile_elems_ > 0; }
 
   rt::World& world_;
   int64_t num_tiles_;
@@ -158,6 +216,9 @@ class FlatReduceScatter {
   HierConfig cfg_;
   std::vector<std::unique_ptr<InOrderSignal>> ring_;
   std::vector<std::unique_ptr<sim::Flag>> ring_reduced_;
+  std::vector<rt::Buffer*> in_, out_;
+  std::vector<rt::Buffer*> ring_acc_;  // (R-1)*num_tiles arrival positions
+  int64_t tile_elems_ = 0;
 };
 
 // Cross-node data-parallel AllReduce: each rank holds `num_tiles` gradient
@@ -172,11 +233,20 @@ class DpAllReduce {
               const HierConfig& cfg);
   sim::Coro Run(rt::RankCtx& ctx);
 
+  // Functional payload mode: in[r] is rank r's gradient (num_tiles *
+  // tile_elems fp32); out[r] receives the group sum. Requires a functional
+  // World; call before Run. The unsafe_rail fault applies to the
+  // ReduceScatter phase (the AllGather phase has no downstream consumer
+  // inside the collective to race with).
+  void AttachPayload(std::vector<rt::Buffer*> in,
+                     std::vector<rt::Buffer*> out, int64_t tile_elems);
+
   int effective_staging_depth() const { return staging_depth_; }
 
  private:
   sim::Coro SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase);
   sim::Coro Reducer(rt::RankCtx& ctx);
+  bool payload() const { return tile_elems_ > 0; }
 
   rt::World& world_;
   int64_t num_tiles_;
@@ -187,6 +257,24 @@ class DpAllReduce {
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rs_arrived_;
   std::vector<std::unique_ptr<sim::Flag>> block_reduced_;
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> ag_arrived_;
+  // Payload mode: per-source staging for the RS phase of the own block.
+  std::vector<rt::Buffer*> in_, out_;
+  std::vector<std::vector<rt::Buffer*>> rs_acc_;
+  int64_t tile_elems_ = 0;
 };
+
+// ---- Single-rank payload references ---------------------------------------
+// fp32, rank-ordered accumulation; bit-exact against the collectives for
+// integer-valued inputs (see FillIntLattice) regardless of the collectives'
+// internal accumulation order.
+
+// Concatenation of every rank's shard in global-rank order.
+std::vector<float> RefAllGather(const std::vector<rt::Buffer*>& in);
+// Sum over ranks of in[p]'s block for `rank` (block_elems fp32 per block).
+std::vector<float> RefReduceScatter(const std::vector<rt::Buffer*>& in,
+                                    int rank, int64_t block_elems);
+// Sum over rank's DP group {m * per_node + rank % per_node : m}.
+std::vector<float> RefDpAllReduce(const std::vector<rt::Buffer*>& in,
+                                  int per_node, int rank);
 
 }  // namespace tilelink::multinode

@@ -1,0 +1,125 @@
+#include "tilelink/multinode/payload_validation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/world.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace tilelink::multinode {
+namespace {
+
+std::vector<rt::Buffer*> AllocFilled(rt::World& world, const char* name,
+                                     int64_t elems, bool fill) {
+  std::vector<rt::Buffer*> bufs = world.AllocSymmetric(name, elems);
+  if (fill) {
+    for (int r = 0; r < world.size(); ++r) {
+      Tensor t(bufs[static_cast<size_t>(r)], {elems}, DType::kFP32);
+      FillIntLattice(t, /*seed=*/static_cast<uint32_t>(r) * 7919u + 1u);
+    }
+  }
+  return bufs;
+}
+
+bool BufferMatches(rt::Buffer* buf, const std::vector<float>& ref) {
+  const int64_t n = static_cast<int64_t>(ref.size());
+  if (buf->num_elems() != n) return false;
+  rt::Buffer ref_buf(buf->device(), "ref", n, /*materialize=*/true);
+  std::copy(ref.begin(), ref.end(), ref_buf.data().begin());
+  return BitExact(Tensor(buf, {n}, DType::kFP32),
+                  Tensor(&ref_buf, {n}, DType::kFP32));
+}
+
+// Shared driver: Collective is any of the five payload-capable classes,
+// `expect` produces rank r's reference output.
+template <typename Collective, typename ExpectFn>
+PayloadReport RunValidation(const sim::MachineSpec& spec, int64_t num_tiles,
+                            uint64_t tile_bytes, int64_t tile_elems,
+                            const HierConfig& cfg, int64_t in_elems,
+                            int64_t out_elems, const ExpectFn& expect) {
+  rt::World world(spec, rt::ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  std::vector<rt::Buffer*> in =
+      AllocFilled(world, "payload.in", in_elems, /*fill=*/true);
+  std::vector<rt::Buffer*> out =
+      AllocFilled(world, "payload.out", out_elems, /*fill=*/false);
+  Collective coll(world, num_tiles, tile_bytes, cfg);
+  coll.AttachPayload(in, out, tile_elems);
+  PayloadReport report;
+  report.makespan = world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await coll.Run(ctx); });
+  report.violations = world.checker().violations().size();
+  report.bit_exact = true;
+  for (int r = 0; r < world.size(); ++r) {
+    if (!BufferMatches(out[static_cast<size_t>(r)], expect(in, r))) {
+      report.bit_exact = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
+                                    int64_t num_tiles, uint64_t tile_bytes,
+                                    int64_t tile_elems,
+                                    const HierConfig& cfg) {
+  return RunValidation<HierAllGather>(
+      spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
+      spec.num_devices * num_tiles * tile_elems,
+      [](const std::vector<rt::Buffer*>& in, int) {
+        return RefAllGather(in);
+      });
+}
+
+PayloadReport ValidateFlatAllGather(const sim::MachineSpec& spec,
+                                    int64_t num_tiles, uint64_t tile_bytes,
+                                    int64_t tile_elems,
+                                    const HierConfig& cfg) {
+  return RunValidation<FlatAllGather>(
+      spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
+      spec.num_devices * num_tiles * tile_elems,
+      [](const std::vector<rt::Buffer*>& in, int) {
+        return RefAllGather(in);
+      });
+}
+
+PayloadReport ValidateHierReduceScatter(const sim::MachineSpec& spec,
+                                        int64_t num_tiles,
+                                        uint64_t tile_bytes,
+                                        int64_t tile_elems,
+                                        const HierConfig& cfg) {
+  return RunValidation<HierReduceScatter>(
+      spec, num_tiles, tile_bytes, tile_elems, cfg,
+      spec.num_devices * num_tiles * tile_elems, num_tiles * tile_elems,
+      [&](const std::vector<rt::Buffer*>& in, int r) {
+        return RefReduceScatter(in, r, num_tiles * tile_elems);
+      });
+}
+
+PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
+                                        int64_t num_tiles,
+                                        uint64_t tile_bytes,
+                                        int64_t tile_elems,
+                                        const HierConfig& cfg) {
+  return RunValidation<FlatReduceScatter>(
+      spec, num_tiles, tile_bytes, tile_elems, cfg,
+      spec.num_devices * num_tiles * tile_elems, num_tiles * tile_elems,
+      [&](const std::vector<rt::Buffer*>& in, int r) {
+        return RefReduceScatter(in, r, num_tiles * tile_elems);
+      });
+}
+
+PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
+                                  int64_t num_tiles, uint64_t tile_bytes,
+                                  int64_t tile_elems, const HierConfig& cfg) {
+  return RunValidation<DpAllReduce>(
+      spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
+      num_tiles * tile_elems,
+      [&](const std::vector<rt::Buffer*>& in, int r) {
+        return RefDpAllReduce(in, spec.devices_per_node, r);
+      });
+}
+
+}  // namespace tilelink::multinode

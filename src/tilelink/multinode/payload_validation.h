@@ -1,0 +1,49 @@
+// End-to-end validation drivers for the functional multi-node collectives:
+// build a functional World with the ConsistencyChecker enabled, fill every
+// rank's input with a deterministic integer-valued lattice (fp32 sums of
+// small integers are exact, so the multi-rank reductions are bit-exact
+// under any accumulation order), run the collective with a payload
+// attached, and compare every rank's output bit-for-bit against the
+// single-rank references.
+//
+// The same drivers carry the §4.2 fault injection: set
+// HierConfig::unsafe_rail_{src,chunk} and a safe run's `bit_exact &&
+// violations == 0` flips to `violations >= 1` — the checker catches the
+// dropped prefix-publication ordering on the NIC stage instead of letting a
+// silently wrong (or silently right-by-luck) answer through.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine_spec.h"
+#include "tilelink/multinode/hier_collectives.h"
+
+namespace tilelink::multinode {
+
+struct PayloadReport {
+  bool bit_exact = false;     // every rank matched its reference
+  std::size_t violations = 0; // consistency violations found
+  sim::TimeNs makespan = 0;   // identical to the timing-only makespan
+
+  bool ok() const { return bit_exact && violations == 0; }
+};
+
+PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
+                                    int64_t num_tiles, uint64_t tile_bytes,
+                                    int64_t tile_elems, const HierConfig& cfg);
+PayloadReport ValidateFlatAllGather(const sim::MachineSpec& spec,
+                                    int64_t num_tiles, uint64_t tile_bytes,
+                                    int64_t tile_elems, const HierConfig& cfg);
+PayloadReport ValidateHierReduceScatter(const sim::MachineSpec& spec,
+                                        int64_t num_tiles, uint64_t tile_bytes,
+                                        int64_t tile_elems,
+                                        const HierConfig& cfg);
+PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
+                                        int64_t num_tiles, uint64_t tile_bytes,
+                                        int64_t tile_elems,
+                                        const HierConfig& cfg);
+PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
+                                  int64_t num_tiles, uint64_t tile_bytes,
+                                  int64_t tile_elems, const HierConfig& cfg);
+
+}  // namespace tilelink::multinode

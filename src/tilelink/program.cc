@@ -246,6 +246,8 @@ sim::Coro AsyncPush(ExecCtx ec, DataSpec d, NotifySpec after,
   sim::ResourceLease lease(world.device(d.src_rank).copy_engines(), 1);
   co_await sim::Delay{world.spec().dma_setup_latency};
   const sim::TimeNs start = world.sim().Now();
+  const uint64_t wt =
+      d.write_buf != nullptr ? world.checker().OpenWrite(start) : 0;
   co_await world.Transfer(d.src_rank, d.dst_rank,
                           static_cast<uint64_t>(static_cast<double>(d.bytes) /
                                                 world.spec().dma_efficiency));
@@ -253,6 +255,7 @@ sim::Coro AsyncPush(ExecCtx ec, DataSpec d, NotifySpec after,
     world.checker().RecordWrite(d.write_buf, d.write_lo, d.write_hi, start,
                                 world.sim().Now(), label);
   }
+  world.checker().CloseWrite(wt);
   FireNotify(ec, after);
 }
 
@@ -330,12 +333,15 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
         world.checker().CheckRead(d.read_buf, d.read_lo, d.read_hi, start,
                                   op.label);
       }
+      const uint64_t wt =
+          d.write_buf != nullptr ? world.checker().OpenWrite(start) : 0;
       co_await world.Transfer(d.src_rank, d.dst_rank, d.bytes);
       if (op.math && world.functional()) op.math(env);
       if (d.write_buf != nullptr) {
         world.checker().RecordWrite(d.write_buf, d.write_lo, d.write_hi,
                                     start, world.sim().Now(), op.label);
       }
+      world.checker().CloseWrite(wt);
       if (op.notify_after) {
         FireNotify(ec, op.notify_after(env));
       }

@@ -1,5 +1,7 @@
 // Multi-node fabric subsystem: hierarchical vs flat collectives, DP
-// gradient sync, fabric channel budgets, and the NIC-knob tuning hooks.
+// gradient sync, fabric channel budgets, the NIC-knob tuning hooks, and the
+// functional payload mode (bit-exact data movement validated end-to-end by
+// the consistency checker, plus §4.2 fault injection on the NIC rail).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -8,6 +10,7 @@
 #include "tilelink/builder/role_plan.h"
 #include "tilelink/multinode/hier_collectives.h"
 #include "tilelink/multinode/multinode_tuning.h"
+#include "tilelink/multinode/payload_validation.h"
 
 namespace tilelink::multinode {
 namespace {
@@ -114,6 +117,19 @@ TEST(HierCollectives, SingleNodeDegeneratesWithoutDeadlock) {
   EXPECT_GT(rs, 0);
 }
 
+// Degenerate single-node topology: with num_nodes() == 1 the hierarchical
+// collectives skip the rail stage entirely (no self-exchange over the NIC),
+// leaving exactly the flat single-stage NVLink ring — the makespans must be
+// identical, not merely close.
+TEST(HierCollectives, SingleNodeHierMatchesFlatTiming) {
+  const MachineSpec spec = MachineSpec::H800x8();  // 1x8
+  const HierConfig cfg;
+  EXPECT_EQ(SimulateHierAllGather(spec, 16, 256 << 10, cfg),
+            SimulateFlatAllGather(spec, 16, 256 << 10, cfg));
+  EXPECT_EQ(SimulateHierReduceScatter(spec, 16, 256 << 10, cfg),
+            SimulateFlatReduceScatter(spec, 16, 256 << 10, cfg));
+}
+
 TEST(HierCollectives, DeterministicAcrossRuns) {
   const MachineSpec spec = TwoNodeSpec(4);
   const HierConfig cfg;
@@ -207,6 +223,156 @@ TEST(DpSync, TunedConfigNeverLosesToSeed) {
       TuneDpSync(spec, bytes, tl::TuningSpace::MultiNode(), base);
   EXPECT_LE(r.best_cost, seed_cost);
   EXPECT_EQ(r.best_cost, SimulateDpSync(spec, bytes, r.best));
+}
+
+// ---------------------------------------------------------------------------
+// Functional payload mode: bit-exact data movement, consistency-checked
+// ---------------------------------------------------------------------------
+
+TEST(PayloadMode, HierAllGatherBitExactAtTwoByEight) {
+  const PayloadReport r =
+      ValidateHierAllGather(TwoNodeSpec(8), 6, 16 << 10, 8, HierConfig());
+  EXPECT_TRUE(r.bit_exact);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(PayloadMode, HierReduceScatterBitExactAtTwoByEight) {
+  const PayloadReport r =
+      ValidateHierReduceScatter(TwoNodeSpec(8), 6, 16 << 10, 8, HierConfig());
+  EXPECT_TRUE(r.bit_exact);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(PayloadMode, DpAllReduceBitExactAtTwoByEight) {
+  // 7 tiles across 2 nodes exercises the uneven remainder block (3 + 4).
+  const PayloadReport r =
+      ValidateDpAllReduce(TwoNodeSpec(8), 7, 16 << 10, 8, HierConfig());
+  EXPECT_TRUE(r.bit_exact);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(PayloadMode, FlatCollectivesBitExactAtTwoByFour) {
+  const MachineSpec spec = TwoNodeSpec(4);
+  const HierConfig cfg;
+  const PayloadReport ag = ValidateFlatAllGather(spec, 6, 16 << 10, 8, cfg);
+  EXPECT_TRUE(ag.bit_exact);
+  EXPECT_EQ(ag.violations, 0u);
+  const PayloadReport rs =
+      ValidateFlatReduceScatter(spec, 6, 16 << 10, 8, cfg);
+  EXPECT_TRUE(rs.bit_exact);
+  EXPECT_EQ(rs.violations, 0u);
+}
+
+// Chunk boundaries that straddle segment/group edges: a chunk size that
+// does not divide the shard exercises the segmented copy-run construction.
+TEST(PayloadMode, RaggedChunkSizesStayBitExact) {
+  const MachineSpec spec = TwoNodeSpec(4);
+  HierConfig cfg;
+  cfg.nic_chunk_tiles = 3;
+  cfg.intra_chunk_tiles = 5;
+  const PayloadReport ag = ValidateHierAllGather(spec, 7, 16 << 10, 4, cfg);
+  EXPECT_TRUE(ag.bit_exact);
+  EXPECT_EQ(ag.violations, 0u);
+  const PayloadReport rs =
+      ValidateHierReduceScatter(spec, 7, 16 << 10, 4, cfg);
+  EXPECT_TRUE(rs.bit_exact);
+  EXPECT_EQ(rs.violations, 0u);
+}
+
+// Three nodes exercise the multi-rail-peer paths the 2x8 cases cannot:
+// per-source segment ordering (SourceIndex/SourceNode), concurrent rail
+// streams per sender, and three-way DP groups.
+TEST(PayloadMode, ThreeNodeTopologyStaysBitExact) {
+  MachineSpec spec = MachineSpec::H800x8();
+  spec.num_devices = 6;
+  spec.devices_per_node = 2;
+  const HierConfig cfg;
+  const PayloadReport ag = ValidateHierAllGather(spec, 5, 16 << 10, 4, cfg);
+  EXPECT_TRUE(ag.bit_exact);
+  EXPECT_EQ(ag.violations, 0u);
+  const PayloadReport rs =
+      ValidateHierReduceScatter(spec, 5, 16 << 10, 4, cfg);
+  EXPECT_TRUE(rs.bit_exact);
+  EXPECT_EQ(rs.violations, 0u);
+  const PayloadReport ar = ValidateDpAllReduce(spec, 8, 16 << 10, 4, cfg);
+  EXPECT_TRUE(ar.bit_exact);
+  EXPECT_EQ(ar.violations, 0u);
+  // The injected fault stays a *single* chunk even with two rail peers per
+  // sender (scoped to the first rail exchange) and is still caught.
+  HierConfig fault = cfg;
+  fault.unsafe_rail_src = 0;
+  fault.unsafe_rail_chunk = 0;
+  const PayloadReport f = ValidateHierAllGather(spec, 5, 16 << 10, 4, fault);
+  EXPECT_GE(f.violations, 1u);
+}
+
+// Degenerate topologies keep the functional guarantees: one node (ring
+// only), one rank per node (rail only), and a single rank.
+TEST(PayloadMode, DegenerateTopologiesStayBitExact) {
+  const HierConfig cfg;
+  for (const MachineSpec& spec :
+       {MachineSpec::Test(4), TwoNodeSpec(1), MachineSpec::Test(1)}) {
+    const PayloadReport ag = ValidateHierAllGather(spec, 6, 16 << 10, 4, cfg);
+    EXPECT_TRUE(ag.bit_exact) << spec.num_devices << "x"
+                              << spec.devices_per_node;
+    EXPECT_EQ(ag.violations, 0u);
+    const PayloadReport rs =
+        ValidateHierReduceScatter(spec, 6, 16 << 10, 4, cfg);
+    EXPECT_TRUE(rs.bit_exact) << spec.num_devices << "x"
+                              << spec.devices_per_node;
+    EXPECT_EQ(rs.violations, 0u);
+    const PayloadReport ar = ValidateDpAllReduce(spec, 6, 16 << 10, 4, cfg);
+    EXPECT_TRUE(ar.bit_exact);
+    EXPECT_EQ(ar.violations, 0u);
+  }
+}
+
+// Payload mode moves data and probes the checker but adds no simulated
+// time: the functional makespan equals the timing-only one exactly.
+TEST(PayloadMode, PayloadDoesNotPerturbTiming) {
+  const MachineSpec spec = TwoNodeSpec(4);
+  const HierConfig cfg;
+  EXPECT_EQ(ValidateHierAllGather(spec, 8, 64 << 10, 4, cfg).makespan,
+            SimulateHierAllGather(spec, 8, 64 << 10, cfg));
+  EXPECT_EQ(ValidateHierReduceScatter(spec, 8, 64 << 10, 4, cfg).makespan,
+            SimulateHierReduceScatter(spec, 8, 64 << 10, cfg));
+  rt::World timing(spec, rt::ExecMode::kTimingOnly);
+  DpAllReduce ar(timing, 8, 64 << 10, cfg);
+  const TimeNs dp_timing = timing.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await ar.Run(ctx); });
+  EXPECT_EQ(ValidateDpAllReduce(spec, 8, 64 << 10, 4, cfg).makespan,
+            dp_timing);
+}
+
+// ---------------------------------------------------------------------------
+// §4.2 fault injection on the NIC rail stage
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, EagerRailPublishCaughtOnHierAllGather) {
+  HierConfig fault;
+  fault.unsafe_rail_src = 0;
+  fault.unsafe_rail_chunk = 0;
+  const PayloadReport r =
+      ValidateHierAllGather(TwoNodeSpec(8), 6, 16 << 10, 8, fault);
+  EXPECT_GE(r.violations, 1u);
+}
+
+TEST(FaultInjection, EagerRailPublishCaughtOnHierReduceScatter) {
+  HierConfig fault;
+  fault.unsafe_rail_src = 3;
+  fault.unsafe_rail_chunk = 1;
+  const PayloadReport r =
+      ValidateHierReduceScatter(TwoNodeSpec(8), 12, 16 << 10, 8, fault);
+  EXPECT_GE(r.violations, 1u);
+}
+
+TEST(FaultInjection, EagerRailPublishCaughtOnDpAllReduce) {
+  HierConfig fault;
+  fault.unsafe_rail_src = 8;
+  fault.unsafe_rail_chunk = 0;
+  const PayloadReport r =
+      ValidateDpAllReduce(TwoNodeSpec(8), 16, 16 << 10, 8, fault);
+  EXPECT_GE(r.violations, 1u);
 }
 
 TEST(DpSync, LayerGradBytesMatchesLayerStructure) {

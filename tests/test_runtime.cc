@@ -125,6 +125,122 @@ TEST(Runtime, ConsistencyCheckerIgnoresDisjointRanges) {
   EXPECT_TRUE(world.checker().violations().empty());
 }
 
+// Pinned boundary semantics: [start, end) is half-open — a read at exactly
+// write_end is the correct acquire/release rendezvous, a read at exactly
+// write_start races.
+TEST(Runtime, ConsistencyCheckerBoundarySemantics) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  world.checker().RecordWrite(t.buffer(), 0, 64, 100, 200, "writer");
+  world.checker().CheckRead(t.buffer(), 10, 20, 200, "reader");  // at end
+  EXPECT_TRUE(world.checker().violations().empty());
+  world.checker().CheckRead(t.buffer(), 10, 20, 100, "reader");  // at start
+  EXPECT_EQ(world.checker().violations().size(), 1u);
+}
+
+TEST(Runtime, ConsistencyCheckerIgnoresEmptyRanges) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  world.checker().RecordWrite(t.buffer(), 0, 64, 100, 200, "writer");
+  world.checker().CheckRead(t.buffer(), 5, 5, 150, "reader");  // hi == lo
+  world.checker().CheckRead(t.buffer(), 9, 5, 150, "reader");  // hi < lo
+  EXPECT_TRUE(world.checker().violations().empty());
+  // An empty write never matches later reads either: this full-range read
+  // races only the original [0, 64) write, not the empty "writer2" one.
+  world.checker().RecordWrite(t.buffer(), 7, 7, 100, 200, "writer2");
+  world.checker().CheckRead(t.buffer(), 0, 64, 150, "reader2");
+  ASSERT_EQ(world.checker().violations().size(), 1u);
+  EXPECT_EQ(world.checker().violations()[0].writer, "writer");
+}
+
+// A read-modify-write actor probes its input at its wake instant and
+// records its mutation window starting strictly after it ([wake + 1, end)):
+// the program-ordered self-access never matches, other actors still do.
+TEST(Runtime, ConsistencyCheckerRmwConventionAvoidsSelfRace) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  world.checker().CheckRead(t.buffer(), 0, 64, 100, "reduce.r0");
+  world.checker().RecordWrite(t.buffer(), 0, 64, 101, 180, "reduce.r0");
+  EXPECT_TRUE(world.checker().violations().empty());
+  // Any actor reading inside the mutation window is a race — including a
+  // same-named one (names are diagnostics, not actor identity).
+  world.checker().CheckRead(t.buffer(), 0, 64, 120, "reduce.r0");
+  EXPECT_EQ(world.checker().violations().size(), 1u);
+}
+
+TEST(Runtime, ConsistencyCheckerRetiresCompletedIntervals) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  chk.set_auto_retire_period(0);  // manual control
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  chk.RecordWrite(t.buffer(), 0, 8, 100, 200, "w");
+  chk.CheckRead(t.buffer(), 0, 8, 200, "r");
+  EXPECT_EQ(chk.live_writes(), 1u);
+  EXPECT_EQ(chk.live_reads(), 1u);
+  chk.RetireUpTo(150);  // write still in flight: nothing retires
+  EXPECT_EQ(chk.live_writes(), 1u);
+  chk.RetireUpTo(250);
+  EXPECT_EQ(chk.live_writes(), 0u);
+  EXPECT_EQ(chk.live_reads(), 0u);
+  EXPECT_EQ(chk.retired_intervals(), 2u);
+  EXPECT_TRUE(chk.violations().empty());
+}
+
+// Regression: the live set stays bounded under sustained registration (the
+// functional 16-GPU collectives register one interval per chunk for the
+// whole run — the checker must not accumulate them all).
+TEST(Runtime, ConsistencyCheckerAutoRetireBoundsLiveSet) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  chk.set_auto_retire_period(256);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  const int kIntervals = 10000;
+  for (int i = 0; i < kIntervals; ++i) {
+    const sim::TimeNs start = i * 10;
+    chk.RecordWrite(t.buffer(), i % 64, i % 64 + 1, start, start + 5, "w");
+    chk.CheckRead(t.buffer(), i % 64, i % 64 + 1, start + 5, "r");
+  }
+  EXPECT_TRUE(chk.violations().empty());
+  EXPECT_LE(chk.live_writes() + chk.live_reads(), 2u * 256u + 2u);
+  EXPECT_GT(chk.retired_intervals(), 0u);
+}
+
+// OpenWrite pins the retirement watermark: a read probed while a write is
+// in flight survives arbitrarily many unrelated retirement rounds and is
+// still matched by the order-independent audit when the write commits.
+TEST(Runtime, ConsistencyCheckerOpenWriteGuardsInFlightAudit) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  chk.set_auto_retire_period(8);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  Tensor u = Tensor::Alloc(world.device(0), "other", {64}, DType::kFP32);
+  const uint64_t wt = chk.OpenWrite(100);
+  chk.CheckRead(t.buffer(), 0, 8, 150, "racer");
+  // Unrelated traffic far in the future trips auto-retire many times.
+  for (int i = 0; i < 64; ++i) {
+    const sim::TimeNs start = 10000 + i * 10;
+    chk.RecordWrite(u.buffer(), 0, 1, start, start + 1, "noise");
+  }
+  EXPECT_GE(chk.live_reads(), 1u);  // the racer probe must survive
+  chk.RecordWrite(t.buffer(), 0, 8, 100, 200, "writer");
+  chk.CloseWrite(wt);
+  ASSERT_EQ(chk.violations().size(), 1u);
+  EXPECT_EQ(chk.violations()[0].reader, "racer");
+  // Without the open-write guard the probe would have been retired:
+  chk.Clear();
+  chk.set_enabled(true);
+  chk.CheckRead(t.buffer(), 0, 8, 150, "racer");
+  chk.RetireUpTo(10000);
+  chk.RecordWrite(t.buffer(), 0, 8, 100, 200, "writer");
+  EXPECT_TRUE(chk.violations().empty());
+}
+
 TEST(Runtime, BarrierRendezvousAllRanks) {
   World world(sim::MachineSpec::Test(4), ExecMode::kFunctional);
   std::vector<TimeNs> after(4, -1);

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "common/rng.h"
@@ -280,6 +281,74 @@ TEST(TunedConfigCacheTest, RejectsMalformedJson) {
   EXPECT_FALSE(cache.FromJson("{ \"k\": { \"bm\": } }"));
   EXPECT_FALSE(cache.FromJson("{ \"k\": { \"unknown_field\": 3 } }"));
   EXPECT_FALSE(cache.FromJson("{ \"k\": { \"comm\": \"warp_specialized\" } }"));
+}
+
+TEST(TunedConfigCacheTest, JsonRejectsInt64Extremes) {
+  TunedConfigCache cache;
+  // INT64_MIN's magnitude overflows the positive accumulator: rejected, not
+  // wrapped into garbage via `-value` UB.
+  EXPECT_FALSE(
+      cache.FromJson("{ \"k\": { \"cost_ns\": -9223372036854775808 } }"));
+  EXPECT_FALSE(
+      cache.FromJson("{ \"k\": { \"cost_ns\": 9223372036854775808 } }"));
+  // INT64_MAX itself is representable and accepted.
+  ASSERT_TRUE(
+      cache.FromJson("{ \"k\": { \"cost_ns\": 9223372036854775807 } }"));
+  const TunedEntry* e = cache.Find("k");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->cost, std::numeric_limits<int64_t>::max());
+}
+
+TEST(TunedConfigCacheTest, JsonRejectsTrailingGarbage) {
+  TunedConfigCache cache;
+  EXPECT_FALSE(cache.FromJson("{} x"));
+  EXPECT_FALSE(cache.FromJson("{}{}"));
+  EXPECT_FALSE(cache.FromJson("{ \"k\": { \"bm\": 64 } } trailing"));
+  // Trailing whitespace is not garbage.
+  EXPECT_TRUE(cache.FromJson("{}  \n"));
+}
+
+TEST(TunedConfigCacheTest, JsonFailureLeavesCacheUntouched) {
+  TunedConfigCache cache;
+  cache.Put("keep", DistinctEntry());
+  // The first entry parses, the document then goes bad: all-or-nothing
+  // means neither "keep" is clobbered nor "new" added.
+  EXPECT_FALSE(cache.FromJson(
+      "{ \"keep\": { \"bm\": 1 }, \"new\": { \"bogus\": 2 } }"));
+  ASSERT_EQ(cache.size(), 1u);
+  const TunedEntry* e = cache.Find("keep");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e, DistinctEntry());
+}
+
+TEST(TunedConfigCacheTest, JsonDuplicateKeysLastWins) {
+  TunedConfigCache cache;
+  ASSERT_TRUE(cache.FromJson(
+      "{ \"k\": { \"staging_depth\": 2 }, \"k\": { \"staging_depth\": 5 } "
+      "}"));
+  ASSERT_EQ(cache.size(), 1u);
+  const TunedEntry* e = cache.Find("k");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->config.staging_depth, 5);
+  // Repeated fields within one entry object are last-wins too.
+  ASSERT_TRUE(cache.FromJson(
+      "{ \"f\": { \"staging_depth\": 2, \"staging_depth\": 7 } }"));
+  EXPECT_EQ(cache.Find("f")->config.staging_depth, 7);
+}
+
+TEST(TunedConfigCacheTest, CalibrationHashNormalizesSignedZero) {
+  sim::MachineSpec a = sim::MachineSpec::H800x8();
+  sim::MachineSpec b = a;
+  a.nic_gbps = 0.0;
+  b.nic_gbps = -0.0;
+  // Numerically identical calibrations must share one cache generation.
+  EXPECT_EQ(CostCalibrationHash(a), CostCalibrationHash(b));
+}
+
+TEST(TunedConfigCacheTest, CalibrationHashRejectsNaN) {
+  sim::MachineSpec spec = sim::MachineSpec::H800x8();
+  spec.dma_efficiency = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(CostCalibrationHash(spec), Error);
 }
 
 TEST(TunedConfigCacheTest, FileRoundTrip) {
