@@ -9,12 +9,14 @@
 #      the simulator microbenchmarks. Machine-readable results land in
 #      build-ci/BENCH_*.json; fig11 warm-starts its tuned-config cache from
 #      build-ci/BENCH_fig11_cache.json when a previous run left one.
-#   4. 16-GPU smoke: the two-node fabric bench with --payload — fails if
-#      the functional 2x8 collectives are not bit-exact with zero
+#   4. 16-GPU smoke: the two-node fabric bench with --payload --fused —
+#      fails if the functional 2x8 collectives are not bit-exact with zero
 #      consistency violations (or an injected NIC-stage fault goes
 #      uncaught), if a hierarchical collective loses to its flat
-#      single-stage baseline at 2x8, or if a tuned DP-sync config loses to
-#      the hand-picked two-node defaults.
+#      single-stage baseline at 2x8, if a tuned DP-sync config loses to
+#      the hand-picked two-node defaults, or if the fused gemm_hier_rs
+#      kernel loses to the layer-level GEMM-then-HierRS compose (or its
+#      functional run is not bit-exact / violation-free).
 # Usage: scripts/ci.sh [--fast]   (--fast skips the ASan and bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,7 +27,9 @@ FAST=0
 echo "=== [1/4] RelWithDebInfo, -Wall -Wextra -Werror ==="
 cmake -B build-ci -S . -DTILELINK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j
-(cd build-ci && ctest --output-on-failure -j"$(nproc)")
+# --timeout: a hung coroutine pipeline fails fast instead of
+# stalling the whole CI run.
+(cd build-ci && ctest --output-on-failure --timeout 120 -j"$(nproc)")
 
 if [[ "$FAST" == "0" ]]; then
   echo "=== [2/4] Debug + ASan ==="
@@ -36,7 +40,7 @@ if [[ "$FAST" == "0" ]]; then
   # are already gated off under ASan). detect_leaks is pinned on so a
   # platform default can't silently drop the leak check.
   (cd build-asan && ASAN_OPTIONS=detect_leaks=1 \
-      ctest --output-on-failure -j"$(nproc)")
+      ctest --output-on-failure --timeout 300 -j"$(nproc)")
 
   echo "=== [3/4] Bench smoke (tuned configs must beat hand-picked) ==="
   ./build-ci/bench_micro_sim --json build-ci/BENCH_micro_sim.json
@@ -44,8 +48,8 @@ if [[ "$FAST" == "0" ]]; then
   ./build-ci/bench_fig11_e2e --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
 
-  echo "=== [4/4] 16-GPU smoke (functional payload + hier must beat flat) ==="
-  ./build-ci/bench_multinode_fabric --payload \
+  echo "=== [4/4] 16-GPU smoke (payload + fused kernel + hier vs flat) ==="
+  ./build-ci/bench_multinode_fabric --payload --fused \
       --json build-ci/BENCH_multinode.json
 fi
 

@@ -31,12 +31,10 @@ rt::World MakeWorld(const sim::MachineSpec& spec) {
   return rt::World(spec, rt::ExecMode::kTimingOnly);
 }
 
-// Picks an RS chunk size that divides m_per_rank and is a multiple of bm.
+// Picks an RS chunk size that divides m_per_rank and is a multiple of bm
+// (the shared layer-default rule; the fused multi-node seed uses it too).
 int RsBlock(int64_t m_per_rank, int bm) {
-  int64_t chunk = m_per_rank / 8;
-  chunk = std::max<int64_t>(bm, chunk - chunk % bm);
-  while (m_per_rank % chunk != 0) chunk -= bm;
-  return static_cast<int>(std::max<int64_t>(bm, chunk));
+  return tl::RsBlockRows(m_per_rank, bm);
 }
 
 // ---- Hand-picked TileLink configs (the paper's figure defaults). These
@@ -104,7 +102,9 @@ void E2eEstimator::EnableTuning(tl::TunedConfigCache* cache) {
 sim::MachineSpec E2eEstimator::Spec() const {
   sim::MachineSpec spec = sim::MachineSpec::H800x8();
   spec.num_devices = tp_;
-  spec.devices_per_node = tp_;
+  // TP groups wider than one node span the NIC fabric (the 16-GPU TP
+  // layers); within-node TP keeps the single-node layout.
+  spec.devices_per_node = std::min(tp_, spec.devices_per_node);
   return spec;
 }
 
@@ -173,7 +173,26 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
         [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
   } else {
     const tl::MlpPartShape shape{m, k, n};
-    if (tuned) {
+    // TP spanning the node boundary runs the fused GEMM + hierarchical RS
+    // kernel (NVLink ring + NIC rail in one RolePlan); single-node TP —
+    // and multi-node shapes too small for the fused kernel's chunking —
+    // run the single-fabric GemmRs (the spec in the cache key separates
+    // multi-node fallback searches from the single-node ones).
+    const tl::TuneCandidate seed = multinode::DefaultGemmHierRsCandidate(
+        shape, tp_, CoarseTiling(k));
+    const bool fused = spec.num_nodes() > 1 &&
+                       multinode::GemmHierRsFeasible(spec, shape, seed);
+    if (fused && tuned) {
+      const tl::TunedEntry& e = tuned_cache_->GetOrTune(
+          tl::TunedConfigCache::Key("gemm_hier_rs", {m, k, n}, spec), [&] {
+            const tl::TuneResult r = multinode::TuneGemmHierRs(
+                spec, shape, tl::TuningSpace::GemmHierRs(), seed);
+            return tl::TunedEntry{r.best, r.best_cost};
+          });
+      t = multinode::SimulateGemmHierRs(spec, shape, e.config);
+    } else if (fused) {
+      t = multinode::SimulateGemmHierRs(spec, shape, seed);
+    } else if (tuned) {
       const tl::TunedEntry& e = tuned_cache_->GetOrTune(
           tl::TunedConfigCache::Key("gemm_rs", {m, k, n}, spec), [&] {
             const tl::TuneResult r =

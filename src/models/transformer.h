@@ -52,7 +52,10 @@ struct E2eResult {
 
 class E2eEstimator {
  public:
-  // tp = tensor-parallel degree (devices per TP group; one node).
+  // tp = tensor-parallel degree. Up to 8 the TP group lives in one node; a
+  // wider group (the 16-GPU TP layers) spans nodes on the NIC fabric, and
+  // the row-parallel projections then run the fused GEMM + hierarchical
+  // ReduceScatter kernel (kernels/gemm_hier_rs) instead of GemmRs.
   // two_node adds the inter-node data-parallel synchronization of the
   // paper's 16-GPU setup (batch doubles, per-GPU work unchanged): a
   // simulated per-layer gradient AllReduce across the node-spanning DP

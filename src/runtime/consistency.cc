@@ -18,10 +18,38 @@ void ConsistencyChecker::CloseWrite(uint64_t token) {
 
 void ConsistencyChecker::RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
                                      sim::TimeNs start, sim::TimeNs end,
-                                     const std::string& writer) {
+                                     const std::string& writer, bool atomic) {
   if (!enabled_) return;
   if (lo >= hi) return;  // empty element ranges never report
-  writes_[buf].push_back(WriteInterval{lo, hi, start, end, writer});
+  // Write-write audit: two in-flight writes overlapping in range and time
+  // race regardless of commit order — unless both are commutative atomic
+  // accumulations. Window-vs-window overlap is max(starts) < min(ends);
+  // an instantaneous write (start == end) commits at one point and races
+  // a window exactly like a read does ([start, end) half-open: at the
+  // window's start races, at its end is the correct handoff). Two
+  // instantaneous writes never time-overlap.
+  {
+    auto wit = writes_.find(buf);
+    if (wit != writes_.end()) {
+      for (const WriteInterval& w : wit->second) {
+        const bool range_overlap = lo < w.hi && w.lo < hi;
+        bool time_overlap;
+        if (start == end) {
+          time_overlap = w.start <= start && start < w.end;
+        } else if (w.start == w.end) {
+          time_overlap = start <= w.start && w.start < end;
+        } else {
+          time_overlap = std::max(start, w.start) < std::min(end, w.end);
+        }
+        if (range_overlap && time_overlap && !(atomic && w.atomic)) {
+          violations_.push_back(Violation{buf, lo, hi, start, w.start, w.end,
+                                          writer, w.writer,
+                                          Violation::Kind::kWriteWrite});
+        }
+      }
+    }
+  }
+  writes_[buf].push_back(WriteInterval{lo, hi, start, end, writer, atomic});
   horizon_ = std::max(horizon_, end);
   // Order-independent audit: a read probed earlier may fall inside this
   // just-committed interval.

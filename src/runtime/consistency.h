@@ -43,6 +43,14 @@ class Buffer;
 class ConsistencyChecker {
  public:
   struct Violation {
+    // kReadWrite: a read probed inside an in-flight write interval.
+    // kWriteWrite: two in-flight write intervals on the same buffer overlap
+    // in both element range and time (two writers racing on one range —
+    // e.g. a mis-indexed rail staging slot receiving two concurrent NIC
+    // chunks). For kWriteWrite the "read" fields describe the
+    // later-recorded write: lo/hi its range, read_time its start, reader
+    // its writer name.
+    enum class Kind { kReadWrite, kWriteWrite };
     const Buffer* buffer;
     int64_t lo, hi;           // read range
     sim::TimeNs read_time;
@@ -50,6 +58,7 @@ class ConsistencyChecker {
     sim::TimeNs write_end;
     std::string reader;
     std::string writer;
+    Kind kind = Kind::kReadWrite;
   };
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
@@ -66,10 +75,23 @@ class ConsistencyChecker {
   // Registers a write of [lo, hi) on buf spanning [start, end) sim-time.
   // Also audits previously probed reads whose time falls inside this
   // interval (writes commit at transfer completion, so a racing read may
-  // have been probed first — the check must be order-independent).
+  // have been probed first — the check must be order-independent), and
+  // previously recorded writes whose interval overlaps this one in both
+  // range and time (write-write race). An instantaneous write (start ==
+  // end) models a store committing at one point: it races a window exactly
+  // like a read does (inside or at the window's start races, at its end is
+  // the correct handoff), and two instantaneous writes never race.
+  // `atomic` marks a commutative accumulation (red.add-style reduction
+  // epilogue): two atomic windows may overlap freely — concurrent per-peer
+  // reducers folding into one accumulator are legal — but an atomic window
+  // overlapping a plain write (e.g. a chunk copy landing mid-reduction)
+  // still races, as do two plain writes (a mis-indexed staging slot).
+  // OpenWrite bracketing keeps both audits sound under retirement: a live
+  // in-flight write pins the watermark, so an earlier overlapping interval
+  // cannot retire before the later one is recorded.
   void RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
                    sim::TimeNs start, sim::TimeNs end,
-                   const std::string& writer);
+                   const std::string& writer, bool atomic = false);
 
   // Probes a read of [lo, hi) at time t; records a violation if it overlaps
   // an in-flight write (already recorded or recorded later).
@@ -102,6 +124,7 @@ class ConsistencyChecker {
     int64_t lo, hi;
     sim::TimeNs start, end;
     std::string writer;
+    bool atomic;
   };
   struct ReadProbe {
     int64_t lo, hi;

@@ -148,6 +148,14 @@ MoeRsConfig MakeMoeRsConfig(const MoeShape& shape, const TuneCandidate& c) {
 
 }  // namespace
 
+int RsBlockRows(int64_t m_per_rank, int bm) {
+  if (bm <= 0 || m_per_rank % bm != 0) return std::max(bm, 1);
+  int64_t chunk = m_per_rank / 8;
+  chunk = std::max<int64_t>(bm, chunk - chunk % bm);
+  while (m_per_rank % chunk != 0) chunk -= bm;
+  return static_cast<int>(std::max<int64_t>(bm, chunk));
+}
+
 // ---- Full-fidelity evaluators -------------------------------------------
 
 sim::TimeNs SimulateAgGemm(const sim::MachineSpec& spec,

@@ -54,6 +54,13 @@ struct MoeShape {
   int topk = 0;
 };
 
+// Ring-RS chunk rows for one per-rank block: ~1/8 of the block, kept a
+// multiple of `bm` and a divisor of the block — the layer-default rule
+// shared by the e2e estimator's hand-picked configs and the fused
+// multi-node kernel's seed. Falls back to `bm` when the block is not a
+// multiple of it (the shape is then rejected by the feasibility checks).
+int RsBlockRows(int64_t m_per_rank, int bm);
+
 // ---- Full-fidelity evaluators -------------------------------------------
 // Simulated makespan; Autotuner::kInfeasible when the candidate violates
 // the kernel's divisibility constraints.

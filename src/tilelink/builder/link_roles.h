@@ -1,0 +1,231 @@
+// Tile-centric link roles: the chunk-pipeline machinery every multi-fabric
+// communication stage shares, lifted out of the multinode collectives so
+// the builder layer owns exactly one implementation of it.
+//
+// A *link role* is the communication half of a tile-centric pipeline on one
+// fabric: tiles are grouped into chunks, at most `window` chunks are in
+// flight at once (NVLink ring channels, NIC staging depth), each chunk's
+// departure is gated on upstream tile readiness (a producer's notify, the
+// previous pipeline stage's reduction), and each arrival is published to
+// downstream consumers as a contiguous tile prefix (InOrderSignal). The two
+// concrete roles mirror the FabricBinding variants a RolePlan budgets:
+//
+//  * NvlinkRingRole (FabricBinding::kNvlink): intra-node ring stages —
+//    chunk size `intra_chunk_tiles`, window `intra_channels`.
+//  * NicRailRole (FabricBinding::kNic): inter-node rail exchanges — chunk
+//    size `nic_chunk_tiles`, window `staging_depth` clamped by the device's
+//    NIC queue-pair budget (ResourceBudget::ClaimFabric), shared across the
+//    role's concurrent peer exchanges.
+//
+// Each role has two forms with identical pipeline semantics:
+//  * Host-driven streams (Stream() + RunLinkStream): coroutines driving
+//    fabric transfers directly — the form the multinode collectives run.
+//  * Device block programs (BuildNicRailPush / BuildNicRailReduce here,
+//    BuildRingReduceScatter in kernels/ring_rs.h for the NVLink ring):
+//    ConsumerTileWait/PeerTileWait gates, TilePushData chunk sends and
+//    notify-on-landing, compiled and verified like any other role —
+//    the form fused kernels hand to RolePlan::Comm with their
+//    FabricBinding (kernels/gemm_hier_rs is the first kNic user).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "runtime/world.h"
+#include "sim/coro.h"
+#include "sim/flag.h"
+#include "sim/network.h"
+#include "tilelink/program.h"
+
+namespace tilelink::tl {
+
+// Per-sender chunk-completion reordering: flow completions under max-min
+// sharing are only approximately FIFO, but downstream consumers must see a
+// prefix ("tiles 0..k arrived"), so completions are published in order.
+class InOrderSignal {
+ public:
+  InOrderSignal(sim::Simulator* sim, std::string name)
+      : arrived_(sim, std::move(name)) {}
+
+  // Marks chunk `index` (covering `tiles` tiles) complete; publishes every
+  // contiguous finished prefix to the flag.
+  void Complete(std::size_t index, int64_t tiles);
+
+  sim::Flag& tiles_arrived() { return arrived_; }
+
+ private:
+  sim::Flag arrived_;
+  std::vector<int64_t> done_;  // tiles of chunk i, 0 = not yet complete
+  std::size_t cursor_ = 0;
+};
+
+// One contiguous fp32 run moved by a payload chunk.
+struct CopyRun {
+  int64_t src_lo, dst_lo, elems;
+};
+
+// Payload + checker instrumentation for one chunk. Empty (world == nullptr)
+// in timing-only mode, so the timing path allocates no strings or runs.
+struct ChunkIo {
+  rt::World* world = nullptr;
+  rt::Buffer* src = nullptr;
+  rt::Buffer* dst = nullptr;
+  std::vector<CopyRun> runs;
+  std::string reader;  // sender-side consume probe (reads of `src`)
+  std::string writer;  // receiver-side write interval (writes of `dst`)
+};
+
+// Upstream readiness gate of one chunk: wait until `flag` reaches
+// `threshold` (null flag: the chunk may leave immediately).
+struct FlagGate {
+  sim::Flag* flag = nullptr;
+  uint64_t threshold = 0;
+};
+
+// One chunk of a link stream.
+struct LinkChunk {
+  int64_t tiles = 0;
+  FlagGate gate;
+  // §4.2 fault injection: publish the arrival signal when the send starts
+  // instead of when the payload lands.
+  bool eager_publish = false;
+  ChunkIo io;
+};
+
+// One windowed chunk stream over a fabric edge — the producer side of a
+// link role. RunLinkStream walks chunks 0..num_chunks-1: await the chunk's
+// gate, throttle to `window` chunks in flight, then launch the transfer;
+// each landing publishes the receiver-side InOrderSignal and returns the
+// stream's window credit. Completes when every chunk has landed.
+struct LinkStream {
+  sim::Network* fabric = nullptr;
+  int src = -1;
+  int dst = -1;
+  uint64_t tile_bytes = 0;
+  int window = 1;
+  InOrderSignal* arrival = nullptr;
+  std::string name;              // sender-side drain flag name
+  const char* chunk_label = "";  // spawned transfer coroutine label
+  int64_t num_chunks = 0;
+  std::function<LinkChunk(int64_t)> chunk;
+};
+
+sim::Coro RunLinkStream(sim::Simulator* sim, LinkStream stream);
+
+// Intra-node NVLink ring link role (host-driven form). The device-program
+// form of the same role is kernels/ring_rs.h's BuildRingReduceScatter,
+// which fused kernels bind through RolePlan::Comm(FabricBinding::kNvlink).
+class NvlinkRingRole {
+ public:
+  static constexpr FabricBinding kFabric = FabricBinding::kNvlink;
+
+  NvlinkRingRole(rt::World& world, int chunk_tiles, int channels);
+
+  int chunk_tiles() const { return chunk_tiles_; }
+  int window() const { return channels_; }
+
+  LinkStream Stream(int src, int dst, uint64_t tile_bytes,
+                    InOrderSignal* arrival, std::string name,
+                    const char* chunk_label, int64_t num_chunks,
+                    std::function<LinkChunk(int64_t)> chunk) const;
+
+ private:
+  rt::World* world_;
+  int chunk_tiles_;
+  int channels_;
+};
+
+// Inter-node NIC rail link role (host-driven form): one stream per rail
+// peer, window = per-peer staging depth after the NIC queue-pair budget
+// clamp (`peers` concurrent exchanges share the device's budget).
+class NicRailRole {
+ public:
+  static constexpr FabricBinding kFabric = FabricBinding::kNic;
+
+  NicRailRole(rt::World& world, int chunk_tiles, int staging_depth,
+              int peers);
+
+  int chunk_tiles() const { return chunk_tiles_; }
+  // Effective per-peer staging depth after the channel-budget clamp.
+  int window() const { return staging_depth_; }
+
+  LinkStream Stream(int src, int dst, uint64_t tile_bytes,
+                    InOrderSignal* arrival, std::string name,
+                    const char* chunk_label, int64_t num_chunks,
+                    std::function<LinkChunk(int64_t)> chunk) const;
+
+ private:
+  rt::World* world_;
+  int chunk_tiles_;
+  int staging_depth_;
+};
+
+// ---------------------------------------------------------------------------
+// Device-program form of the NIC rail role (fused kernels)
+// ---------------------------------------------------------------------------
+
+// NIC rail push: each comm block walks its share of (peer node, chunk) work
+// items — wait for the node-reduced chunk (ConsumerTileWait on a caller-
+// supplied spec, typically the ring role's completion channels), acquire-
+// load it, then tile_push_data it across the NIC to the rail peer and
+// notify the peer's rail arrival channel with release semantics once it
+// lands. RolePlan::Comm binds the program to FabricBinding::kNic so the
+// blocks double as the stream window: `staging_depth * peers` blocks keep
+// that many NIC messages in flight, clamped by the queue-pair budget.
+struct NicRailPushParams {
+  int nodes = 0;
+  int per_node = 0;
+  int64_t block_rows = 0;  // rows of one global destination block
+  int64_t n = 0;           // row width
+  int64_t chunk_rows = 0;  // rows per NIC message
+  DType dtype = DType::kBF16;
+  comm::SymTensor src;      // per-rank node-reduced rows (see src_row)
+  comm::SymTensor staging;  // per-rank rail staging
+                            // [(nodes-1) * block_rows, n], per-source slots
+  // Row of `src[rank]` holding the node-reduced chunk destined for peer
+  // node `peer_node`, offset `row` within the block.
+  std::function<int64_t(const Env&, int peer_node, int64_t row)> src_row;
+  // Wait spec gating the chunk send (node reduction of those rows done).
+  std::function<WaitSpec(const Env&, int peer_node, int64_t chunk)> wait;
+  int rail_channel_base = 0;  // kPeer channels: base + src_index*cpb + chunk
+};
+
+BlockProgram BuildNicRailPush(const NicRailPushParams& params);
+
+// NIC rail reduce: the receiver side — for each chunk of the rank's own
+// block, wait for the local node partial, then fold in every rail peer's
+// partial as it lands (PeerTileWait on the rail arrival channel, acquire
+// load, memory-bound reduce) and store the fully reduced chunk.
+struct NicRailReduceParams {
+  int nodes = 0;
+  int per_node = 0;
+  int64_t block_rows = 0;
+  int64_t n = 0;
+  int64_t chunk_rows = 0;
+  DType dtype = DType::kBF16;
+  comm::SymTensor src;      // per-rank node-reduced rows (see src_row)
+  comm::SymTensor staging;  // rail staging, same layout as the push side
+  comm::SymTensor outs;     // per-rank reduced block [block_rows, n]
+  // Row of `src[rank]` holding the own-node partial at block offset `row`.
+  std::function<int64_t(const Env&, int64_t row)> src_row;
+  // Wait spec for the own-node partial of `chunk`.
+  std::function<WaitSpec(const Env&, int64_t chunk)> wait;
+  int rail_channel_base = 0;
+};
+
+BlockProgram BuildNicRailReduce(const NicRailReduceParams& params);
+
+// Work items of the rail roles: chunks per block and per role.
+int64_t RailChunksPerBlock(int64_t block_rows, int64_t chunk_rows);
+
+// Receiver-side per-source slot indexing shared by every rail consumer
+// (device rail roles and the host collectives): slot of source node
+// `src_node` in an array that skips the receiver's own node, and its
+// inverse.
+int RailSourceIndex(int src_node, int my_node);
+int RailSourceNode(int slot, int my_node);
+
+}  // namespace tilelink::tl

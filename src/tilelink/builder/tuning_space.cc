@@ -237,6 +237,18 @@ TuningSpace TuningSpace::MultiNode() {
   return space;
 }
 
+TuningSpace TuningSpace::GemmHierRs() {
+  TuningSpace space;
+  // Joint compute x link space: the GEMM tile shape changes when the
+  // epilogue tiles become ring chunks, and the rail knobs trade NIC message
+  // latency against staging. bm must still divide the ring chunk rows, so
+  // infeasible (bm, comm_tile_m) pairs are rejected by the evaluator.
+  space.GemmTiles({{128, 128}, {128, 256}, {256, 128}})
+      .NicChunkTiles({1, 2, 4})
+      .StagingDepth({1, 2, 4});
+  return space;
+}
+
 TuningSpace TuningSpace::MoePart2() {
   TuningSpace space;
   // comm_tile_m doubles as the RS chunk rows for the RS role.

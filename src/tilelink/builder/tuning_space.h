@@ -94,6 +94,10 @@ class TuningSpace {
   // chunk size in tiles and per-peer staging depth.
   static TuningSpace MultiNode();
 
+  // Fused GEMM + hierarchical ReduceScatter (kernels/gemm_hier_rs): the
+  // joint space coupling the GEMM tile axes with the NIC rail knobs.
+  static TuningSpace GemmHierRs();
+
  private:
   std::vector<std::pair<int, int>> gemm_tiles_;
   std::vector<int> comm_tile_m_;

@@ -45,8 +45,6 @@ class GemmRs : public FusedKernelBase {
   const StaticMapping& mapping() const { return map_; }
 
  private:
-  BlockProgram BuildGemm();
-
   GemmRsConfig cfg_;
   StaticMapping map_;  // producer channels over gemm_out rows
   comm::SymTensor a_, b_, gemm_out_, staging_, out_;

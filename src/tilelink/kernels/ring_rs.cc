@@ -8,16 +8,34 @@
 
 namespace tilelink::tl {
 
+namespace {
+
+int RingGroup(const RingRsParams& p) {
+  return p.group_size > 0 ? p.group_size : p.world_size;
+}
+
+// Rows of one global destination block.
+int64_t RingBlockRows(const RingRsParams& p) {
+  const int64_t denom =
+      static_cast<int64_t>(RingGroup(p)) * static_cast<int64_t>(p.seg_blocks);
+  return p.m / denom;
+}
+
+}  // namespace
+
 int64_t RingRsChunks(const RingRsParams& params) {
-  const int64_t m_per_rank = params.m / params.world_size;
-  return CeilDiv<int64_t>(m_per_rank, params.block_m);
+  return static_cast<int64_t>(params.seg_blocks) *
+         CeilDiv<int64_t>(RingBlockRows(params), params.block_m);
 }
 
 BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
   TL_CHECK_GT(p.world_size, 0);
-  TL_CHECK_EQ(p.m % p.world_size, 0);
-  const int R = p.world_size;
-  const int64_t m_per_rank = p.m / R;
+  TL_CHECK_GT(p.seg_blocks, 0);
+  const int G = RingGroup(p);
+  TL_CHECK_EQ(p.m % (static_cast<int64_t>(G) * p.seg_blocks), 0);
+  const int64_t m_blk = RingBlockRows(p);
+  TL_CHECK_EQ(m_blk % p.block_m, 0);
+  const int64_t cpb = CeilDiv<int64_t>(m_blk, p.block_m);
   const int64_t chunks = RingRsChunks(p);
   const int64_t block_m = p.block_m;
   const int64_t n = p.n;
@@ -26,31 +44,39 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
   auto staging = p.staging;
   auto outs = p.outs;
   auto wait_for_rows = p.wait_for_rows;
+  auto final_notify = p.final_notify;
   const bool dma_push = p.dma_push;
 
   // Chunk owned by this block at iteration iv(0).
   auto chunk_of = [chunks](const Env& e) {
     return static_cast<int64_t>(e.block_id) + e.iv(0) * e.grid;
   };
-  // Segment processed at ring stage s (Figure 4 line 15).
-  auto seg_at = [R](const Env& e, int64_t stage) {
-    return (e.rank + stage + 1) % R;
+  // Segment processed at ring stage s (Figure 4 line 15), local to the
+  // rank's ring group.
+  auto seg_at = [G](const Env& e, int64_t stage) {
+    return (e.rank % G + stage + 1) % G;
   };
-  auto rows_of = [m_per_rank, block_m](int64_t seg, int64_t chunk) {
-    return seg * m_per_rank + chunk * block_m;
+  // Global rows of (segment, chunk): chunk c of block b within the segment
+  // addresses global destination block b * G + seg.
+  auto rows_of = [G, m_blk, block_m, cpb](int64_t seg, int64_t chunk) {
+    const int64_t b = chunk / cpb, c = chunk % cpb;
+    return (b * G + seg) * m_blk + c * block_m;
   };
   // Global peer-channel id for (segment, chunk).
   auto peer_channel = [chunks](int64_t seg, int64_t chunk) {
     return static_cast<int>(seg * chunks + chunk);
   };
-  const int to_rank_offset = R - 1;  // to_rank = (rank - 1 + R) % R
+  // to_rank = left neighbor within the ring group.
+  auto to_rank = [G](const Env& e) {
+    return (e.rank / G) * G + (e.rank % G + G - 1) % G;
+  };
 
   TileProgramBuilder b;
   b.For("chunk", [chunks](const Env& e) { return TilesForBlock(chunks, e); },
         [&](TileProgramBuilder& cb) {
-          // --- push stages 0 .. R-2 -------------------------------------
+          // --- push stages 0 .. G-2 -------------------------------------
           cb.For("stage",
-                 [R](const Env&) { return static_cast<int64_t>(R - 1); },
+                 [G](const Env&) { return static_cast<int64_t>(G - 1); },
                  [&](TileProgramBuilder& sb) {
                    auto stage_of = [](const Env& e) { return e.iv(1); };
                    sb.Add(ops::ConsumerTileWait(
@@ -99,7 +125,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        [=](const Env& e) {
                          const int64_t lo =
                              rows_of(seg_at(e, stage_of(e)), chunk_of(e));
-                         const int to = (e.rank + to_rank_offset) % R;
+                         const int to = to_rank(e);
                          DataSpec d;
                          d.src_rank = e.rank;
                          d.dst_rank = to;
@@ -121,8 +147,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        // accumulated chunk has landed at the neighbor.
                        [=](const Env& e) {
                          return NotifyOne(
-                             SignalSpace::kPeer,
-                             {(e.rank + to_rank_offset) % R},
+                             SignalSpace::kPeer, {to_rank(e)},
                              peer_channel(seg_at(e, stage_of(e)),
                                           chunk_of(e)));
                        },
@@ -130,7 +155,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        [=](const Env& e) {
                          const int64_t lo =
                              rows_of(seg_at(e, stage_of(e)), chunk_of(e));
-                         const int to = (e.rank + to_rank_offset) % R;
+                         const int to = to_rank(e);
                          const Tensor mine =
                              partials[static_cast<size_t>(e.rank)];
                          const Tensor acc =
@@ -150,13 +175,14 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
           cb.Add(ops::ConsumerTileWait("rs.consumer_wait(final)",
                                        [=](const Env& e) {
                                          const int64_t lo = rows_of(
-                                             e.rank, chunk_of(e));
+                                             e.rank % G, chunk_of(e));
                                          return wait_for_rows(lo,
                                                               lo + block_m);
                                        }));
           cb.Add(ops::Load("rs.load_partial(final)", /*acquire=*/true,
                            [=](const Env& e) {
-                             const int64_t lo = rows_of(e.rank, chunk_of(e));
+                             const int64_t lo =
+                                 rows_of(e.rank % G, chunk_of(e));
                              const Tensor view =
                                  partials[static_cast<size_t>(e.rank)].Slice(
                                      0, lo, block_m);
@@ -168,9 +194,9 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
           cb.Add(ops::PeerTileWait("rs.peer_wait(final)", [=](const Env& e) {
             WaitSpec spec;
             spec.space = SignalSpace::kPeer;
-            if (R > 1) {
+            if (G > 1) {
               spec.waits.push_back(ChannelWait{
-                  peer_channel(e.rank, chunk_of(e)), 1});
+                  peer_channel(e.rank % G, chunk_of(e)), 1});
             }
             return spec;
           }));
@@ -194,7 +220,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                 return d;
               },
               [=](const Env& e) {
-                const int64_t lo = rows_of(e.rank, chunk_of(e));
+                const int64_t lo = rows_of(e.rank % G, chunk_of(e));
                 const int64_t local_lo = chunk_of(e) * block_m;
                 const Tensor mine = partials[static_cast<size_t>(e.rank)];
                 const Tensor acc = staging[static_cast<size_t>(e.rank)];
@@ -202,11 +228,18 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                 for (int64_t i = 0; i < block_m; ++i) {
                   for (int64_t c = 0; c < n; ++c) {
                     float v = mine.at({lo + i, c});
-                    if (R > 1) v += acc.at({lo + i, c});
+                    if (G > 1) v += acc.at({lo + i, c});
                     out.at({local_lo + i, c}) = v;
                   }
                 }
               }));
+          if (final_notify) {
+            // Release the group-reduced chunk to the downstream role.
+            cb.Add(ops::PeerTileNotify(
+                "rs.notify(final)", [=](const Env& e) {
+                  return final_notify(e, chunk_of(e));
+                }));
+          }
         });
   return b.Build();
 }

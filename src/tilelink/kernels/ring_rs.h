@@ -1,4 +1,6 @@
-// Ring ReduceScatter communication role (paper Figure 4, lines 10-26).
+// Ring ReduceScatter communication role (paper Figure 4, lines 10-26) —
+// the device-program form of the builder layer's NVLink ring link role
+// (tilelink/builder/link_roles.h).
 //
 // Each comm block owns a set of row chunks. For a chunk, stage s processes
 // segment seg = (rank + s + 1) % R: wait for the local producer tiles
@@ -6,6 +8,14 @@
 // from the right neighbor (peer_tile_wait, stages > 0), then push the
 // accumulated chunk to the left neighbor and notify it (peer_tile_notify) —
 // or, at the last stage, store the fully reduced chunk to the local output.
+//
+// The ring may run over the whole world (the single-node kernels) or over
+// a contiguous rank *group* (`group_size`, e.g. one node of a multi-node
+// world); with `seg_blocks` > 1 each ring segment covers that many global
+// destination blocks (the hierarchical decomposition: rank (n, l) reduces
+// the node partial of every block with local index l). The multi-node
+// fused kernels additionally hook `final_notify` to release the node-
+// reduced chunk to their NIC rail role.
 //
 // The push can be SM-driven (block stalls on the transfer) or handed to a
 // DMA engine (hybrid mapping: reduction on SMs, scatter on copy engines —
@@ -22,25 +32,38 @@ namespace tilelink::tl {
 
 struct RingRsParams {
   int world_size = 0;
-  int64_t m = 0;        // global rows = world_size * m_per_rank
+  int64_t m = 0;        // global rows = world_size * block rows
   int64_t n = 0;        // row width
   int block_m = 128;    // RS chunk rows (comm tile size — decoupled from
                         // the producer's tile size)
   DType dtype = DType::kBF16;
   comm::SymTensor partials;  // per-rank local partial sums [m, n]
   comm::SymTensor staging;   // per-rank ring staging buffer [m, n]
-  comm::SymTensor outs;      // per-rank reduced shard [m/world_size, n]
+  comm::SymTensor outs;      // per-rank reduced rows
+                             // [seg_blocks * m / (group * seg_blocks), n]
   // consumer_tile_wait spec for producer tiles covering global rows
   // [lo, hi); workload-specific (GEMM tiles vs. topk-reduce chunks).
   std::function<WaitSpec(int64_t lo, int64_t hi)> wait_for_rows;
   bool dma_push = false;  // hybrid resource mapping
+
+  // Ring group: ranks [g*group_size, (g+1)*group_size) form independent
+  // rings (0: one ring over the whole world). Each ring segment covers
+  // `seg_blocks` global destination blocks: segment `seg` of a group holds
+  // the rows of blocks {b * group_size + seg : b}, so the fully reduced
+  // output of rank (g, seg) spans seg_blocks * block-rows local rows.
+  int group_size = 0;
+  int seg_blocks = 1;
+  // Fired (on the own rank's kPeer space, typically) after the final-stage
+  // store of `chunk`: releases the group-reduced chunk to a downstream
+  // role (the NIC rail push/reduce of a fused multi-node kernel).
+  std::function<NotifySpec(const Env&, int64_t chunk)> final_notify;
 };
 
-// Builds the comm-role program. Peer channels used: one per global chunk,
-// i.e. m / block_m channels in the kPeer space.
+// Builds the comm-role program. Peer channels used: one per (segment,
+// chunk), i.e. group_size * RingRsChunks(params) channels in kPeer space.
 BlockProgram BuildRingReduceScatter(const RingRsParams& params);
 
-// Number of comm blocks that have work: chunks per rank.
+// Number of comm blocks that have work: chunks per ring segment.
 int64_t RingRsChunks(const RingRsParams& params);
 
 }  // namespace tilelink::tl

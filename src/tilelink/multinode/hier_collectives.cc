@@ -5,66 +5,16 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/math_utils.h"
 #include "sim/coro_utils.h"
 #include "tilelink/builder/role_plan.h"
 
 namespace tilelink::multinode {
 namespace {
 
-// One contiguous fp32 run moved by a payload chunk.
-struct CopyRun {
-  int64_t src_lo, dst_lo, elems;
-};
-
-// Payload + checker instrumentation for one chunk. Empty (world == nullptr)
-// in timing-only mode, so the timing path allocates no strings or runs.
-struct ChunkIo {
-  rt::World* world = nullptr;
-  rt::Buffer* src = nullptr;
-  rt::Buffer* dst = nullptr;
-  std::vector<CopyRun> runs;
-  std::string reader;  // sender-side consume probe (reads of `src`)
-  std::string writer;  // receiver-side write interval (writes of `dst`)
-};
-
-// One chunk moving over an explicit fabric; publishes the in-order arrival
-// signal at the receiver and the sender's drain counter. In payload mode the
-// runs are copied when the transfer lands, the source reads are probed at
-// send time and the destination write interval spans the transfer — with
-// OpenWrite bracketing so checker retirement cannot outrun the audit. With
-// `eager_publish` (fault injection) the arrival signal fires when the send
-// starts: consumers wake mid-transfer, which the checker must catch.
-sim::Coro TransferChunk(sim::Network* net, int src, int dst, uint64_t bytes,
-                        InOrderSignal* sig, std::size_t index, int64_t tiles,
-                        sim::Flag* done, bool eager_publish, ChunkIo io) {
-  rt::ConsistencyChecker* chk =
-      io.world != nullptr ? &io.world->checker() : nullptr;
-  sim::TimeNs start = 0;
-  uint64_t wt = 0;
-  if (chk != nullptr) {
-    start = io.world->sim().Now();
-    for (const CopyRun& run : io.runs) {
-      chk->CheckRead(io.src, run.src_lo, run.src_lo + run.elems, start,
-                     io.reader);
-    }
-    wt = chk->OpenWrite(start);
-  }
-  if (eager_publish && sig != nullptr) sig->Complete(index, tiles);
-  co_await net->Transfer(src, dst, bytes);
-  if (chk != nullptr) {
-    const sim::TimeNs end = io.world->sim().Now();
-    auto s = io.src->data();
-    auto d = io.dst->data();
-    for (const CopyRun& run : io.runs) {
-      std::copy_n(s.data() + run.src_lo, run.elems, d.data() + run.dst_lo);
-      chk->RecordWrite(io.dst, run.dst_lo, run.dst_lo + run.elems, start, end,
-                       io.writer);
-    }
-    chk->CloseWrite(wt);
-  }
-  if (!eager_publish && sig != nullptr) sig->Complete(index, tiles);
-  done->Add(1);
-}
+using tl::ChunkIo;
+using tl::LinkChunk;
+using tl::RunLinkStream;
 
 // dst[dst_lo..) += src[src_lo..) over `elems` fp32 values.
 void AddInto(rt::Buffer* dst, int64_t dst_lo, const rt::Buffer* src,
@@ -111,30 +61,27 @@ sim::TimeNs ReduceCost(rt::World& world, uint64_t bytes, int sms) {
   return world.cost().MemoryBound(3 * bytes, sms);
 }
 
-// Clamps the per-peer NIC staging depth by the device's NIC channel budget
-// (queue pairs shared across all `peers` concurrent rail exchanges). A
-// single-node topology has no rail peers and claims no NIC channels.
-int ClampStagingDepth(const sim::MachineSpec& spec, int want, int peers) {
-  if (peers <= 0) return std::max(1, want);
-  tl::ResourceBudget budget = tl::ResourceBudget::ForDevice(spec);
-  const int granted =
-      budget.ClaimFabric(tl::FabricBinding::kNic, want * peers);
-  return std::max(1, granted / peers);
-}
-
-// Index of source node `src_node` in a receiver-side per-source array that
-// skips the receiver's own node.
+// Receiver-side per-source slot indexing, shared with the device rail
+// roles through the link-role layer.
 int SourceIndex(int src_node, int my_node) {
-  return src_node < my_node ? src_node : src_node - 1;
+  return tl::RailSourceIndex(src_node, my_node);
 }
-
-// Inverse of SourceIndex: the source node behind per-source slot k.
-int SourceNode(int k, int my_node) { return k < my_node ? k : k + 1; }
+int SourceNode(int k, int my_node) { return tl::RailSourceNode(k, my_node); }
 
 // Collectives address rail peers as (node, local) pairs; ragged layouts
 // (a partially filled last node) are not modeled.
 void CheckDenseTopology(const sim::MachineSpec& spec) {
   TL_CHECK_EQ(spec.num_devices % spec.devices_per_node, 0);
+}
+
+// Config + topology validation shared by the collective constructors; runs
+// before any link role is built so misconfigurations fail with a clear
+// message instead of deep inside a chunk loop. Returns the node count so it
+// can sit first in a constructor's initializer list.
+int ValidatedNodes(const sim::MachineSpec& spec, const HierConfig& cfg) {
+  cfg.Validate();
+  CheckDenseTopology(spec);
+  return spec.num_nodes();
 }
 
 void CheckPayloadShapes(rt::World& world,
@@ -144,12 +91,23 @@ void CheckPayloadShapes(rt::World& world,
                         int64_t out_elems) {
   TL_CHECK_MSG(world.functional(),
                "payload mode requires an ExecMode::kFunctional world");
-  TL_CHECK_GT(tile_elems, 0);
+  TL_CHECK_MSG(tile_elems > 0, "AttachPayload: tile_elems must be positive, "
+                               "got " << tile_elems);
   TL_CHECK_EQ(static_cast<int>(in.size()), world.size());
   TL_CHECK_EQ(static_cast<int>(out.size()), world.size());
   for (int r = 0; r < world.size(); ++r) {
-    TL_CHECK_EQ(in[static_cast<size_t>(r)]->num_elems(), in_elems);
-    TL_CHECK_EQ(out[static_cast<size_t>(r)]->num_elems(), out_elems);
+    TL_CHECK_MSG(in[static_cast<size_t>(r)]->num_elems() == in_elems,
+                 "AttachPayload: in[" << r << "] has "
+                     << in[static_cast<size_t>(r)]->num_elems()
+                     << " elems but the collective's num_tiles x tile_elems "
+                        "layout requires " << in_elems
+                     << " (tile_elems mismatch?)");
+    TL_CHECK_MSG(out[static_cast<size_t>(r)]->num_elems() == out_elems,
+                 "AttachPayload: out[" << r << "] has "
+                     << out[static_cast<size_t>(r)]->num_elems()
+                     << " elems but the collective's num_tiles x tile_elems "
+                        "layout requires " << out_elems
+                     << " (tile_elems mismatch?)");
   }
 }
 
@@ -164,15 +122,21 @@ HierConfig HierConfig::FromCandidate(const tl::TuneCandidate& c) {
   return cfg;
 }
 
-void InOrderSignal::Complete(std::size_t index, int64_t tiles) {
-  TL_CHECK_GT(tiles, 0);
-  if (done_.size() <= index) done_.resize(index + 1, 0);
-  TL_CHECK_EQ(done_[index], 0);
-  done_[index] = tiles;
-  while (cursor_ < done_.size() && done_[cursor_] > 0) {
-    arrived_.Add(static_cast<uint64_t>(done_[cursor_]));
-    ++cursor_;
-  }
+void HierConfig::Validate() const {
+  TL_CHECK_MSG(nic_chunk_tiles > 0,
+               "HierConfig.nic_chunk_tiles must be positive, got "
+                   << nic_chunk_tiles);
+  TL_CHECK_MSG(staging_depth > 0,
+               "HierConfig.staging_depth must be positive, got "
+                   << staging_depth);
+  TL_CHECK_MSG(intra_chunk_tiles > 0,
+               "HierConfig.intra_chunk_tiles must be positive, got "
+                   << intra_chunk_tiles);
+  TL_CHECK_MSG(intra_channels > 0,
+               "HierConfig.intra_channels must be positive, got "
+                   << intra_channels);
+  TL_CHECK_MSG(reduce_sms > 0,
+               "HierConfig.reduce_sms must be positive, got " << reduce_sms);
 }
 
 // ---------------------------------------------------------------------------
@@ -182,14 +146,12 @@ void InOrderSignal::Complete(std::size_t index, int64_t tiles) {
 HierAllGather::HierAllGather(rt::World& world, int64_t num_tiles,
                              uint64_t tile_bytes, const HierConfig& cfg)
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
-      cfg_(cfg) {
+      cfg_(cfg), nodes_(ValidatedNodes(world.spec(), cfg)),
+      per_node_(world.spec().devices_per_node),
+      rail_role_(world, cfg.nic_chunk_tiles, cfg.staging_depth, nodes_ - 1),
+      ring_role_(world, cfg.intra_chunk_tiles, cfg.intra_channels) {
   TL_CHECK_GT(num_tiles, 0);
   TL_CHECK_GT(tile_bytes, 0u);
-  const sim::MachineSpec& spec = world.spec();
-  CheckDenseTopology(spec);
-  nodes_ = spec.num_nodes();
-  per_node_ = spec.devices_per_node;
-  staging_depth_ = ClampStagingDepth(spec, cfg.staging_depth, nodes_ - 1);
   rail_.resize(static_cast<size_t>(world.size()));
   ring_.resize(static_cast<size_t>(world.size()));
   for (int r = 0; r < world.size(); ++r) {
@@ -219,37 +181,31 @@ sim::Coro HierAllGather::RailSend(rt::RankCtx& ctx, int peer) {
       rail_[static_cast<size_t>(peer)]
            [static_cast<size_t>(SourceIndex(r / per_node_, peer / per_node_))]
                .get();
-  sim::Flag done(ctx.sim(), "hier_ag.rail_send.r" + std::to_string(r));
-  std::size_t idx = 0;
-  for (int64_t off = 0; off < num_tiles_;) {
-    const int64_t tiles = std::min<int64_t>(cfg_.nic_chunk_tiles,
-                                            num_tiles_ - off);
-    if (idx >= static_cast<std::size_t>(staging_depth_)) {
-      co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
-                           1);
-    }
-    ChunkIo io;
+  const bool primary =
+      IsPrimaryRailPeer(peer / per_node_, r / per_node_);
+  const int64_t chunk_tiles = rail_role_.chunk_tiles();
+  auto chunk = [this, r, peer, E, primary, chunk_tiles](int64_t k) {
+    LinkChunk c;
+    const int64_t off = k * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, num_tiles_ - off);
+    c.eager_publish =
+        EagerRailFault(cfg_, r, static_cast<std::size_t>(k), primary);
     if (payload()) {
       const int64_t lo = (r * num_tiles_ + off) * E;
-      io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
-                   out_[static_cast<size_t>(peer)],
-                   {{lo, lo, tiles * E}},
-                   RName("hier_ag.rail_send", r),
-                   EdgeName("hier_ag.rail", r, peer)};
+      c.io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
+                     out_[static_cast<size_t>(peer)],
+                     {{lo, lo, c.tiles * E}},
+                     RName("hier_ag.rail_send", r),
+                     EdgeName("hier_ag.rail", r, peer)};
     }
-    ctx.sim()->Spawn(
-        TransferChunk(&world_.inter_fabric(), r, peer,
-                      static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
-                      tiles, &done,
-                      EagerRailFault(cfg_, r, idx,
-                                     IsPrimaryRailPeer(peer / per_node_,
-                                                       r / per_node_)),
-                      std::move(io)),
-        "hier_ag.rail_chunk");
-    ++idx;
-    off += tiles;
-  }
-  co_await done.WaitGe(idx);
+    return c;
+  };
+  co_await RunLinkStream(
+      ctx.sim(),
+      rail_role_.Stream(r, peer, tile_bytes_, sig,
+                        "hier_ag.rail_send.r" + std::to_string(r),
+                        "hier_ag.rail_chunk",
+                        CeilDiv(num_tiles_, chunk_tiles), chunk));
 }
 
 sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
@@ -258,62 +214,58 @@ sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
   const int right = n * per_node_ + (l + 1) % per_node_;
   const int64_t group = static_cast<int64_t>(nodes_) * num_tiles_;
   const int64_t E = tile_elems_;
-  sim::Flag done(ctx.sim(), "hier_ag.ring_send.r" + std::to_string(r));
-  std::size_t idx = 0;
+  const int64_t chunk_tiles = ring_role_.chunk_tiles();
+  const int64_t chunks_per_seg = CeilDiv(num_tiles_, chunk_tiles);
   // Blocks travel the ring oldest-first: block j originated j hops to the
   // left; within a block, the owner's shard leads and its rail segments
   // follow in source-node order.
-  for (int j = 0; j < per_node_ - 1; ++j) {
-    for (int seg = 0; seg < nodes_; ++seg) {
-      for (int64_t off = 0; off < num_tiles_;) {
-        const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
-                                                num_tiles_ - off);
-        if (j == 0) {
-          if (seg > 0) {
-            // Own block's rail segment: forward tiles as they land.
-            co_await rail_[static_cast<size_t>(r)][static_cast<size_t>(
-                               seg - 1)]
-                ->tiles_arrived()
-                .WaitGe(static_cast<uint64_t>(off + tiles));
-          }
-        } else {
-          // Forwarded block: must have arrived from the left neighbor.
-          co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
-              static_cast<uint64_t>((j - 1) * group +
-                                    static_cast<int64_t>(seg) * num_tiles_ +
-                                    off + tiles));
-        }
-        if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
-          co_await done.WaitGe(
-              idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
-        }
-        ChunkIo io;
-        if (payload()) {
-          // The chunk's tiles belong to the shard of the block owner's
-          // column: block j originated at local index (l - j), segment 0 is
-          // the owner's own shard, segment s > 0 the rail source s-1.
-          const int lsrc = (l - j + per_node_) % per_node_;
-          const int src_node = seg == 0 ? n : SourceNode(seg - 1, n);
-          const int gsrc = src_node * per_node_ + lsrc;
-          const int64_t lo = (gsrc * num_tiles_ + off) * E;
-          io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
-                       out_[static_cast<size_t>(right)],
-                       {{lo, lo, tiles * E}},
-                       RName("hier_ag.ring_send", r),
-                       EdgeName("hier_ag.ring", r, right)};
-        }
-        ctx.sim()->Spawn(
-            TransferChunk(&world_.intra_fabric(), r, right,
-                          static_cast<uint64_t>(tiles) * tile_bytes_,
-                          ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                          &done, /*eager_publish=*/false, std::move(io)),
-            "hier_ag.ring_chunk");
-        ++idx;
-        off += tiles;
+  auto chunk = [this, r, n, l, right, group, E, chunk_tiles,
+                chunks_per_seg](int64_t k) {
+    LinkChunk c;
+    const int j = static_cast<int>(k / (nodes_ * chunks_per_seg));
+    const int64_t rem = k % (nodes_ * chunks_per_seg);
+    const int seg = static_cast<int>(rem / chunks_per_seg);
+    const int64_t off = (rem % chunks_per_seg) * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, num_tiles_ - off);
+    if (j == 0) {
+      if (seg > 0) {
+        // Own block's rail segment: forward tiles as they land.
+        c.gate = {&rail_[static_cast<size_t>(r)][static_cast<size_t>(seg - 1)]
+                       ->tiles_arrived(),
+                  static_cast<uint64_t>(off + c.tiles)};
       }
+    } else {
+      // Forwarded block: must have arrived from the left neighbor.
+      c.gate = {&ring_[static_cast<size_t>(r)]->tiles_arrived(),
+                static_cast<uint64_t>((j - 1) * group +
+                                      static_cast<int64_t>(seg) * num_tiles_ +
+                                      off + c.tiles)};
     }
-  }
-  co_await done.WaitGe(idx);
+    if (payload()) {
+      // The chunk's tiles belong to the shard of the block owner's
+      // column: block j originated at local index (l - j), segment 0 is
+      // the owner's own shard, segment s > 0 the rail source s-1.
+      const int lsrc = (l - j + per_node_) % per_node_;
+      const int src_node = seg == 0 ? n : SourceNode(seg - 1, n);
+      const int gsrc = src_node * per_node_ + lsrc;
+      const int64_t lo = (gsrc * num_tiles_ + off) * E;
+      c.io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
+                     out_[static_cast<size_t>(right)],
+                     {{lo, lo, c.tiles * E}},
+                     RName("hier_ag.ring_send", r),
+                     EdgeName("hier_ag.ring", r, right)};
+    }
+    return c;
+  };
+  co_await RunLinkStream(
+      ctx.sim(),
+      ring_role_.Stream(r, right, tile_bytes_,
+                        ring_[static_cast<size_t>(right)].get(),
+                        "hier_ag.ring_send.r" + std::to_string(r),
+                        "hier_ag.ring_chunk",
+                        static_cast<int64_t>(per_node_ - 1) * nodes_ *
+                            chunks_per_seg,
+                        chunk));
 }
 
 sim::Coro HierAllGather::Run(rt::RankCtx& ctx) {
@@ -363,6 +315,7 @@ FlatAllGather::FlatAllGather(rt::World& world, int64_t num_tiles,
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
       cfg_(cfg) {
   TL_CHECK_GT(num_tiles, 0);
+  cfg.Validate();
   for (int r = 0; r < world.size(); ++r) {
     ring_.push_back(std::make_unique<InOrderSignal>(
         &world.sim(), "flat_ag.ring.r" + std::to_string(r)));
@@ -390,41 +343,40 @@ sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
   }
   co_await CollectiveEntry(ctx);
   const int right = (r + 1) % R;
-  sim::Flag done(ctx.sim(), "flat_ag.send.r" + std::to_string(r));
-  std::size_t idx = 0;
-  for (int j = 0; j < R - 1; ++j) {
-    for (int64_t off = 0; off < num_tiles_;) {
-      const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
-                                              num_tiles_ - off);
-      if (j > 0) {
-        co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
-            static_cast<uint64_t>((j - 1) * num_tiles_ + off + tiles));
-      }
-      if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
-        co_await done.WaitGe(
-            idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
-      }
-      ChunkIo io;
-      if (payload()) {
-        const int src_rank = (r - j + R) % R;  // block forwarded at step j
-        const int64_t lo = (src_rank * num_tiles_ + off) * E;
-        io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
+  const int64_t chunk_tiles = cfg_.intra_chunk_tiles;
+  const int64_t chunks_per_step = CeilDiv(num_tiles_, chunk_tiles);
+  tl::LinkStream stream;
+  stream.fabric = &world_.fabric_for(r, right);
+  stream.src = r;
+  stream.dst = right;
+  stream.tile_bytes = tile_bytes_;
+  stream.window = cfg_.intra_channels;
+  stream.arrival = ring_[static_cast<size_t>(right)].get();
+  stream.name = "flat_ag.send.r" + std::to_string(r);
+  stream.chunk_label = "flat_ag.chunk";
+  stream.num_chunks = static_cast<int64_t>(R - 1) * chunks_per_step;
+  stream.chunk = [this, r, right, R, E, chunk_tiles,
+                  chunks_per_step](int64_t k) {
+    LinkChunk c;
+    const int j = static_cast<int>(k / chunks_per_step);
+    const int64_t off = (k % chunks_per_step) * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, num_tiles_ - off);
+    if (j > 0) {
+      c.gate = {&ring_[static_cast<size_t>(r)]->tiles_arrived(),
+                static_cast<uint64_t>((j - 1) * num_tiles_ + off + c.tiles)};
+    }
+    if (payload()) {
+      const int src_rank = (r - j + R) % R;  // block forwarded at step j
+      const int64_t lo = (src_rank * num_tiles_ + off) * E;
+      c.io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
                      out_[static_cast<size_t>(right)],
-                     {{lo, lo, tiles * E}},
+                     {{lo, lo, c.tiles * E}},
                      RName("flat_ag.send", r),
                      EdgeName("flat_ag.ring", r, right)};
-      }
-      ctx.sim()->Spawn(
-          TransferChunk(&world_.fabric_for(r, right), r, right,
-                        static_cast<uint64_t>(tiles) * tile_bytes_,
-                        ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                        &done, /*eager_publish=*/false, std::move(io)),
-          "flat_ag.chunk");
-      ++idx;
-      off += tiles;
     }
-  }
-  co_await done.WaitGe(idx);
+    return c;
+  };
+  co_await RunLinkStream(ctx.sim(), std::move(stream));
   co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
       static_cast<uint64_t>(static_cast<int64_t>(R - 1) * num_tiles_));
   if (payload()) {
@@ -442,14 +394,12 @@ HierReduceScatter::HierReduceScatter(rt::World& world, int64_t num_tiles,
                                      uint64_t tile_bytes,
                                      const HierConfig& cfg)
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
-      cfg_(cfg) {
+      cfg_(cfg), nodes_(ValidatedNodes(world.spec(), cfg)),
+      per_node_(world.spec().devices_per_node),
+      group_tiles_(static_cast<int64_t>(nodes_) * num_tiles),
+      rail_role_(world, cfg.nic_chunk_tiles, cfg.staging_depth, nodes_ - 1),
+      ring_role_(world, cfg.intra_chunk_tiles, cfg.intra_channels) {
   TL_CHECK_GT(num_tiles, 0);
-  const sim::MachineSpec& spec = world.spec();
-  CheckDenseTopology(spec);
-  nodes_ = spec.num_nodes();
-  per_node_ = spec.devices_per_node;
-  staging_depth_ = ClampStagingDepth(spec, cfg.staging_depth, nodes_ - 1);
-  group_tiles_ = static_cast<int64_t>(nodes_) * num_tiles_;
   for (int r = 0; r < world.size(); ++r) {
     ring_.push_back(std::make_unique<InOrderSignal>(
         &world.sim(), "hier_rs.ring.r" + std::to_string(r)));
@@ -493,62 +443,59 @@ sim::Coro HierReduceScatter::RingSend(rt::RankCtx& ctx) {
   const int n = r / per_node_, l = r % per_node_;
   const int right = n * per_node_ + (l + 1) % per_node_;
   const int64_t E = tile_elems_;
-  sim::Flag done(ctx.sim(), "hier_rs.ring_send.r" + std::to_string(r));
-  std::size_t idx = 0;
+  const int64_t chunk_tiles = ring_role_.chunk_tiles();
+  const int64_t chunks_per_step = CeilDiv(group_tiles_, chunk_tiles);
   // Step s forwards the accumulated partial of the group destined for the
   // rank s+1 hops to the right's left... i.e. local dest (l - s - 1); the
   // s=0 group is the local partial, later steps forward what the reducer
   // finished for the previous step.
-  for (int s = 0; s < per_node_ - 1; ++s) {
-    for (int64_t off = 0; off < group_tiles_;) {
-      const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
-                                              group_tiles_ - off);
-      if (s > 0) {
-        co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
-            static_cast<uint64_t>((s - 1) * group_tiles_ + off + tiles));
-      }
-      if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
-        co_await done.WaitGe(
-            idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
-      }
-      ChunkIo io;
-      if (payload()) {
-        io.world = &world_;
-        io.dst = ring_acc_[static_cast<size_t>(right)];
-        io.reader = RName("hier_rs.ring_send", r);
-        io.writer = EdgeName("hier_rs.ring", r, right);
-        const int64_t dst_base = static_cast<int64_t>(s) * group_tiles_;
-        if (s == 0) {
-          // Local partials: group (l - 1), node-major segments of the
-          // destination-rank-ordered input.
-          io.src = in_[static_cast<size_t>(r)];
-          const int g = (l - 1 + per_node_) % per_node_;
-          int64_t p = off;
-          while (p < off + tiles) {
-            const int64_t m = p / num_tiles_, t = p % num_tiles_;
-            const int64_t len = std::min(off + tiles - p, num_tiles_ - t);
-            io.runs.push_back(
-                {((m * per_node_ + g) * num_tiles_ + t) * E,
-                 (dst_base + p) * E, len * E});
-            p += len;
-          }
-        } else {
-          io.src = ring_acc_[static_cast<size_t>(r)];
-          io.runs.push_back({((s - 1) * group_tiles_ + off) * E,
-                             (dst_base + off) * E, tiles * E});
-        }
-      }
-      ctx.sim()->Spawn(
-          TransferChunk(&world_.intra_fabric(), r, right,
-                        static_cast<uint64_t>(tiles) * tile_bytes_,
-                        ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                        &done, /*eager_publish=*/false, std::move(io)),
-          "hier_rs.ring_chunk");
-      ++idx;
-      off += tiles;
+  auto chunk = [this, r, l, right, E, chunk_tiles,
+                chunks_per_step](int64_t k) {
+    LinkChunk c;
+    const int s = static_cast<int>(k / chunks_per_step);
+    const int64_t off = (k % chunks_per_step) * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, group_tiles_ - off);
+    if (s > 0) {
+      c.gate = {ring_reduced_[static_cast<size_t>(r)].get(),
+                static_cast<uint64_t>((s - 1) * group_tiles_ + off +
+                                      c.tiles)};
     }
-  }
-  co_await done.WaitGe(idx);
+    if (payload()) {
+      c.io.world = &world_;
+      c.io.dst = ring_acc_[static_cast<size_t>(right)];
+      c.io.reader = RName("hier_rs.ring_send", r);
+      c.io.writer = EdgeName("hier_rs.ring", r, right);
+      const int64_t dst_base = static_cast<int64_t>(s) * group_tiles_;
+      if (s == 0) {
+        // Local partials: group (l - 1), node-major segments of the
+        // destination-rank-ordered input.
+        c.io.src = in_[static_cast<size_t>(r)];
+        const int g = (l - 1 + per_node_) % per_node_;
+        int64_t p = off;
+        while (p < off + c.tiles) {
+          const int64_t m = p / num_tiles_, t = p % num_tiles_;
+          const int64_t len = std::min(off + c.tiles - p, num_tiles_ - t);
+          c.io.runs.push_back(
+              {((m * per_node_ + g) * num_tiles_ + t) * E,
+               (dst_base + p) * E, len * E});
+          p += len;
+        }
+      } else {
+        c.io.src = ring_acc_[static_cast<size_t>(r)];
+        c.io.runs.push_back({((s - 1) * group_tiles_ + off) * E,
+                             (dst_base + off) * E, c.tiles * E});
+      }
+    }
+    return c;
+  };
+  co_await RunLinkStream(
+      ctx.sim(),
+      ring_role_.Stream(r, right, tile_bytes_,
+                        ring_[static_cast<size_t>(right)].get(),
+                        "hier_rs.ring_send.r" + std::to_string(r),
+                        "hier_rs.ring_chunk",
+                        static_cast<int64_t>(per_node_ - 1) * chunks_per_step,
+                        chunk));
 }
 
 sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
@@ -586,10 +533,11 @@ sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
                 ((m * per_node_ + g) * num_tiles_ + t) * E, E);
       }
       // RMW convention: the mutation window opens strictly after the wake
-      // probe, so the reducer's own read never matches its write.
+      // probe, so the reducer's own read never matches its write; atomic:
+      // reduction epilogues are commutative accumulations.
       world_.checker().RecordWrite(ring_acc_[static_cast<size_t>(r)],
                                    cum * E, (cum + tiles) * E, wake + 1,
-                                   ctx.sim()->Now(), name);
+                                   ctx.sim()->Now(), name, /*atomic=*/true);
       world_.checker().CloseWrite(wt);
     }
     ring_reduced_[static_cast<size_t>(r)]->Add(
@@ -606,62 +554,57 @@ sim::Coro HierReduceScatter::RailSend(rt::RankCtx& ctx, int peer,
   const int64_t E = tile_elems_;
   InOrderSignal* sig =
       rail_[static_cast<size_t>(peer)][static_cast<size_t>(peer_index)].get();
-  sim::Flag done(ctx.sim(), "hier_rs.rail_send.r" + std::to_string(r));
-  std::size_t idx = 0;
+  const bool primary = IsPrimaryRailPeer(peer_node, r / per_node_);
+  const int64_t chunk_tiles = rail_role_.chunk_tiles();
   // The fully node-reduced tiles of the peer node's block: they are the
   // `peer_node` segment of this rank's own group, which arrives (reduced)
   // during the final intra ring step.
   const int64_t own_group_base =
       static_cast<int64_t>(per_node_ - 2) * group_tiles_;
-  for (int64_t off = 0; off < num_tiles_;) {
-    const int64_t tiles = std::min<int64_t>(cfg_.nic_chunk_tiles,
-                                            num_tiles_ - off);
+  auto chunk = [this, r, l, peer, peer_node, E, primary, chunk_tiles,
+                own_group_base](int64_t k) {
+    LinkChunk c;
+    const int64_t off = k * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, num_tiles_ - off);
+    c.eager_publish =
+        EagerRailFault(cfg_, r, static_cast<std::size_t>(k), primary);
     if (per_node_ > 1) {
-      co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
-          static_cast<uint64_t>(own_group_base +
-                                static_cast<int64_t>(peer_node) * num_tiles_ +
-                                off + tiles));
+      c.gate = {ring_reduced_[static_cast<size_t>(r)].get(),
+                static_cast<uint64_t>(
+                    own_group_base +
+                    static_cast<int64_t>(peer_node) * num_tiles_ + off +
+                    c.tiles)};
     }
-    if (idx >= static_cast<std::size_t>(staging_depth_)) {
-      co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
-                           1);
-    }
-    ChunkIo io;
     if (payload()) {
-      io.world = &world_;
-      io.dst = rail_acc_[static_cast<size_t>(peer)][static_cast<size_t>(
+      c.io.world = &world_;
+      c.io.dst = rail_acc_[static_cast<size_t>(peer)][static_cast<size_t>(
           SourceIndex(r / per_node_, peer_node))];
-      io.reader = RName("hier_rs.rail_send", r);
-      io.writer = EdgeName("hier_rs.rail", r, peer);
+      c.io.reader = RName("hier_rs.rail_send", r);
+      c.io.writer = EdgeName("hier_rs.rail", r, peer);
       if (per_node_ > 1) {
-        io.src = ring_acc_[static_cast<size_t>(r)];
-        io.runs.push_back(
+        c.io.src = ring_acc_[static_cast<size_t>(r)];
+        c.io.runs.push_back(
             {(own_group_base + static_cast<int64_t>(peer_node) * num_tiles_ +
               off) * E,
-             off * E, tiles * E});
+             off * E, c.tiles * E});
       } else {
         // Single-rank node: the node partial is this rank's own input
         // block for the peer (global block index == peer rank).
-        io.src = in_[static_cast<size_t>(r)];
-        io.runs.push_back(
+        c.io.src = in_[static_cast<size_t>(r)];
+        c.io.runs.push_back(
             {((static_cast<int64_t>(peer_node) * per_node_ + l) * num_tiles_ +
               off) * E,
-             off * E, tiles * E});
+             off * E, c.tiles * E});
       }
     }
-    ctx.sim()->Spawn(
-        TransferChunk(&world_.inter_fabric(), r, peer,
-                      static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
-                      tiles, &done,
-                      EagerRailFault(cfg_, r, idx,
-                                     IsPrimaryRailPeer(peer_node,
-                                                       r / per_node_)),
-                      std::move(io)),
-        "hier_rs.rail_chunk");
-    ++idx;
-    off += tiles;
-  }
-  co_await done.WaitGe(idx);
+    return c;
+  };
+  co_await RunLinkStream(
+      ctx.sim(),
+      rail_role_.Stream(r, peer, tile_bytes_, sig,
+                        "hier_rs.rail_send.r" + std::to_string(r),
+                        "hier_rs.rail_chunk",
+                        CeilDiv(num_tiles_, chunk_tiles), chunk));
 }
 
 sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
@@ -697,9 +640,12 @@ sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
                   self->rail_acc_[static_cast<size_t>(c.rank)]
                                  [static_cast<size_t>(src)],
                   cum * E, tiles * E);
+          // Atomic: the per-source rail reducers legitimately fold into
+          // the same output rows concurrently.
           self->world_.checker().RecordWrite(
               self->out_[static_cast<size_t>(c.rank)], cum * E,
-              (cum + tiles) * E, wake + 1, c.sim()->Now(), name);
+              (cum + tiles) * E, wake + 1, c.sim()->Now(), name,
+              /*atomic=*/true);
           self->world_.checker().CloseWrite(wt);
         }
         cum += tiles;
@@ -732,9 +678,12 @@ sim::Coro HierReduceScatter::OwnContribution(rt::RankCtx& ctx) {
     AddInto(out_[static_cast<size_t>(r)], 0, in_[static_cast<size_t>(r)],
             static_cast<int64_t>(r) * num_tiles_ * E, num_tiles_ * E);
   }
+  // Atomic: this fold can commit while the per-source rail reducers are
+  // mid-accumulation on the same output rows.
   const sim::TimeNs now = ctx.sim()->Now();
   world_.checker().RecordWrite(out_[static_cast<size_t>(r)], 0,
-                               num_tiles_ * E, now, now, name);
+                               num_tiles_ * E, now, now, name,
+                               /*atomic=*/true);
 }
 
 sim::Coro HierReduceScatter::Run(rt::RankCtx& ctx) {
@@ -771,6 +720,7 @@ FlatReduceScatter::FlatReduceScatter(rt::World& world, int64_t num_tiles,
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
       cfg_(cfg) {
   TL_CHECK_GT(num_tiles, 0);
+  cfg.Validate();
   for (int r = 0; r < world.size(); ++r) {
     ring_.push_back(std::make_unique<InOrderSignal>(
         &world.sim(), "flat_rs.ring.r" + std::to_string(r)));
@@ -803,49 +753,48 @@ sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
   const int R = world_.size();
   const int right = (r + 1) % R;
   const int64_t E = tile_elems_;
-  sim::Flag done(ctx.sim(), "flat_rs.send.r" + std::to_string(r));
-  std::size_t idx = 0;
-  for (int s = 0; s < R - 1; ++s) {
-    for (int64_t off = 0; off < num_tiles_;) {
-      const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
-                                              num_tiles_ - off);
-      if (s > 0) {
-        co_await ring_reduced_[static_cast<size_t>(r)]->WaitGe(
-            static_cast<uint64_t>((s - 1) * num_tiles_ + off + tiles));
-      }
-      if (idx >= static_cast<std::size_t>(cfg_.intra_channels)) {
-        co_await done.WaitGe(
-            idx - static_cast<std::size_t>(cfg_.intra_channels) + 1);
-      }
-      ChunkIo io;
-      if (payload()) {
-        io.world = &world_;
-        io.dst = ring_acc_[static_cast<size_t>(right)];
-        io.reader = RName("flat_rs.send", r);
-        io.writer = EdgeName("flat_rs.ring", r, right);
-        const int g = (r - s - 1 + R) % R;  // block forwarded at step s
-        if (s == 0) {
-          io.src = in_[static_cast<size_t>(r)];
-          io.runs.push_back({(static_cast<int64_t>(g) * num_tiles_ + off) * E,
-                             off * E, tiles * E});
-        } else {
-          io.src = ring_acc_[static_cast<size_t>(r)];
-          io.runs.push_back({((s - 1) * num_tiles_ + off) * E,
-                             (static_cast<int64_t>(s) * num_tiles_ + off) * E,
-                             tiles * E});
-        }
-      }
-      ctx.sim()->Spawn(
-          TransferChunk(&world_.fabric_for(r, right), r, right,
-                        static_cast<uint64_t>(tiles) * tile_bytes_,
-                        ring_[static_cast<size_t>(right)].get(), idx, tiles,
-                        &done, /*eager_publish=*/false, std::move(io)),
-          "flat_rs.chunk");
-      ++idx;
-      off += tiles;
+  const int64_t chunk_tiles = cfg_.intra_chunk_tiles;
+  const int64_t chunks_per_step = CeilDiv(num_tiles_, chunk_tiles);
+  tl::LinkStream stream;
+  stream.fabric = &world_.fabric_for(r, right);
+  stream.src = r;
+  stream.dst = right;
+  stream.tile_bytes = tile_bytes_;
+  stream.window = cfg_.intra_channels;
+  stream.arrival = ring_[static_cast<size_t>(right)].get();
+  stream.name = "flat_rs.send.r" + std::to_string(r);
+  stream.chunk_label = "flat_rs.chunk";
+  stream.num_chunks = static_cast<int64_t>(R - 1) * chunks_per_step;
+  stream.chunk = [this, r, right, R, E, chunk_tiles,
+                  chunks_per_step](int64_t k) {
+    LinkChunk c;
+    const int s = static_cast<int>(k / chunks_per_step);
+    const int64_t off = (k % chunks_per_step) * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, num_tiles_ - off);
+    if (s > 0) {
+      c.gate = {ring_reduced_[static_cast<size_t>(r)].get(),
+                static_cast<uint64_t>((s - 1) * num_tiles_ + off + c.tiles)};
     }
-  }
-  co_await done.WaitGe(idx);
+    if (payload()) {
+      c.io.world = &world_;
+      c.io.dst = ring_acc_[static_cast<size_t>(right)];
+      c.io.reader = RName("flat_rs.send", r);
+      c.io.writer = EdgeName("flat_rs.ring", r, right);
+      const int g = (r - s - 1 + R) % R;  // block forwarded at step s
+      if (s == 0) {
+        c.io.src = in_[static_cast<size_t>(r)];
+        c.io.runs.push_back({(static_cast<int64_t>(g) * num_tiles_ + off) * E,
+                             off * E, c.tiles * E});
+      } else {
+        c.io.src = ring_acc_[static_cast<size_t>(r)];
+        c.io.runs.push_back({((s - 1) * num_tiles_ + off) * E,
+                             (static_cast<int64_t>(s) * num_tiles_ + off) * E,
+                             c.tiles * E});
+      }
+    }
+    return c;
+  };
+  co_await RunLinkStream(ctx.sim(), std::move(stream));
 }
 
 sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
@@ -880,7 +829,7 @@ sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
       }
       world_.checker().RecordWrite(ring_acc_[static_cast<size_t>(r)],
                                    cum * E, (cum + tiles) * E, wake + 1,
-                                   ctx.sim()->Now(), name);
+                                   ctx.sim()->Now(), name, /*atomic=*/true);
       world_.checker().CloseWrite(wt);
     }
     ring_reduced_[static_cast<size_t>(r)]->Add(
@@ -939,15 +888,13 @@ static int64_t DpBlockStart(int64_t num_tiles, int nodes, int b) {
 DpAllReduce::DpAllReduce(rt::World& world, int64_t num_tiles,
                          uint64_t tile_bytes, const HierConfig& cfg)
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
-      cfg_(cfg) {
+      cfg_(cfg), nodes_(ValidatedNodes(world.spec(), cfg)),
+      per_node_(world.spec().devices_per_node),
+      // Each DP group member exchanges with every other member in both
+      // phases.
+      rail_role_(world, cfg.nic_chunk_tiles, cfg.staging_depth,
+                 2 * (nodes_ - 1)) {
   TL_CHECK_GT(num_tiles, 0);
-  const sim::MachineSpec& spec = world.spec();
-  CheckDenseTopology(spec);
-  nodes_ = spec.num_nodes();
-  per_node_ = spec.devices_per_node;
-  // Each DP group member exchanges with every other member in both phases.
-  staging_depth_ =
-      ClampStagingDepth(spec, cfg.staging_depth, 2 * (nodes_ - 1));
   for (int r = 0; r < world.size(); ++r) {
     rs_arrived_.emplace_back();
     ag_arrived_.emplace_back();
@@ -995,52 +942,46 @@ sim::Coro DpAllReduce::SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase) {
       (rs_phase ? rs_arrived_ : ag_arrived_)[static_cast<size_t>(peer)]
           [static_cast<size_t>(SourceIndex(n, peer_node))]
               .get();
-  sim::Flag done(ctx.sim(), "dp_ar.send.r" + std::to_string(r));
-  std::size_t idx = 0;
-  for (int64_t off = 0; off < tiles_total;) {
-    const int64_t tiles =
-        std::min<int64_t>(cfg_.nic_chunk_tiles, tiles_total - off);
+  const bool primary = IsPrimaryRailPeer(peer_node, n);
+  const int64_t chunk_tiles = rail_role_.chunk_tiles();
+  auto chunk = [this, r, n, peer, peer_node, rs_phase, E, primary,
+                chunk_tiles, tiles_total, block_start](int64_t k) {
+    LinkChunk c;
+    const int64_t off = k * chunk_tiles;
+    c.tiles = std::min(chunk_tiles, tiles_total - off);
+    c.eager_publish =
+        rs_phase &&
+        EagerRailFault(cfg_, r, static_cast<std::size_t>(k), primary);
     if (!rs_phase) {
       // A reduced chunk leaves as soon as the reducer finishes it.
-      co_await block_reduced_[static_cast<size_t>(r)]->WaitGe(
-          static_cast<uint64_t>(off + tiles));
+      c.gate = {block_reduced_[static_cast<size_t>(r)].get(),
+                static_cast<uint64_t>(off + c.tiles)};
     }
-    if (idx >= static_cast<std::size_t>(staging_depth_)) {
-      co_await done.WaitGe(idx - static_cast<std::size_t>(staging_depth_) +
-                           1);
-    }
-    ChunkIo io;
     if (payload()) {
-      io.world = &world_;
+      c.io.world = &world_;
       if (rs_phase) {
-        io.src = in_[static_cast<size_t>(r)];
-        io.dst = rs_acc_[static_cast<size_t>(peer)]
-                        [static_cast<size_t>(SourceIndex(n, peer_node))];
-        io.runs.push_back({(block_start + off) * E, off * E, tiles * E});
-        io.reader = RName("dp_ar.send_rs", r);
-        io.writer = EdgeName("dp_ar.rs", r, peer);
+        c.io.src = in_[static_cast<size_t>(r)];
+        c.io.dst = rs_acc_[static_cast<size_t>(peer)]
+                          [static_cast<size_t>(SourceIndex(n, peer_node))];
+        c.io.runs.push_back({(block_start + off) * E, off * E, c.tiles * E});
+        c.io.reader = RName("dp_ar.send_rs", r);
+        c.io.writer = EdgeName("dp_ar.rs", r, peer);
       } else {
-        io.src = out_[static_cast<size_t>(r)];
-        io.dst = out_[static_cast<size_t>(peer)];
-        io.runs.push_back(
-            {(block_start + off) * E, (block_start + off) * E, tiles * E});
-        io.reader = RName("dp_ar.send_ag", r);
-        io.writer = EdgeName("dp_ar.ag", r, peer);
+        c.io.src = out_[static_cast<size_t>(r)];
+        c.io.dst = out_[static_cast<size_t>(peer)];
+        c.io.runs.push_back(
+            {(block_start + off) * E, (block_start + off) * E, c.tiles * E});
+        c.io.reader = RName("dp_ar.send_ag", r);
+        c.io.writer = EdgeName("dp_ar.ag", r, peer);
       }
     }
-    ctx.sim()->Spawn(
-        TransferChunk(&world_.inter_fabric(), r, peer,
-                      static_cast<uint64_t>(tiles) * tile_bytes_, sig, idx,
-                      tiles, &done,
-                      rs_phase &&
-                          EagerRailFault(cfg_, r, idx,
-                                         IsPrimaryRailPeer(peer_node, n)),
-                      std::move(io)),
-        "dp_ar.chunk");
-    ++idx;
-    off += tiles;
-  }
-  co_await done.WaitGe(idx);
+    return c;
+  };
+  co_await RunLinkStream(
+      ctx.sim(),
+      rail_role_.Stream(r, peer, tile_bytes_, sig,
+                        "dp_ar.send.r" + std::to_string(r), "dp_ar.chunk",
+                        CeilDiv(tiles_total, chunk_tiles), chunk));
 }
 
 sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
@@ -1081,7 +1022,8 @@ sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
         world_.checker().RecordWrite(out_[static_cast<size_t>(r)],
                                      (my_start + cum) * E,
                                      (my_start + cum + tiles) * E, wake + 1,
-                                     ctx.sim()->Now(), name);
+                                     ctx.sim()->Now(), name,
+                                     /*atomic=*/true);
         world_.checker().CloseWrite(wt);
       }
     }

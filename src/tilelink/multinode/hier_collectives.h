@@ -12,6 +12,13 @@
 // baseline the benchmarks compare against (T3/Syncopate both show the gap
 // between the two is the point of modeling the hierarchy at all).
 //
+// The chunk-pipeline machinery itself — windowed sends, in-order arrival
+// publication, payload/checker instrumentation — is the builder layer's
+// tile-centric link roles (tilelink/builder/link_roles.h): each collective
+// instantiates a NicRailRole and/or NvlinkRingRole and describes its chunk
+// schedule (gates + payload runs) per stream. Fused kernels bind the same
+// roles through RolePlan::Comm (kernels/gemm_hier_rs).
+//
 // Two modes:
 //  * Timing-only (default): `num_tiles` tiles of `tile_bytes` per rank move
 //    through the fabric models, no tensor payloads — the granularity the
@@ -35,9 +42,14 @@
 #include "runtime/world.h"
 #include "sim/coro.h"
 #include "sim/flag.h"
+#include "tilelink/builder/link_roles.h"
 #include "tilelink/builder/tuning_space.h"
 
 namespace tilelink::multinode {
+
+// The in-order chunk-arrival signal now lives with the link roles in the
+// builder layer; collectives keep addressing it under its historical name.
+using tl::InOrderSignal;
 
 // Knobs of the multi-node design space (the TuningSpace::MultiNode() axes
 // plus the intra-node channel width the single-node kernels already tune).
@@ -62,26 +74,10 @@ struct HierConfig {
   int unsafe_rail_chunk = -1;
 
   static HierConfig FromCandidate(const tl::TuneCandidate& c);
-};
 
-// Per-sender chunk-completion reordering: flow completions under max-min
-// sharing are only approximately FIFO, but downstream consumers must see a
-// prefix ("tiles 0..k arrived"), so completions are published in order.
-class InOrderSignal {
- public:
-  InOrderSignal(sim::Simulator* sim, std::string name)
-      : arrived_(sim, std::move(name)) {}
-
-  // Marks chunk `index` (covering `tiles` tiles) complete; publishes every
-  // contiguous finished prefix to the flag.
-  void Complete(std::size_t index, int64_t tiles);
-
-  sim::Flag& tiles_arrived() { return arrived_; }
-
- private:
-  sim::Flag arrived_;
-  std::vector<int64_t> done_;  // tiles of chunk i, 0 = not yet complete
-  std::size_t cursor_ = 0;
+  // Rejects non-positive chunk sizes, window depths and SM counts up front
+  // with a clear message instead of failing deep inside a chunk loop.
+  void Validate() const;
 };
 
 // Two-stage AllGather: every rank contributes num_tiles tiles; every rank
@@ -101,7 +97,7 @@ class HierAllGather {
                      std::vector<rt::Buffer*> out, int64_t tile_elems);
 
   // Effective per-peer NIC staging depth after the channel-budget clamp.
-  int effective_staging_depth() const { return staging_depth_; }
+  int effective_staging_depth() const { return rail_role_.window(); }
 
  private:
   sim::Coro RailSend(rt::RankCtx& ctx, int peer);
@@ -112,8 +108,9 @@ class HierAllGather {
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
-  int staging_depth_;
   int nodes_, per_node_;
+  tl::NicRailRole rail_role_;
+  tl::NvlinkRingRole ring_role_;
   // rail_[r][k]: tiles arrived at rank r from its k-th rail peer (node
   // order, own node skipped).
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rail_;
@@ -180,9 +177,10 @@ class HierReduceScatter {
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
-  int staging_depth_;
   int nodes_, per_node_;
   int64_t group_tiles_;  // nodes * num_tiles, one intra-ring group
+  tl::NicRailRole rail_role_;
+  tl::NvlinkRingRole ring_role_;
   std::vector<std::unique_ptr<InOrderSignal>> ring_;       // raw arrivals
   std::vector<std::unique_ptr<sim::Flag>> ring_reduced_;   // after reduce
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rail_;
@@ -241,7 +239,7 @@ class DpAllReduce {
   void AttachPayload(std::vector<rt::Buffer*> in,
                      std::vector<rt::Buffer*> out, int64_t tile_elems);
 
-  int effective_staging_depth() const { return staging_depth_; }
+  int effective_staging_depth() const { return rail_role_.window(); }
 
  private:
   sim::Coro SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase);
@@ -252,8 +250,8 @@ class DpAllReduce {
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
-  int staging_depth_;
   int nodes_, per_node_;
+  tl::NicRailRole rail_role_;
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rs_arrived_;
   std::vector<std::unique_ptr<sim::Flag>> block_reduced_;
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> ag_arrived_;

@@ -1,8 +1,11 @@
 #include "tilelink/multinode/multinode_tuning.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "runtime/world.h"
+#include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/kernels/gemm_producer.h"
 
 namespace tilelink::multinode {
 namespace {
@@ -136,6 +139,179 @@ tl::TuneResult TuneDpSync(const sim::MachineSpec& spec, uint64_t grad_bytes,
       },
       [&](const tl::TuneCandidate& c) {
         return CoarseSimulateDpSync(spec, grad_bytes, c);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Fused GEMM + hierarchical ReduceScatter
+// ---------------------------------------------------------------------------
+bool GemmHierRsFeasible(const sim::MachineSpec& spec,
+                        const tl::MlpPartShape& s, const tl::TuneCandidate& c) {
+  // Like GEMM+RS, the ring role is push-only (SM push or DMA push).
+  if (c.comm == tl::CommResource::kSmPull) return false;
+  const int R = spec.num_devices;
+  if (R % spec.devices_per_node != 0) return false;
+  if (s.m % R != 0) return false;
+  const int64_t m_per_rank = s.m / R;
+  return c.comm_tile_m > 0 && m_per_rank % c.comm_tile_m == 0 &&
+         c.comm_tile_m % c.gemm.bm == 0 && c.nic_chunk_tiles > 0 &&
+         c.staging_depth > 0;
+}
+
+namespace {
+
+// Layer-compose baseline half: the shared partial-GEMM producer as a
+// compute-only kernel (no communication roles; the producer notifies its
+// own channels, which nothing consumes).
+class GemmOnly : public tl::FusedKernelBase {
+ public:
+  GemmOnly(rt::World& world, const tl::GemmHierRsConfig& cfg)
+      : FusedKernelBase(world, cfg.name + "_gemm_only", cfg.compiler) {
+    tl::PartialGemmParams p;
+    p.m = cfg.m;
+    p.k = cfg.k;
+    p.n = cfg.n;
+    p.tiling = cfg.gemm;
+    p.map = tl::StaticMapping(
+        cfg.m, cfg.gemm.bm, world.size(),
+        static_cast<int>((cfg.m / world.size()) / cfg.rs_block_m));
+    a_ = AllocSymmetric("a", {cfg.m, cfg.k});
+    b_ = AllocSymmetric("b", {cfg.k, cfg.n});
+    out_ = AllocSymmetric("out", {cfg.m, cfg.n});
+    p.a = a_;
+    p.b = b_;
+    p.out = out_;
+    p.ranks = ranks();
+    p.order = cfg.order;
+    CreateChannels(p.map.num_channels(), /*num_peer=*/1, /*num_host=*/1);
+    tl::RolePlan plan(name(), sms());
+    plan.Compute("gemm", tl::PartialGemmTiles(p),
+                 tl::BuildPartialGemmProducer(p));
+    Finalize(plan.Build());
+  }
+
+ private:
+  comm::SymTensor a_, b_, out_;
+};
+
+}  // namespace
+
+tl::TuneCandidate DefaultGemmHierRsCandidate(const tl::MlpPartShape& shape,
+                                             int tp,
+                                             const compute::GemmTiling& tiling) {
+  tl::TuneCandidate c;
+  c.gemm = tiling;
+  // SM push: the copy-engine efficiency penalty costs more than the SM
+  // stall here because the ring role's blocks double as reduce bandwidth.
+  c.comm = tl::CommResource::kSmPush;
+  c.order = tl::TileOrder::kNextRankFirst;
+  c.nic_chunk_tiles = 2;
+  c.staging_depth = 2;
+  c.reduce_sms = 8;
+  // Ring chunk rows: the shared layer-default rule, derived from the
+  // tiling the kernel will actually run.
+  const int64_t m_per_rank = std::max<int64_t>(1, shape.m / std::max(1, tp));
+  c.comm_tile_m = tl::RsBlockRows(m_per_rank, c.gemm.bm);
+  return c;
+}
+
+tl::GemmHierRsConfig GemmHierRsFromCandidate(const tl::MlpPartShape& shape,
+                                             const tl::TuneCandidate& c) {
+  tl::GemmHierRsConfig cfg;
+  cfg.m = shape.m;
+  cfg.k = shape.k;
+  cfg.n = shape.n;
+  cfg.gemm = c.gemm;
+  cfg.rs_block_m = c.comm_tile_m;
+  cfg.nic_chunk_blocks = std::max(1, c.nic_chunk_tiles);
+  cfg.staging_depth = std::max(1, c.staging_depth);
+  cfg.comm_sms = c.comm_sms;
+  cfg.reduce_sms = std::max(1, c.reduce_sms);
+  cfg.dma_push = c.comm == tl::CommResource::kDma;
+  cfg.order = c.order;
+  return cfg;
+}
+
+sim::TimeNs SimulateGemmHierRs(const sim::MachineSpec& spec,
+                               const tl::MlpPartShape& shape,
+                               const tl::TuneCandidate& c) {
+  if (!GemmHierRsFeasible(spec, shape, c)) return tl::Autotuner::kInfeasible;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  tl::GemmHierRs kernel(world, GemmHierRsFromCandidate(shape, c));
+  return world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+}
+
+sim::TimeNs CoarseSimulateGemmHierRs(const sim::MachineSpec& spec,
+                                     const tl::MlpPartShape& shape,
+                                     const tl::TuneCandidate& c) {
+  // Collapse the reduction loop to one k-step: per-tile MMA cost is linear
+  // in bk, so the ranking is preserved at a fraction of the events.
+  tl::TuneCandidate coarse = c;
+  coarse.gemm.bk = static_cast<int>(std::min<int64_t>(
+      std::max<int64_t>(shape.k, 1), std::numeric_limits<int>::max()));
+  return SimulateGemmHierRs(spec, shape, coarse);
+}
+
+sim::TimeNs GemmHierRsLowerBound(const sim::MachineSpec& spec,
+                                 const tl::MlpPartShape& shape,
+                                 const tl::TuneCandidate& c) {
+  const int R = spec.num_devices;
+  const int nodes = spec.num_nodes();
+  const int per_node = spec.devices_per_node;
+  const int64_t m_per_rank = R > 0 ? shape.m / R : shape.m;
+  const sim::CostModel cost(spec);
+  const sim::TimeNs compute =
+      cost.GemmComputeTime(shape.m, shape.n, shape.k, c.gemm.bm, c.gemm.bn,
+                           c.gemm.bk, spec.sms_per_device);
+  const double block_bytes =
+      static_cast<double>(m_per_rank) * shape.n * 2;  // bf16
+  // Rail: every rank sends one node-reduced block per peer node over its
+  // NIC. Ring: each rank forwards (per_node - 1) segments of `nodes` blocks
+  // over NVLink.
+  const sim::TimeNs rail = static_cast<sim::TimeNs>(
+      (nodes - 1) * block_bytes / spec.nic_gbps);
+  const sim::TimeNs ring = static_cast<sim::TimeNs>(
+      static_cast<double>(per_node - 1) * nodes * block_bytes /
+      spec.nvlink_gbps);
+  return spec.kernel_launch_latency +
+         std::max(compute, std::max(rail, ring));
+}
+
+sim::TimeNs SimulateGemmThenHierRs(const sim::MachineSpec& spec,
+                                   const tl::MlpPartShape& shape,
+                                   const tl::TuneCandidate& c) {
+  if (!GemmHierRsFeasible(spec, shape, c)) return tl::Autotuner::kInfeasible;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  const tl::GemmHierRsConfig cfg = GemmHierRsFromCandidate(shape, c);
+  GemmOnly gemm(world, cfg);
+  // RS at ring-chunk granularity: one tile per rs_block_m rows.
+  const int64_t num_tiles = (shape.m / spec.num_devices) / cfg.rs_block_m;
+  const uint64_t tile_bytes =
+      static_cast<uint64_t>(cfg.rs_block_m) * shape.n * 2;  // bf16
+  HierReduceScatter rs(world, num_tiles, tile_bytes,
+                       HierConfig::FromCandidate(c));
+  return world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+    co_await gemm.Run(ctx);
+    co_await rs.Run(ctx);
+  });
+}
+
+tl::TuneResult TuneGemmHierRs(const sim::MachineSpec& spec,
+                              const tl::MlpPartShape& shape,
+                              const tl::TuningSpace& space,
+                              const tl::TuneCandidate& base,
+                              const tl::Autotuner& tuner) {
+  return tuner.Search(
+      space, base,
+      [&](const tl::TuneCandidate& c) {
+        return SimulateGemmHierRs(spec, shape, c);
+      },
+      [&](const tl::TuneCandidate& c) {
+        return GemmHierRsLowerBound(spec, shape, c);
+      },
+      [&](const tl::TuneCandidate& c) {
+        return CoarseSimulateGemmHierRs(spec, shape, c);
       });
 }
 

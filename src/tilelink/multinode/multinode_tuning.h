@@ -11,6 +11,7 @@
 #include "models/model_zoo.h"
 #include "sim/machine_spec.h"
 #include "tilelink/builder/kernel_tuning.h"
+#include "tilelink/kernels/gemm_hier_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
 
 namespace tilelink::multinode {
@@ -58,5 +59,55 @@ tl::TuneResult TuneDpSync(const sim::MachineSpec& spec, uint64_t grad_bytes,
                           const tl::TuningSpace& space,
                           const tl::TuneCandidate& base,
                           const tl::Autotuner& tuner = tl::Autotuner());
+
+// ---- Fused GEMM + hierarchical ReduceScatter -----------------------------
+// The first multi-node fused kernel (kernels/gemm_hier_rs): GEMM tile axes
+// couple with the NIC knobs into one joint space, searched by the same
+// halving autotuner and gated against the layer-level compose below.
+
+// Candidate -> kernel config: comm_tile_m is the ring chunk rows,
+// nic_chunk_tiles the ring chunks per NIC message, staging_depth the
+// in-flight NIC messages per rail peer.
+tl::GemmHierRsConfig GemmHierRsFromCandidate(const tl::MlpPartShape& shape,
+                                             const tl::TuneCandidate& c);
+
+// The hand-picked seed: the GemmRs layer defaults plus the two-node NIC
+// defaults. `tiling` is the GEMM tiling the kernel will actually run
+// (comm_tile_m is derived from its bm, so callers overriding the tiling —
+// e.g. the e2e estimator's coarse bk — must pass it here, not patch the
+// returned candidate).
+tl::TuneCandidate DefaultGemmHierRsCandidate(
+    const tl::MlpPartShape& shape, int tp,
+    const compute::GemmTiling& tiling = {128, 256, 64});
+
+// True when the candidate satisfies the kernel's divisibility constraints
+// (the evaluators below return Autotuner::kInfeasible otherwise).
+bool GemmHierRsFeasible(const sim::MachineSpec& spec,
+                        const tl::MlpPartShape& shape,
+                        const tl::TuneCandidate& c);
+
+sim::TimeNs SimulateGemmHierRs(const sim::MachineSpec& spec,
+                               const tl::MlpPartShape& shape,
+                               const tl::TuneCandidate& c);
+sim::TimeNs CoarseSimulateGemmHierRs(const sim::MachineSpec& spec,
+                                     const tl::MlpPartShape& shape,
+                                     const tl::TuneCandidate& c);
+// max(GEMM compute + launch, NIC rail wire, NVLink ring wire).
+sim::TimeNs GemmHierRsLowerBound(const sim::MachineSpec& spec,
+                                 const tl::MlpPartShape& shape,
+                                 const tl::TuneCandidate& c);
+
+// Layer-level compose baseline the fused kernel must beat: the same GEMM
+// producer as a compute-only kernel, then HierReduceScatter as a separate
+// collective (one ring-chunk-sized tile per RS tile).
+sim::TimeNs SimulateGemmThenHierRs(const sim::MachineSpec& spec,
+                                   const tl::MlpPartShape& shape,
+                                   const tl::TuneCandidate& c);
+
+tl::TuneResult TuneGemmHierRs(const sim::MachineSpec& spec,
+                              const tl::MlpPartShape& shape,
+                              const tl::TuningSpace& space,
+                              const tl::TuneCandidate& base,
+                              const tl::Autotuner& tuner = tl::Autotuner());
 
 }  // namespace tilelink::multinode

@@ -122,4 +122,53 @@ PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
       });
 }
 
+PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
+                                 const tl::GemmHierRsConfig& cfg) {
+  rt::World world(spec, rt::ExecMode::kFunctional);
+  world.checker().set_enabled(true);
+  tl::GemmHierRs kernel(world, cfg);
+  const int R = spec.num_devices;
+  for (int r = 0; r < R; ++r) {
+    // Default lattice range: values in [-8, 8] vary per position (a
+    // narrower range degenerates to constant tensors under the Knuth hash
+    // and would make bit-exactness vacuous). Exactness bound: |partial| <=
+    // 64 * k and the cross-rank sum stays far below 2^24.
+    FillIntLattice(kernel.a()[static_cast<size_t>(r)],
+                   /*seed=*/static_cast<uint32_t>(r) * 7919u + 1u);
+    FillIntLattice(kernel.b()[static_cast<size_t>(r)],
+                   /*seed=*/static_cast<uint32_t>(r) * 104729u + 3u);
+  }
+  PayloadReport report;
+  report.makespan = world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+  report.violations = world.checker().violations().size();
+  // Single-rank reference: out[r] = sum_p (A_p @ B_p) rows of block r.
+  // Integer-lattice inputs keep every partial and cross-rank sum an exact
+  // fp32 integer, so equality is exact, not approximate.
+  const int64_t m_per_rank = cfg.m / R;
+  report.bit_exact = true;
+  for (int r = 0; r < R && report.bit_exact; ++r) {
+    Tensor out = kernel.out()[static_cast<size_t>(r)];
+    for (int64_t i = 0; i < m_per_rank && report.bit_exact; ++i) {
+      const int64_t row = r * m_per_rank + i;
+      for (int64_t j = 0; j < cfg.n; ++j) {
+        double ref = 0.0;
+        for (int p = 0; p < R; ++p) {
+          Tensor& a = kernel.a()[static_cast<size_t>(p)];
+          Tensor& b = kernel.b()[static_cast<size_t>(p)];
+          for (int64_t kk = 0; kk < cfg.k; ++kk) {
+            ref += static_cast<double>(a.at({row, kk})) *
+                   static_cast<double>(b.at({kk, j}));
+          }
+        }
+        if (out.at({i, j}) != static_cast<float>(ref)) {
+          report.bit_exact = false;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace tilelink::multinode

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "sim/machine_spec.h"
+#include "tilelink/kernels/gemm_hier_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
 
 namespace tilelink::multinode {
@@ -45,5 +46,15 @@ PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
 PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
                                   int64_t num_tiles, uint64_t tile_bytes,
                                   int64_t tile_elems, const HierConfig& cfg);
+
+// Fused-kernel validation: run GemmHierRs on a functional world with
+// integer-lattice A/B (fp32 sums of small integers are exact, so the
+// multi-stage reduction is bit-exact under any accumulation order) and
+// compare every rank's output block bit-for-bit against the single-rank
+// reference sum(A_p @ B_p) over all ranks p. Every ring/rail chunk goes
+// through the compiled kernel's checker instrumentation, so `violations`
+// counts real consistency races in the fused pipeline.
+PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
+                                 const tl::GemmHierRsConfig& cfg);
 
 }  // namespace tilelink::multinode

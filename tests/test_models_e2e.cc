@@ -61,6 +61,19 @@ TEST(E2eEstimator, TwoNodeDilutesSpeedup) {
   EXPECT_GT(s2, 1.0);
 }
 
+// TP=16 spans two nodes: the row-parallel projections run the fused
+// GEMM + hierarchical ReduceScatter kernel over the NIC fabric, and must
+// beat the 16-rank non-overlapped baseline (whose flat ring RS drowns in
+// the two NIC hops).
+TEST(E2eEstimator, TpSpanningNodesUsesFusedHierRs) {
+  E2eEstimator est(/*tp=*/16, /*batch=*/1, /*seq=*/4096, /*two_node=*/false);
+  const E2eResult r = est.Run(GetModel("LLaMA2-7B"));
+  EXPECT_GT(r.torch_layer, 0);
+  EXPECT_GT(r.tilelink_layer, 0);
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_LT(r.speedup, 6.0);  // NIC-bound baseline inflates the win
+}
+
 TEST(E2eEstimator, LayerBreakdownSumsToTotal) {
   E2eEstimator est(4, 1, 4096, false);
   const ModelConfig m = GetModel("LLaMA2-7B");

@@ -6,8 +6,10 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "sim/machine_spec.h"
 #include "tilelink/builder/role_plan.h"
+#include "tilelink/kernels/gemm_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
 #include "tilelink/multinode/multinode_tuning.h"
 #include "tilelink/multinode/payload_validation.h"
@@ -373,6 +375,235 @@ TEST(FaultInjection, EagerRailPublishCaughtOnDpAllReduce) {
   const PayloadReport r =
       ValidateDpAllReduce(TwoNodeSpec(8), 16, 16 << 10, 8, fault);
   EXPECT_GE(r.violations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Link-role refactor: pinned pre-refactor makespans
+// ---------------------------------------------------------------------------
+
+// The collectives were rewritten on the builder layer's tile-centric link
+// roles (NicRailRole / NvlinkRingRole streams). The refactor must be
+// behavior-preserving: these exact makespans were recorded from the
+// pre-refactor implementation (PR 4) and must not drift by a nanosecond.
+TEST(LinkRoles, RefactoredCollectivesKeepPinnedMakespans) {
+  const MachineSpec two = MachineSpec::H800x16();
+  MachineSpec three = MachineSpec::H800x8();
+  three.num_devices = 6;
+  three.devices_per_node = 2;
+  const HierConfig def;
+  HierConfig odd;
+  odd.nic_chunk_tiles = 3;
+  odd.intra_chunk_tiles = 5;
+  odd.staging_depth = 4;
+  odd.intra_channels = 2;
+  EXPECT_EQ(SimulateHierAllGather(two, 32, 512 << 10, def), 1875515);
+  EXPECT_EQ(SimulateHierReduceScatter(two, 32, 512 << 10, def), 1991542);
+  EXPECT_EQ(SimulateFlatAllGather(two, 32, 512 << 10, def), 5654920);
+  EXPECT_EQ(SimulateFlatReduceScatter(two, 32, 512 << 10, def), 5669796);
+  EXPECT_EQ(SimulateHierAllGather(two, 24, 64 << 10, odd), 264898);
+  EXPECT_EQ(SimulateHierReduceScatter(two, 24, 64 << 10, odd), 266257);
+  EXPECT_EQ(SimulateHierAllGather(three, 5, 16 << 10, def), 37189);
+  EXPECT_EQ(SimulateHierReduceScatter(three, 5, 16 << 10, def), 38601);
+  const tl::TuneCandidate c = DefaultDpSyncCandidate();
+  EXPECT_EQ(SimulateDpSync(two, 128ull << 20, c), 2839968);
+  EXPECT_EQ(SimulateDpSync(three, 48ull << 20, c), 1433104);
+}
+
+// ---------------------------------------------------------------------------
+// HierConfig validation
+// ---------------------------------------------------------------------------
+
+TEST(HierConfigValidation, RejectsNonPositiveKnobsUpFront) {
+  const MachineSpec spec = TwoNodeSpec(4);
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  HierConfig bad_nic;
+  bad_nic.nic_chunk_tiles = 0;
+  EXPECT_THROW(HierAllGather(world, 8, 1 << 20, bad_nic), Error);
+  HierConfig bad_staging;
+  bad_staging.staging_depth = -2;
+  EXPECT_THROW(HierReduceScatter(world, 8, 1 << 20, bad_staging), Error);
+  HierConfig bad_intra;
+  bad_intra.intra_chunk_tiles = 0;
+  EXPECT_THROW(DpAllReduce(world, 8, 1 << 20, bad_intra), Error);
+  HierConfig bad_channels;
+  bad_channels.intra_channels = 0;
+  EXPECT_THROW(FlatAllGather(world, 8, 1 << 20, bad_channels), Error);
+  HierConfig bad_reduce;
+  bad_reduce.reduce_sms = 0;
+  EXPECT_THROW(FlatReduceScatter(world, 8, 1 << 20, bad_reduce), Error);
+  // The message names the offending knob instead of a chunk-loop internal.
+  try {
+    HierAllGather ag(world, 8, 1 << 20, bad_nic);
+    FAIL() << "expected validation to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nic_chunk_tiles"),
+              std::string::npos);
+  }
+}
+
+TEST(HierConfigValidation, RejectsMismatchedPayloadElems) {
+  const MachineSpec spec = TwoNodeSpec(2);
+  rt::World world(spec, rt::ExecMode::kFunctional);
+  const int64_t tiles = 4;
+  HierAllGather ag(world, tiles, 16 << 10, HierConfig());
+  // tile_elems = 8 requires in[r] of 32 elems; allocate 16 instead.
+  std::vector<rt::Buffer*> in = world.AllocSymmetric("in", tiles * 4);
+  std::vector<rt::Buffer*> out =
+      world.AllocSymmetric("out", world.size() * tiles * 8);
+  try {
+    ag.AttachPayload(in, out, /*tile_elems=*/8);
+    FAIL() << "expected AttachPayload to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("tile_elems"), std::string::npos);
+  }
+  HierAllGather ag2(world, tiles, 16 << 10, HierConfig());
+  EXPECT_THROW(ag2.AttachPayload(in, out, /*tile_elems=*/0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fused GEMM + hierarchical ReduceScatter (kernels/gemm_hier_rs)
+// ---------------------------------------------------------------------------
+
+namespace fused {
+
+tl::GemmHierRsConfig SmallCfg(int ranks) {
+  tl::GemmHierRsConfig cfg;
+  cfg.m = static_cast<int64_t>(ranks) * 8;
+  cfg.k = 8;
+  cfg.n = 8;
+  cfg.gemm = {4, 8, 4};
+  cfg.rs_block_m = 4;
+  cfg.nic_chunk_blocks = 2;
+  return cfg;
+}
+
+}  // namespace fused
+
+// The acceptance gate at test granularity: at 2x8 the fused kernel beats
+// the layer-level GEMM-then-HierRS compose on simulated makespan, with a
+// bit-exact, violation-free functional run.
+TEST(GemmHierRs, BeatsLayerComposeAtTwoByEight) {
+  const MachineSpec spec = MachineSpec::H800x16();
+  const tl::MlpPartShape shape{16384, 256, 4096};
+  const tl::TuneCandidate seed = DefaultGemmHierRsCandidate(shape, 16);
+  const TimeNs fused = SimulateGemmHierRs(spec, shape, seed);
+  const TimeNs compose = SimulateGemmThenHierRs(spec, shape, seed);
+  std::printf("fused %.3f ms vs compose %.3f ms\n", fused / 1e6,
+              compose / 1e6);
+  EXPECT_GT(fused, 0);
+  EXPECT_LT(fused, compose);
+}
+
+TEST(GemmHierRs, PayloadBitExactAtTwoByEight) {
+  const PayloadReport r =
+      ValidateGemmHierRs(MachineSpec::H800x16(), fused::SmallCfg(16));
+  EXPECT_TRUE(r.bit_exact);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// M not divisible by nic_chunk_blocks * rs_block_m: the last rail chunk is
+// ragged (8 + 4 rows per 12-row block) and must stay bit-exact, as must a
+// three-node topology (multi-peer rail).
+TEST(GemmHierRs, RaggedRailChunksStayBitExact) {
+  MachineSpec spec = MachineSpec::H800x8();
+  spec.num_devices = 8;
+  spec.devices_per_node = 4;
+  tl::GemmHierRsConfig cfg = fused::SmallCfg(8);
+  cfg.m = 8 * 12;  // m_per_rank = 12 = 3 ring chunks; rail chunk = 2 chunks
+  const PayloadReport r = ValidateGemmHierRs(spec, cfg);
+  EXPECT_TRUE(r.bit_exact);
+  EXPECT_EQ(r.violations, 0u);
+  MachineSpec three = MachineSpec::H800x8();
+  three.num_devices = 6;
+  three.devices_per_node = 2;
+  tl::GemmHierRsConfig tcfg = fused::SmallCfg(6);
+  tcfg.m = 6 * 12;
+  const PayloadReport rt = ValidateGemmHierRs(three, tcfg);
+  EXPECT_TRUE(rt.bit_exact);
+  EXPECT_EQ(rt.violations, 0u);
+}
+
+// Degenerate topologies: at 1 x 8 there is no rail stage and the fused
+// kernel *is* the single-node layer kernel — the makespan must equal
+// GemmRs with the same configuration exactly. At N x 1 there is no ring
+// (the rail feeds off the GEMM producer channels); 1 x 1 is GEMM only.
+TEST(GemmHierRs, DegenerateTopologies) {
+  const MachineSpec one = MachineSpec::H800x8();
+  tl::GemmHierRsConfig cfg;
+  cfg.m = 2048;
+  cfg.k = 512;
+  cfg.n = 2048;
+  cfg.gemm = {128, 256, 256};
+  cfg.rs_block_m = 128;
+  {
+    rt::World w1(one, rt::ExecMode::kTimingOnly);
+    tl::GemmHierRs fused_kernel(w1, cfg);
+    const TimeNs t1 = w1.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+      co_await fused_kernel.Run(ctx);
+    });
+    tl::GemmRsConfig g;
+    g.m = cfg.m;
+    g.k = cfg.k;
+    g.n = cfg.n;
+    g.gemm = cfg.gemm;
+    g.rs_block_m = cfg.rs_block_m;
+    g.comm_sms = cfg.comm_sms;
+    rt::World w2(one, rt::ExecMode::kTimingOnly);
+    tl::GemmRs ref(w2, g);
+    const TimeNs t2 = w2.RunSpmd(
+        [&](rt::RankCtx& ctx) -> sim::Coro { co_await ref.Run(ctx); });
+    EXPECT_EQ(t1, t2);
+  }
+  MachineSpec two_by_one = MachineSpec::H800x8();
+  two_by_one.num_devices = 2;
+  two_by_one.devices_per_node = 1;
+  const PayloadReport r2 = ValidateGemmHierRs(two_by_one, fused::SmallCfg(2));
+  EXPECT_TRUE(r2.bit_exact);
+  EXPECT_EQ(r2.violations, 0u);
+  const PayloadReport r1 =
+      ValidateGemmHierRs(MachineSpec::Test(1), fused::SmallCfg(1));
+  EXPECT_TRUE(r1.bit_exact);
+  EXPECT_EQ(r1.violations, 0u);
+}
+
+// The ROADMAP item this kernel closes: a RolePlan role bound to
+// FabricBinding::kNic, its channel count clamped by the NIC queue-pair
+// budget (blocks double as the stream window).
+TEST(GemmHierRs, RailRoleBindsNicFabricUnderBudget) {
+  MachineSpec spec = MachineSpec::H800x16();
+  spec.nic_queue_pairs = 3;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  tl::GemmHierRsConfig cfg = fused::SmallCfg(16);
+  cfg.m = 16 * 32;  // enough rail chunks that the budget is the binder
+  cfg.nic_chunk_blocks = 1;
+  cfg.staging_depth = 8;  // wants 8, budget grants 3
+  tl::GemmHierRs kernel(world, cfg);
+  EXPECT_EQ(kernel.rail_blocks(), 3);
+  // With fewer work items than the granted window, work binds instead.
+  tl::GemmHierRsConfig tiny = fused::SmallCfg(16);  // one rail chunk/peer
+  rt::World world2(spec, rt::ExecMode::kTimingOnly);
+  tl::GemmHierRs kernel2(world2, tiny);
+  EXPECT_EQ(kernel2.rail_blocks(), 1);
+  bool found_nic = false;
+  for (const tl::Role& role : kernel.spec().roles) {
+    if (role.fabric == tl::FabricBinding::kNic) {
+      found_nic = true;
+      EXPECT_EQ(role.name, "rail");
+      EXPECT_LE(role.fabric_channels, 3);
+    }
+  }
+  EXPECT_TRUE(found_nic);
+}
+
+TEST(GemmHierRs, TunedConfigNeverLosesToSeed) {
+  const MachineSpec spec = MachineSpec::H800x16();
+  const tl::MlpPartShape shape{8192, 128, 1024};
+  const tl::TuneCandidate seed = DefaultGemmHierRsCandidate(shape, 16);
+  const TimeNs seed_cost = SimulateGemmHierRs(spec, shape, seed);
+  const tl::TuneResult r = TuneGemmHierRs(
+      spec, shape, tl::TuningSpace::GemmHierRs(), seed);
+  EXPECT_LE(r.best_cost, seed_cost);
+  EXPECT_EQ(r.best_cost, SimulateGemmHierRs(spec, shape, r.best));
 }
 
 TEST(DpSync, LayerGradBytesMatchesLayerStructure) {

@@ -241,6 +241,107 @@ TEST(Runtime, ConsistencyCheckerOpenWriteGuardsInFlightAudit) {
   EXPECT_TRUE(chk.violations().empty());
 }
 
+// Two plain writes overlapping in both element range and time race; a
+// write starting exactly at another's end is the correct pipeline handoff;
+// disjoint ranges never report.
+TEST(Runtime, ConsistencyCheckerWriteWriteOverlapReported) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  chk.RecordWrite(t.buffer(), 0, 32, 100, 200, "writer_a");
+  chk.RecordWrite(t.buffer(), 32, 64, 150, 250, "other_range");  // disjoint
+  chk.RecordWrite(t.buffer(), 0, 16, 200, 300, "back_to_back");  // handoff
+  EXPECT_TRUE(chk.violations().empty());
+  chk.RecordWrite(t.buffer(), 16, 48, 150, 250, "overlapper");
+  ASSERT_EQ(chk.violations().size(), 2u);  // vs writer_a and other_range
+  EXPECT_EQ(chk.violations()[0].kind,
+            ConsistencyChecker::Violation::Kind::kWriteWrite);
+  EXPECT_EQ(chk.violations()[0].reader, "overlapper");
+  EXPECT_EQ(chk.violations()[0].writer, "writer_a");
+}
+
+// Instantaneous writes (start == end) model stores committing at one
+// point: two of them never race (no duration to overlap), but a point
+// store races a window exactly like a read does — inside or at the
+// window's start races, at its end is the correct handoff.
+TEST(Runtime, ConsistencyCheckerInstantWriteSemantics) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  chk.RecordWrite(t.buffer(), 0, 32, 100, 100, "store_a");
+  chk.RecordWrite(t.buffer(), 0, 32, 100, 100, "store_b");  // same instant
+  chk.RecordWrite(t.buffer(), 0, 32, 200, 300, "transfer");
+  chk.RecordWrite(t.buffer(), 0, 32, 300, 300, "store_at_end");  // handoff
+  EXPECT_TRUE(chk.violations().empty());
+  // A point store strictly inside the transfer's window is clobbered by
+  // the landing copy (the mis-indexed-slot bug class), order-independent.
+  chk.RecordWrite(t.buffer(), 0, 32, 250, 250, "store_inside");
+  ASSERT_EQ(chk.violations().size(), 1u);
+  EXPECT_EQ(chk.violations()[0].kind,
+            ConsistencyChecker::Violation::Kind::kWriteWrite);
+  chk.RecordWrite(t.buffer(), 0, 32, 400, 400, "store_first");
+  chk.RecordWrite(t.buffer(), 0, 32, 350, 450, "transfer_late");
+  EXPECT_EQ(chk.violations().size(), 2u);  // caught when the window lands
+}
+
+// Commutative atomic accumulations (reduction epilogues) may overlap each
+// other — concurrent per-peer reducers folding into one accumulator are
+// legal — but an atomic window overlapping a plain write still races.
+TEST(Runtime, ConsistencyCheckerAtomicAccumulationsMayOverlap) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  chk.RecordWrite(t.buffer(), 0, 32, 100, 200, "reduce.s0",
+                  /*atomic=*/true);
+  chk.RecordWrite(t.buffer(), 0, 32, 150, 250, "reduce.s1",
+                  /*atomic=*/true);
+  EXPECT_TRUE(chk.violations().empty());
+  chk.RecordWrite(t.buffer(), 0, 32, 160, 260, "chunk_copy");
+  ASSERT_EQ(chk.violations().size(), 2u);
+  EXPECT_EQ(chk.violations()[0].kind,
+            ConsistencyChecker::Violation::Kind::kWriteWrite);
+}
+
+// Regression for the motivating bug class: a mis-indexed rail staging slot
+// receives two concurrent NIC chunks. Both senders bracket their delayed
+// writes with OpenWrite (exactly like the link-role TransferChunk), so the
+// audit survives auto-retirement churn and reports the overlap when the
+// second chunk lands.
+TEST(Runtime, ConsistencyCheckerCatchesMisindexedRailStagingSlot) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  chk.set_auto_retire_period(8);
+  Tensor staging = Tensor::Alloc(world.device(0), "rail_acc", {256},
+                                 DType::kFP32);
+  Tensor noise = Tensor::Alloc(world.device(0), "noise", {8}, DType::kFP32);
+  // Sender r0's chunk is in flight over [100, 400)...
+  const uint64_t wt0 = chk.OpenWrite(100);
+  // ...while sender r1, mis-indexed into the same slot, flies [200, 500).
+  const uint64_t wt1 = chk.OpenWrite(200);
+  // Unrelated far-future traffic trips auto-retire repeatedly.
+  for (int i = 0; i < 64; ++i) {
+    const sim::TimeNs start = 10000 + i * 10;
+    chk.RecordWrite(noise.buffer(), 0, 1, start, start + 1, "noise");
+  }
+  chk.RecordWrite(staging.buffer(), 0, 128, 100, 400, "hier_rs.rail.r0->r2");
+  chk.CloseWrite(wt0);
+  chk.RecordWrite(staging.buffer(), 0, 128, 200, 500, "hier_rs.rail.r1->r2");
+  chk.CloseWrite(wt1);
+  ASSERT_EQ(chk.violations().size(), 1u);
+  EXPECT_EQ(chk.violations()[0].kind,
+            ConsistencyChecker::Violation::Kind::kWriteWrite);
+  EXPECT_EQ(chk.violations()[0].reader, "hier_rs.rail.r1->r2");
+  EXPECT_EQ(chk.violations()[0].writer, "hier_rs.rail.r0->r2");
+  // Correctly indexed per-source slots (disjoint ranges) stay silent.
+  chk.RecordWrite(staging.buffer(), 128, 256, 200, 500,
+                  "hier_rs.rail.r1->r2");
+  EXPECT_EQ(chk.violations().size(), 1u);
+}
+
 TEST(Runtime, BarrierRendezvousAllRanks) {
   World world(sim::MachineSpec::Test(4), ExecMode::kFunctional);
   std::vector<TimeNs> after(4, -1);
