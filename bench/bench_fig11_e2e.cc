@@ -14,10 +14,22 @@
 // exits nonzero if the emergent speedup dilution leaves the ballpark of the
 // paper's 1.32x -> 1.29x.
 //
+// Parallel tuning: before the sections run, the full cold tuning sweep
+// (every search both sections need, on fresh caches) is executed twice —
+// serially and with --tune-threads workers — and the bench exits nonzero
+// unless the two produce bitwise-identical cache contents and layer times
+// (the autotuner's determinism guarantee, gated end-to-end). Cold and warm
+// sweep wall-clocks land in the JSON report.
+//
 // Flags: --cache <path> warm-starts / persists the tuned-config cache;
+// --tune-threads <n> sets the parallel sweep's worker count (default 4);
 // --json <path> writes per-model latencies/speedups, the per-layer
-// component breakdown (attn / ffn / dp-sync) and the geomeans.
+// component breakdown (attn / ffn / dp-sync), the geomeans and the tuner
+// wall-clocks.
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "models/transformer.h"
@@ -38,7 +50,27 @@ struct SectionResult {
 constexpr double kMinDilution = 1.005;
 constexpr double kMaxDilution = 1.15;
 
+// Runs every tuned TileLink layer both sections time (8x and 16xH800, all
+// Figure-11 models) against `cache` with `tune_threads` autotuner workers.
+// Returns the wall-clock seconds; `check` accumulates every layer time so
+// two sweeps can be compared bitwise.
+double TuningSweep(tilelink::tl::TunedConfigCache* cache, int tune_threads,
+                   int64_t* check) {
+  using namespace tilelink;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const bool two_node : {false, true}) {
+    models::E2eEstimator est(/*tp=*/8, /*batch=*/4, /*seq=*/8192, two_node);
+    est.EnableTuning(cache, tune_threads);
+    for (const models::ModelConfig& m : models::Figure11Models()) {
+      *check += est.LayerTime(m, models::Method::kTileLink).total();
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
+                         int tune_threads,
                          tilelink::bench::BenchReport* report) {
   using namespace tilelink;
   using namespace tilelink::bench;
@@ -46,7 +78,7 @@ SectionResult RunSection(bool two_node, tilelink::tl::TunedConfigCache* cache,
   const int64_t local_batch = two_node ? batch / 2 : batch;
   models::E2eEstimator defaults(/*tp=*/8, local_batch, /*seq=*/8192, two_node);
   models::E2eEstimator tuned(/*tp=*/8, local_batch, /*seq=*/8192, two_node);
-  tuned.EnableTuning(cache);
+  tuned.EnableTuning(cache, tune_threads);
   const std::string section = two_node ? "16xH800" : "8xH800";
   std::printf("\n=== Figure 11: end-to-end, %s (batch %lld, seq 8192) ===\n",
               two_node ? "16xH800 (TP8 x DP2)" : "8xH800 (TP8)",
@@ -137,6 +169,12 @@ int main(int argc, char** argv) {
   using namespace tilelink;
   using namespace tilelink::bench;
   BenchReport report(argc, argv);
+  int tune_threads = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--tune-threads") {
+      tune_threads = std::max(1, std::atoi(argv[i + 1]));
+    }
+  }
   tl::TunedConfigCache cache;
   if (!report.cache_path().empty() && cache.LoadFile(report.cache_path())) {
     // Both sections tune on H800-constant specs, so one calibration hash
@@ -146,8 +184,39 @@ int main(int argc, char** argv) {
     std::printf("warm-started %zu tuned configs from %s (%zu stale pruned)\n",
                 cache.size(), report.cache_path().c_str(), stale);
   }
-  const SectionResult one = RunSection(false, &cache, &report);
-  const SectionResult two = RunSection(true, &cache, &report);
+
+  // Parallel-determinism gate + tuner wall-clocks: the full cold sweep
+  // (every search both sections need) twice on fresh caches — serial, then
+  // with --tune-threads workers — which must agree bitwise on every tuned
+  // config and every layer time.
+  tl::TunedConfigCache serial_cache, parallel_cache;
+  int64_t serial_check = 0, parallel_check = 0;
+  const double cold_serial_s = TuningSweep(&serial_cache, 1, &serial_check);
+  const double cold_parallel_s =
+      TuningSweep(&parallel_cache, tune_threads, &parallel_check);
+  const bool identical = serial_cache.ToJson() == parallel_cache.ToJson() &&
+                         serial_check == parallel_check;
+  std::printf(
+      "\ntuner cold sweep: %.2fs serial, %.2fs at %d threads (%.2fx); "
+      "parallel result %s\n",
+      cold_serial_s, cold_parallel_s, tune_threads,
+      cold_serial_s / cold_parallel_s,
+      identical ? "IDENTICAL to serial" : "DIVERGED from serial");
+  // Seed the section cache with the (gated-identical) sweep results and
+  // time the now-all-hits warm sweep.
+  cache.FromJson(parallel_cache.ToJson());
+  int64_t warm_check = 0;
+  const double warm_s = TuningSweep(&cache, tune_threads, &warm_check);
+  std::printf("tuner warm sweep: %.2fs (all searches cache hits)\n", warm_s);
+  report.Record("fig11.tuner.threads", tune_threads);
+  report.Record("fig11.tuner.cold_sweep_serial_s", cold_serial_s);
+  report.Record("fig11.tuner.cold_sweep_parallel_s", cold_parallel_s);
+  report.Record("fig11.tuner.cold_speedup", cold_serial_s / cold_parallel_s);
+  report.Record("fig11.tuner.warm_sweep_s", warm_s);
+  report.Record("fig11.tuner.deterministic", identical ? 1.0 : 0.0);
+
+  const SectionResult one = RunSection(false, &cache, tune_threads, &report);
+  const SectionResult two = RunSection(true, &cache, tune_threads, &report);
   std::printf(
       "\ntuner cache: %zu entries, %d search hits, %d searches run\n",
       cache.size(), cache.hits(), cache.misses());
@@ -179,6 +248,12 @@ int main(int argc, char** argv) {
   report.Record("fig11.dilution", dilution);
   report.WriteJson();
   bool ok = one.ok && two.ok;
+  if (!identical || warm_check != serial_check) {
+    std::printf("\nFAIL: parallel tuning (%d threads) diverged from the "
+                "serial search — determinism guarantee broken.\n",
+                tune_threads);
+    ok = false;
+  }
   if (dilution < kMinDilution || dilution > kMaxDilution) {
     std::printf("\nFAIL: simulated two-node dilution %.3fx left the paper's "
                 "ballpark [%.3f, %.3f].\n",

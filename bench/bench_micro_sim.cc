@@ -5,6 +5,9 @@
 // subset) so it always compiles without external dependencies.
 #include "bench/microbench.h"
 
+#include <thread>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "comm/collectives.h"
 #include "sim/flag.h"
@@ -32,6 +35,36 @@ void BM_EventLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
+
+// Aggregate event throughput of N independent simulators on N threads —
+// the execution shape of the parallel autotuner (one private World per
+// worker, zero shared mutable state). items/s is the *aggregate* events/s
+// across all threads, directly comparable to the single-thread BM_EventLoop
+// baseline; near-linear scaling here means candidate evaluation shards
+// without the simulators contending on anything.
+void BM_EventLoopThreaded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kEvents = 100000;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads - 1));
+    for (int t = 1; t < threads; ++t) {
+      pool.emplace_back([] {
+        sim::Simulator s;
+        s.Spawn(Ping(10, kEvents));
+        s.Run();
+        benchmark::DoNotOptimize(s.processed_events());
+      });
+    }
+    sim::Simulator s;
+    s.Spawn(Ping(10, kEvents));
+    s.Run();
+    for (std::thread& th : pool) th.join();
+    benchmark::DoNotOptimize(s.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kEvents);
+}
+BENCHMARK(BM_EventLoopThreaded)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_HostCallbacks(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));

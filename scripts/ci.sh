@@ -2,14 +2,20 @@
 # CI: tier-1 verify plus the tuned-bench smoke stages.
 #   1. RelWithDebInfo, -Wall -Wextra -Werror (warnings are errors)
 #   2. Debug + AddressSanitizer
-#   3. Bench smoke: the autotuned fig8/fig11 benches (each exits nonzero if
+#   3. Debug + ThreadSanitizer: the parallel-search determinism tests and
+#      the tuned-config-cache stress run with real data races reported as
+#      errors (the sharded autotuner and the concurrent cache are the only
+#      multi-threaded code paths).
+#   4. Bench smoke: the autotuned fig8/fig11 benches (each exits nonzero if
 #      any tuned config loses to its hand-picked default, fig8 also if the
 #      halving/bound machinery stops skipping candidates, and fig11 also if
 #      the simulated two-node dilution leaves the paper's ballpark), plus
-#      the simulator microbenchmarks. Machine-readable results land in
+#      the simulator microbenchmarks. fig11 also gates the parallel-tuning
+#      identity: the cold sweep at --tune-threads 8 must reproduce the
+#      serial sweep's cache bit-for-bit. Machine-readable results land in
 #      build-ci/BENCH_*.json; fig11 warm-starts its tuned-config cache from
 #      build-ci/BENCH_fig11_cache.json when a previous run left one.
-#   4. 16-GPU smoke: the two-node fabric bench with --payload --fused —
+#   5. 16-GPU smoke: the two-node fabric bench with --payload --fused —
 #      fails if the functional 2x8 collectives are not bit-exact with zero
 #      consistency violations (or an injected NIC-stage fault goes
 #      uncaught), if a hierarchical collective loses to its flat
@@ -17,14 +23,14 @@
 #      the hand-picked two-node defaults, or if the fused gemm_hier_rs
 #      kernel loses to the layer-level GEMM-then-HierRS compose (or its
 #      functional run is not bit-exact / violation-free).
-# Usage: scripts/ci.sh [--fast]   (--fast skips the ASan and bench stages)
+# Usage: scripts/ci.sh [--fast]   (--fast skips the sanitizer/bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "=== [1/4] RelWithDebInfo, -Wall -Wextra -Werror ==="
+echo "=== [1/5] RelWithDebInfo, -Wall -Wextra -Werror ==="
 cmake -B build-ci -S . -DTILELINK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j
 # --timeout: a hung coroutine pipeline fails fast instead of
@@ -32,7 +38,7 @@ cmake --build build-ci -j
 (cd build-ci && ctest --output-on-failure --timeout 120 -j"$(nproc)")
 
 if [[ "$FAST" == "0" ]]; then
-  echo "=== [2/4] Debug + ASan ==="
+  echo "=== [2/5] Debug + ASan ==="
   cmake -B build-asan -S . -DTILELINK_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-asan -j
   # ctest includes test_multinode, so the functional collectives' payload
@@ -42,13 +48,20 @@ if [[ "$FAST" == "0" ]]; then
   (cd build-asan && ASAN_OPTIONS=detect_leaks=1 \
       ctest --output-on-failure --timeout 300 -j"$(nproc)")
 
-  echo "=== [3/4] Bench smoke (tuned configs must beat hand-picked) ==="
+  echo "=== [3/5] Debug + TSan (parallel search + concurrent cache) ==="
+  cmake -B build-tsan -S . -DTILELINK_TSAN=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-tsan -j --target test_tuning
+  # halt_on_error: a data race fails the stage instead of scrolling past.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/test_tuning
+
+  echo "=== [4/5] Bench smoke (tuned configs must beat hand-picked) ==="
   ./build-ci/bench_micro_sim --json build-ci/BENCH_micro_sim.json
   ./build-ci/bench_fig8_mlp --json build-ci/BENCH_fig8.json
-  ./build-ci/bench_fig11_e2e --json build-ci/BENCH_fig11.json \
+  ./build-ci/bench_fig11_e2e --tune-threads 8 \
+      --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
 
-  echo "=== [4/4] 16-GPU smoke (payload + fused kernel + hier vs flat) ==="
+  echo "=== [5/5] 16-GPU smoke (payload + fused kernel + hier vs flat) ==="
   ./build-ci/bench_multinode_fabric --payload --fused \
       --json build-ci/BENCH_multinode.json
 fi

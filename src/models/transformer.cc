@@ -95,8 +95,30 @@ tl::TuneCandidate HandPickedMoePart2(int64_t m, int tp, int64_t inner) {
 E2eEstimator::E2eEstimator(int tp, int64_t batch, int64_t seq, bool two_node)
     : tp_(tp), batch_(batch), seq_(seq), two_node_(two_node) {}
 
-void E2eEstimator::EnableTuning(tl::TunedConfigCache* cache) {
+void E2eEstimator::EnableTuning(tl::TunedConfigCache* cache,
+                                int tune_threads) {
   tuned_cache_ = cache;
+  tune_threads_ = std::max(1, tune_threads);
+}
+
+tl::Autotuner E2eEstimator::Tuner() const {
+  tl::Autotuner::Options opts;
+  opts.threads = tune_threads_;
+  return tl::Autotuner(opts);
+}
+
+bool E2eEstimator::Lookup(const std::string& key, sim::TimeNs* t) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  *t = it->second;
+  return true;
+}
+
+sim::TimeNs E2eEstimator::Store(const std::string& key, sim::TimeNs t) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_[key] = t;
+  return t;
 }
 
 sim::MachineSpec E2eEstimator::Spec() const {
@@ -122,10 +144,9 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
   const std::string key = StrFormat(
       "ag/%d/%d/%lld/%lld/%lld", static_cast<int>(method), tuned ? 1 : 0,
       (long long)m, (long long)k, (long long)n);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  const sim::MachineSpec spec = Spec();
   sim::TimeNs t = 0;
+  if (Lookup(key, &t)) return t;
+  const sim::MachineSpec spec = Spec();
   if (method == Method::kTorch) {
     rt::World world = MakeWorld(spec);
     baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
@@ -137,8 +158,9 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
     if (tuned) {
       const tl::TunedEntry& e = tuned_cache_->GetOrTune(
           tl::TunedConfigCache::Key("ag_gemm", {m, k, n}, spec), [&] {
-            const tl::TuneResult r = tl::TuneAgGemm(
-                spec, shape, tl::TuningSpace::Mlp(), HandPickedAg(k));
+            const tl::TuneResult r =
+                tl::TuneAgGemm(spec, shape, tl::TuningSpace::Mlp(),
+                               HandPickedAg(k), Tuner());
             return tl::TunedEntry{r.best, r.best_cost};
           });
       // Re-simulate the cached config rather than trusting its stored cost:
@@ -151,8 +173,7 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
       t = tl::SimulateAgGemm(spec, shape, HandPickedAg(k));
     }
   }
-  cache_[key] = t;
-  return t;
+  return Store(key, t);
 }
 
 sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
@@ -161,10 +182,9 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
   const std::string key = StrFormat(
       "rs/%d/%d/%lld/%lld/%lld", static_cast<int>(method), tuned ? 1 : 0,
       (long long)m, (long long)k, (long long)n);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  const sim::MachineSpec spec = Spec();
   sim::TimeNs t = 0;
+  if (Lookup(key, &t)) return t;
+  const sim::MachineSpec spec = Spec();
   if (method == Method::kTorch) {
     rt::World world = MakeWorld(spec);
     baselines::MlpPartConfig cfg{m, k, n, CoarseTiling(k)};
@@ -186,7 +206,7 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
       const tl::TunedEntry& e = tuned_cache_->GetOrTune(
           tl::TunedConfigCache::Key("gemm_hier_rs", {m, k, n}, spec), [&] {
             const tl::TuneResult r = multinode::TuneGemmHierRs(
-                spec, shape, tl::TuningSpace::GemmHierRs(), seed);
+                spec, shape, tl::TuningSpace::GemmHierRs(), seed, Tuner());
             return tl::TunedEntry{r.best, r.best_cost};
           });
       t = multinode::SimulateGemmHierRs(spec, shape, e.config);
@@ -197,7 +217,7 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
           tl::TunedConfigCache::Key("gemm_rs", {m, k, n}, spec), [&] {
             const tl::TuneResult r =
                 tl::TuneGemmRs(spec, shape, tl::TuningSpace::Mlp(),
-                               HandPickedRs(m, tp_, k));
+                               HandPickedRs(m, tp_, k), Tuner());
             return tl::TunedEntry{r.best, r.best_cost};
           });
       t = tl::SimulateGemmRs(spec, shape, e.config);
@@ -205,8 +225,7 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
       t = tl::SimulateGemmRs(spec, shape, HandPickedRs(m, tp_, k));
     }
   }
-  cache_[key] = t;
-  return t;
+  return Store(key, t);
 }
 
 sim::TimeNs E2eEstimator::TimeFlashCore(int64_t bh, int64_t sq, int64_t skv,
@@ -219,24 +238,23 @@ sim::TimeNs E2eEstimator::TimeFlashCore(int64_t bh, int64_t sq, int64_t skv,
   const std::string key =
       StrFormat("flash/%d/%lld/%lld/%lld/%lld", tuned ? 1 : 0, (long long)bh,
                 (long long)sq, (long long)skv, (long long)d);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  sim::TimeNs t = 0;
+  if (Lookup(key, &t)) return t;
   const sim::MachineSpec spec = Spec();
   const tl::FlashShape shape{bh, sq, skv, d};
-  sim::TimeNs t = 0;
   if (tuned) {
     const tl::TunedEntry& e = tuned_cache_->GetOrTune(
         tl::TunedConfigCache::Key("flash_core", {bh, sq, skv, d}, spec), [&] {
-          const tl::TuneResult r = tl::TuneFlashCore(
-              spec, shape, tl::TuningSpace::Attention(), HandPickedFlash());
+          const tl::TuneResult r =
+              tl::TuneFlashCore(spec, shape, tl::TuningSpace::Attention(),
+                                HandPickedFlash(), Tuner());
           return tl::TunedEntry{r.best, r.best_cost};
         });
     t = tl::SimulateFlashCore(spec, shape, e.config);
   } else {
     t = tl::SimulateFlashCore(spec, shape, HandPickedFlash());
   }
-  cache_[key] = t;
-  return t;
+  return Store(key, t);
 }
 
 sim::TimeNs E2eEstimator::TimeActivation(int64_t m, int64_t n) {
@@ -253,15 +271,14 @@ sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
   const bool tuned = tuning_enabled() && method == Method::kTileLink;
   const std::string key = StrFormat("moe/%d/%d/%s", static_cast<int>(method),
                                     tuned ? 1 : 0, model.name.c_str());
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  sim::TimeNs t = 0;
+  if (Lookup(key, &t)) return t;
   const sim::MachineSpec spec = Spec();
   const int64_t m = batch_ * seq_;
   const int64_t inner = std::max<int64_t>(1, model.intermediate / tp_);
   Rng rng(kMoeRoutingSeed);
   compute::MoeRouting routing =
       compute::RandomRouting(m, model.num_experts, model.topk, rng);
-  sim::TimeNs t = 0;
   if (method == Method::kTorch) {
     // Framework baseline: eager PyTorch MoE — a per-expert GEMM loop with
     // host-blocking index bookkeeping and unfused gather/scatter (this is
@@ -290,32 +307,33 @@ sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
                          static_cast<int64_t>(model.num_experts),
                          static_cast<int64_t>(model.topk),
                          static_cast<int64_t>(kMoeRoutingSeed)};
-      part1 = tuned_cache_
-                  ->GetOrTune(tl::TunedConfigCache::Key("ag_moe", dims, spec),
-                              [&] {
-                                const tl::TuneResult r = tl::TuneAgMoe(
-                                    spec, shape, routing,
-                                    tl::TuningSpace::MoePart1(), part1);
-                                return tl::TunedEntry{r.best, r.best_cost};
-                              })
-                  .config;
-      part2 = tuned_cache_
-                  ->GetOrTune(tl::TunedConfigCache::Key("moe_rs", dims, spec),
-                              [&] {
-                                const tl::TuneResult r = tl::TuneMoeRs(
-                                    spec, shape, routing,
-                                    tl::TuningSpace::MoePart2(), part2);
-                                return tl::TunedEntry{r.best, r.best_cost};
-                              })
-                  .config;
+      part1 =
+          tuned_cache_
+              ->GetOrTune(tl::TunedConfigCache::Key("ag_moe", dims, spec),
+                          [&] {
+                            const tl::TuneResult r = tl::TuneAgMoe(
+                                spec, shape, routing,
+                                tl::TuningSpace::MoePart1(), part1, Tuner());
+                            return tl::TunedEntry{r.best, r.best_cost};
+                          })
+              .config;
+      part2 =
+          tuned_cache_
+              ->GetOrTune(tl::TunedConfigCache::Key("moe_rs", dims, spec),
+                          [&] {
+                            const tl::TuneResult r = tl::TuneMoeRs(
+                                spec, shape, routing,
+                                tl::TuningSpace::MoePart2(), part2, Tuner());
+                            return tl::TunedEntry{r.best, r.best_cost};
+                          })
+              .config;
     }
     // Both parts chained per rank inside one world, exactly as the fused
     // MoE layer executes (no global barrier between the parts).
     t = tl::SimulateMoeLayer(spec, shape, routing, part1, part2);
   }
   t += TimeActivation(m * model.topk, inner);
-  cache_[key] = t;
-  return t;
+  return Store(key, t);
 }
 
 sim::TimeNs E2eEstimator::TimeDpSync(const ModelConfig& model) {
@@ -327,10 +345,9 @@ sim::TimeNs E2eEstimator::TimeDpSync(const ModelConfig& model) {
   const bool tuned = tuning_enabled();
   const std::string key =
       StrFormat("dp/%d/%llu", tuned ? 1 : 0, (unsigned long long)grad_bytes);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  const sim::MachineSpec spec = TwoNodeSpec();
   sim::TimeNs t = 0;
+  if (Lookup(key, &t)) return t;
+  const sim::MachineSpec spec = TwoNodeSpec();
   if (tuned) {
     const tl::TunedEntry& e = tuned_cache_->GetOrTune(
         tl::TunedConfigCache::Key(
@@ -338,7 +355,7 @@ sim::TimeNs E2eEstimator::TimeDpSync(const ModelConfig& model) {
         [&] {
           const tl::TuneResult r = multinode::TuneDpSync(
               spec, grad_bytes, tl::TuningSpace::MultiNode(),
-              multinode::DefaultDpSyncCandidate());
+              multinode::DefaultDpSyncCandidate(), Tuner());
           return tl::TunedEntry{r.best, r.best_cost};
         });
     t = multinode::SimulateDpSync(spec, grad_bytes, e.config);
@@ -346,8 +363,7 @@ sim::TimeNs E2eEstimator::TimeDpSync(const ModelConfig& model) {
     t = multinode::SimulateDpSync(spec, grad_bytes,
                                   multinode::DefaultDpSyncCandidate());
   }
-  cache_[key] = t;
-  return t;
+  return Store(key, t);
 }
 
 LayerBreakdown E2eEstimator::LayerTime(const ModelConfig& model,

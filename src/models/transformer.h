@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "models/model_zoo.h"
@@ -66,8 +67,13 @@ class E2eEstimator {
   // Obtain every TileLink kernel config from Autotuner::Search through the
   // per-shape `cache` (not owned; must outlive the estimator) instead of
   // the hand-picked defaults. The hand-picked config seeds each search, so
-  // a tuned component is never slower than its default.
-  void EnableTuning(tl::TunedConfigCache* cache);
+  // a tuned component is never slower than its default. `tune_threads` is
+  // forwarded to every Autotuner (parallel candidate evaluation; any value
+  // yields bitwise-identical tuned configs). The estimator itself is
+  // thread-safe once tuning is enabled — the memo map is mutex'd and the
+  // cache is internally synchronized — so independent layers/models can be
+  // timed from concurrent threads against one shared cache.
+  void EnableTuning(tl::TunedConfigCache* cache, int tune_threads = 1);
   bool tuning_enabled() const { return tuned_cache_ != nullptr; }
 
   LayerBreakdown LayerTime(const ModelConfig& model, Method method);
@@ -83,11 +89,20 @@ class E2eEstimator {
 
   sim::MachineSpec Spec() const;
   sim::MachineSpec TwoNodeSpec() const;
+  tl::Autotuner Tuner() const;
+
+  // Memoization helpers: Lookup returns true (and the memoized time) on a
+  // hit; Store records the freshly simulated time. Racing Store calls for
+  // one key write the same deterministic value, so last-wins is safe.
+  bool Lookup(const std::string& key, sim::TimeNs* t);
+  sim::TimeNs Store(const std::string& key, sim::TimeNs t);
 
   int tp_;
   int64_t batch_, seq_;
   bool two_node_;
+  int tune_threads_ = 1;
   tl::TunedConfigCache* tuned_cache_ = nullptr;
+  std::mutex cache_mu_;  // guards cache_
   std::map<std::string, sim::TimeNs> cache_;
 };
 

@@ -1,18 +1,65 @@
 #include "tilelink/builder/autotuner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
 
 #include "common/check.h"
 
 namespace tilelink::tl {
 namespace {
 
+// Serialized line sink: every verbose line is formatted into one string and
+// written with a single locked fwrite, so lines can never interleave even
+// if another thread is printing. Workers themselves never print — all
+// verbose output is produced by the serial replay pass, which also keeps
+// the line *order* identical to the single-threaded search.
+void EmitLine(const std::string& line) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(line.data(), 1, line.size(), stdout);
+}
+
 void PrintCandidate(const char* tag, const TuneCandidate& c, sim::TimeNs cost,
                     const char* suffix) {
-  std::printf("[%s] %-60s %8.3f ms%s\n", tag, c.Describe().c_str(),
-              static_cast<double>(cost) / 1e6, suffix);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "[%s] %-60s %8.3f ms%s\n", tag,
+                c.Describe().c_str(), static_cast<double>(cost) / 1e6, suffix);
+  EmitLine(buf);
 }
+
+// Runs `body` on `threads` threads (the calling thread counts as one) and
+// joins; the first exception any worker throws is rethrown on the caller.
+void RunWorkers(int threads, const std::function<void()>& body) {
+  if (threads <= 1) {
+    body();
+    return;
+  }
+  std::mutex mu;
+  std::exception_ptr err;
+  auto guarded = [&body, &mu, &err] {
+    try {
+      body();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!err) err = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(guarded);
+  guarded();
+  for (std::thread& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
+}
+
+// Sentinels in the shared completed-cost table. Real costs are >= 0 and
+// kInfeasible is int64 max, so negatives are free.
+constexpr sim::TimeNs kPending = -1;  // not finished yet
+constexpr sim::TimeNs kSkipped = -2;  // speculatively pruned by a worker
 
 }  // namespace
 
@@ -29,6 +76,8 @@ TuneResult Autotuner::Search(const TuningSpace& space,
     candidates.push_back(base);
   }
 
+  const int threads = std::max(1, options_.threads);
+
   TuneResult result;
   result.best_cost = kInfeasible;
 
@@ -36,11 +85,27 @@ TuneResult Autotuner::Search(const TuningSpace& space,
   std::vector<TuneCandidate> finalists;
   if (coarse && static_cast<int>(candidates.size()) >=
                     options_.min_coarse_space) {
+    // The coarse round is a pure map (no pruning), so sharding it is
+    // trivially deterministic: workers write cost[i] by candidate index and
+    // the classification below runs serially in index order.
+    std::vector<sim::TimeNs> coarse_cost(candidates.size(), kPending);
+    {
+      std::atomic<std::size_t> next{0};
+      RunWorkers(std::min<int>(threads, static_cast<int>(candidates.size())),
+                 [&] {
+                   for (;;) {
+                     const std::size_t i =
+                         next.fetch_add(1, std::memory_order_relaxed);
+                     if (i >= candidates.size()) return;
+                     coarse_cost[i] = coarse(candidates[i]);
+                   }
+                 });
+    }
     std::vector<std::pair<sim::TimeNs, std::size_t>> scored;
     std::vector<std::size_t> unscored;
     scored.reserve(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const sim::TimeNs cost = coarse(candidates[i]);
+      const sim::TimeNs cost = coarse_cost[i];
       ++result.coarse_evals;
       if (cost == kInfeasible) {
         // A coarse evaluator may judge feasibility on a shrunken problem
@@ -98,24 +163,83 @@ TuneResult Autotuner::Search(const TuningSpace& space,
   }
 
   // --- Full-fidelity evaluation with lower-bound pruning. -----------------
-  for (const TuneCandidate& c : finalists) {
-    if (lower_bound && result.best_cost != kInfeasible) {
-      const sim::TimeNs bound = lower_bound(c);
-      if (bound >= result.best_cost) {
-        result.pruned++;
-        if (options_.verbose) {
-          std::printf("[tune] %-60s pruned (bound %.3f ms >= best %.3f ms)\n",
-                      c.Describe().c_str(), static_cast<double>(bound) / 1e6,
-                      static_cast<double>(result.best_cost) / 1e6);
-        }
-        continue;
-      }
+  const std::size_t n = finalists.size();
+  std::vector<sim::TimeNs> bounds;
+  if (lower_bound) {
+    bounds.reserve(n);
+    for (const TuneCandidate& c : finalists) bounds.push_back(lower_bound(c));
+  }
+
+  // Parallel speculative pass: workers pull candidate indices off a shared
+  // counter and record full-fidelity costs in `done`. The prune test for
+  // candidate i only consults *completed earlier-indexed* candidates, whose
+  // costs are upper bounds on the serial best-so-far before i (each such j
+  // has bound(j) <= cost(j), so serial would have reached a best no worse
+  // than cost(j) by index i). Hence a worker skip implies the serial skip,
+  // and everything serial evaluates is evaluated here — just possibly more,
+  // which the replay below discards.
+  std::vector<std::atomic<sim::TimeNs>> done;
+  if (threads > 1 && n > 1) {
+    done = std::vector<std::atomic<sim::TimeNs>>(n);
+    for (std::atomic<sim::TimeNs>& d : done) {
+      d.store(kPending, std::memory_order_relaxed);
     }
-    const sim::TimeNs cost = eval(c);
+    std::atomic<std::size_t> next{0};
+    RunWorkers(std::min<int>(threads, static_cast<int>(n)), [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        if (!bounds.empty()) {
+          sim::TimeNs best_done = kInfeasible;
+          for (std::size_t j = 0; j < i; ++j) {
+            const sim::TimeNs v = done[j].load(std::memory_order_acquire);
+            if (v >= 0 && v < best_done) best_done = v;
+          }
+          if (best_done != kInfeasible && bounds[i] >= best_done) {
+            done[i].store(kSkipped, std::memory_order_release);
+            continue;
+          }
+        }
+        done[i].store(eval(finalists[i]), std::memory_order_release);
+      }
+    });
+  }
+
+  // Serial replay in candidate-index order: identical control flow to the
+  // single-threaded search, with eval() replaced by a table lookup. This is
+  // where TuneResult and all verbose lines are produced, so both are
+  // bitwise independent of the thread count.
+  for (std::size_t i = 0; i < n; ++i) {
+    const TuneCandidate& c = finalists[i];
+    if (!bounds.empty() && result.best_cost != kInfeasible &&
+        bounds[i] >= result.best_cost) {
+      result.pruned++;
+      if (options_.verbose) {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "[tune] %-60s pruned (bound %.3f ms >= best %.3f ms)\n",
+                      c.Describe().c_str(),
+                      static_cast<double>(bounds[i]) / 1e6,
+                      static_cast<double>(result.best_cost) / 1e6);
+        EmitLine(buf);
+      }
+      continue;
+    }
+    sim::TimeNs cost =
+        done.empty() ? eval(c) : done[i].load(std::memory_order_acquire);
+    if (cost < 0) {
+      // The worker speculatively skipped a candidate the serial order
+      // evaluates — only possible with an unsound bound (bound > cost
+      // somewhere). Recover determinism by evaluating it here.
+      cost = eval(c);
+    }
     if (cost == kInfeasible) {
       result.infeasible++;
       if (options_.verbose) {
-        std::printf("[tune] %-60s infeasible\n", c.Describe().c_str());
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "[tune] %-60s infeasible\n",
+                      c.Describe().c_str());
+        EmitLine(buf);
       }
       continue;
     }

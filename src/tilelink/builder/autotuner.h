@@ -21,6 +21,23 @@
 //
 // Candidates the evaluator rejects as infeasible (by returning kInfeasible)
 // are skipped.
+//
+// Parallel determinism (Options::threads > 1): both the coarse round and
+// the full-fidelity round shard candidates across a pool of worker threads
+// pulling indices from a shared atomic counter, one evaluator call per
+// candidate on the worker's own Simulator/World (evaluators build fresh
+// worlds per call, so there is no shared mutable state). Pruning stays
+// effective across workers through a shared completed-cost table: a worker
+// about to evaluate candidate i skips it only if some *earlier-indexed*
+// candidate j < i has already finished with cost <= bound(i). Because a
+// sound bound satisfies bound(j) <= cost(j), any such j would also have
+// forced the serial search to prune i, so the speculative skip can never
+// drop a candidate the serial order would have simulated. A final serial
+// replay in candidate-index order then rebuilds TuneResult exactly as the
+// single-threaded search would have: identical argmin (ties broken by
+// enumeration index, never completion order), identical `evaluated` list,
+// identical pruned/infeasible/halved counts, and identical verbose output
+// — bitwise the same for every thread count.
 #pragma once
 
 #include <functional>
@@ -56,6 +73,10 @@ class Autotuner {
 
   struct Options {
     bool verbose = false;  // print one line per candidate to stdout
+    // Worker threads for candidate evaluation (<= 1 runs fully serial).
+    // Any value yields a bitwise-identical TuneResult; see the determinism
+    // note in the file comment.
+    int threads = 1;
     // Successive halving (active when Search is given a coarse evaluator
     // and the space has at least min_coarse_space candidates): keep the
     // best keep_fraction of coarse scores, at least min_survivors.

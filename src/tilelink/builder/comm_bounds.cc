@@ -1,0 +1,197 @@
+#include "tilelink/builder/comm_bounds.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+#include "sim/cost_model.h"
+
+namespace tilelink::tl {
+namespace {
+
+// Grain count of `rows` at `grain` rows per tile (feasibility guarantees
+// divisibility for the kernels below, but stay safe on ragged inputs).
+int64_t Tiles(int64_t rows, int64_t grain) {
+  return grain > 0 ? CeilDiv<int64_t>(rows, grain) : 0;
+}
+
+// Fragmented grouped-GEMM compute floor shared by the MoE kernels: the
+// group launches one full-billed (bm, bn) tile per (expert row fragment,
+// n-tile) pair, `waves` of them per compute block.
+sim::TimeNs FragmentedGroupGemmFloor(const sim::MachineSpec& spec,
+                                     const compute::MoeRouting& routing,
+                                     int64_t n, int64_t k, int compute_sms,
+                                     const TuneCandidate& c) {
+  std::vector<int64_t> extents;
+  extents.reserve(static_cast<size_t>(routing.num_experts));
+  for (int e = 0; e < routing.num_experts; ++e) {
+    extents.push_back(routing.expert_count(e));
+  }
+  const int64_t row_tiles =
+      FragmentedGrains(IntervalsFromExtents(extents), c.gemm.bm);
+  const int64_t tiles = row_tiles * Tiles(n, c.gemm.bn);
+  const int64_t waves = CeilDiv<int64_t>(tiles, std::max(compute_sms, 1));
+  const int64_t k_steps = Tiles(k, c.gemm.bk);
+  const sim::CostModel cost(spec);
+  return cost.BlockPrologue() +
+         waves * k_steps * cost.GemmTileStep(c.gemm.bm, c.gemm.bn, c.gemm.bk) +
+         cost.BlockEpilogue();
+}
+
+}  // namespace
+
+PortBytes AllGatherPortBytes(const TileIntervals& shards,
+                             int64_t bytes_per_element) {
+  const int64_t ranks = static_cast<int64_t>(shards.size());
+  if (ranks <= 1) return {};
+  const int64_t total = TotalElements(shards);
+  PortBytes pb;
+  // The rank owning the least must receive the most; the rank owning the
+  // most must send each of its elements to every peer (the flow network
+  // has no multicast).
+  pb.ingress = static_cast<uint64_t>(total - MinTileElements(shards)) *
+               static_cast<uint64_t>(bytes_per_element);
+  pb.egress = static_cast<uint64_t>(MaxTileElements(shards)) *
+              static_cast<uint64_t>(ranks - 1) *
+              static_cast<uint64_t>(bytes_per_element);
+  return pb;
+}
+
+PortBytes ReduceScatterPortBytes(const TileIntervals& shards,
+                                 int64_t bytes_per_element) {
+  const int64_t ranks = static_cast<int64_t>(shards.size());
+  if (ranks <= 1) return {};
+  const int64_t total = TotalElements(shards);
+  PortBytes pb;
+  // Information floor, valid for any reduction schedule (including
+  // en-route accumulation): one accumulated copy of a rank's shard must
+  // reach it, and its partial contributions to every remote shard must
+  // leave it.
+  pb.ingress = static_cast<uint64_t>(MaxTileElements(shards)) *
+               static_cast<uint64_t>(bytes_per_element);
+  pb.egress = static_cast<uint64_t>(total - MinTileElements(shards)) *
+              static_cast<uint64_t>(bytes_per_element);
+  return pb;
+}
+
+sim::TimeNs AgGemmCommFloor(const sim::MachineSpec& spec,
+                            const MlpPartShape& shape,
+                            const TuneCandidate& c) {
+  const int R = spec.num_devices;
+  if (R <= 1 || c.comm_tile_m <= 0) return 0;
+  const sim::CostModel cost(spec);
+  const TileIntervals shards = LinearTileMapping(shape.m, R, c.comm_tile_m);
+  const PortBytes pb = AllGatherPortBytes(shards, shape.k * 2);  // bf16
+  sim::TimeNs floor = cost.NvlinkTransfer(std::max(pb.ingress, pb.egress));
+  // Dependency-chain latency floor: each comm block issues its transfers
+  // one at a time, paying the per-message wire latency before any bytes
+  // flow, so the busiest block's transfer count is a serial chain. Pull
+  // blocks split all tiles; push blocks split this rank's tiles. DMA mode
+  // hands transfers to copy engines, which this floor does not model.
+  if (c.comm != CommResource::kDma && c.comm_sms > 0) {
+    const int64_t remote_tiles =
+        Tiles(shape.m - MinTileElements(shards), c.comm_tile_m);
+    const int64_t own_tiles = Tiles(MaxTileElements(shards), c.comm_tile_m);
+    const int64_t work = c.comm == CommResource::kSmPull
+                             ? Tiles(shape.m, c.comm_tile_m)
+                             : own_tiles;
+    const int64_t grid = std::min<int64_t>(c.comm_sms, work);
+    const int64_t chain_ops = c.comm == CommResource::kSmPull
+                                  ? CeilDiv<int64_t>(remote_tiles, grid)
+                                  : CeilDiv<int64_t>(own_tiles, grid);
+    floor = std::max<sim::TimeNs>(floor, chain_ops * spec.nvlink_latency);
+  }
+  return floor;
+}
+
+sim::TimeNs GemmRsCommFloor(const sim::MachineSpec& spec,
+                            const MlpPartShape& shape,
+                            const TuneCandidate& c) {
+  const int R = spec.num_devices;
+  if (R <= 1 || c.comm_tile_m <= 0) return 0;
+  const sim::CostModel cost(spec);
+  const TileIntervals shards = LinearTileMapping(shape.m, R, c.comm_tile_m);
+  const PortBytes pb = ReduceScatterPortBytes(shards, shape.n * 2);  // bf16
+  sim::TimeNs floor = cost.NvlinkTransfer(std::max(pb.ingress, pb.egress));
+  // Ring accumulation chain: a chunk's reduced value traverses R-1 hops in
+  // order (hop s+1 waits for hop s's payload to land, SM push or DMA push
+  // alike), each hop a full chunk transfer.
+  const uint64_t chunk_bytes =
+      static_cast<uint64_t>(c.comm_tile_m) * shape.n * 2;
+  floor = std::max<sim::TimeNs>(
+      floor, static_cast<sim::TimeNs>(R - 1) * cost.NvlinkTransfer(chunk_bytes));
+  return floor;
+}
+
+sim::TimeNs GemmHierRsCommFloor(const sim::MachineSpec& spec,
+                                const MlpPartShape& shape,
+                                const TuneCandidate& c) {
+  const int nodes = spec.num_nodes();
+  if (nodes <= 1 || c.comm_tile_m <= 0) return 0;
+  const int64_t m_per_rank = shape.m / spec.num_devices;
+  const double block_bytes = static_cast<double>(m_per_rank) * shape.n * 2;
+  // Rail port floor: every rank sends one node-reduced block per peer node
+  // through its NIC.
+  const sim::TimeNs rail =
+      spec.nic_latency + static_cast<sim::TimeNs>(
+                             (nodes - 1) * block_bytes / spec.nic_gbps);
+  // Staging-window chain: per rail peer at most staging_depth messages are
+  // in flight, so message i+depth starts only after message i completes —
+  // the message count divided by the window is a serial latency chain.
+  const int64_t num_tiles = Tiles(m_per_rank, c.comm_tile_m);
+  const int64_t msgs =
+      CeilDiv<int64_t>(num_tiles, std::max(1, c.nic_chunk_tiles));
+  const int64_t window = std::max(1, c.staging_depth);
+  const sim::TimeNs chain = CeilDiv<int64_t>(msgs, window) * spec.nic_latency;
+  return std::max(rail, chain);
+}
+
+sim::TimeNs AgMoeRoutedLowerBound(const sim::MachineSpec& spec,
+                                  const MoeShape& shape,
+                                  const compute::MoeRouting& routing,
+                                  const TuneCandidate& c) {
+  const sim::TimeNs base = AgMoeLowerBound(spec, shape, c);
+  if (base == 0) return 0;  // infeasible: never prune, the evaluator rejects
+  // Same comm-SM claim as AgMoeLowerBound, so the two compute floors see
+  // the same grid.
+  const int64_t comm_work = c.comm == CommResource::kSmPush
+                                ? shape.m / spec.num_devices / c.comm_tile_m
+                                : shape.m / c.comm_tile_m;
+  const int comm_sms =
+      c.comm == CommResource::kDma
+          ? 0
+          : static_cast<int>(std::min<int64_t>(c.comm_sms, comm_work));
+  const int compute_sms = std::max(1, spec.sms_per_device - comm_sms);
+  const sim::TimeNs frag =
+      FragmentedGroupGemmFloor(spec, routing, shape.inner, shape.hidden,
+                               compute_sms, c) +
+      spec.kernel_launch_latency;
+  return std::max(base, frag);
+}
+
+sim::TimeNs MoeRsRoutedLowerBound(const sim::MachineSpec& spec,
+                                  const MoeShape& shape,
+                                  const compute::MoeRouting& routing,
+                                  const TuneCandidate& c) {
+  const sim::TimeNs base = MoeRsLowerBound(spec, shape, c);
+  if (base == 0) return 0;
+  const int64_t rs_chunks = shape.m / spec.num_devices / c.comm_tile_m;
+  const int64_t reduce_chunks = shape.m / c.reduce_block_tokens;
+  const int claimed =
+      static_cast<int>(std::min<int64_t>(c.comm_sms, rs_chunks)) +
+      static_cast<int>(std::min<int64_t>(c.reduce_sms, reduce_chunks));
+  const int compute_sms = std::max(1, spec.sms_per_device - claimed);
+  const sim::TimeNs frag =
+      FragmentedGroupGemmFloor(spec, routing, shape.hidden, shape.inner,
+                               compute_sms, c) +
+      spec.kernel_launch_latency;
+  const sim::CostModel cost(spec);
+  // Ring accumulation chain over the scattered tokens, as in GEMM+RS.
+  const uint64_t chunk_bytes =
+      static_cast<uint64_t>(c.comm_tile_m) * shape.hidden * 2;
+  const sim::TimeNs chain =
+      static_cast<sim::TimeNs>(spec.num_devices - 1) *
+      cost.NvlinkTransfer(chunk_bytes);
+  return std::max(base, std::max(frag, chain));
+}
+
+}  // namespace tilelink::tl

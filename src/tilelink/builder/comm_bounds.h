@@ -1,0 +1,89 @@
+// Communication-optimal per-candidate pruning floors.
+//
+// The overlap-aware bounds in kernel_tuning/multinode_tuning floor a
+// candidate by max(compute + launch, total wire volume). These helpers add
+// the bounds a tiled schedule cannot dodge no matter how it overlaps,
+// in the spirit of the projective-loop tiling lower bounds of
+// "Communication-Optimal Tilings for Projective Nested Loops with
+// Arbitrary Bounds" (PAPERS.md): fix the candidate's tile shape and
+// mapping, count the bytes that must cross each fabric bottleneck, and
+// divide by that bottleneck's bandwidth. Concretely:
+//
+//  - Port floors. The flow-level network gives every rank one ingress and
+//    one egress NVLink port of fixed bandwidth, so the busiest rank's byte
+//    volume through either direction is a makespan floor. Volumes come
+//    from an interval tile mapping (mapping/interval_mapping.h), so ragged
+//    shards sharpen the floor instead of being averaged away.
+//
+//  - Dependency-chain floors. Pull-mode comm blocks issue their transfers
+//    one at a time (each pays the per-message wire latency); a ring
+//    reduce-scatter chunk must traverse group_size-1 accumulation hops in
+//    order; a NIC rail peer admits at most staging_depth messages in
+//    flight. Each chain's length times its per-link latency is a floor
+//    that depends on the candidate's tile and chunk knobs — this is what
+//    prunes pathologically fine or coarse tilings without simulating them.
+//
+//  - Fragmentation floors (MoE). The grouped GEMM launches one row tile
+//    per ceil(expert_tokens / bm), each billed a full tile-step, so a
+//    skewed routing's fragmented tile count — FragmentedGrains over the
+//    routing's per-expert extents — floors compute more tightly than the
+//    dense slot-space count.
+//
+// Every floor here is composed via max with the existing overlap-aware
+// bound at its call site, and the tuning tests gate soundness (floor <=
+// simulated cost) by brute force on small spaces.
+//
+// Preconditions: callers invoke these only for candidates that already
+// passed the kernel's feasibility checks (the existing bounds return 0 for
+// infeasible candidates before composing).
+#pragma once
+
+#include <cstdint>
+
+#include "compute/moe_routing.h"
+#include "sim/machine_spec.h"
+#include "tilelink/builder/kernel_tuning.h"
+#include "tilelink/mapping/interval_mapping.h"
+
+namespace tilelink::tl {
+
+// Byte volume through the busiest rank's NVLink ports for an AllGather of
+// the mapped shards (each rank must receive every element it does not own
+// and send each owned element to ranks-1 peers) and for a reduce-scatter
+// of per-rank partials over the same mapping (each rank's contributions to
+// remote shards must leave it; one accumulated copy of its own shard must
+// reach it).
+struct PortBytes {
+  uint64_t ingress = 0;  // max over ranks
+  uint64_t egress = 0;   // max over ranks
+};
+PortBytes AllGatherPortBytes(const TileIntervals& shards,
+                             int64_t bytes_per_element);
+PortBytes ReduceScatterPortBytes(const TileIntervals& shards,
+                                 int64_t bytes_per_element);
+
+// ---- Per-kernel floors (compose with the existing bound via max) --------
+sim::TimeNs AgGemmCommFloor(const sim::MachineSpec& spec,
+                            const MlpPartShape& shape, const TuneCandidate& c);
+sim::TimeNs GemmRsCommFloor(const sim::MachineSpec& spec,
+                            const MlpPartShape& shape, const TuneCandidate& c);
+// NIC-side floor of the fused GEMM + hierarchical reduce-scatter: rail
+// bytes through one rank's NIC plus the staging-window chain of its NIC
+// messages.
+sim::TimeNs GemmHierRsCommFloor(const sim::MachineSpec& spec,
+                                const MlpPartShape& shape,
+                                const TuneCandidate& c);
+
+// Routing-aware MoE bounds: the plain AgMoe/MoeRs bound max-composed with
+// the fragmented grouped-GEMM compute floor for this routing. Used by
+// TuneAgMoe/TuneMoeRs, which know the routing the evaluator simulates.
+sim::TimeNs AgMoeRoutedLowerBound(const sim::MachineSpec& spec,
+                                  const MoeShape& shape,
+                                  const compute::MoeRouting& routing,
+                                  const TuneCandidate& c);
+sim::TimeNs MoeRsRoutedLowerBound(const sim::MachineSpec& spec,
+                                  const MoeShape& shape,
+                                  const compute::MoeRouting& routing,
+                                  const TuneCandidate& c);
+
+}  // namespace tilelink::tl

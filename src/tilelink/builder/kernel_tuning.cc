@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "compute/flash_attention.h"
 #include "runtime/world.h"
+#include "tilelink/builder/comm_bounds.h"
 #include "tilelink/kernels/ag_attention.h"
 #include "tilelink/kernels/ag_gemm.h"
 #include "tilelink/kernels/ag_moe.h"
@@ -363,9 +364,9 @@ sim::TimeNs CoarseSimulateMoeRs(const sim::MachineSpec& spec,
 
 // ---- Analytic lower bounds ----------------------------------------------
 
-sim::TimeNs AgGemmLowerBound(const sim::MachineSpec& spec,
-                             const MlpPartShape& shape,
-                             const TuneCandidate& c) {
+sim::TimeNs AgGemmOverlapBound(const sim::MachineSpec& spec,
+                               const MlpPartShape& shape,
+                               const TuneCandidate& c) {
   if (!AgGemmFeasible(spec, shape, c)) return 0;  // never prune; eval rejects
   const sim::CostModel cost(spec);
   // Mirror RolePlan's ClaimComm: comm blocks are capped by the role's work
@@ -393,9 +394,17 @@ sim::TimeNs AgGemmLowerBound(const sim::MachineSpec& spec,
                                cost.NvlinkTransfer(bytes));
 }
 
-sim::TimeNs GemmRsLowerBound(const sim::MachineSpec& spec,
+sim::TimeNs AgGemmLowerBound(const sim::MachineSpec& spec,
                              const MlpPartShape& shape,
                              const TuneCandidate& c) {
+  const sim::TimeNs overlap = AgGemmOverlapBound(spec, shape, c);
+  if (overlap == 0) return 0;  // infeasible: never prune
+  return std::max(overlap, AgGemmCommFloor(spec, shape, c));
+}
+
+sim::TimeNs GemmRsOverlapBound(const sim::MachineSpec& spec,
+                               const MlpPartShape& shape,
+                               const TuneCandidate& c) {
   if (!GemmRsFeasible(spec, shape, c)) return 0;
   const sim::CostModel cost(spec);
   const int64_t chunks = shape.m / spec.num_devices / c.comm_tile_m;
@@ -414,6 +423,14 @@ sim::TimeNs GemmRsLowerBound(const sim::MachineSpec& spec,
       static_cast<uint64_t>(shape.m / R * (R - 1)) * shape.n * 2;
   return std::max<sim::TimeNs>(compute + spec.kernel_launch_latency,
                                cost.NvlinkTransfer(bytes));
+}
+
+sim::TimeNs GemmRsLowerBound(const sim::MachineSpec& spec,
+                             const MlpPartShape& shape,
+                             const TuneCandidate& c) {
+  const sim::TimeNs overlap = GemmRsOverlapBound(spec, shape, c);
+  if (overlap == 0) return 0;
+  return std::max(overlap, GemmRsCommFloor(spec, shape, c));
 }
 
 sim::TimeNs AgAttentionLowerBound(const sim::MachineSpec& spec,
@@ -577,7 +594,9 @@ TuneResult TuneAgMoe(const sim::MachineSpec& spec, const MoeShape& shape,
       [&](const TuneCandidate& c) {
         return SimulateAgMoe(spec, shape, routing, c);
       },
-      [&](const TuneCandidate& c) { return AgMoeLowerBound(spec, shape, c); },
+      [&](const TuneCandidate& c) {
+        return AgMoeRoutedLowerBound(spec, shape, routing, c);
+      },
       [&](const TuneCandidate& c) {
         return CoarseSimulateAgMoe(spec, shape, routing, c);
       });
@@ -592,7 +611,9 @@ TuneResult TuneMoeRs(const sim::MachineSpec& spec, const MoeShape& shape,
       [&](const TuneCandidate& c) {
         return SimulateMoeRs(spec, shape, routing, c);
       },
-      [&](const TuneCandidate& c) { return MoeRsLowerBound(spec, shape, c); },
+      [&](const TuneCandidate& c) {
+        return MoeRsRoutedLowerBound(spec, shape, routing, c);
+      },
       [&](const TuneCandidate& c) {
         return CoarseSimulateMoeRs(spec, shape, routing, c);
       });

@@ -110,6 +110,16 @@ sim::TimeNs CoarseSimulateMoeRs(const sim::MachineSpec& spec,
                                 const TuneCandidate& c);
 
 // ---- Analytic lower bounds ----------------------------------------------
+// *LowerBound compose the overlap-aware bound with the candidate-dependent
+// communication-optimal floors of builder/comm_bounds.h via max. The
+// *OverlapBound parts are exported separately so benchmarks and tests can
+// measure how many extra candidates the floors prune.
+sim::TimeNs AgGemmOverlapBound(const sim::MachineSpec& spec,
+                               const MlpPartShape& shape,
+                               const TuneCandidate& c);
+sim::TimeNs GemmRsOverlapBound(const sim::MachineSpec& spec,
+                               const MlpPartShape& shape,
+                               const TuneCandidate& c);
 sim::TimeNs AgGemmLowerBound(const sim::MachineSpec& spec,
                              const MlpPartShape& shape,
                              const TuneCandidate& c);

@@ -239,6 +239,7 @@ std::size_t TunedConfigCache::PruneStaleCalibration(
   char suffix[16];
   std::snprintf(suffix, sizeof(suffix), ".c%08x", calibration_hash);
   const std::string want(suffix);
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     const std::string& key = it->first;
@@ -254,27 +255,39 @@ std::size_t TunedConfigCache::PruneStaleCalibration(
 }
 
 const TunedEntry* TunedConfigCache::Find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
 void TunedConfigCache::Put(const std::string& key, const TunedEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[key] = entry;
 }
 
-const TunedEntry& TunedConfigCache::GetOrTune(
+TunedEntry TunedConfigCache::GetOrTune(
     const std::string& key, const std::function<TunedEntry()>& tune) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
   }
+  // Search with the lock dropped: a concurrent tuner missing the same key
+  // runs its own (deterministic, hence identical) search, and last-wins
+  // below leaves the same entry either way.
+  TunedEntry fresh = tune();
+  std::lock_guard<std::mutex> lock(mu_);
   ++misses_;
-  return entries_.emplace(key, tune()).first->second;
+  entries_[key] = fresh;
+  return fresh;
 }
 
 std::string TunedConfigCache::ToJson() const {
   std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
   os << "{\n";
   bool first = true;
   for (const auto& [key, entry] : entries_) {
@@ -320,6 +333,7 @@ bool TunedConfigCache::FromJson(const std::string& json) {
   }
   if (!scan.Consume('}')) return false;
   if (!scan.AtEnd()) return false;  // trailing garbage: not our file
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : parsed) {
     entries_[key] = std::move(entry);
   }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <initializer_list>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "sim/machine_spec.h"
@@ -35,6 +36,16 @@ struct TunedEntry {
   friend bool operator==(const TunedEntry&, const TunedEntry&) = default;
 };
 
+// Thread safety: every member locks an internal mutex, so one cache can be
+// shared by concurrent tuners (the e2e estimator tunes independent layers
+// in parallel). GetOrTune deliberately drops the lock while `tune` runs —
+// searches take seconds and serializing them would defeat the parallelism.
+// Two threads missing the same key may therefore both search, but searches
+// are deterministic, so they store identical entries and the cache contents
+// stay bitwise independent of the interleaving; only the hit/miss tallies
+// (which count searches avoided/performed) can vary. Find()'s pointer is
+// only stable while no other thread mutates the cache — concurrent callers
+// should use GetOrTune, which returns by value.
 class TunedConfigCache {
  public:
   // "kind/d0xd1x.../R8.n8.sm132.nv150.c<hash>": stable, human-greppable
@@ -49,13 +60,24 @@ class TunedConfigCache {
 
   // Returns the cached entry, running `tune` (and storing its result) on a
   // miss. This is the one call sites use: every config flows through here,
-  // so hits()/misses() count real searches avoided/performed.
-  const TunedEntry& GetOrTune(const std::string& key,
-                              const std::function<TunedEntry()>& tune);
+  // so hits()/misses() count real searches avoided/performed. Returned by
+  // value: a reference into the map would race with concurrent Put/LoadJson
+  // overwrites.
+  TunedEntry GetOrTune(const std::string& key,
+                       const std::function<TunedEntry()>& tune);
 
-  std::size_t size() const { return entries_.size(); }
-  int hits() const { return hits_; }
-  int misses() const { return misses_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  int hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
   // Drops entries whose key's calibration suffix does not match
   // `calibration_hash` — the generations a recalibration orphaned. Without
@@ -80,6 +102,7 @@ class TunedConfigCache {
   bool LoadFile(const std::string& path);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, TunedEntry> entries_;
   int hits_ = 0;
   int misses_ = 0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "runtime/world.h"
+#include "tilelink/builder/comm_bounds.h"
 #include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/kernels/gemm_producer.h"
 
@@ -274,8 +275,10 @@ sim::TimeNs GemmHierRsLowerBound(const sim::MachineSpec& spec,
   const sim::TimeNs ring = static_cast<sim::TimeNs>(
       static_cast<double>(per_node - 1) * nodes * block_bytes /
       spec.nvlink_gbps);
-  return spec.kernel_launch_latency +
-         std::max(compute, std::max(rail, ring));
+  // Composed (max) with the communication-optimal NIC port/window floor.
+  return std::max(spec.kernel_launch_latency +
+                      std::max(compute, std::max(rail, ring)),
+                  tl::GemmHierRsCommFloor(spec, shape, c));
 }
 
 sim::TimeNs SimulateGemmThenHierRs(const sim::MachineSpec& spec,

@@ -11,14 +11,19 @@
 //    argmin agreement on small machine specs.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "compute/moe_routing.h"
+#include "tilelink/builder/comm_bounds.h"
 #include "tilelink/builder/kernel_tuning.h"
 #include "tilelink/builder/tuned_config_cache.h"
+#include "tilelink/multinode/multinode_tuning.h"
 
 namespace tilelink::tl {
 namespace {
@@ -478,6 +483,326 @@ TEST(KernelTuningTest, MoeLayerComposition) {
   ASSERT_NE(layer, Autotuner::kInfeasible);
   EXPECT_GE(layer, std::max(t1, t2));
   EXPECT_LE(layer, t1 + t2);
+}
+
+// ---------------------------------------------------------------------- //
+// Parallel search determinism
+// ---------------------------------------------------------------------- //
+
+// The determinism guarantee is bitwise: not just the argmin, but the entire
+// TuneResult — evaluation order, pruned/halved/infeasible tallies — must be
+// what the serial search produces, for every thread count.
+void ExpectIdenticalResults(const TuneResult& a, const TuneResult& b) {
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].first, b.evaluated[i].first) << i;
+    EXPECT_EQ(a.evaluated[i].second, b.evaluated[i].second) << i;
+  }
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.halved, b.halved);
+  EXPECT_EQ(a.coarse_evals, b.coarse_evals);
+}
+
+Autotuner ThreadedTuner(int threads) {
+  Autotuner::Options opts;
+  opts.threads = threads;
+  return Autotuner(opts);
+}
+
+TEST(ParallelSearchTest, PruningDeterministicOnToyLandscape) {
+  TuneCandidate base;
+  base.comm = CommResource::kSmPull;
+  auto eval = [](const TuneCandidate& c) { return ToyCost(c); };
+  // Exact bound: the most aggressive sound bound possible, so speculative
+  // pruning fires constantly across workers.
+  auto bound = [](const TuneCandidate& c) { return ToyCost(c); };
+  const TuneResult serial = Autotuner().Search(ToySpace(), base, eval, bound);
+  EXPECT_GT(serial.pruned, 0);
+  for (int threads : {2, 3, 8, 16}) {
+    ExpectIdenticalResults(
+        serial, ThreadedTuner(threads).Search(ToySpace(), base, eval, bound));
+  }
+}
+
+TEST(ParallelSearchTest, DeterministicEvenUnderUnsoundBound) {
+  // An overstating (unsound) bound makes workers speculatively skip
+  // candidates the serial order would have evaluated; the replay must
+  // re-evaluate them inline so the result still matches serial bitwise.
+  TuneCandidate base;
+  base.comm = CommResource::kSmPull;
+  auto eval = [](const TuneCandidate& c) { return ToyCost(c); };
+  auto unsound = [](const TuneCandidate& c) {
+    return ToyCost(c) + 500000;  // wildly overstated
+  };
+  const TuneResult serial =
+      Autotuner().Search(ToySpace(), base, eval, unsound);
+  for (int threads : {2, 8}) {
+    ExpectIdenticalResults(
+        serial,
+        ThreadedTuner(threads).Search(ToySpace(), base, eval, unsound));
+  }
+}
+
+TEST(ParallelSearchTest, DeterministicOnEveryKernelTuningSpace) {
+  const Autotuner parallel = ThreadedTuner(8);
+  const sim::MachineSpec spec = sim::MachineSpec::Test(4, 16);
+  {
+    const MlpPartShape shape{512, 64, 128};
+    TuneCandidate base;
+    base.gemm = compute::GemmTiling{32, 32, 16};
+    TuningSpace space;
+    space.CommTileM({16, 32, 64, 128})
+        .CommSms({2, 4, 8})
+        .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                    CommResource::kDma});
+    ExpectIdenticalResults(TuneAgGemm(spec, shape, space, base),
+                           TuneAgGemm(spec, shape, space, base, parallel));
+    ExpectIdenticalResults(TuneGemmRs(spec, shape, space, base),
+                           TuneGemmRs(spec, shape, space, base, parallel));
+  }
+  {
+    const AttnShape shape{4, 256, 32};
+    // The seed gets a full-fidelity run, so it must fit the short sequence:
+    // pin it to the smallest block pair in the space.
+    TuneCandidate base;
+    base.block_q = 16;
+    base.block_kv = 16;
+    TuningSpace space;
+    space.AttnBlocks({{16, 16}, {16, 32}, {32, 32}, {32, 64}});
+    ExpectIdenticalResults(
+        TuneAgAttention(spec, shape, space, base),
+        TuneAgAttention(spec, shape, space, base, parallel));
+    const FlashShape flash{4, 128, 256, 32};
+    ExpectIdenticalResults(
+        TuneFlashCore(spec, flash, space, base),
+        TuneFlashCore(spec, flash, space, base, parallel));
+  }
+  {
+    const sim::MachineSpec moe_spec = sim::MachineSpec::Test(2, 16);
+    const MoeShape shape{128, 32, 32, 4, 2};
+    Rng rng(7);
+    const compute::MoeRouting routing =
+        compute::RandomRouting(shape.m, shape.num_experts, shape.topk, rng);
+    TuneCandidate base;
+    base.gemm = compute::GemmTiling{16, 16, 8};
+    // Keep the full-fidelity seed inside the space: the defaults (512-row
+    // channels etc.) overrun this tiny MoE shape.
+    base.comm_tile_m = 16;
+    base.comm_sms = 2;
+    base.comm = CommResource::kSmPull;
+    base.sorted_channel_rows = 32;
+    base.reduce_block_tokens = 8;
+    base.reduce_sms = 2;
+    TuningSpace space;
+    space.CommTileM({16, 32, 64})
+        .CommSms({2, 4})
+        .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                    CommResource::kDma})
+        .SortedChannelRows({32, 64})
+        .ReduceBlockTokens({8, 16})
+        .ReduceSms({2, 4});
+    ExpectIdenticalResults(
+        TuneAgMoe(moe_spec, shape, routing, space, base),
+        TuneAgMoe(moe_spec, shape, routing, space, base, parallel));
+    ExpectIdenticalResults(
+        TuneMoeRs(moe_spec, shape, routing, space, base),
+        TuneMoeRs(moe_spec, shape, routing, space, base, parallel));
+  }
+}
+
+TEST(ParallelSearchTest, DeterministicOnMultiNodeSpaces) {
+  const Autotuner parallel = ThreadedTuner(8);
+  const sim::MachineSpec spec = sim::MachineSpec::H800x16();
+  const MlpPartShape shape{8192, 128, 1024};
+  const TuneCandidate seed = multinode::DefaultGemmHierRsCandidate(shape, 16);
+  ExpectIdenticalResults(
+      multinode::TuneGemmHierRs(spec, shape, tl::TuningSpace::GemmHierRs(),
+                                seed),
+      multinode::TuneGemmHierRs(spec, shape, tl::TuningSpace::GemmHierRs(),
+                                seed, parallel));
+  const uint64_t grad_bytes = 1ull << 26;
+  ExpectIdenticalResults(
+      multinode::TuneDpSync(spec, grad_bytes, tl::TuningSpace::MultiNode(),
+                            multinode::DefaultDpSyncCandidate()),
+      multinode::TuneDpSync(spec, grad_bytes, tl::TuningSpace::MultiNode(),
+                            multinode::DefaultDpSyncCandidate(), parallel));
+}
+
+TEST(ParallelSearchTest, VerboseUnderThreadsIsSerializedAndComplete) {
+  // Smoke the serialized line sink: a verbose parallel search must not
+  // interleave/crash, and still returns the serial result.
+  TuneCandidate base;
+  base.comm = CommResource::kSmPull;
+  auto eval = [](const TuneCandidate& c) { return ToyCost(c); };
+  Autotuner::Options opts;
+  opts.threads = 8;
+  opts.verbose = true;
+  const TuneResult serial = Autotuner().Search(ToySpace(), base, eval);
+  ExpectIdenticalResults(serial,
+                         Autotuner(opts).Search(ToySpace(), base, eval));
+}
+
+// ---------------------------------------------------------------------- //
+// Concurrent cache access
+// ---------------------------------------------------------------------- //
+
+TEST(TunedConfigCacheTest, ConcurrentGetOrTuneStress) {
+  TunedConfigCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  constexpr int kKeys = 16;
+  std::atomic<int> tunes{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&cache, &tunes, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string key = "k/" + std::to_string((i * 7 + t) % kKeys);
+        const TunedEntry e = cache.GetOrTune(key, [&tunes] {
+          ++tunes;
+          return DistinctEntry();
+        });
+        EXPECT_EQ(e, DistinctEntry());
+        if (i % 32 == 0) {
+          // Mix in readers so serialization races with get/put.
+          (void)cache.ToJson();
+          (void)cache.size();
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  // Racing misses may each run the (deterministic) search, but the stored
+  // entries and the final cache are exactly the serial ones.
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  EXPECT_GE(tunes.load(), kKeys);
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kIters);
+  for (int k = 0; k < kKeys; ++k) {
+    const TunedEntry* e = cache.Find("k/" + std::to_string(k));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(*e, DistinctEntry());
+  }
+}
+
+// ---------------------------------------------------------------------- //
+// Communication-optimal floors
+// ---------------------------------------------------------------------- //
+
+TEST(CommBoundsTest, MlpFloorsAreSoundByBruteForce) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(4, 16);
+  TuneCandidate base;
+  base.gemm = compute::GemmTiling{32, 32, 16};
+  TuningSpace space;
+  space.CommTileM({16, 32, 64, 128})
+      .CommSms({2, 4, 8})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma});
+  for (const MlpPartShape& shape :
+       {MlpPartShape{512, 64, 128}, MlpPartShape{1024, 128, 64}}) {
+    int feasible = 0;
+    for (const TuneCandidate& c : space.Enumerate(base)) {
+      const sim::TimeNs ag = SimulateAgGemm(spec, shape, c);
+      if (ag != Autotuner::kInfeasible) {
+        ++feasible;
+        EXPECT_LE(AgGemmLowerBound(spec, shape, c), ag) << c.Describe();
+        // Composition: the floor only ever raises the overlap bound.
+        EXPECT_GE(AgGemmLowerBound(spec, shape, c),
+                  AgGemmOverlapBound(spec, shape, c));
+      }
+      const sim::TimeNs rs = SimulateGemmRs(spec, shape, c);
+      if (rs != Autotuner::kInfeasible) {
+        EXPECT_LE(GemmRsLowerBound(spec, shape, c), rs) << c.Describe();
+        EXPECT_GE(GemmRsLowerBound(spec, shape, c),
+                  GemmRsOverlapBound(spec, shape, c));
+      }
+    }
+    EXPECT_GT(feasible, 0);
+  }
+}
+
+TEST(CommBoundsTest, RoutedMoeFloorsAreSoundByBruteForce) {
+  const sim::MachineSpec spec = sim::MachineSpec::Test(2, 16);
+  const MoeShape shape{128, 32, 32, 4, 2};
+  // Deliberately skewed routing (small m, few experts): the fragmentation
+  // floor has to stay under the simulated group GEMM even when several
+  // experts own ragged partial tiles.
+  Rng rng(7);
+  const compute::MoeRouting routing =
+      compute::RandomRouting(shape.m, shape.num_experts, shape.topk, rng);
+  TuneCandidate base;
+  base.gemm = compute::GemmTiling{16, 16, 8};
+  TuningSpace space;
+  space.CommTileM({16, 32, 64})
+      .CommSms({2, 4})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma})
+      .SortedChannelRows({32, 64})
+      .ReduceBlockTokens({8, 16})
+      .ReduceSms({2, 4});
+  int part1_feasible = 0, part2_feasible = 0;
+  for (const TuneCandidate& c : space.Enumerate(base)) {
+    const sim::TimeNs t1 = SimulateAgMoe(spec, shape, routing, c);
+    if (t1 != Autotuner::kInfeasible) {
+      ++part1_feasible;
+      EXPECT_LE(AgMoeRoutedLowerBound(spec, shape, routing, c), t1)
+          << c.Describe();
+      EXPECT_GE(AgMoeRoutedLowerBound(spec, shape, routing, c),
+                AgMoeLowerBound(spec, shape, c));
+    }
+    const sim::TimeNs t2 = SimulateMoeRs(spec, shape, routing, c);
+    if (t2 != Autotuner::kInfeasible) {
+      ++part2_feasible;
+      EXPECT_LE(MoeRsRoutedLowerBound(spec, shape, routing, c), t2)
+          << c.Describe();
+      EXPECT_GE(MoeRsRoutedLowerBound(spec, shape, routing, c),
+                MoeRsLowerBound(spec, shape, c));
+    }
+  }
+  EXPECT_GT(part1_feasible, 0);
+  EXPECT_GT(part2_feasible, 0);
+}
+
+TEST(CommBoundsTest, HierRsFloorIsSoundByBruteForce) {
+  const sim::MachineSpec spec = sim::MachineSpec::H800x16();
+  const MlpPartShape shape{8192, 128, 1024};
+  const TuneCandidate seed = multinode::DefaultGemmHierRsCandidate(shape, 16);
+  int feasible = 0;
+  for (const TuneCandidate& c :
+       tl::TuningSpace::GemmHierRs().Enumerate(seed)) {
+    const sim::TimeNs t = multinode::SimulateGemmHierRs(spec, shape, c);
+    if (t == Autotuner::kInfeasible) continue;
+    ++feasible;
+    EXPECT_LE(multinode::GemmHierRsLowerBound(spec, shape, c), t)
+        << c.Describe();
+    EXPECT_LE(GemmHierRsCommFloor(spec, shape, c), t) << c.Describe();
+  }
+  EXPECT_GT(feasible, 0);
+}
+
+TEST(CommBoundsTest, PortBytesMatchHandComputedVolumes) {
+  // 4 ranks, shards of 4/4/4/4 rows of 8 columns, bf16 (2 bytes): each
+  // rank receives 12 remote rows and sends its 4 rows to 3 peers.
+  const TileIntervals even = LinearTileMapping(16, 4, 4);
+  const PortBytes ag = AllGatherPortBytes(even, 8 * 2);
+  EXPECT_EQ(ag.ingress, 12u * 16u);
+  EXPECT_EQ(ag.egress, 4u * 3u * 16u);
+  // Reduce-scatter information floor: one accumulated copy of the largest
+  // shard in; contributions to all remote rows out.
+  const PortBytes rs = ReduceScatterPortBytes(even, 8 * 2);
+  EXPECT_EQ(rs.ingress, 4u * 16u);
+  EXPECT_EQ(rs.egress, 12u * 16u);
+  // Ragged shards sharpen the floor: 6/6/4/0 rows on 4 ranks.
+  const TileIntervals ragged = IntervalsFromExtents({6, 6, 4, 0});
+  const PortBytes ragged_ag = AllGatherPortBytes(ragged, 2);
+  EXPECT_EQ(ragged_ag.ingress, 16u * 2u);     // the empty rank pulls all 16
+  EXPECT_EQ(ragged_ag.egress, 6u * 3u * 2u);  // a 6-row owner feeds 3 peers
+  // Single rank: nothing crosses the fabric.
+  const PortBytes solo = AllGatherPortBytes(LinearTileMapping(16, 1), 2);
+  EXPECT_EQ(solo.ingress, 0u);
+  EXPECT_EQ(solo.egress, 0u);
 }
 
 TEST(KernelTuningTest, TuneFlashCorePicksLargeBlocks) {
