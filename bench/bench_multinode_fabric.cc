@@ -15,12 +15,21 @@
 // kernel: at 2x8 it must beat the layer-level GEMM-then-HierRS compose on
 // simulated makespan at every tested shape, the joint-space tuner must
 // never lose to the hand-picked seed, and the functional run must be
-// bit-exact with zero checker violations. The timing gates below are
-// identical with or without either flag.
+// bit-exact with zero checker violations. --faults runs the deterministic
+// fault sweep on a 4-NIC-rail 2x8: targeted drops, latency spikes, seeded
+// random transient mixes and rail death must all leave every collective and
+// the fused kernel bit-exact with zero checker violations, and killing one
+// of four rails at t=0 must cost at most 4/3 (+10%) of the fault-free
+// makespan on bandwidth-bound shapes. The timing gates below are identical
+// with or without any flag.
 #include <cstdint>
 #include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "sim/fault.h"
 #include "tilelink/multinode/hier_collectives.h"
 #include "tilelink/multinode/multinode_tuning.h"
 #include "tilelink/multinode/payload_validation.h"
@@ -136,6 +145,185 @@ bool RunFusedGate(const tilelink::sim::MachineSpec& spec,
   return ok;
 }
 
+// Deterministic fault sweep (--faults): every schedule must leave every
+// collective (and the fused kernel) bit-exact with zero checker violations;
+// rail death must additionally stay within the surviving-bandwidth bound.
+bool RunFaultSweep(const tilelink::sim::MachineSpec& base,
+                   tilelink::bench::BenchReport* report) {
+  using namespace tilelink;
+  using namespace tilelink::multinode;
+  bool ok = true;
+  std::printf("=== Fault sweep: retry/backoff + rail failover "
+              "(2x8, 4 NIC rails) ===\n");
+
+  sim::MachineSpec spec = base;
+  spec.nic_rails = 4;
+  HierConfig cfg;
+  cfg.nic_chunk_tiles = 4;  // 48 tiles -> 12 NIC chunks per stream:
+  cfg.staging_depth = 12;   // divisible by 4 rails and by 3 survivors
+  const int64_t tiles = 48;
+  const uint64_t tile_bytes = 512 << 10;  // bandwidth-bound NIC stage
+  const int64_t tile_elems = 128;
+  const int per_node = spec.devices_per_node;
+
+  // NIC edges the 2x8 collectives use: rail-peer pairs (r, r+8) for the
+  // hierarchical collectives / DP groups / fused kernel, ring node-boundary
+  // hops for the flat baselines.
+  struct Edge {
+    int src, dst;
+  };
+  const Edge nic_edges[] = {{0, per_node},
+                            {per_node, 0},
+                            {per_node - 1, per_node},
+                            {per_node, per_node - 1},
+                            {2 * per_node - 1, 0},
+                            {0, 2 * per_node - 1}};
+
+  std::vector<std::pair<std::string, sim::FaultPlan>> schedules;
+  {
+    sim::FaultPlan drops;
+    for (const Edge& e : nic_edges) {
+      drops.DropTransfer("nic", e.src, e.dst, 0);
+      drops.DropTransfer("nic", e.src, e.dst, 3);
+    }
+    schedules.emplace_back("targeted_drop", std::move(drops));
+
+    sim::FaultPlan spikes;
+    for (const Edge& e : nic_edges) {
+      spikes.SpikeTransfer("nic", e.src, e.dst, 0, 4.0);
+      spikes.SpikeTransfer("nic", e.src, e.dst, 2, 3.0);
+    }
+    schedules.emplace_back("targeted_spike", std::move(spikes));
+
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      sim::FaultPlan mix;
+      mix.RandomTransients("nic", seed, /*drop_prob=*/0.08,
+                           /*spike_prob=*/0.10, /*spike_mult=*/3.0);
+      mix.RandomTransients("nvlink", seed * 0x9e3779b97f4a7c15ull,
+                           /*drop_prob=*/0.02, /*spike_prob=*/0.05,
+                           /*spike_mult=*/2.0);
+      schedules.emplace_back("random_mix_s" + std::to_string(seed),
+                             std::move(mix));
+    }
+  }
+
+  struct Target {
+    const char* name;
+    std::function<PayloadReport(const sim::FaultPlan*)> run;
+  };
+  tl::GemmHierRsConfig fused;
+  fused.m = static_cast<int64_t>(spec.num_devices) * 16;
+  fused.k = 16;
+  fused.n = 16;
+  fused.gemm = {8, 16, 8};
+  fused.rs_block_m = 8;
+  const Target targets[] = {
+      {"hier_ag",
+       [&](const sim::FaultPlan* p) {
+         return ValidateHierAllGather(spec, tiles, tile_bytes, tile_elems,
+                                      cfg, p);
+       }},
+      {"hier_rs",
+       [&](const sim::FaultPlan* p) {
+         return ValidateHierReduceScatter(spec, tiles, tile_bytes,
+                                          tile_elems, cfg, p);
+       }},
+      {"flat_ag",
+       [&](const sim::FaultPlan* p) {
+         return ValidateFlatAllGather(spec, tiles, tile_bytes, tile_elems,
+                                      cfg, p);
+       }},
+      {"flat_rs",
+       [&](const sim::FaultPlan* p) {
+         return ValidateFlatReduceScatter(spec, tiles, tile_bytes,
+                                          tile_elems, cfg, p);
+       }},
+      {"dp_ar",
+       [&](const sim::FaultPlan* p) {
+         return ValidateDpAllReduce(spec, tiles, tile_bytes, tile_elems, cfg,
+                                    p);
+       }},
+      {"gemm_hier_rs",
+       [&](const sim::FaultPlan* p) {
+         return ValidateGemmHierRs(spec, fused, p);
+       }},
+  };
+
+  // Transient schedules: payload bit-exact, zero violations, and the
+  // schedule must actually have injected something (so a silently inert
+  // plan cannot green-light the gate).
+  for (const auto& [sched_name, plan] : schedules) {
+    for (const Target& t : targets) {
+      const PayloadReport r = t.run(&plan);
+      const uint64_t injected = r.faults.drops + r.faults.spikes;
+      const bool pass = r.ok() && injected > 0;
+      std::printf("  %-16s %-13s bit_exact=%d violations=%zu drops=%llu "
+                  "spikes=%llu retries=%llu\n",
+                  sched_name.c_str(), t.name, r.bit_exact ? 1 : 0,
+                  r.violations, (unsigned long long)r.faults.drops,
+                  (unsigned long long)r.faults.spikes,
+                  (unsigned long long)r.faults.retries);
+      report->Record("multinode.faults." + sched_name + "." + t.name + ".ok",
+                     pass ? 1.0 : 0.0);
+      report->Record(
+          "multinode.faults." + sched_name + "." + t.name + ".retries",
+          static_cast<double>(r.faults.retries));
+      ok = ok && pass;
+    }
+  }
+
+  // Rail death at t=0: one of four rails dead for the whole run. The rail
+  // schedulers apportion every chunk across the three survivors, so a
+  // bandwidth-bound stream pays at most 4/3 (+10% pipeline headroom).
+  const double bound = 4.0 / 3.0 * 1.10;
+  struct DeathCase {
+    const char* name;
+    const Target* target;
+  };
+  const DeathCase deaths[] = {{"hier_ag", &targets[0]},
+                              {"hier_rs", &targets[1]}};
+  for (const DeathCase& d : deaths) {
+    const PayloadReport clean = d.target->run(nullptr);
+    sim::FaultPlan death;
+    death.DegradeRail("nic", /*port=*/-1, /*rail=*/3, /*at=*/0,
+                      /*fraction=*/0.0);
+    const PayloadReport r = d.target->run(&death);
+    const double ratio = static_cast<double>(r.makespan) /
+                         static_cast<double>(clean.makespan);
+    const bool pass = r.ok() && ratio <= bound;
+    std::printf("  rail_death_t0    %-13s bit_exact=%d violations=%zu "
+                "ratio=%.3f (bound %.3f)\n",
+                d.name, r.bit_exact ? 1 : 0, r.violations, ratio, bound);
+    report->Record(std::string("multinode.faults.rail_death_t0.") + d.name +
+                       ".ok",
+                   pass ? 1.0 : 0.0);
+    report->Record(std::string("multinode.faults.rail_death_t0.") + d.name +
+                       ".ratio",
+                   ratio);
+    ok = ok && pass;
+
+    // Mid-run death: the failover replans remaining chunks and flows caught
+    // in flight on the dead rail park and recover via ack-timeout; gate on
+    // correctness + completion. Early enough that the NIC stage is still
+    // active (by half the makespan the rail streams have drained).
+    sim::FaultPlan mid;
+    mid.DegradeRail("nic", /*port=*/-1, /*rail=*/1,
+                    /*at=*/clean.makespan / 8, /*fraction=*/0.0);
+    const PayloadReport m = d.target->run(&mid);
+    std::printf("  rail_death_mid   %-13s bit_exact=%d violations=%zu "
+                "retries=%llu\n",
+                d.name, m.bit_exact ? 1 : 0, m.violations,
+                (unsigned long long)m.faults.retries);
+    report->Record(std::string("multinode.faults.rail_death_mid.") + d.name +
+                       ".ok",
+                   m.ok() ? 1.0 : 0.0);
+    ok = ok && m.ok();
+  }
+
+  std::printf("%s\n\n", ok ? "fault sweep OK" : "fault sweep FAILED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,6 +338,8 @@ int main(int argc, char** argv) {
       ok = RunPayloadValidation(spec, &report) && ok;
     } else if (std::strcmp(argv[i], "--fused") == 0) {
       ok = RunFusedGate(spec, &report) && ok;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      ok = RunFaultSweep(spec, &report) && ok;
     }
   }
 

@@ -2,7 +2,8 @@
 # CI: tier-1 verify plus the tuned-bench smoke stages.
 #   1. RelWithDebInfo, -Wall -Wextra -Werror (warnings are errors)
 #   2. Debug + AddressSanitizer
-#   3. Debug + ThreadSanitizer: the parallel-search determinism tests and
+#   3. Debug + ThreadSanitizer: the parallel-search determinism tests —
+#      including the shared read-only FaultPlan retry-path search — and
 #      the tuned-config-cache stress run with real data races reported as
 #      errors (the sharded autotuner and the concurrent cache are the only
 #      multi-threaded code paths).
@@ -61,8 +62,8 @@ if [[ "$FAST" == "0" ]]; then
       --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
 
-  echo "=== [5/5] 16-GPU smoke (payload + fused kernel + hier vs flat) ==="
-  ./build-ci/bench_multinode_fabric --payload --fused \
+  echo "=== [5/5] 16-GPU smoke (payload + fused + faults + hier vs flat) ==="
+  ./build-ci/bench_multinode_fabric --payload --fused --faults \
       --json build-ci/BENCH_multinode.json
 fi
 

@@ -14,6 +14,7 @@ World::World(const sim::MachineSpec& spec, ExecMode mode)
                                           "nic");
   inter_->set_local_copy_bw_gbps(spec.hbm_gbps);
   intra_->set_local_copy_bw_gbps(spec.hbm_gbps);
+  inter_->ConfigureRails(spec.nic_rails);
   devices_.reserve(spec.num_devices);
   for (int d = 0; d < spec.num_devices; ++d) {
     devices_.push_back(std::make_unique<Device>(&sim_, &spec_, d, mode));
@@ -39,6 +40,18 @@ sim::Network& World::fabric_for(int src, int dst) {
 
 sim::Coro World::Transfer(int src, int dst, uint64_t bytes) {
   co_await fabric_for(src, dst).Transfer(src, dst, bytes);
+}
+
+void World::set_fault_plan(const sim::FaultPlan* plan) {
+  fault_plan_ = plan;
+  intra_->SetFaultPlan(plan);
+  inter_->SetFaultPlan(plan);
+}
+
+sim::FaultStats World::fault_stats() const {
+  sim::FaultStats out = intra_->fault_stats();
+  out += inter_->fault_stats();
+  return out;
 }
 
 std::vector<Buffer*> World::AllocSymmetric(const std::string& name,

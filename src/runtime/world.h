@@ -86,6 +86,14 @@ class World {
   sim::Network& intra_fabric() { return *intra_; }
   sim::Network& inter_fabric() { return *inter_; }
 
+  // Attach a read-only fault plan to both fabrics (caller keeps it alive for
+  // the world's lifetime; nullptr detaches). The plan is immutable and
+  // stateless, so Autotuner workers can share one plan across their Worlds.
+  void set_fault_plan(const sim::FaultPlan* plan);
+  const sim::FaultPlan* fault_plan() const { return fault_plan_; }
+  // Fault counters summed over both fabrics.
+  sim::FaultStats fault_stats() const;
+
   // Symmetric allocation: one identically-sized buffer per rank. Index the
   // result by rank; remote entries model NVSHMEM symmetric-heap peers.
   std::vector<Buffer*> AllocSymmetric(const std::string& name,
@@ -110,6 +118,7 @@ class World {
   std::vector<RankCtx> rank_ctxs_;
   std::unique_ptr<HostBarrier> barrier_;
   std::unique_ptr<HostBarrier> comm_barrier_;
+  const sim::FaultPlan* fault_plan_ = nullptr;  // non-owning
 };
 
 }  // namespace tilelink::rt

@@ -57,6 +57,11 @@ class CostModel {
   // bandwidth (lower bound for any communication role carrying that volume).
   TimeNs NvlinkTransfer(uint64_t bytes) const;
 
+  // Same for the inter-node NIC fabric: expected uncontended flow time of a
+  // `bytes` message over one device's full NIC bandwidth. The link roles'
+  // ack-timeouts scale off this.
+  TimeNs NicTransfer(uint64_t bytes) const;
+
  private:
   MachineSpec spec_;
 };

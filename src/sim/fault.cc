@@ -1,0 +1,132 @@
+#include "sim/fault.h"
+
+namespace tilelink::sim {
+namespace {
+
+// splitmix64 finalizer: the avalanche stage is enough to decorrelate the
+// structured (seed, edge, ordinal) keys we feed it.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a: std::hash<string> is implementation-defined, and fault timelines
+// must replay identically everywhere.
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Pure uniform draw in [0, 1). `salt` separates the drop roll from the
+// spike roll of the same attempt.
+double Uniform01(uint64_t seed, uint64_t fabric_hash, int src, int dst,
+                 uint64_t ordinal, uint64_t salt) {
+  uint64_t x = Mix(seed ^ fabric_hash);
+  x = Mix(x ^ (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32 |
+               static_cast<uint32_t>(dst)));
+  x = Mix(x ^ ordinal);
+  x = Mix(x ^ salt);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::DropTransfer(std::string fabric, int src, int dst,
+                                   uint64_t ordinal) {
+  targeted_.push_back({std::move(fabric), src, dst, ordinal, true, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::SpikeTransfer(std::string fabric, int src, int dst,
+                                    uint64_t ordinal, double mult) {
+  TL_CHECK_GT(mult, 1.0);
+  targeted_.push_back({std::move(fabric), src, dst, ordinal, false, mult});
+  return *this;
+}
+
+FaultPlan& FaultPlan::RandomTransients(std::string fabric, uint64_t seed,
+                                       double drop_prob, double spike_prob,
+                                       double spike_mult) {
+  TL_CHECK_GE(drop_prob, 0.0);
+  TL_CHECK_LT(drop_prob, 1.0);
+  TL_CHECK_GE(spike_prob, 0.0);
+  TL_CHECK_LT(spike_prob, 1.0);
+  random_.push_back(
+      {std::move(fabric), seed, drop_prob, spike_prob, spike_mult});
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeRail(std::string fabric, int port, int rail,
+                                  TimeNs at, double fraction) {
+  TL_CHECK_GE(rail, 0);
+  TL_CHECK_GE(fraction, 0.0);
+  TL_CHECK_LE(fraction, 1.0);
+  degrades_.push_back({std::move(fabric), port, rail, at, fraction});
+  return *this;
+}
+
+FaultPlan& FaultPlan::ReorderRailChunk(int src_rank, int64_t chunk) {
+  reorders_.push_back({src_rank, chunk});
+  return *this;
+}
+
+TransientFault FaultPlan::OnTransfer(const std::string& fabric, int src,
+                                     int dst, uint64_t ordinal) const {
+  TransientFault out;
+  for (const auto& t : targeted_) {
+    if (t.src != src || t.dst != dst || t.ordinal != ordinal ||
+        t.fabric != fabric) {
+      continue;
+    }
+    if (t.drop) out.drop = true;
+    if (t.mult > out.latency_mult) out.latency_mult = t.mult;
+  }
+  for (const auto& r : random_) {
+    if (r.fabric != fabric) continue;
+    const uint64_t fh = HashString(r.fabric);
+    if (r.drop_prob > 0.0 &&
+        Uniform01(r.seed, fh, src, dst, ordinal, 0x64726f70ull) <
+            r.drop_prob) {
+      out.drop = true;
+    }
+    if (r.spike_prob > 0.0 &&
+        Uniform01(r.seed, fh, src, dst, ordinal, 0x7370696bull) <
+            r.spike_prob) {
+      if (r.spike_mult > out.latency_mult) out.latency_mult = r.spike_mult;
+    }
+  }
+  return out;
+}
+
+bool FaultPlan::IsRailReorder(int src_rank, int64_t chunk) const {
+  for (const auto& r : reorders_) {
+    if (r.src_rank == src_rank && r.chunk == chunk) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::PerturbsFabric(const std::string& fabric) const {
+  if (HasTransients(fabric)) return true;
+  for (const auto& d : degrades_) {
+    if (d.fabric == fabric) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::HasTransients(const std::string& fabric) const {
+  for (const auto& t : targeted_) {
+    if (t.fabric == fabric) return true;
+  }
+  for (const auto& r : random_) {
+    if (r.fabric == fabric) return true;
+  }
+  return false;
+}
+
+}  // namespace tilelink::sim

@@ -49,12 +49,20 @@ class Flag {
     bool await_ready() const { return flag->value_ >= threshold; }
     void await_suspend(std::coroutine_handle<> h) {
       flag->waiters_.push_back(Waiter{threshold, h});
-      flag->sim_->RegisterBlocked(
-          this, "flag '" + flag->name_ + "' wait >= " +
-                    std::to_string(threshold) + " (value " +
-                    std::to_string(flag->value_) + ")");
+      // Lazy description: evaluated only if a deadlock is reported, so
+      // parking allocates nothing and the report shows the flag's *last*
+      // published value rather than its value when the waiter parked.
+      flag->sim_->RegisterBlockedDynamic(this, this, &Awaiter::Describe);
     }
     void await_resume() { flag->sim_->UnregisterBlocked(this); }
+
+   private:
+    static std::string Describe(const void* ctx) {
+      const Awaiter* a = static_cast<const Awaiter*>(ctx);
+      return "flag '" + a->flag->name_ + "' wait >= " +
+             std::to_string(a->threshold) + " (last published value " +
+             std::to_string(a->flag->value_) + ")";
+    }
   };
 
   // Suspends until value() >= threshold (acquire side of the barrier).

@@ -32,6 +32,10 @@ struct MachineSpec {
   // per-fabric channel budget for NIC-bound communication roles (clamps the
   // staging depth of multi-node collectives).
   int nic_queue_pairs = 16;
+  // Physical NIC rails per device: each rail owns nic_gbps / nic_rails of
+  // the port bandwidth and can be degraded or killed independently by a
+  // FaultPlan. 1 keeps the flat symmetric model (bitwise identical rates).
+  int nic_rails = 1;
 
   // Software overheads.
   TimeNs kernel_launch_latency = Us(6.0);

@@ -11,27 +11,148 @@ Network::Network(Simulator* sim, int num_ports, double port_bw_gbps,
       name_(std::move(name)) {
   TL_CHECK_GT(num_ports, 0);
   TL_CHECK_GT(port_bw_gbps, 0.0);
-  egress_.resize(num_ports, Port{port_bw_gbps, 0});
-  ingress_.resize(num_ports, Port{port_bw_gbps, 0});
+  egress_.resize(num_ports, Port{port_bw_gbps, 0, {0}, {1.0}});
+  ingress_.resize(num_ports, Port{port_bw_gbps, 0, {0}, {1.0}});
+}
+
+void Network::ConfigureRails(int rails) {
+  TL_CHECK_GT(rails, 0);
+  TL_CHECK_EQ(active_flow_count(), 0);
+  rails_ = rails;
+  for (auto* side : {&egress_, &ingress_}) {
+    for (Port& p : *side) {
+      p.rail_flows.assign(rails, 0);
+      p.rail_scale.assign(rails, 1.0);
+    }
+  }
+}
+
+void Network::SetRailScale(int port, int rail, double fraction) {
+  TL_CHECK_GE(rail, 0);
+  TL_CHECK_LT(rail, rails_);
+  TL_CHECK_GE(fraction, 0.0);
+  const int lo = port < 0 ? 0 : port;
+  const int hi = port < 0 ? num_ports() : port + 1;
+  TL_CHECK_LT(lo, num_ports());
+  TL_CHECK_LE(hi, num_ports());
+  for (int p = lo; p < hi; ++p) {
+    egress_[p].rail_scale[rail] = fraction;
+    ingress_[p].rail_scale[rail] = fraction;
+  }
+  rail_generation_++;
+  Rebalance();
+}
+
+double Network::RailScale(int port, int rail) const {
+  TL_CHECK_GE(port, 0);
+  TL_CHECK_LT(port, num_ports());
+  TL_CHECK_GE(rail, 0);
+  TL_CHECK_LT(rail, rails_);
+  return egress_[port].rail_scale[rail];
+}
+
+void Network::SetFaultPlan(const FaultPlan* plan) {
+  plan_ = plan;
+  if (plan == nullptr) return;
+  edge_ordinal_.assign(
+      static_cast<std::size_t>(num_ports()) * num_ports(), 0);
+  for (const RailDegrade& d : plan->degrades()) {
+    if (d.fabric != name_) continue;
+    TL_CHECK_LT(d.rail, rails_);
+    const TimeNs when = std::max(sim_->Now(), d.at);
+    sim_->At(when, [this, d] { ApplyDegrade(d); });
+  }
+}
+
+void Network::ApplyDegrade(const RailDegrade& d) {
+  const int lo = d.port < 0 ? 0 : d.port;
+  const int hi = d.port < 0 ? num_ports() : d.port + 1;
+  for (int p = lo; p < hi; ++p) {
+    egress_[p].rail_scale[d.rail] = d.fraction;
+    ingress_[p].rail_scale[d.rail] = d.fraction;
+  }
+  rail_generation_++;
+  Rebalance();
+}
+
+TimeNs Network::ExpectedFlowTime(uint64_t bytes) const {
+  // One rail's serial share: rails_ x the bytes-over-port time.
+  return latency_ns_ +
+         static_cast<TimeNs>(std::ceil(
+             static_cast<double>(bytes) * rails_ / port_bw_));
+}
+
+int Network::PickRail(int src, int dst) const {
+  int best = -1;
+  int best_load = 0;
+  for (int r = 0; r < rails_; ++r) {
+    if (egress_[src].rail_scale[r] <= 0.0 ||
+        ingress_[dst].rail_scale[r] <= 0.0) {
+      continue;
+    }
+    const int load = egress_[src].rail_flows[r] + ingress_[dst].rail_flows[r];
+    if (best < 0 || load < best_load) {
+      best = r;
+      best_load = load;
+    }
+  }
+  return best < 0 ? 0 : best;
 }
 
 Coro Network::Transfer(int src, int dst, uint64_t bytes) {
+  if (plan_ == nullptr || !plan_->PerturbsFabric(name_)) {
+    TransferOutcome out;
+    co_await TryTransfer(src, dst, bytes, TransferOpts{}, &out);
+    co_return;
+  }
+  const RetryPolicy& rp = plan_->retry();
+  TransferOpts opts;
+  opts.ack_timeout = static_cast<TimeNs>(
+      rp.timeout_factor * static_cast<double>(ExpectedFlowTime(bytes)));
+  const TimeNs backoff =
+      rp.backoff_base > 0 ? rp.backoff_base : std::max<TimeNs>(1, latency_ns_);
+  for (int attempt = 0;; ++attempt) {
+    TransferOutcome out;
+    co_await TryTransfer(src, dst, bytes, opts, &out);
+    if (out.delivered) co_return;
+    if (attempt >= rp.max_retries) {
+      throw FaultError(name_ + ".transfer", src,
+                       static_cast<int64_t>(out.ordinal), attempt + 1,
+                       out.timed_out ? "ack timeout" : "chunk dropped");
+    }
+    NoteRetry();
+    co_await Delay{backoff << std::min(attempt, 10)};
+  }
+}
+
+Coro Network::TryTransfer(int src, int dst, uint64_t bytes, TransferOpts opts,
+                          TransferOutcome* out) {
   TL_CHECK_GE(src, 0);
   TL_CHECK_LT(src, num_ports());
   TL_CHECK_GE(dst, 0);
   TL_CHECK_LT(dst, num_ports());
+  TL_CHECK(out != nullptr);
+  *out = TransferOutcome{};
   total_bytes_ += bytes;
   if (bytes == 0) {
     co_await Delay{latency_ns_};
     co_return;
   }
   if (src == dst) {
-    // Local copy: no fabric contention, HBM-class bandwidth.
+    // Local copy: no fabric contention, HBM-class bandwidth, no faults.
     TimeNs t = static_cast<TimeNs>(
         std::ceil(static_cast<double>(bytes) / local_copy_bw_));
     co_await Delay{latency_ns_ + t};
     co_return;
   }
+  TransientFault fate;
+  if (plan_ != nullptr) {
+    uint64_t& ord = edge_ordinal_[static_cast<std::size_t>(src) * num_ports() +
+                                  dst];
+    out->ordinal = ord++;
+    fate = plan_->OnTransfer(name_, src, dst, out->ordinal);
+  }
+  const TimeNs start = sim_->Now();
   co_await Delay{latency_ns_};
   const uint64_t id = next_flow_id_++;
   auto [it, inserted] = flows_.emplace(
@@ -39,15 +160,50 @@ Coro Network::Transfer(int src, int dst, uint64_t bytes) {
   TL_CHECK(inserted);
   Flow& flow = *it->second;
   flow.last_update = sim_->Now();
+  flow.rail = opts.rail >= 0 ? opts.rail : PickRail(src, dst);
+  TL_CHECK_LT(flow.rail, rails_);
+  out->rail = flow.rail;
+  if (opts.ack_timeout > 0) {
+    // Flow ids are never reused, so a timer outliving its flow is inert.
+    sim_->At(sim_->Now() + opts.ack_timeout, [this, id] {
+      auto fit = flows_.find(id);
+      if (fit == flows_.end()) return;
+      Flow& f = *fit->second;
+      if (f.done.value() > 0) return;  // completed, awaiting pickup
+      f.timed_out = true;
+      stats_.timeouts++;
+      f.done.Set(1);
+    });
+  }
   AddFlow(id);
   co_await flow.done.WaitGe(1);
+  const bool timed_out = flow.timed_out;
   RemoveFlow(id);
+  if (timed_out) {
+    out->delivered = false;
+    out->timed_out = true;
+    co_return;
+  }
+  if (fate.latency_mult > 1.0) {
+    // Straggler: bill the extra fraction of the observed duration.
+    const double elapsed = static_cast<double>(sim_->Now() - start);
+    stats_.spikes++;
+    co_await Delay{static_cast<TimeNs>(
+        std::ceil((fate.latency_mult - 1.0) * elapsed))};
+  }
+  if (fate.drop) {
+    // Wire time was billed, but delivery failed.
+    stats_.drops++;
+    out->delivered = false;
+  }
 }
 
 void Network::AddFlow(uint64_t id) {
   Flow& f = *flows_.at(id);
   egress_[f.src].active_flows++;
   ingress_[f.dst].active_flows++;
+  egress_[f.src].rail_flows[f.rail]++;
+  ingress_[f.dst].rail_flows[f.rail]++;
   Rebalance();
 }
 
@@ -55,8 +211,12 @@ void Network::RemoveFlow(uint64_t id) {
   Flow& f = *flows_.at(id);
   egress_[f.src].active_flows--;
   ingress_[f.dst].active_flows--;
+  egress_[f.src].rail_flows[f.rail]--;
+  ingress_[f.dst].rail_flows[f.rail]--;
   TL_CHECK_GE(egress_[f.src].active_flows, 0);
   TL_CHECK_GE(ingress_[f.dst].active_flows, 0);
+  TL_CHECK_GE(egress_[f.src].rail_flows[f.rail], 0);
+  TL_CHECK_GE(ingress_[f.dst].rail_flows[f.rail], 0);
   flows_.erase(id);
   Rebalance();
 }
@@ -74,10 +234,13 @@ void Network::Rebalance() {
   for (auto& [id, fp] : flows_) {
     Flow& f = *fp;
     if (f.done.value() > 0) continue;
-    const double eg = egress_[f.src].bw_bytes_per_ns /
-                      std::max(1, egress_[f.src].active_flows);
-    const double in = ingress_[f.dst].bw_bytes_per_ns /
-                      std::max(1, ingress_[f.dst].active_flows);
+    // With one healthy rail this is bitwise the flat bw/flows share.
+    const Port& ep = egress_[f.src];
+    const Port& ip = ingress_[f.dst];
+    const double eg = (ep.bw_bytes_per_ns / rails_) * ep.rail_scale[f.rail] /
+                      std::max(1, ep.rail_flows[f.rail]);
+    const double in = (ip.bw_bytes_per_ns / rails_) * ip.rail_scale[f.rail] /
+                      std::max(1, ip.rail_flows[f.rail]);
     f.rate = std::min(eg, in);
     ScheduleCompletion(id, f);
   }
@@ -85,8 +248,8 @@ void Network::Rebalance() {
 
 void Network::ScheduleCompletion(uint64_t id, Flow& f) {
   f.generation++;
+  if (f.rate <= 0.0) return;  // dead rail: park until rescale or ack timeout
   const uint64_t gen = f.generation;
-  TL_CHECK_GT(f.rate, 0.0);
   const TimeNs eta =
       sim_->Now() + std::max<TimeNs>(1, static_cast<TimeNs>(std::ceil(
                         f.remaining_bytes / f.rate)));

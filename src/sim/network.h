@@ -9,6 +9,15 @@
 // one producer halve each puller's rate, ring transfers run at full port
 // bandwidth, and all-to-all traffic divides ingress bandwidth.
 //
+// Ports can optionally be split into `rails` (ConfigureRails): each rail
+// owns an equal 1/rails share of the port bandwidth, scaled by a per-rail
+// health factor in [0, 1], and flows contend only within their rail. With
+// the default single healthy rail the arithmetic reduces bitwise to the flat
+// model. A FaultPlan (sim/fault.h) can drop or straggle individual transfer
+// attempts and kill or degrade rails at a simulated time; `TryTransfer`
+// reports delivery instead of throwing so callers own the retry policy,
+// while the legacy `Transfer` wraps it in the plan's bounded-retry loop.
+//
 // Rates are recomputed whenever the flow set changes; completions are
 // event-driven with generation counters so stale completion events are
 // ignored. Flows are keyed by id (not iterator) so events outliving a flow
@@ -23,16 +32,34 @@
 #include <vector>
 
 #include "common/check.h"
+#include "sim/fault.h"
 #include "sim/flag.h"
 #include "sim/simulator.h"
 
 namespace tilelink::sim {
 
 // One directional port with fixed bandwidth (bytes per nanosecond, which is
-// numerically GB/s) shared equally among active flows.
+// numerically GB/s), split across rails; each rail's share is divided
+// equally among its active flows.
 struct Port {
   double bw_bytes_per_ns = 0.0;
-  int active_flows = 0;
+  int active_flows = 0;                  // across all rails (diagnostics)
+  std::vector<int> rail_flows = {0};     // active flows per rail
+  std::vector<double> rail_scale = {1.0};  // health in [0, 1] per rail
+};
+
+// Per-attempt knobs for TryTransfer.
+struct TransferOpts {
+  int rail = -1;           // -1: pick the least-loaded live rail
+  TimeNs ack_timeout = 0;  // >0: abandon the attempt after this long
+};
+
+// What happened to one attempt.
+struct TransferOutcome {
+  bool delivered = true;
+  bool timed_out = false;
+  int rail = 0;
+  uint64_t ordinal = 0;  // per-edge attempt ordinal (0 when no plan attached)
 };
 
 class Network {
@@ -46,11 +73,47 @@ class Network {
   int num_ports() const { return static_cast<int>(egress_.size()); }
   TimeNs latency() const { return latency_ns_; }
   double port_bandwidth_gbps() const { return port_bw_; }
+  const std::string& name() const { return name_; }
 
   // Coroutine: completes when `bytes` have moved from src's egress port to
   // dst's ingress port. A src==dst transfer models a local HBM-to-HBM copy
-  // at local_copy_bw_gbps (no port contention).
+  // at local_copy_bw_gbps (no port contention). When a fault plan perturbs
+  // this fabric, failed attempts are retried under the plan's RetryPolicy
+  // and exhaustion throws FaultError; otherwise this is a single attempt.
   Coro Transfer(int src, int dst, uint64_t bytes);
+
+  // One attempt: applies the fault plan's transient fate for this attempt
+  // and reports the outcome in *out instead of retrying or throwing.
+  // Callers that need failover (link roles) build their policy on this.
+  Coro TryTransfer(int src, int dst, uint64_t bytes, TransferOpts opts,
+                   TransferOutcome* out);
+
+  // --- rails ---
+
+  // Split every port into `rails` equal-bandwidth rails (requires no active
+  // flows). Resets all rail health to 1.
+  void ConfigureRails(int rails);
+  int rails() const { return rails_; }
+
+  // Scale rail `rail` of `port` (-1: all ports) to `fraction` of its
+  // bandwidth share, on both the egress and ingress side. Bumps the rail
+  // health generation so schedulers know to re-plan.
+  void SetRailScale(int port, int rail, double fraction);
+  double RailScale(int port, int rail) const;
+  uint64_t rail_generation() const { return rail_generation_; }
+
+  // --- faults ---
+
+  // Attach a read-only fault plan (caller keeps it alive). Schedules the
+  // plan's rail degrades for this fabric onto the simulator clock.
+  void SetFaultPlan(const FaultPlan* plan);
+  const FaultPlan* fault_plan() const { return plan_; }
+  const FaultStats& fault_stats() const { return stats_; }
+  void NoteRetry() { stats_.retries++; }
+
+  // Expected serial time of one transfer on a healthy rail: the ack-timeout
+  // basis when no cost model is at hand.
+  TimeNs ExpectedFlowTime(uint64_t bytes) const;
 
   void set_local_copy_bw_gbps(double gbps) { local_copy_bw_ = gbps; }
 
@@ -66,6 +129,8 @@ class Network {
     double rate = 0.0;       // bytes/ns
     TimeNs last_update = 0;  // when remaining_bytes was valid
     uint64_t generation = 0; // bumps on every reschedule; stale events ignored
+    int rail = 0;
+    bool timed_out = false;
     Flag done;
     Flow(Simulator* sim, int s, int d, double bytes)
         : src(s), dst(d), remaining_bytes(bytes), done(sim, "flow.done") {}
@@ -78,6 +143,10 @@ class Network {
   void Rebalance();
   void ScheduleCompletion(uint64_t id, Flow& f);
   void OnCompletionEvent(uint64_t id, uint64_t generation);
+  // Least-loaded rail alive on both endpoints (tie: lowest index); rail 0
+  // when every rail is dead (the flow parks; an ack-timeout recovers it).
+  int PickRail(int src, int dst) const;
+  void ApplyDegrade(const RailDegrade& d);
 
   Simulator* sim_;
   std::vector<Port> egress_;
@@ -89,6 +158,11 @@ class Network {
   std::map<uint64_t, std::unique_ptr<Flow>> flows_;  // ordered: determinism
   uint64_t next_flow_id_ = 0;
   uint64_t total_bytes_ = 0;
+  int rails_ = 1;
+  uint64_t rail_generation_ = 0;
+  const FaultPlan* plan_ = nullptr;  // non-owning, read-only
+  FaultStats stats_;
+  std::vector<uint64_t> edge_ordinal_;  // src * num_ports + dst, plan only
 };
 
 }  // namespace tilelink::sim

@@ -125,12 +125,16 @@ void Simulator::NotifyRootDone(Coro::Handle h) {
 }
 
 void Simulator::DestroyFinishedRoots() {
-  for (Coro::Handle h : finished_roots_) {
+  // Pop before destroying: rethrowing a root's error must not leave the
+  // already-destroyed handle in the list, or the destructor (and the next
+  // Run) would touch a freed frame.
+  while (!finished_roots_.empty()) {
+    Coro::Handle h = finished_roots_.front();
+    finished_roots_.erase(finished_roots_.begin());
     std::exception_ptr err = h.promise().error;
     h.destroy();
     if (err) std::rethrow_exception(err);
   }
-  finished_roots_.clear();
 }
 
 void Simulator::Run() {
@@ -151,17 +155,23 @@ void Simulator::Run() {
   }
   if (live_roots_ > 0) {
     std::ostringstream os;
-    os << "deadlock: event queue empty with " << live_roots_
-       << " live activities; blocked on:";
-    for (const auto& [key, what] : blocked_) {
-      os << "\n  - " << what;
+    os << "deadlock: event queue empty at t=" << now_ << "ns with "
+       << live_roots_ << " live activities; blocked on:";
+    for (const auto& [key, info] : blocked_) {
+      os << "\n  - "
+         << (info.describe != nullptr ? info.describe(info.ctx) : info.what);
     }
-    throw DeadlockError(os.str());
+    throw DeadlockError(os.str(), now_);
   }
 }
 
 void Simulator::RegisterBlocked(const void* key, std::string what) {
-  blocked_[key] = std::move(what);
+  blocked_[key] = BlockedInfo{std::move(what), nullptr, nullptr};
+}
+
+void Simulator::RegisterBlockedDynamic(const void* key, const void* ctx,
+                                       std::string (*describe)(const void*)) {
+  blocked_[key] = BlockedInfo{{}, describe, ctx};
 }
 
 void Simulator::UnregisterBlocked(const void* key) { blocked_.erase(key); }

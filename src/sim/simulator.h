@@ -38,10 +38,19 @@ class TraceRecorder;
 
 // Thrown by Run() when the event queue drains while spawned activities are
 // still blocked (a lost-wakeup / miswired-channel bug in the simulated
-// program). The message lists what each blocked activity was waiting for.
+// program). The message records the simulated time of the stall and lists
+// what each blocked activity was waiting for — for flag waits, the awaited
+// threshold against the last published value.
 class DeadlockError : public tilelink::Error {
  public:
-  explicit DeadlockError(const std::string& what) : Error(what) {}
+  explicit DeadlockError(const std::string& what, TimeNs stall_time = 0)
+      : Error(what), stall_time_(stall_time) {}
+
+  // Simulated time at which the event queue drained.
+  TimeNs stall_time() const { return stall_time_; }
+
+ private:
+  TimeNs stall_time_;
 };
 
 class Simulator {
@@ -102,8 +111,14 @@ class Simulator {
   uint64_t processed_events() const { return processed_events_; }
 
   // Blocked-activity registry for deadlock diagnostics. Awaitables register
-  // a description keyed by their own address while a coroutine is parked.
+  // a description keyed by their own address while a coroutine is parked —
+  // either an eager string, or (hot path) a describe function evaluated
+  // against `ctx` only if a deadlock is actually reported, so parking
+  // allocates nothing and the report sees the *final* state (e.g. a flag's
+  // last published value, not its value when the waiter parked).
   void RegisterBlocked(const void* key, std::string what);
+  void RegisterBlockedDynamic(const void* key, const void* ctx,
+                              std::string (*describe)(const void*));
   void UnregisterBlocked(const void* key);
 
   // Optional chrome-trace recorder (not owned may be null).
@@ -180,7 +195,12 @@ class Simulator {
   // Frames of sim-owned roots still suspended; destroyed at teardown so a
   // deadlocked (never-completing) program does not leak its coroutines.
   std::unordered_set<void*> live_root_frames_;
-  std::unordered_map<const void*, std::string> blocked_;
+  struct BlockedInfo {
+    std::string what;  // used when describe == nullptr
+    std::string (*describe)(const void*) = nullptr;
+    const void* ctx = nullptr;
+  };
+  std::unordered_map<const void*, BlockedInfo> blocked_;
   TraceRecorder* trace_ = nullptr;
 };
 

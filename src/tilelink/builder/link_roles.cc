@@ -1,12 +1,14 @@
 #include "tilelink/builder/link_roles.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
 #include "common/math_utils.h"
 #include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/builder/role_plan.h"
+#include "tilelink/mapping/interval_mapping.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
@@ -31,39 +33,171 @@ namespace {
 // OpenWrite bracketing so checker retirement cannot outrun the audit. With
 // `eager_publish` (fault injection) the arrival signal fires when the send
 // starts: consumers wake mid-transfer, which the checker must catch.
-sim::Coro TransferChunk(sim::Network* net, int src, int dst, uint64_t bytes,
-                        InOrderSignal* sig, std::size_t index, int64_t tiles,
-                        sim::Flag* done, bool eager_publish, ChunkIo io) {
+//
+// Reliability: each attempt is one TryTransfer under the stream's
+// ack-timeout; a failed attempt closes its write interval with no
+// RecordWrite (nothing landed, so retirement is unpinned and the retry
+// cannot be flagged against the abort), backs off exponentially in
+// simulated time, and retries on a freshly picked rail. Exhausting the
+// budget throws FaultError naming the role, rank, and chunk; the arrival
+// prefix is only ever published for delivered payloads (or eagerly at the
+// first attempt when the fault plan injects the §4.2 reorder), so
+// InOrderSignal is delayed, never corrupted.
+//
+// `stream` outlives every spawned chunk: RunLinkStream's frame holds it
+// until the final drain wait completes.
+sim::Coro TransferChunk(const LinkStream* stream, std::size_t index,
+                        int64_t tiles, sim::Flag* done, bool eager_publish,
+                        ChunkIo io) {
+  sim::Network* net = stream->fabric;
+  const uint64_t bytes = static_cast<uint64_t>(tiles) * stream->tile_bytes;
+  InOrderSignal* sig = stream->arrival;
   rt::ConsistencyChecker* chk =
       io.world != nullptr ? &io.world->checker() : nullptr;
-  sim::TimeNs start = 0;
-  uint64_t wt = 0;
-  if (chk != nullptr) {
-    start = io.world->sim().Now();
-    for (const CopyRun& run : io.runs) {
-      chk->CheckRead(io.src, run.src_lo, run.src_lo + run.elems, start,
-                     io.reader);
+  const int max_attempts = 1 + std::max(0, stream->max_retries);
+  const sim::TimeNs backoff =
+      stream->backoff_base > 0
+          ? stream->backoff_base
+          : std::max<sim::TimeNs>(1, net->latency());
+  for (int attempt = 0;; ++attempt) {
+    sim::TimeNs start = 0;
+    uint64_t wt = 0;
+    if (chk != nullptr) {
+      start = io.world->sim().Now();
+      for (const CopyRun& run : io.runs) {
+        chk->CheckRead(io.src, run.src_lo, run.src_lo + run.elems, start,
+                       io.reader);
+      }
+      wt = chk->OpenWrite(start);
     }
-    wt = chk->OpenWrite(start);
-  }
-  if (eager_publish && sig != nullptr) sig->Complete(index, tiles);
-  co_await net->Transfer(src, dst, bytes);
-  if (chk != nullptr) {
-    const sim::TimeNs end = io.world->sim().Now();
-    auto s = io.src->data();
-    auto d = io.dst->data();
-    for (const CopyRun& run : io.runs) {
-      std::copy_n(s.data() + run.src_lo, run.elems, d.data() + run.dst_lo);
-      chk->RecordWrite(io.dst, run.dst_lo, run.dst_lo + run.elems, start, end,
-                       io.writer);
+    if (attempt == 0 && eager_publish && sig != nullptr) {
+      sig->Complete(index, tiles);
     }
-    chk->CloseWrite(wt);
+    sim::TransferOpts opts;
+    opts.ack_timeout = stream->ack_timeout;
+    if (stream->rail_of) {
+      opts.rail = stream->rail_of(static_cast<int64_t>(index), attempt);
+    }
+    sim::TransferOutcome out;
+    co_await net->TryTransfer(stream->src, stream->dst, bytes, opts, &out);
+    if (out.delivered) {
+      if (chk != nullptr) {
+        const sim::TimeNs end = io.world->sim().Now();
+        auto s = io.src->data();
+        auto d = io.dst->data();
+        for (const CopyRun& run : io.runs) {
+          std::copy_n(s.data() + run.src_lo, run.elems, d.data() + run.dst_lo);
+          chk->RecordWrite(io.dst, run.dst_lo, run.dst_lo + run.elems, start,
+                           end, io.writer);
+        }
+        chk->CloseWrite(wt);
+      }
+      break;
+    }
+    // Aborted attempt: nothing landed, so close the interval unrecorded.
+    if (chk != nullptr) chk->CloseWrite(wt);
+    if (attempt + 1 >= max_attempts) {
+      throw sim::FaultError(
+          stream->role.empty() ? std::string(stream->chunk_label)
+                               : stream->role,
+          stream->src, static_cast<int64_t>(index), attempt + 1,
+          out.timed_out ? "ack timeout" : "chunk dropped");
+    }
+    net->NoteRetry();
+    co_await sim::Delay{backoff << std::min(attempt, 10)};
   }
   if (!eager_publish && sig != nullptr) sig->Complete(index, tiles);
   done->Add(1);
 }
 
+// Self-healing rail schedule for one stream: chunks are apportioned across
+// rails proportionally to surviving bandwidth (WeightedExtents over the
+// min of the two endpoints' rail health) and interleaved smoothly; any
+// rail-health change re-plans the stream's remaining chunks, and retry
+// attempts always defer to the fabric's live least-loaded pick.
+class RailScheduler {
+ public:
+  RailScheduler(sim::Network* net, int src, int dst, int64_t total_chunks)
+      : net_(net), src_(src), dst_(dst), remaining_(total_chunks) {}
+
+  int RailFor(int64_t /*chunk*/, int attempt) {
+    if (attempt > 0) return -1;  // failover: live least-loaded rail
+    if (gen_ != net_->rail_generation()) {
+      gen_ = net_->rail_generation();
+      Rebuild();
+    }
+    const int rail =
+        qpos_ < queue_.size() ? queue_[qpos_++] : -1;  // -1: all rails dead
+    if (remaining_ > 0) remaining_--;
+    return rail;
+  }
+
+ private:
+  void Rebuild() {
+    queue_.clear();
+    qpos_ = 0;
+    const int rails = net_->rails();
+    std::vector<double> health(static_cast<size_t>(rails), 0.0);
+    for (int r = 0; r < rails; ++r) {
+      health[static_cast<size_t>(r)] =
+          std::min(net_->RailScale(src_, r), net_->RailScale(dst_, r));
+    }
+    std::vector<int64_t> left = WeightedExtents(remaining_, health);
+    queue_.reserve(static_cast<size_t>(remaining_));
+    for (int64_t i = 0; i < remaining_; ++i) {
+      int best = -1;
+      for (int r = 0; r < rails; ++r) {
+        if (left[static_cast<size_t>(r)] > 0 &&
+            (best < 0 ||
+             left[static_cast<size_t>(r)] > left[static_cast<size_t>(best)])) {
+          best = r;
+        }
+      }
+      if (best < 0) break;
+      queue_.push_back(best);
+      left[static_cast<size_t>(best)]--;
+    }
+  }
+
+  sim::Network* net_;
+  int src_;
+  int dst_;
+  int64_t remaining_;
+  uint64_t gen_ = ~0ull;  // force a build on first use
+  std::vector<int> queue_;
+  std::size_t qpos_ = 0;
+};
+
 }  // namespace
+
+void ApplyLinkFaultPolicy(rt::World& world, uint64_t chunk_bytes,
+                          LinkStream* stream) {
+  TL_CHECK(stream->fabric != nullptr);
+  stream->role = stream->name;
+  sim::Network* net = stream->fabric;
+  if (net->rails() > 1) {
+    auto sched = std::make_shared<RailScheduler>(net, stream->src, stream->dst,
+                                                 stream->num_chunks);
+    stream->rail_of = [sched](int64_t chunk, int attempt) {
+      return sched->RailFor(chunk, attempt);
+    };
+  }
+  const sim::FaultPlan* plan = world.fault_plan();
+  if (plan == nullptr || !plan->PerturbsFabric(net->name())) return;
+  const sim::RetryPolicy& rp = plan->retry();
+  stream->max_retries = rp.max_retries;
+  stream->backoff_base = rp.backoff_base;
+  // Expected uncontended chunk time on one rail (a rail owns 1/rails of the
+  // port), scaled by the plan's generous timeout factor so fair-share
+  // contention does not read as loss.
+  const bool inter = net == &world.inter_fabric();
+  const sim::TimeNs expect =
+      inter ? world.cost().NicTransfer(chunk_bytes *
+                                       static_cast<uint64_t>(net->rails()))
+            : world.cost().NvlinkTransfer(chunk_bytes);
+  stream->ack_timeout = static_cast<sim::TimeNs>(
+      rp.timeout_factor * static_cast<double>(expect));
+}
 
 sim::Coro RunLinkStream(sim::Simulator* sim, LinkStream stream) {
   TL_CHECK(stream.fabric != nullptr);
@@ -79,12 +213,9 @@ sim::Coro RunLinkStream(sim::Simulator* sim, LinkStream stream) {
     if (idx >= static_cast<std::size_t>(stream.window)) {
       co_await done.WaitGe(idx - static_cast<std::size_t>(stream.window) + 1);
     }
-    sim->Spawn(
-        TransferChunk(stream.fabric, stream.src, stream.dst,
-                      static_cast<uint64_t>(c.tiles) * stream.tile_bytes,
-                      stream.arrival, idx, c.tiles, &done, c.eager_publish,
-                      std::move(c.io)),
-        stream.chunk_label);
+    sim->Spawn(TransferChunk(&stream, idx, c.tiles, &done, c.eager_publish,
+                             std::move(c.io)),
+               stream.chunk_label);
     ++idx;
   }
   co_await done.WaitGe(idx);
@@ -116,6 +247,8 @@ LinkStream NvlinkRingRole::Stream(
   s.chunk_label = chunk_label;
   s.num_chunks = num_chunks;
   s.chunk = std::move(chunk);
+  ApplyLinkFaultPolicy(*world_,
+                       static_cast<uint64_t>(chunk_tiles_) * tile_bytes, &s);
   return s;
 }
 
@@ -152,6 +285,8 @@ LinkStream NicRailRole::Stream(
   s.chunk_label = chunk_label;
   s.num_chunks = num_chunks;
   s.chunk = std::move(chunk);
+  ApplyLinkFaultPolicy(*world_,
+                       static_cast<uint64_t>(chunk_tiles_) * tile_bytes, &s);
   return s;
 }
 

@@ -111,9 +111,37 @@ struct LinkStream {
   const char* chunk_label = "";  // spawned transfer coroutine label
   int64_t num_chunks = 0;
   std::function<LinkChunk(int64_t)> chunk;
+
+  // --- reliability (defaults keep the legacy exact-timing path) ---
+  // Per-attempt ack deadline; 0 disables timeouts entirely.
+  sim::TimeNs ack_timeout = 0;
+  // Retransmit budget after a failed attempt; exhaustion raises FaultError.
+  int max_retries = 0;
+  // Exponential-backoff unit billed in simulated time between attempts
+  // (0: the fabric's wire latency).
+  sim::TimeNs backoff_base = 0;
+  // Name reported in FaultError (set before `name` is consumed).
+  std::string role;
+  // (chunk index, attempt) -> rail, or -1 to let the fabric pick the
+  // least-loaded live rail. Installed by ApplyLinkFaultPolicy on
+  // multi-rail fabrics; retries always pass attempt > 0 so failover
+  // re-picks among survivors.
+  std::function<int(int64_t, int)> rail_of;
 };
 
 sim::Coro RunLinkStream(sim::Simulator* sim, LinkStream stream);
+
+// Arms a built stream against the world's fault plan and rail topology:
+// on a multi-rail fabric installs the self-healing rail scheduler (chunks
+// apportioned across rails by surviving bandwidth via WeightedExtents,
+// re-planned whenever rail health changes, retries falling over to the
+// least-loaded live rail); when the plan perturbs the stream's fabric,
+// arms ack-timeout (cost model's expected chunk flow time x the plan's
+// timeout_factor), bounded retransmit, and backoff. A default-constructed
+// world (no plan, one rail) leaves the stream untouched. `chunk_bytes` is
+// the size of a full chunk (tail chunks may be smaller).
+void ApplyLinkFaultPolicy(rt::World& world, uint64_t chunk_bytes,
+                          LinkStream* stream);
 
 // Intra-node NVLink ring link role (host-driven form). The device-program
 // form of the same role is kernels/ring_rs.h's BuildRingReduceScatter,

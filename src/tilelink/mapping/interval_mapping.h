@@ -36,6 +36,14 @@ TileIntervals LinearTileMapping(int64_t num_elements, int num_tiles,
 // their per-expert token counts in here.
 TileIntervals IntervalsFromExtents(const std::vector<int64_t>& extents);
 
+// Apportions `total` units across shards proportionally to `weights`
+// (largest-remainder method: exact sum, deterministic ties to the lowest
+// index). A zero weight yields a zero extent; all-zero weights yield all
+// zeros. The rail failover scheduler rebalances a stream's remaining chunks
+// across surviving rails with this, weights = surviving rail bandwidth.
+std::vector<int64_t> WeightedExtents(int64_t total,
+                                     const std::vector<double>& weights);
+
 int64_t TotalElements(const TileIntervals& mapping);
 int64_t TileElements(const TileIntervals& mapping, int tile);
 int64_t MaxTileElements(const TileIntervals& mapping);

@@ -35,13 +35,30 @@ std::string EdgeName(const char* stage, int src, int dst) {
          std::to_string(dst);
 }
 
+// The legacy unsafe_rail_{src,chunk} knobs expressed as a FaultPlan, so the
+// plan's ReorderRailChunk is the one fault-description mechanism. The
+// resulting plan stays collective-local (never attached to the World):
+// reorder entries corrupt ordering only, so timing is untouched.
+sim::FaultPlan LegacyReorderPlan(const HierConfig& cfg) {
+  sim::FaultPlan plan;
+  if (cfg.unsafe_rail_src >= 0 && cfg.unsafe_rail_chunk >= 0) {
+    plan.ReorderRailChunk(cfg.unsafe_rail_src, cfg.unsafe_rail_chunk);
+  }
+  return plan;
+}
+
 // `primary` scopes the fault to the sender's first rail exchange (its
 // lowest-node peer), so exactly one chunk misbehaves even when the sender
-// runs one send stream per peer node (3+ node topologies).
-bool EagerRailFault(const HierConfig& cfg, int sender, std::size_t index,
-                    bool primary) {
-  return primary && cfg.unsafe_rail_src == sender &&
-         cfg.unsafe_rail_chunk == static_cast<int>(index);
+// runs one send stream per peer node (3+ node topologies). Reorders come
+// from the collective's legacy shim plan or from a plan attached to the
+// World — both express the same ReorderRailChunk fault kind.
+bool EagerRailFault(const rt::World& world, const sim::FaultPlan& legacy,
+                    int sender, std::size_t index, bool primary) {
+  if (!primary) return false;
+  const int64_t chunk = static_cast<int64_t>(index);
+  if (legacy.IsRailReorder(sender, chunk)) return true;
+  const sim::FaultPlan* plan = world.fault_plan();
+  return plan != nullptr && plan->IsRailReorder(sender, chunk);
 }
 
 // True when `peer_node` is the lowest node other than `my_node`.
@@ -146,7 +163,8 @@ void HierConfig::Validate() const {
 HierAllGather::HierAllGather(rt::World& world, int64_t num_tiles,
                              uint64_t tile_bytes, const HierConfig& cfg)
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
-      cfg_(cfg), nodes_(ValidatedNodes(world.spec(), cfg)),
+      cfg_(cfg), legacy_plan_(LegacyReorderPlan(cfg)),
+      nodes_(ValidatedNodes(world.spec(), cfg)),
       per_node_(world.spec().devices_per_node),
       rail_role_(world, cfg.nic_chunk_tiles, cfg.staging_depth, nodes_ - 1),
       ring_role_(world, cfg.intra_chunk_tiles, cfg.intra_channels) {
@@ -189,7 +207,7 @@ sim::Coro HierAllGather::RailSend(rt::RankCtx& ctx, int peer) {
     const int64_t off = k * chunk_tiles;
     c.tiles = std::min(chunk_tiles, num_tiles_ - off);
     c.eager_publish =
-        EagerRailFault(cfg_, r, static_cast<std::size_t>(k), primary);
+        EagerRailFault(world_, legacy_plan_, r, static_cast<std::size_t>(k), primary);
     if (payload()) {
       const int64_t lo = (r * num_tiles_ + off) * E;
       c.io = ChunkIo{&world_, out_[static_cast<size_t>(r)],
@@ -376,6 +394,8 @@ sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
     }
     return c;
   };
+  tl::ApplyLinkFaultPolicy(
+      world_, static_cast<uint64_t>(chunk_tiles) * tile_bytes_, &stream);
   co_await RunLinkStream(ctx.sim(), std::move(stream));
   co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
       static_cast<uint64_t>(static_cast<int64_t>(R - 1) * num_tiles_));
@@ -394,7 +414,8 @@ HierReduceScatter::HierReduceScatter(rt::World& world, int64_t num_tiles,
                                      uint64_t tile_bytes,
                                      const HierConfig& cfg)
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
-      cfg_(cfg), nodes_(ValidatedNodes(world.spec(), cfg)),
+      cfg_(cfg), legacy_plan_(LegacyReorderPlan(cfg)),
+      nodes_(ValidatedNodes(world.spec(), cfg)),
       per_node_(world.spec().devices_per_node),
       group_tiles_(static_cast<int64_t>(nodes_) * num_tiles),
       rail_role_(world, cfg.nic_chunk_tiles, cfg.staging_depth, nodes_ - 1),
@@ -567,7 +588,7 @@ sim::Coro HierReduceScatter::RailSend(rt::RankCtx& ctx, int peer,
     const int64_t off = k * chunk_tiles;
     c.tiles = std::min(chunk_tiles, num_tiles_ - off);
     c.eager_publish =
-        EagerRailFault(cfg_, r, static_cast<std::size_t>(k), primary);
+        EagerRailFault(world_, legacy_plan_, r, static_cast<std::size_t>(k), primary);
     if (per_node_ > 1) {
       c.gate = {ring_reduced_[static_cast<size_t>(r)].get(),
                 static_cast<uint64_t>(
@@ -794,6 +815,8 @@ sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
     }
     return c;
   };
+  tl::ApplyLinkFaultPolicy(
+      world_, static_cast<uint64_t>(chunk_tiles) * tile_bytes_, &stream);
   co_await RunLinkStream(ctx.sim(), std::move(stream));
 }
 
@@ -888,7 +911,8 @@ static int64_t DpBlockStart(int64_t num_tiles, int nodes, int b) {
 DpAllReduce::DpAllReduce(rt::World& world, int64_t num_tiles,
                          uint64_t tile_bytes, const HierConfig& cfg)
     : world_(world), num_tiles_(num_tiles), tile_bytes_(tile_bytes),
-      cfg_(cfg), nodes_(ValidatedNodes(world.spec(), cfg)),
+      cfg_(cfg), legacy_plan_(LegacyReorderPlan(cfg)),
+      nodes_(ValidatedNodes(world.spec(), cfg)),
       per_node_(world.spec().devices_per_node),
       // Each DP group member exchanges with every other member in both
       // phases.
@@ -951,7 +975,7 @@ sim::Coro DpAllReduce::SendToPeer(rt::RankCtx& ctx, int peer, bool rs_phase) {
     c.tiles = std::min(chunk_tiles, tiles_total - off);
     c.eager_publish =
         rs_phase &&
-        EagerRailFault(cfg_, r, static_cast<std::size_t>(k), primary);
+        EagerRailFault(world_, legacy_plan_, r, static_cast<std::size_t>(k), primary);
     if (!rs_phase) {
       // A reduced chunk leaves as soon as the reducer finishes it.
       c.gate = {block_reduced_[static_cast<size_t>(r)].get(),

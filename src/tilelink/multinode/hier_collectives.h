@@ -70,6 +70,13 @@ struct HierConfig {
   // mid-flight, and in payload mode the ConsistencyChecker must report the
   // race instead of letting a silently-wrong answer through. Safe mode
   // leaves both at -1.
+  //
+  // These knobs are now a thin shim over sim::FaultPlan's reorder-fault
+  // kind (ReorderRailChunk): the collective builds a private plan from them
+  // at construction, so there is exactly one fault-description mechanism.
+  // The same reorder injected through a plan attached to the World
+  // (rt::World::set_fault_plan) behaves identically; the shim plan stays
+  // collective-local and reorder-only, so it never perturbs timing.
   int unsafe_rail_src = -1;
   int unsafe_rail_chunk = -1;
 
@@ -108,6 +115,7 @@ class HierAllGather {
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
+  sim::FaultPlan legacy_plan_;  // unsafe_rail_* shim (reorder-only, local)
   int nodes_, per_node_;
   tl::NicRailRole rail_role_;
   tl::NvlinkRingRole ring_role_;
@@ -177,6 +185,7 @@ class HierReduceScatter {
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
+  sim::FaultPlan legacy_plan_;  // unsafe_rail_* shim (reorder-only, local)
   int nodes_, per_node_;
   int64_t group_tiles_;  // nodes * num_tiles, one intra-ring group
   tl::NicRailRole rail_role_;
@@ -250,6 +259,7 @@ class DpAllReduce {
   int64_t num_tiles_;
   uint64_t tile_bytes_;
   HierConfig cfg_;
+  sim::FaultPlan legacy_plan_;  // unsafe_rail_* shim (reorder-only, local)
   int nodes_, per_node_;
   tl::NicRailRole rail_role_;
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rs_arrived_;

@@ -37,9 +37,11 @@ template <typename Collective, typename ExpectFn>
 PayloadReport RunValidation(const sim::MachineSpec& spec, int64_t num_tiles,
                             uint64_t tile_bytes, int64_t tile_elems,
                             const HierConfig& cfg, int64_t in_elems,
-                            int64_t out_elems, const ExpectFn& expect) {
+                            int64_t out_elems, const sim::FaultPlan* plan,
+                            const ExpectFn& expect) {
   rt::World world(spec, rt::ExecMode::kFunctional);
   world.checker().set_enabled(true);
+  world.set_fault_plan(plan);
   std::vector<rt::Buffer*> in =
       AllocFilled(world, "payload.in", in_elems, /*fill=*/true);
   std::vector<rt::Buffer*> out =
@@ -50,6 +52,7 @@ PayloadReport RunValidation(const sim::MachineSpec& spec, int64_t num_tiles,
   report.makespan = world.RunSpmd(
       [&](rt::RankCtx& ctx) -> sim::Coro { co_await coll.Run(ctx); });
   report.violations = world.checker().violations().size();
+  report.faults = world.fault_stats();
   report.bit_exact = true;
   for (int r = 0; r < world.size(); ++r) {
     if (!BufferMatches(out[static_cast<size_t>(r)], expect(in, r))) {
@@ -64,10 +67,11 @@ PayloadReport RunValidation(const sim::MachineSpec& spec, int64_t num_tiles,
 PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
                                     int64_t tile_elems,
-                                    const HierConfig& cfg) {
+                                    const HierConfig& cfg,
+                                    const sim::FaultPlan* plan) {
   return RunValidation<HierAllGather>(
       spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
-      spec.num_devices * num_tiles * tile_elems,
+      spec.num_devices * num_tiles * tile_elems, plan,
       [](const std::vector<rt::Buffer*>& in, int) {
         return RefAllGather(in);
       });
@@ -76,10 +80,11 @@ PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
 PayloadReport ValidateFlatAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
                                     int64_t tile_elems,
-                                    const HierConfig& cfg) {
+                                    const HierConfig& cfg,
+                                    const sim::FaultPlan* plan) {
   return RunValidation<FlatAllGather>(
       spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
-      spec.num_devices * num_tiles * tile_elems,
+      spec.num_devices * num_tiles * tile_elems, plan,
       [](const std::vector<rt::Buffer*>& in, int) {
         return RefAllGather(in);
       });
@@ -89,10 +94,12 @@ PayloadReport ValidateHierReduceScatter(const sim::MachineSpec& spec,
                                         int64_t num_tiles,
                                         uint64_t tile_bytes,
                                         int64_t tile_elems,
-                                        const HierConfig& cfg) {
+                                        const HierConfig& cfg,
+                                        const sim::FaultPlan* plan) {
   return RunValidation<HierReduceScatter>(
       spec, num_tiles, tile_bytes, tile_elems, cfg,
       spec.num_devices * num_tiles * tile_elems, num_tiles * tile_elems,
+      plan,
       [&](const std::vector<rt::Buffer*>& in, int r) {
         return RefReduceScatter(in, r, num_tiles * tile_elems);
       });
@@ -102,10 +109,12 @@ PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
                                         int64_t num_tiles,
                                         uint64_t tile_bytes,
                                         int64_t tile_elems,
-                                        const HierConfig& cfg) {
+                                        const HierConfig& cfg,
+                                        const sim::FaultPlan* plan) {
   return RunValidation<FlatReduceScatter>(
       spec, num_tiles, tile_bytes, tile_elems, cfg,
       spec.num_devices * num_tiles * tile_elems, num_tiles * tile_elems,
+      plan,
       [&](const std::vector<rt::Buffer*>& in, int r) {
         return RefReduceScatter(in, r, num_tiles * tile_elems);
       });
@@ -113,19 +122,22 @@ PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
 
 PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
                                   int64_t num_tiles, uint64_t tile_bytes,
-                                  int64_t tile_elems, const HierConfig& cfg) {
+                                  int64_t tile_elems, const HierConfig& cfg,
+                                  const sim::FaultPlan* plan) {
   return RunValidation<DpAllReduce>(
       spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
-      num_tiles * tile_elems,
+      num_tiles * tile_elems, plan,
       [&](const std::vector<rt::Buffer*>& in, int r) {
         return RefDpAllReduce(in, spec.devices_per_node, r);
       });
 }
 
 PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
-                                 const tl::GemmHierRsConfig& cfg) {
+                                 const tl::GemmHierRsConfig& cfg,
+                                 const sim::FaultPlan* plan) {
   rt::World world(spec, rt::ExecMode::kFunctional);
   world.checker().set_enabled(true);
+  world.set_fault_plan(plan);
   tl::GemmHierRs kernel(world, cfg);
   const int R = spec.num_devices;
   for (int r = 0; r < R; ++r) {
@@ -142,6 +154,7 @@ PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
   report.makespan = world.RunSpmd(
       [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
   report.violations = world.checker().violations().size();
+  report.faults = world.fault_stats();
   // Single-rank reference: out[r] = sum_p (A_p @ B_p) rows of block r.
   // Integer-lattice inputs keep every partial and cross-rank sum an exact
   // fp32 integer, so equality is exact, not approximate.

@@ -11,10 +11,17 @@
 // violations == 0` flips to `violations >= 1` — the checker catches the
 // dropped prefix-publication ordering on the NIC stage instead of letting a
 // silently wrong (or silently right-by-luck) answer through.
+//
+// Every driver also takes an optional sim::FaultPlan: the plan is attached
+// to the World before the run, so transient drops/spikes exercise the link
+// roles' retry path and rail degrades exercise failover, while the
+// bit-exactness and checker gates stay exactly as strict as the fault-free
+// run. The caller keeps the plan alive for the duration of the call.
 #pragma once
 
 #include <cstdint>
 
+#include "sim/fault.h"
 #include "sim/machine_spec.h"
 #include "tilelink/kernels/gemm_hier_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
@@ -25,27 +32,33 @@ struct PayloadReport {
   bool bit_exact = false;     // every rank matched its reference
   std::size_t violations = 0; // consistency violations found
   sim::TimeNs makespan = 0;   // identical to the timing-only makespan
+  sim::FaultStats faults;     // drops/spikes/timeouts injected + retries run
 
   bool ok() const { return bit_exact && violations == 0; }
 };
 
 PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
-                                    int64_t tile_elems, const HierConfig& cfg);
+                                    int64_t tile_elems, const HierConfig& cfg,
+                                    const sim::FaultPlan* plan = nullptr);
 PayloadReport ValidateFlatAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
-                                    int64_t tile_elems, const HierConfig& cfg);
+                                    int64_t tile_elems, const HierConfig& cfg,
+                                    const sim::FaultPlan* plan = nullptr);
 PayloadReport ValidateHierReduceScatter(const sim::MachineSpec& spec,
                                         int64_t num_tiles, uint64_t tile_bytes,
                                         int64_t tile_elems,
-                                        const HierConfig& cfg);
+                                        const HierConfig& cfg,
+                                        const sim::FaultPlan* plan = nullptr);
 PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
                                         int64_t num_tiles, uint64_t tile_bytes,
                                         int64_t tile_elems,
-                                        const HierConfig& cfg);
+                                        const HierConfig& cfg,
+                                        const sim::FaultPlan* plan = nullptr);
 PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
                                   int64_t num_tiles, uint64_t tile_bytes,
-                                  int64_t tile_elems, const HierConfig& cfg);
+                                  int64_t tile_elems, const HierConfig& cfg,
+                                  const sim::FaultPlan* plan = nullptr);
 
 // Fused-kernel validation: run GemmHierRs on a functional world with
 // integer-lattice A/B (fp32 sums of small integers are exact, so the
@@ -55,6 +68,7 @@ PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
 // through the compiled kernel's checker instrumentation, so `violations`
 // counts real consistency races in the fused pipeline.
 PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
-                                 const tl::GemmHierRsConfig& cfg);
+                                 const tl::GemmHierRsConfig& cfg,
+                                 const sim::FaultPlan* plan = nullptr);
 
 }  // namespace tilelink::multinode

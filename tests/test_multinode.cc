@@ -377,6 +377,101 @@ TEST(FaultInjection, EagerRailPublishCaughtOnDpAllReduce) {
   EXPECT_GE(r.violations, 1u);
 }
 
+// The unsafe_rail_* knobs are a shim over sim::FaultPlan::ReorderRailChunk:
+// the same reorder injected through a World-attached plan must be caught
+// identically, with the legacy knobs left untouched.
+TEST(FaultInjection, ReorderViaWorldPlanMatchesLegacyKnob) {
+  sim::FaultPlan plan;
+  plan.ReorderRailChunk(/*src_rank=*/0, /*chunk=*/0);
+  const PayloadReport r =
+      ValidateHierAllGather(TwoNodeSpec(8), 6, 16 << 10, 8, HierConfig{},
+                            &plan);
+  EXPECT_GE(r.violations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans: retry, failover, determinism
+// ---------------------------------------------------------------------------
+
+// A NIC edge that drops every attempt must surface as a FaultError naming
+// the link role, sending rank, and chunk — not as a bare deadlock.
+TEST(FaultPlan, ExhaustedRetriesSurfaceNamedFaultError) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  sim::FaultPlan plan;
+  // Drop every attempt rank 0's rail stream can make toward its rail peer
+  // (2 chunks x 3 attempts each fit in the first 8 edge ordinals).
+  for (uint64_t ord = 0; ord < 8; ++ord) {
+    plan.DropTransfer("nic", /*src=*/0, /*dst=*/8, ord);
+  }
+  sim::RetryPolicy rp;
+  rp.max_retries = 2;
+  plan.set_retry(rp);
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  world.set_fault_plan(&plan);
+  HierAllGather ag(world, 6, 16 << 10, HierConfig{});
+  try {
+    world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+      co_await ag.Run(ctx);
+    });
+    FAIL() << "expected FaultError";
+  } catch (const sim::FaultError& e) {
+    EXPECT_NE(e.role().find("hier_ag"), std::string::npos) << e.role();
+    EXPECT_GE(e.rank(), 0);
+    EXPECT_LT(e.rank(), spec.num_devices);
+    EXPECT_GE(e.chunk(), 0);
+    EXPECT_EQ(e.attempts(), 3);  // 1 + max_retries
+    EXPECT_NE(std::string(e.what()).find("chunk dropped"),
+              std::string::npos);
+  }
+}
+
+// Seeded transient mixes: every collective stays bit-exact with zero
+// checker violations while the retry path is genuinely exercised, and the
+// same seed replays the identical timeline.
+TEST(FaultPlan, TransientMixKeepsCollectivesBitExactAndDeterministic) {
+  const MachineSpec spec = TwoNodeSpec(8);
+  sim::FaultPlan plan;
+  plan.RandomTransients("nic", /*seed=*/7, /*drop_prob=*/0.1,
+                        /*spike_prob=*/0.1, /*spike_mult=*/3.0);
+  plan.RandomTransients("nvlink", /*seed=*/8, /*drop_prob=*/0.05,
+                        /*spike_prob=*/0.1, /*spike_mult=*/2.0);
+  const PayloadReport a =
+      ValidateHierReduceScatter(spec, 24, 64 << 10, 8, HierConfig{}, &plan);
+  EXPECT_TRUE(a.ok());
+  EXPECT_GT(a.faults.drops, 0u);
+  EXPECT_GT(a.faults.retries, 0u);
+  const PayloadReport b =
+      ValidateHierReduceScatter(spec, 24, 64 << 10, 8, HierConfig{}, &plan);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.faults.drops, b.faults.drops);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+}
+
+// Killing one of two NIC rails at t=0: the rail scheduler re-chunks all
+// traffic onto the survivor, the run completes bit-exactly, and the NIC
+// stage pays at most the surviving-bandwidth factor.
+TEST(FaultPlan, RailDeathFailsOverBitExact) {
+  MachineSpec spec = TwoNodeSpec(8);
+  spec.nic_rails = 2;
+  HierConfig cfg;
+  cfg.nic_chunk_tiles = 2;  // 12 tiles -> 6 NIC chunks per stream
+  cfg.staging_depth = 6;
+  const PayloadReport clean =
+      ValidateHierAllGather(spec, 12, 256 << 10, 8, cfg);
+  ASSERT_TRUE(clean.ok());
+  sim::FaultPlan death;
+  death.DegradeRail("nic", /*port=*/-1, /*rail=*/1, /*at=*/0,
+                    /*fraction=*/0.0);
+  const PayloadReport r =
+      ValidateHierAllGather(spec, 12, 256 << 10, 8, cfg, &death);
+  EXPECT_TRUE(r.ok());
+  // One dead rail of two leaves half the NIC bandwidth: the whole run can
+  // cost at most 2x the fault-free makespan (plus pipeline headroom).
+  EXPECT_LE(static_cast<double>(r.makespan),
+            2.1 * static_cast<double>(clean.makespan));
+  EXPECT_GT(r.makespan, clean.makespan);
+}
+
 // ---------------------------------------------------------------------------
 // Link-role refactor: pinned pre-refactor makespans
 // ---------------------------------------------------------------------------

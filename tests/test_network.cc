@@ -1,9 +1,14 @@
 // Tests for the flow-level interconnect: serial bandwidth, fair sharing,
 // latency accounting, local copies, cross-fabric independence, World
-// routing, and stale completion events.
+// routing, stale completion events, rail splitting, and the deterministic
+// fault layer (targeted drops/spikes, seeded transients, ack timeouts,
+// rail death and failover).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "runtime/world.h"
+#include "sim/fault.h"
 #include "sim/machine_spec.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -186,6 +191,206 @@ TEST(World, ConcurrentIntraAndInterTransfersOverlap) {
               b / spec.nvlink_gbps, b / spec.nvlink_gbps * 0.01);
   EXPECT_NEAR(static_cast<double>(inter_done - spec.nic_latency),
               b / spec.nic_gbps, b / spec.nic_gbps * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Rails
+// ---------------------------------------------------------------------------
+
+Coro OneTry(Network* net, int src, int dst, uint64_t bytes, TransferOpts opts,
+            TransferOutcome* out, TimeNs* done, Simulator* sim) {
+  co_await net->TryTransfer(src, dst, bytes, opts, out);
+  *done = sim->Now();
+}
+
+TEST(Rails, FlowsContendOnlyWithinTheirRail) {
+  Simulator sim;
+  Network net(&sim, 4, kBw, /*latency=*/0, "nic");
+  net.ConfigureRails(2);
+  // Two flows on the same egress port but different rails: each owns its
+  // rail's bw/2 share, so both finish as if alone on half the port.
+  TransferOutcome oa, ob;
+  TimeNs da = 0, db = 0;
+  TransferOpts rail0, rail1;
+  rail0.rail = 0;
+  rail1.rail = 1;
+  sim.Spawn(OneTry(&net, 0, 1, 100000, rail0, &oa, &da, &sim));
+  sim.Spawn(OneTry(&net, 0, 2, 100000, rail1, &ob, &db, &sim));
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(da), 2000.0, 5.0);  // 100000 / (100/2)
+  EXPECT_NEAR(static_cast<double>(db), 2000.0, 5.0);
+  EXPECT_EQ(oa.rail, 0);
+  EXPECT_EQ(ob.rail, 1);
+
+  // Same rail: they share the rail's bw/2.
+  TimeNs dc = 0, dd = 0;
+  TransferOutcome oc, od;
+  sim.Spawn(OneTry(&net, 0, 1, 100000, rail0, &oc, &dc, &sim));
+  sim.Spawn(OneTry(&net, 0, 2, 100000, rail0, &od, &dd, &sim));
+  const TimeNs t0 = sim.Now();
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(dc - t0), 4000.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(dd - t0), 4000.0, 5.0);
+}
+
+TEST(Rails, AutoPickSpreadsAcrossLeastLoadedLiveRails) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, /*latency=*/0, "nic");
+  net.ConfigureRails(4);
+  net.SetRailScale(/*port=*/-1, /*rail=*/2, 0.0);  // rail 2 dead up front
+  EXPECT_EQ(net.rail_generation(), 1u);
+  std::vector<TransferOutcome> outs(6);
+  std::vector<TimeNs> done(6);
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn(OneTry(&net, 0, 1, 1000, TransferOpts{}, &outs[i], &done[i],
+                     &sim));
+  }
+  sim.Run();
+  int per_rail[4] = {0, 0, 0, 0};
+  for (const TransferOutcome& o : outs) per_rail[o.rail]++;
+  EXPECT_EQ(per_rail[0], 2);  // 6 flows over live rails {0, 1, 3}
+  EXPECT_EQ(per_rail[1], 2);
+  EXPECT_EQ(per_rail[2], 0);
+  EXPECT_EQ(per_rail[3], 2);
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------------
+
+TEST(Faults, TargetedDropBillsWireButFailsDelivery) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, kLatency, "nic");
+  FaultPlan plan;
+  plan.DropTransfer("nic", 0, 1, /*ordinal=*/0);
+  net.SetFaultPlan(&plan);
+  TransferOutcome o0, o1;
+  TimeNs d0 = 0, d1 = 0;
+  sim.Spawn([](Network* net, TransferOutcome* o0, TransferOutcome* o1,
+               TimeNs* d0, TimeNs* d1, Simulator* sim) -> Coro {
+    co_await net->TryTransfer(0, 1, 100000, TransferOpts{}, o0);
+    *d0 = sim->Now();
+    co_await net->TryTransfer(0, 1, 100000, TransferOpts{}, o1);
+    *d1 = sim->Now();
+  }(&net, &o0, &o1, &d0, &d1, &sim));
+  sim.Run();
+  EXPECT_FALSE(o0.delivered);  // ordinal 0 dropped...
+  EXPECT_EQ(o0.ordinal, 0u);
+  EXPECT_NEAR(static_cast<double>(d0), 1000.0 + kLatency, 5.0);  // wire billed
+  EXPECT_TRUE(o1.delivered);  // ...retry carries ordinal 1, not re-dropped
+  EXPECT_EQ(o1.ordinal, 1u);
+  EXPECT_EQ(net.fault_stats().drops, 1u);
+}
+
+TEST(Faults, TransferWrapperRetriesDroppedChunks) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, kLatency, "nic");
+  FaultPlan plan;
+  plan.DropTransfer("nic", 0, 1, 0);
+  plan.DropTransfer("nic", 0, 1, 1);
+  net.SetFaultPlan(&plan);
+  TimeNs done = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 100000, &done, &sim));
+  sim.Run();
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(net.fault_stats().drops, 2u);
+  EXPECT_EQ(net.fault_stats().retries, 2u);
+}
+
+TEST(Faults, ExhaustedRetriesRaiseNamedFaultError) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, kLatency, "nic");
+  FaultPlan plan;
+  for (uint64_t ord = 0; ord < 8; ++ord) plan.DropTransfer("nic", 0, 1, ord);
+  RetryPolicy rp;
+  rp.max_retries = 2;
+  plan.set_retry(rp);
+  net.SetFaultPlan(&plan);
+  TimeNs done = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 100000, &done, &sim));
+  try {
+    sim.Run();
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.role(), "nic.transfer");
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.attempts(), 3);  // 1 + max_retries
+    EXPECT_NE(std::string(e.what()).find("chunk dropped"), std::string::npos);
+  }
+}
+
+TEST(Faults, LatencySpikeBillsMultiplier) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, kLatency, "nic");
+  FaultPlan plan;
+  plan.SpikeTransfer("nic", 0, 1, /*ordinal=*/0, /*mult=*/3.0);
+  net.SetFaultPlan(&plan);
+  TimeNs spiked = 0, clean = 0;
+  sim.Spawn([](Network* net, TimeNs* spiked, TimeNs* clean,
+               Simulator* sim) -> Coro {
+    const TimeNs t0 = sim->Now();
+    co_await net->Transfer(0, 1, 100000);
+    *spiked = sim->Now() - t0;
+    const TimeNs t1 = sim->Now();
+    co_await net->Transfer(0, 1, 100000);
+    *clean = sim->Now() - t1;
+  }(&net, &spiked, &clean, &sim));
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(spiked), 3.0 * static_cast<double>(clean),
+              5.0);
+  EXPECT_EQ(net.fault_stats().spikes, 1u);
+}
+
+TEST(Faults, RailDeathParksFlowAndAckTimeoutRecovers) {
+  Simulator sim;
+  Network net(&sim, 2, kBw, /*latency=*/10, "nic");
+  net.ConfigureRails(2);
+  // Kill rail 0 mid-flight. The legacy Transfer wrapper picks rail 0 (least
+  // loaded, tie-lowest), the flow parks at rate 0, the ack timeout fires,
+  // and the retry lands on surviving rail 1.
+  FaultPlan plan;
+  plan.DegradeRail("nic", /*port=*/-1, /*rail=*/0, /*at=*/500,
+                   /*fraction=*/0.0);
+  net.SetFaultPlan(&plan);
+  TimeNs done = 0;
+  sim.Spawn(OneTransfer(&net, 0, 1, 100000, &done, &sim));
+  sim.Run();
+  EXPECT_GT(done, 0);
+  EXPECT_GE(net.fault_stats().timeouts, 1u);
+  EXPECT_GE(net.fault_stats().retries, 1u);
+  EXPECT_EQ(net.RailScale(0, 0), 0.0);
+  EXPECT_EQ(net.RailScale(0, 1), 1.0);
+  EXPECT_EQ(net.active_flow_count(), 0);
+}
+
+TEST(Faults, IdenticalSeedsReplayIdenticalTimelines) {
+  // Two independent simulators with the same seeded plan must produce
+  // bit-identical completion times and fault counters; a different seed
+  // must produce a different timeline.
+  auto run = [](uint64_t seed, std::vector<TimeNs>* times) -> FaultStats {
+    Simulator sim;
+    Network net(&sim, 4, kBw, kLatency, "nic");
+    FaultPlan plan;
+    plan.RandomTransients("nic", seed, /*drop_prob=*/0.25,
+                          /*spike_prob=*/0.25, /*spike_mult=*/2.0);
+    net.SetFaultPlan(&plan);
+    times->assign(16, 0);
+    for (int i = 0; i < 16; ++i) {
+      sim.Spawn(OneTransfer(&net, i % 3, 3, 50000, &(*times)[i], &sim));
+    }
+    sim.Run();
+    return net.fault_stats();
+  };
+  std::vector<TimeNs> a, b, c;
+  const FaultStats sa = run(42, &a);
+  const FaultStats sb = run(42, &b);
+  const FaultStats sc = run(43, &c);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sa.drops, sb.drops);
+  EXPECT_EQ(sa.spikes, sb.spikes);
+  EXPECT_GT(sa.drops + sa.spikes, 0u);  // the mix actually injected faults
+  EXPECT_GT(sc.drops + sc.spikes, 0u);
+  EXPECT_NE(a, c);
 }
 
 }  // namespace

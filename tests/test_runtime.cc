@@ -241,6 +241,34 @@ TEST(Runtime, ConsistencyCheckerOpenWriteGuardsInFlightAudit) {
   EXPECT_TRUE(chk.violations().empty());
 }
 
+// The link roles' retry path: a chunk attempt that fails (drop or ack
+// timeout) closes its write bracket WITHOUT recording a write. The close
+// must unpin the retirement watermark — an aborted attempt that leaked its
+// token would pin retirement forever — and must leave no phantom write for
+// the audit, so a reader probed during the aborted attempt reports nothing.
+TEST(Runtime, ConsistencyCheckerAbortedWriteUnpinsRetirement) {
+  World world(sim::MachineSpec::Test(1), ExecMode::kFunctional);
+  ConsistencyChecker& chk = world.checker();
+  chk.set_enabled(true);
+  Tensor t = Tensor::Alloc(world.device(0), "buf", {64}, DType::kFP32);
+  const uint64_t wt = chk.OpenWrite(100);  // attempt departs...
+  chk.CheckRead(t.buffer(), 0, 8, 150, "reader");
+  chk.CloseWrite(wt);  // ...and is aborted: nothing was delivered
+  EXPECT_EQ(chk.violations().size(), 0u);
+  // The watermark is unpinned: retirement passes the aborted bracket and
+  // reclaims the probe.
+  chk.RetireUpTo(10000);
+  EXPECT_EQ(chk.live_reads(), 0u);
+  EXPECT_EQ(chk.live_writes(), 0u);
+  // The successful retry is a fresh bracket and audits normally.
+  const uint64_t wt2 = chk.OpenWrite(200);
+  chk.CheckRead(t.buffer(), 0, 8, 20000, "retry_racer");
+  chk.RecordWrite(t.buffer(), 0, 8, 19000, 21000, "retry_writer");
+  chk.CloseWrite(wt2);
+  ASSERT_EQ(chk.violations().size(), 1u);
+  EXPECT_EQ(chk.violations()[0].reader, "retry_racer");
+}
+
 // Two plain writes overlapping in both element range and time race; a
 // write starting exactly at another's end is the correct pipeline handoff;
 // disjoint ranges never report.

@@ -20,6 +20,7 @@
 
 #include "common/rng.h"
 #include "compute/moe_routing.h"
+#include "sim/fault.h"
 #include "tilelink/builder/comm_bounds.h"
 #include "tilelink/builder/kernel_tuning.h"
 #include "tilelink/builder/tuned_config_cache.h"
@@ -629,6 +630,37 @@ TEST(ParallelSearchTest, DeterministicOnMultiNodeSpaces) {
                             multinode::DefaultDpSyncCandidate()),
       multinode::TuneDpSync(spec, grad_bytes, tl::TuningSpace::MultiNode(),
                             multinode::DefaultDpSyncCandidate(), parallel));
+}
+
+TEST(ParallelSearchTest, DeterministicUnderSharedFaultPlan) {
+  // Fault injection must not break the bitwise parallel-search guarantee:
+  // every worker's World shares one read-only FaultPlan (per-edge ordinal
+  // counters live per-Network, so the retry/failover timelines are pure
+  // functions of the candidate), and the full TuneResult at 8 threads must
+  // match serial exactly.
+  sim::MachineSpec spec = sim::MachineSpec::H800x8();
+  spec.num_devices = 4;
+  spec.devices_per_node = 2;
+  spec.nic_rails = 2;
+  sim::FaultPlan plan;
+  plan.RandomTransients("nic", /*seed=*/11, /*drop_prob=*/0.1,
+                        /*spike_prob=*/0.1, /*spike_mult=*/2.0);
+  plan.DegradeRail("nic", /*port=*/-1, /*rail=*/1, /*at=*/sim::Us(30),
+                   /*fraction=*/0.25);
+  auto eval = [&](const TuneCandidate& c) {
+    multinode::HierConfig cfg = multinode::HierConfig::FromCandidate(c);
+    rt::World world(spec, rt::ExecMode::kTimingOnly);
+    world.set_fault_plan(&plan);
+    multinode::HierAllGather ag(world, 12, 64 << 10, cfg);
+    return world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+      co_await ag.Run(ctx);
+    });
+  };
+  const TuneCandidate seed = multinode::DefaultDpSyncCandidate();
+  const TuneResult serial =
+      Autotuner().Search(TuningSpace::MultiNode(), seed, eval);
+  ExpectIdenticalResults(
+      serial, ThreadedTuner(8).Search(TuningSpace::MultiNode(), seed, eval));
 }
 
 TEST(ParallelSearchTest, VerboseUnderThreadsIsSerializedAndComplete) {
