@@ -28,15 +28,26 @@ namespace tilelink::bench {
 class BenchReport {
  public:
   BenchReport(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--json") json_path_ = argv[i + 1];
-      if (arg == "--cache") cache_path_ = argv[i + 1];
+      if (i + 1 < argc) {
+        if (arg == "--json") json_path_ = argv[i + 1];
+        if (arg == "--cache") cache_path_ = argv[i + 1];
+        if (arg == "--trace") trace_path_ = argv[i + 1];
+      }
+      // `--flag=path` forms of the same three.
+      if (arg.rfind("--json=", 0) == 0) json_path_ = arg.substr(7);
+      if (arg.rfind("--cache=", 0) == 0) cache_path_ = arg.substr(8);
+      if (arg.rfind("--trace=", 0) == 0) trace_path_ = arg.substr(8);
     }
   }
 
   const std::string& json_path() const { return json_path_; }
   const std::string& cache_path() const { return cache_path_; }
+  // Chrome-trace output path (`--trace <path>` / `--trace=path`); benches
+  // that support timeline recording re-run a representative workload with a
+  // TraceRecorder attached and Save() it here. Empty when not requested.
+  const std::string& trace_path() const { return trace_path_; }
 
   void Record(const std::string& key, double value) { values_[key] = value; }
 
@@ -64,6 +75,7 @@ class BenchReport {
  private:
   std::string json_path_;
   std::string cache_path_;
+  std::string trace_path_;
   std::map<std::string, double> values_;
 };
 

@@ -25,7 +25,9 @@
 // --tune-threads <n> sets the parallel sweep's worker count (default 4);
 // --json <path> writes per-model latencies/speedups, the per-layer
 // component breakdown (attn / ffn / dp-sync), the geomeans and the tuner
-// wall-clocks.
+// wall-clocks. --trace <path> records the 16xH800 section's simulated NIC
+// gradient sync (the tile-granular DP AllReduce) as a chrome-trace
+// timeline and saves it there.
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -33,6 +35,8 @@
 
 #include "bench/bench_common.h"
 #include "models/transformer.h"
+#include "sim/trace.h"
+#include "tilelink/multinode/payload_validation.h"
 
 namespace {
 
@@ -246,6 +250,19 @@ int main(int argc, char** argv) {
       "Simulated dilution: %.3fx (paper %.3fx; accepted band %.3f..%.3f).\n",
       dilution, paper_8x / paper_16x, kMinDilution, kMaxDilution);
   report.Record("fig11.dilution", dilution);
+  if (!report.trace_path().empty()) {
+    // The timeline view of the two-node section's emergent cost: the
+    // simulated DP gradient AllReduce over the NIC fabric, at the same
+    // tile/chunk granularity the dilution gate above measures.
+    sim::TraceRecorder rec;
+    multinode::ValidateDpAllReduce(sim::MachineSpec::H800x16(),
+                                   /*num_tiles=*/24, /*tile_bytes=*/64 << 10,
+                                   /*tile_elems=*/128, multinode::HierConfig{},
+                                   /*plan=*/nullptr, &rec, /*pid_base=*/0);
+    rec.Save(report.trace_path());
+    std::printf("trace: wrote %s (%zu events)\n", report.trace_path().c_str(),
+                rec.size());
+  }
   report.WriteJson();
   bool ok = one.ok && two.ok;
   if (!identical || warm_check != serial_check) {

@@ -1,6 +1,10 @@
 // Figure 8 + Table 2: tensor-parallel MLP on 8xH800 — AG+GEMM, GEMM+RS and
 // the full MLP layer, for cuBLAS+NCCL (non-overlap), Async-TP (operator
 // decomposition), FLUX (coupled fusion) and TileLink.
+//
+// `--trace <path>` re-runs the first shape's TileLink GEMM+RS with a
+// TraceRecorder attached and saves the timeline (per-op compute/comm spans
+// from the device programs plus link/wire spans) as chrome-trace JSON.
 #include <algorithm>
 
 #include "baselines/flux_baselines.h"
@@ -8,6 +12,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_shapes.h"
 #include "compute/memops.h"
+#include "sim/trace.h"
 #include "tilelink/builder/kernel_tuning.h"
 #include "tilelink/kernels/ag_gemm.h"
 #include "tilelink/kernels/gemm_rs.h"
@@ -207,6 +212,29 @@ bool TuneMlp1(const MlpShape& s, double ag_default_ms, double rs_default_ms,
   return ok && skipped > 0;
 }
 
+// One representative TileLink GEMM+RS run re-recorded with the fabric
+// timeline attached (--trace <path>). The recorder must be wired into the
+// World before the kernel is constructed; tracing never changes the
+// simulated makespan (pinned by tests/test_trace.cc).
+void SaveGemmRsTrace(const MlpShape& s, const std::string& path) {
+  sim::TraceRecorder rec;
+  rt::World world = MakeH800x8();
+  world.set_trace(&rec, /*pid_base=*/0, "gemm_rs");
+  const int R = world.size();
+  tl::GemmRsConfig cfg;
+  cfg.m = s.s;
+  cfg.k = s.i / R;
+  cfg.n = s.h;
+  cfg.gemm = CoarseTiling(s.i / R);
+  cfg.rs_block_m = RsBlock(s.s / R, cfg.gemm.bm);
+  cfg.dma_push = true;
+  tl::GemmRs bench(world, cfg);
+  world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
+  rec.Save(path);
+  std::printf("trace: wrote %s (%zu events)\n", path.c_str(), rec.size());
+}
+
 double ActivationMs(int64_t m, int64_t n) {
   sim::MachineSpec spec = sim::MachineSpec::H800x8();
   const sim::CostModel cost(spec);
@@ -267,6 +295,9 @@ int main(int argc, char** argv) {
     const MlpShape s = Table4Mlp().front();
     tuned_ok = TuneMlp1(s, AgGemmTileLink(s.s, s.h, s.i / R),
                         GemmRsTileLink(s.s, s.i / R, s.h), &report);
+  }
+  if (!report.trace_path().empty()) {
+    SaveGemmRsTrace(Table4Mlp().front(), report.trace_path());
   }
   report.WriteJson();
 

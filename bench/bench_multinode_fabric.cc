@@ -21,7 +21,11 @@
 // the fused kernel bit-exact with zero checker violations, and killing one
 // of four rails at t=0 must cost at most 4/3 (+10%) of the fault-free
 // makespan on bandwidth-bound shapes. The timing gates below are identical
-// with or without any flag.
+// with or without any flag. Every invocation also runs the fabric
+// timeline/profiler gate (valid chrome-trace JSON, a >= 3-arrow
+// producer->ring->rail->reduce flow chain, internally consistent overlap
+// numbers, tracing-on/off bitwise makespan identity); --trace <path> saves
+// the recorded timeline for chrome://tracing / Perfetto.
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -30,6 +34,8 @@
 
 #include "bench/bench_common.h"
 #include "sim/fault.h"
+#include "sim/profile.h"
+#include "sim/trace.h"
 #include "tilelink/multinode/hier_collectives.h"
 #include "tilelink/multinode/multinode_tuning.h"
 #include "tilelink/multinode/payload_validation.h"
@@ -263,11 +269,18 @@ bool RunFaultSweep(const tilelink::sim::MachineSpec& base,
                   r.violations, (unsigned long long)r.faults.drops,
                   (unsigned long long)r.faults.spikes,
                   (unsigned long long)r.faults.retries);
-      report->Record("multinode.faults." + sched_name + "." + t.name + ".ok",
-                     pass ? 1.0 : 0.0);
-      report->Record(
-          "multinode.faults." + sched_name + "." + t.name + ".retries",
-          static_cast<double>(r.faults.retries));
+      const std::string key =
+          "multinode.faults." + sched_name + "." + t.name;
+      report->Record(key + ".ok", pass ? 1.0 : 0.0);
+      report->Record(key + ".retries", static_cast<double>(r.faults.retries));
+      report->Record(key + ".drops", static_cast<double>(r.faults.drops));
+      report->Record(key + ".spikes", static_cast<double>(r.faults.spikes));
+      report->Record(key + ".timeouts",
+                     static_cast<double>(r.faults.timeouts));
+      report->Record(key + ".checker_retired",
+                     static_cast<double>(r.checker_retired));
+      report->Record(key + ".checker_live",
+                     static_cast<double>(r.checker_live));
       ok = ok && pass;
     }
   }
@@ -324,6 +337,118 @@ bool RunFaultSweep(const tilelink::sim::MachineSpec& base,
   return ok;
 }
 
+// Fabric timeline + critical-path profiler gate: re-run two representative
+// functional workloads with one TraceRecorder attached (the fused
+// GEMM+hier-RS kernel at pid base 0, HierReduceScatter at pid base 100 —
+// disjoint pid blocks in one timeline), then audit the recording
+// end-to-end: the serialized chrome-trace JSON must parse, the
+// producer -> ring chunk -> rail chunk -> reduce flow chain must be present
+// (>= 3 arrows), the profiler's overlap numbers must be internally
+// consistent, and re-running both workloads *without* the recorder must
+// reproduce the traced makespans bitwise (tracing is observation only).
+// With --faults, a third traced run carries an active FaultPlan and the
+// timeline must surface fault.* instants. `--trace <path>` saves the
+// timeline; the fabric.* keys land in --json and scripts/ci.sh gates them.
+bool RunTimelineProfile(const tilelink::sim::MachineSpec& spec,
+                        tilelink::bench::BenchReport* report,
+                        bool with_faults) {
+  using namespace tilelink;
+  using namespace tilelink::multinode;
+  bool ok = true;
+  std::printf("=== Fabric timeline + critical-path profiler ===\n");
+
+  sim::TraceRecorder rec;
+  tl::GemmHierRsConfig small;
+  small.m = static_cast<int64_t>(spec.num_devices) * 16;
+  small.k = 16;
+  small.n = 16;
+  small.gemm = {8, 16, 8};
+  small.rs_block_m = 8;
+  const HierConfig cfg;
+  const int64_t tiles = 24;
+  const uint64_t tile_bytes = 64 << 10;
+  const int64_t tile_elems = 128;
+  const PayloadReport fused =
+      ValidateGemmHierRs(spec, small, nullptr, &rec, /*trace_pid_base=*/0);
+  const PayloadReport hrs = ValidateHierReduceScatter(
+      spec, tiles, tile_bytes, tile_elems, cfg, nullptr, &rec,
+      /*trace_pid_base=*/100);
+  ok = ok && fused.ok() && hrs.ok();
+
+  std::string err;
+  const bool valid = sim::TraceRecorder::ValidateJson(rec.ToJson(), &err);
+  if (!valid) std::printf("  trace JSON invalid: %s\n", err.c_str());
+  const int chain = sim::LongestFlowChain(rec);
+  const sim::Profile prof = sim::BuildProfile(rec);
+  std::string why;
+  const bool consistent = prof.Consistent(&why);
+  if (!consistent) std::printf("  profile inconsistent: %s\n", why.c_str());
+
+  std::printf("  events=%zu json_valid=%d flow_chain=%d (need >= 3)\n",
+              rec.size(), valid ? 1 : 0, chain);
+  std::printf("  compute_util=%.3f wire_util=%.3f exposed_comm_frac=%.3f\n",
+              prof.compute_util, prof.wire_util, prof.exposed_comm_frac);
+  std::printf("%s", sim::FormatCriticalPath(prof).c_str());
+
+  report->Record("fabric.trace_events", static_cast<double>(rec.size()));
+  report->Record("fabric.trace_valid", valid ? 1.0 : 0.0);
+  report->Record("fabric.flow_chain", static_cast<double>(chain));
+  report->Record("fabric.compute_util", prof.compute_util);
+  report->Record("fabric.wire_util", prof.wire_util);
+  report->Record("fabric.exposed_comm_frac", prof.exposed_comm_frac);
+  report->Record("fabric.critical_path_ns",
+                 static_cast<double>(prof.critical_path));
+  report->Record("fabric.critical_span_ns",
+                 static_cast<double>(prof.critical_span));
+  report->Record("fabric.makespan_ns", static_cast<double>(prof.makespan));
+  ok = ok && valid && chain >= 3 && consistent &&
+       prof.critical_path <= prof.makespan;
+
+  // Pay-for-use gate: untraced re-runs must land on bitwise-identical
+  // makespans — attaching the recorder may not perturb scheduling.
+  const PayloadReport fused_quiet = ValidateGemmHierRs(spec, small);
+  const PayloadReport hrs_quiet = ValidateHierReduceScatter(
+      spec, tiles, tile_bytes, tile_elems, cfg);
+  const bool invariant = fused_quiet.makespan == fused.makespan &&
+                         hrs_quiet.makespan == hrs.makespan;
+  std::printf("  trace-off makespans identical: %d\n", invariant ? 1 : 0);
+  report->Record("fabric.trace_invariant", invariant ? 1.0 : 0.0);
+  ok = ok && invariant;
+
+  if (with_faults) {
+    sim::MachineSpec fspec = spec;
+    fspec.nic_rails = 4;
+    HierConfig fcfg;
+    fcfg.nic_chunk_tiles = 4;
+    fcfg.staging_depth = 12;
+    sim::FaultPlan plan;
+    plan.RandomTransients("nic", /*seed=*/1ull, /*drop_prob=*/0.08,
+                          /*spike_prob=*/0.10, /*spike_mult=*/3.0);
+    const PayloadReport fr =
+        ValidateHierAllGather(fspec, /*num_tiles=*/48, 512 << 10, tile_elems,
+                              fcfg, &plan, &rec, /*trace_pid_base=*/200);
+    std::size_t instants = 0;
+    for (const auto& e : rec.events()) {
+      if (e.phase == sim::TraceRecorder::Phase::kInstant &&
+          e.name.rfind("fault.", 0) == 0) {
+        ++instants;
+      }
+    }
+    std::printf("  fault instants=%zu (must be >= 1)\n", instants);
+    report->Record("fabric.fault_instants", static_cast<double>(instants));
+    ok = ok && fr.ok() && instants >= 1;
+  }
+
+  if (!report->trace_path().empty()) {
+    rec.Save(report->trace_path());
+    std::printf("  trace written to %s (%zu events)\n",
+                report->trace_path().c_str(), rec.size());
+  }
+  std::printf("%s\n\n",
+              ok ? "timeline profile OK" : "timeline profile FAILED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,15 +458,18 @@ int main(int argc, char** argv) {
   const sim::MachineSpec spec = sim::MachineSpec::H800x16();
   const multinode::HierConfig cfg;
   bool ok = true;
+  bool faults_flag = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--payload") == 0) {
       ok = RunPayloadValidation(spec, &report) && ok;
     } else if (std::strcmp(argv[i], "--fused") == 0) {
       ok = RunFusedGate(spec, &report) && ok;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults_flag = true;
       ok = RunFaultSweep(spec, &report) && ok;
     }
   }
+  ok = RunTimelineProfile(spec, &report, faults_flag) && ok;
 
   std::printf("=== Multi-node fabric: 2x8 H800, hierarchical vs flat ===\n");
   ResultTable table("tile-granular collectives (2x8, per-rank shard)",
@@ -404,9 +532,10 @@ int main(int argc, char** argv) {
   if (!ok) {
     std::printf("\nFAIL: hierarchical lost to flat, a tuned DP-sync config "
                 "lost to the hand-picked defaults, (with --payload) the "
-                "functional validation failed, or (with --fused) the fused "
+                "functional validation failed, (with --fused) the fused "
                 "GEMM+hier-RS kernel lost to the layer-level compose or its "
-                "functional run failed.\n");
+                "functional run failed, or the fabric timeline/profiler "
+                "gate failed.\n");
     return 1;
   }
   std::printf("\nOK: hierarchical beats flat at 2x8; tuned DP-sync configs "

@@ -23,7 +23,14 @@
 #      single-stage baseline at 2x8, if a tuned DP-sync config loses to
 #      the hand-picked two-node defaults, or if the fused gemm_hier_rs
 #      kernel loses to the layer-level GEMM-then-HierRS compose (or its
-#      functional run is not bit-exact / violation-free).
+#      functional run is not bit-exact / violation-free). The bench also
+#      self-gates the fabric timeline: the recorded chrome-trace JSON must
+#      parse, the producer->ring->rail->reduce flow chain must be present,
+#      the profiler must be internally consistent (utilizations in [0,1],
+#      critical path <= makespan), traced faults must surface as fault.*
+#      instants, and makespans must be bitwise identical with tracing on or
+#      off. The stage then checks the fabric.* keys landed in the JSON
+#      report and that the saved trace file is non-trivial.
 # Usage: scripts/ci.sh [--fast]   (--fast skips the sanitizer/bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,7 +71,19 @@ if [[ "$FAST" == "0" ]]; then
 
   echo "=== [5/5] 16-GPU smoke (payload + fused + faults + hier vs flat) ==="
   ./build-ci/bench_multinode_fabric --payload --fused --faults \
-      --json build-ci/BENCH_multinode.json
+      --json build-ci/BENCH_multinode.json \
+      --trace build-ci/TRACE_multinode.json
+  # The bench already gates trace validity, the flow chain and profiler
+  # consistency via its exit code; double-check the artifacts made it out.
+  for key in fabric.exposed_comm_frac fabric.critical_path_ns \
+             fabric.compute_util fabric.wire_util; do
+    grep -q "\"$key\"" build-ci/BENCH_multinode.json \
+        || { echo "missing $key in BENCH_multinode.json"; exit 1; }
+  done
+  [[ -s build-ci/TRACE_multinode.json ]] \
+      || { echo "empty TRACE_multinode.json"; exit 1; }
+  grep -q '"ph"' build-ci/TRACE_multinode.json \
+      || { echo "TRACE_multinode.json has no trace events"; exit 1; }
 fi
 
 echo "CI OK"

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
+
 namespace tilelink::rt {
+
+void ConsistencyChecker::TraceCounters(sim::TimeNs ts) {
+  if (trace_ == nullptr || trace_pid_ < 0) return;
+  trace_->AddCounter(trace_pid_, "checker.live", "writes", ts,
+                     static_cast<double>(live_writes()));
+  trace_->AddCounter(trace_pid_, "checker.live", "reads", ts,
+                     static_cast<double>(live_reads()));
+  trace_->AddCounter(trace_pid_, "checker.retired", "intervals", ts,
+                     static_cast<double>(retired_));
+}
 
 uint64_t ConsistencyChecker::OpenWrite(sim::TimeNs start) {
   if (!enabled_) return 0;
@@ -65,6 +77,10 @@ void ConsistencyChecker::RecordWrite(const Buffer* buf, int64_t lo, int64_t hi,
     }
   }
   ++records_since_retire_;
+  if (trace_ != nullptr && ++records_since_trace_ >= kTraceSamplePeriod) {
+    records_since_trace_ = 0;
+    TraceCounters(horizon_);
+  }
   MaybeAutoRetire();
 }
 
@@ -113,6 +129,7 @@ void ConsistencyChecker::RetireUpTo(sim::TimeNs watermark) {
     it = vec.empty() ? reads_.erase(it) : std::next(it);
   }
   records_since_retire_ = 0;
+  TraceCounters(std::max(watermark, horizon_));
 }
 
 void ConsistencyChecker::MaybeAutoRetire() {

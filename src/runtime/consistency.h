@@ -36,6 +36,10 @@
 
 #include "sim/time.h"
 
+namespace tilelink::sim {
+class TraceRecorder;
+}  // namespace tilelink::sim
+
 namespace tilelink::rt {
 
 class Buffer;
@@ -119,6 +123,18 @@ class ConsistencyChecker {
   const std::vector<Violation>& violations() const { return violations_; }
   void Clear();
 
+  // --- tracing ---
+  // Emits live-write/live-read/retired counters onto trace process `pid`
+  // ("checker" counter tracks): sampled every kTraceSamplePeriod recorded
+  // writes and at every retirement, so the timeline shows checker pressure
+  // without one counter point per interval. Null recorder disables.
+  static constexpr std::size_t kTraceSamplePeriod = 64;
+  void set_trace(sim::TraceRecorder* trace, int pid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+    records_since_trace_ = 0;
+  }
+
  private:
   struct WriteInterval {
     int64_t lo, hi;
@@ -133,6 +149,8 @@ class ConsistencyChecker {
   };
 
   void MaybeAutoRetire();
+  // Emits the live/retired counter sample at sim-time `ts` (trace only).
+  void TraceCounters(sim::TimeNs ts);
 
   bool enabled_ = false;
   std::unordered_map<const Buffer*, std::vector<WriteInterval>> writes_;
@@ -144,6 +162,9 @@ class ConsistencyChecker {
   std::size_t auto_retire_period_ = kDefaultAutoRetirePeriod;
   std::size_t records_since_retire_ = 0;
   std::size_t retired_ = 0;
+  sim::TraceRecorder* trace_ = nullptr;  // non-owning
+  int trace_pid_ = -1;
+  std::size_t records_since_trace_ = 0;
 };
 
 }  // namespace tilelink::rt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
+
 namespace tilelink::rt {
 
 World::World(const sim::MachineSpec& spec, ExecMode mode)
@@ -52,6 +54,33 @@ sim::FaultStats World::fault_stats() const {
   sim::FaultStats out = intra_->fault_stats();
   out += inter_->fault_stats();
   return out;
+}
+
+void World::set_trace(sim::TraceRecorder* trace, int pid_base,
+                      const std::string& label) {
+  trace_ = trace;
+  trace_pid_base_ = pid_base;
+  sim_.set_trace(trace);
+  if (trace == nullptr) {
+    intra_->set_trace_pid(-1);
+    inter_->set_trace_pid(-1);
+    checker_.set_trace(nullptr, -1);
+    sim_.set_trace_pid(0);
+    return;
+  }
+  const std::string prefix = label.empty() ? std::string() : label + " ";
+  const int n = size();
+  for (int r = 0; r < n; ++r) {
+    trace->SetProcessName(pid_base + r, prefix + "rank" + std::to_string(r));
+  }
+  intra_->set_trace_pid(pid_base + n);
+  trace->SetProcessName(pid_base + n, prefix + "fabric nvlink");
+  inter_->set_trace_pid(pid_base + n + 1);
+  trace->SetProcessName(pid_base + n + 1, prefix + "fabric nic");
+  checker_.set_trace(trace, pid_base + n + 2);
+  trace->SetProcessName(pid_base + n + 2, prefix + "checker");
+  sim_.set_trace_pid(pid_base + n + 3);
+  trace->SetProcessName(pid_base + n + 3, prefix + "host");
 }
 
 std::vector<Buffer*> World::AllocSymmetric(const std::string& name,

@@ -94,6 +94,22 @@ class World {
   // Fault counters summed over both fabrics.
   sim::FaultStats fault_stats() const;
 
+  // --- tracing ---
+  // Attach a trace recorder (caller keeps it alive; nullptr detaches).
+  // Assigns this world a contiguous trace-pid block starting at `pid_base`:
+  // ranks 0..size-1, then the nvlink fabric, nic fabric, checker and host
+  // event loop. `label` prefixes the process names so one recorder can hold
+  // several worlds (give each a disjoint pid_base). Tracing is strictly
+  // observational: with no recorder every emission site is skipped, and
+  // makespans are bitwise identical either way (pinned by test_trace).
+  void set_trace(sim::TraceRecorder* trace, int pid_base = 0,
+                 const std::string& label = "");
+  sim::TraceRecorder* trace() const { return trace_; }
+  // Trace pid of one rank's spans, or -1 when untraced.
+  int trace_pid(int rank) const {
+    return trace_ != nullptr ? trace_pid_base_ + rank : -1;
+  }
+
   // Symmetric allocation: one identically-sized buffer per rank. Index the
   // result by rank; remote entries model NVSHMEM symmetric-heap peers.
   std::vector<Buffer*> AllocSymmetric(const std::string& name,
@@ -119,6 +135,8 @@ class World {
   std::unique_ptr<HostBarrier> barrier_;
   std::unique_ptr<HostBarrier> comm_barrier_;
   const sim::FaultPlan* fault_plan_ = nullptr;  // non-owning
+  sim::TraceRecorder* trace_ = nullptr;         // non-owning
+  int trace_pid_base_ = 0;
 };
 
 }  // namespace tilelink::rt

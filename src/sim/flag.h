@@ -25,6 +25,7 @@ class Flag {
 
   uint64_t value() const { return value_; }
   const std::string& name() const { return name_; }
+  Simulator* sim() const { return sim_; }
 
   // Raises the flag to at least v (monotonic store, release semantics are
   // the caller's responsibility via scheduling order).

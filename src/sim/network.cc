@@ -3,7 +3,39 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/trace.h"
+
 namespace tilelink::sim {
+
+namespace {
+
+std::string RailLane(int rail) { return "rail" + std::to_string(rail); }
+
+}  // namespace
+
+void Network::NoteRetry() {
+  stats_.retries++;
+  if (TraceRecorder* t = Tracer()) {
+    t->AddInstant(trace_pid_, t->Track(trace_pid_, "faults"), "fault.retry",
+                  sim_->Now(),
+                  {TraceArg::Num("retries", static_cast<double>(stats_.retries))});
+  }
+}
+
+double Network::InflightBytes(int rail) const {
+  double sum = 0;
+  for (const auto& [id, fp] : flows_) {
+    if (fp->rail == rail && fp->done.value() == 0) sum += fp->remaining_bytes;
+  }
+  return sum;
+}
+
+void Network::TraceRailCounter(int rail) {
+  if (TraceRecorder* t = Tracer()) {
+    t->AddCounter(trace_pid_, name_ + ".inflight_bytes", RailLane(rail),
+                  sim_->Now(), InflightBytes(rail));
+  }
+}
 
 Network::Network(Simulator* sim, int num_ports, double port_bw_gbps,
                  TimeNs latency_ns, std::string name)
@@ -40,6 +72,16 @@ void Network::SetRailScale(int port, int rail, double fraction) {
     ingress_[p].rail_scale[rail] = fraction;
   }
   rail_generation_++;
+  if (TraceRecorder* t = Tracer()) {
+    t->AddCounter(trace_pid_, name_ + ".rail_health", RailLane(rail),
+                  sim_->Now(), fraction);
+    t->AddInstant(trace_pid_, t->Track(trace_pid_, RailLane(rail)),
+                  "rail_generation", sim_->Now(),
+                  {TraceArg::Num("generation",
+                                 static_cast<double>(rail_generation_)),
+                   TraceArg::Num("port", port),
+                   TraceArg::Num("fraction", fraction)});
+  }
   Rebalance();
 }
 
@@ -72,6 +114,17 @@ void Network::ApplyDegrade(const RailDegrade& d) {
     ingress_[p].rail_scale[d.rail] = d.fraction;
   }
   rail_generation_++;
+  if (TraceRecorder* t = Tracer()) {
+    t->AddCounter(trace_pid_, name_ + ".rail_health", RailLane(d.rail),
+                  sim_->Now(), d.fraction);
+    t->AddInstant(
+        trace_pid_, t->Track(trace_pid_, RailLane(d.rail)),
+        d.fraction <= 0.0 ? "fault.rail_death" : "fault.rail_degrade",
+        sim_->Now(),
+        {TraceArg::Num("generation", static_cast<double>(rail_generation_)),
+         TraceArg::Num("port", d.port),
+         TraceArg::Num("fraction", d.fraction)});
+  }
   Rebalance();
 }
 
@@ -172,13 +225,29 @@ Coro Network::TryTransfer(int src, int dst, uint64_t bytes, TransferOpts opts,
       if (f.done.value() > 0) return;  // completed, awaiting pickup
       f.timed_out = true;
       stats_.timeouts++;
+      if (TraceRecorder* t = Tracer()) {
+        t->AddInstant(trace_pid_, t->Track(trace_pid_, RailLane(f.rail)),
+                      "fault.timeout", sim_->Now(),
+                      {TraceArg::Num("src", f.src), TraceArg::Num("dst", f.dst),
+                       TraceArg::Num("rail", f.rail)});
+      }
       f.done.Set(1);
     });
   }
   AddFlow(id);
+  const TimeNs wire_start = sim_->Now();
   co_await flow.done.WaitGe(1);
   const bool timed_out = flow.timed_out;
+  const int rail_used = flow.rail;
   RemoveFlow(id);
+  if (TraceRecorder* t = Tracer()) {
+    t->AddSpan(trace_pid_, t->Track(trace_pid_, RailLane(rail_used)),
+               name_ + ".xfer", wire_start, sim_->Now(), kCatWire,
+               {TraceArg::Num("bytes", static_cast<double>(bytes)),
+                TraceArg::Num("src", src), TraceArg::Num("dst", dst),
+                TraceArg::Num("rail", rail_used),
+                TraceArg::Num("delivered", timed_out ? 0 : 1)});
+  }
   if (timed_out) {
     out->delivered = false;
     out->timed_out = true;
@@ -188,12 +257,24 @@ Coro Network::TryTransfer(int src, int dst, uint64_t bytes, TransferOpts opts,
     // Straggler: bill the extra fraction of the observed duration.
     const double elapsed = static_cast<double>(sim_->Now() - start);
     stats_.spikes++;
+    if (TraceRecorder* t = Tracer()) {
+      t->AddInstant(trace_pid_, t->Track(trace_pid_, RailLane(rail_used)),
+                    "fault.spike", sim_->Now(),
+                    {TraceArg::Num("src", src), TraceArg::Num("dst", dst),
+                     TraceArg::Num("latency_mult", fate.latency_mult)});
+    }
     co_await Delay{static_cast<TimeNs>(
         std::ceil((fate.latency_mult - 1.0) * elapsed))};
   }
   if (fate.drop) {
     // Wire time was billed, but delivery failed.
     stats_.drops++;
+    if (TraceRecorder* t = Tracer()) {
+      t->AddInstant(trace_pid_, t->Track(trace_pid_, RailLane(rail_used)),
+                    "fault.drop", sim_->Now(),
+                    {TraceArg::Num("src", src), TraceArg::Num("dst", dst),
+                     TraceArg::Num("rail", rail_used)});
+    }
     out->delivered = false;
   }
 }
@@ -205,6 +286,7 @@ void Network::AddFlow(uint64_t id) {
   egress_[f.src].rail_flows[f.rail]++;
   ingress_[f.dst].rail_flows[f.rail]++;
   Rebalance();
+  TraceRailCounter(f.rail);
 }
 
 void Network::RemoveFlow(uint64_t id) {
@@ -217,8 +299,10 @@ void Network::RemoveFlow(uint64_t id) {
   TL_CHECK_GE(ingress_[f.dst].active_flows, 0);
   TL_CHECK_GE(egress_[f.src].rail_flows[f.rail], 0);
   TL_CHECK_GE(ingress_[f.dst].rail_flows[f.rail], 0);
+  const int rail = f.rail;
   flows_.erase(id);
   Rebalance();
+  TraceRailCounter(rail);
 }
 
 void Network::Rebalance() {

@@ -109,7 +109,15 @@ class Network {
   void SetFaultPlan(const FaultPlan* plan);
   const FaultPlan* fault_plan() const { return plan_; }
   const FaultStats& fault_stats() const { return stats_; }
-  void NoteRetry() { stats_.retries++; }
+  void NoteRetry();
+
+  // --- tracing ---
+
+  // Trace process id for this fabric's wire spans, per-rail counters and
+  // fault instants (assigned by World::set_trace; -1 keeps the fabric
+  // silent even when the simulator has a recorder).
+  void set_trace_pid(int pid) { trace_pid_ = pid; }
+  int trace_pid() const { return trace_pid_; }
 
   // Expected serial time of one transfer on a healthy rail: the ack-timeout
   // basis when no cost model is at hand.
@@ -138,6 +146,13 @@ class Network {
 
   void AddFlow(uint64_t id);
   void RemoveFlow(uint64_t id);
+  // The simulator's recorder when this fabric is trace-enabled, else null.
+  TraceRecorder* Tracer() const {
+    return trace_pid_ >= 0 ? sim_->trace() : nullptr;
+  }
+  // Sum of remaining bytes across active flows on one rail (trace only).
+  double InflightBytes(int rail) const;
+  void TraceRailCounter(int rail);
   // Advances progress of all flows to Now(), recomputes rates, reschedules
   // completion events.
   void Rebalance();
@@ -163,6 +178,7 @@ class Network {
   const FaultPlan* plan_ = nullptr;  // non-owning, read-only
   FaultStats stats_;
   std::vector<uint64_t> edge_ordinal_;  // src * num_ports + dst, plan only
+  int trace_pid_ = -1;
 };
 
 }  // namespace tilelink::sim

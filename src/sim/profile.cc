@@ -1,0 +1,414 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace tilelink::sim {
+
+namespace {
+
+using Event = TraceRecorder::Event;
+using Phase = TraceRecorder::Phase;
+using Interval = std::pair<TimeNs, TimeNs>;
+
+bool EligibleSpan(const Event& e) {
+  return e.phase == Phase::kSpan &&
+         (e.category == kCatCompute || e.category == kCatWire ||
+          e.category == kCatComm);
+}
+
+uint64_t TrackKey(int pid, int tid) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(pid)) << 32) |
+         static_cast<uint32_t>(tid);
+}
+
+std::vector<Interval> Merge(std::vector<Interval> iv) {
+  std::sort(iv.begin(), iv.end());
+  std::vector<Interval> out;
+  for (const Interval& x : iv) {
+    if (x.second <= x.first) continue;
+    if (!out.empty() && x.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, x.second);
+    } else {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+TimeNs TotalLength(const std::vector<Interval>& merged) {
+  TimeNs sum = 0;
+  for (const Interval& x : merged) sum += x.second - x.first;
+  return sum;
+}
+
+// |a \ b| for merged interval lists.
+TimeNs SubtractLength(const std::vector<Interval>& a,
+                      const std::vector<Interval>& b) {
+  TimeNs sum = 0;
+  size_t j = 0;
+  for (const Interval& x : a) {
+    TimeNs lo = x.first;
+    while (j < b.size() && b[j].second <= lo) ++j;
+    size_t k = j;
+    while (lo < x.second) {
+      if (k >= b.size() || b[k].first >= x.second) {
+        sum += x.second - lo;
+        break;
+      }
+      if (b[k].first > lo) sum += b[k].first - lo;
+      lo = std::max(lo, b[k].second);
+      ++k;
+    }
+  }
+  return sum;
+}
+
+// Per-track span index plus flow endpoints, shared by the critical-path
+// walk and the flow-chain scan.
+struct SpanGraph {
+  const std::vector<Event>* events = nullptr;
+  std::vector<size_t> spans;  // indices of eligible spans
+  // Track -> eligible span indices sorted by (start, end, idx).
+  std::unordered_map<uint64_t, std::vector<size_t>> by_track;
+  // Track -> flow-finish event indices sorted by ts.
+  std::unordered_map<uint64_t, std::vector<size_t>> finishes;
+  // flow id -> flow-start event index (first emission wins).
+  std::unordered_map<uint64_t, size_t> starts;
+
+  explicit SpanGraph(const TraceRecorder& rec) {
+    events = &rec.events();
+    const auto& ev = *events;
+    for (size_t i = 0; i < ev.size(); ++i) {
+      const Event& e = ev[i];
+      if (EligibleSpan(e)) {
+        spans.push_back(i);
+        by_track[TrackKey(e.pid, e.tid)].push_back(i);
+      } else if (e.phase == Phase::kFlowFinish) {
+        finishes[TrackKey(e.pid, e.tid)].push_back(i);
+      } else if (e.phase == Phase::kFlowStart) {
+        starts.emplace(e.flow, i);
+      }
+    }
+    auto by_start = [&](size_t a, size_t b) {
+      const Event& x = ev[a];
+      const Event& y = ev[b];
+      return std::tie(x.start, x.end, a) < std::tie(y.start, y.end, b);
+    };
+    for (auto& [key, v] : by_track) std::sort(v.begin(), v.end(), by_start);
+    auto by_ts = [&](size_t a, size_t b) {
+      return std::tie(ev[a].start, a) < std::tie(ev[b].start, b);
+    };
+    for (auto& [key, v] : finishes) std::sort(v.begin(), v.end(), by_ts);
+  }
+
+  // The eligible span on (pid, tid) containing ts, preferring the latest
+  // start (deterministic); npos when none.
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t SpanAt(int pid, int tid, TimeNs ts) const {
+    auto it = by_track.find(TrackKey(pid, tid));
+    if (it == by_track.end()) return kNone;
+    const auto& v = it->second;
+    const auto& ev = *events;
+    size_t best = kNone;
+    for (size_t k = v.size(); k-- > 0;) {
+      const Event& e = ev[v[k]];
+      if (e.start > ts) continue;
+      if (e.end >= ts) {
+        best = v[k];
+        break;  // sorted by start: the latest start containing ts
+      }
+      // Spans on one track may overlap; keep scanning earlier starts whose
+      // end might still reach ts.
+    }
+    if (best != kNone) return best;
+    for (size_t k = v.size(); k-- > 0;) {
+      const Event& e = ev[v[k]];
+      if (e.start <= ts && e.end >= ts) return v[k];
+    }
+    return kNone;
+  }
+};
+
+}  // namespace
+
+bool Profile::Consistent(std::string* why) const {
+  auto fail = [&](const std::string& w) {
+    if (why != nullptr) *why = w;
+    return false;
+  };
+  auto unit = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (makespan < 0) return fail("negative makespan");
+  if (!unit(compute_util)) return fail("compute_util outside [0,1]");
+  if (!unit(wire_util)) return fail("wire_util outside [0,1]");
+  if (!unit(exposed_comm_frac)) return fail("exposed_comm_frac outside [0,1]");
+  for (const RankProfile& r : ranks) {
+    if (!unit(r.compute_util) || !unit(r.exposed_comm_frac)) {
+      return fail("rank " + std::to_string(r.pid) + " util outside [0,1]");
+    }
+    if (r.exposed_comm > r.comm_busy) {
+      return fail("rank " + std::to_string(r.pid) + " exposed > comm busy");
+    }
+    if (r.compute_busy > makespan || r.comm_busy > makespan) {
+      return fail("rank " + std::to_string(r.pid) + " busy > makespan");
+    }
+  }
+  if (critical_path > critical_span) return fail("path durations > extent");
+  if (critical_span > makespan) return fail("path extent > makespan");
+  return true;
+}
+
+Profile BuildProfile(const TraceRecorder& rec) {
+  Profile p;
+  SpanGraph g(rec);
+  const auto& ev = rec.events();
+  if (g.spans.empty()) return p;
+
+  p.t0 = ev[g.spans.front()].start;
+  p.t1 = ev[g.spans.front()].end;
+  for (size_t i : g.spans) {
+    p.t0 = std::min(p.t0, ev[i].start);
+    p.t1 = std::max(p.t1, ev[i].end);
+  }
+  p.makespan = p.t1 - p.t0;
+
+  // ---- per-rank busy/exposed -------------------------------------------
+  std::map<int, std::vector<Interval>> compute_iv, comm_iv;
+  std::unordered_map<uint64_t, std::vector<Interval>> wire_iv;
+  for (size_t i : g.spans) {
+    const Event& e = ev[i];
+    if (e.category == kCatCompute) {
+      compute_iv[e.pid].emplace_back(e.start, e.end);
+    } else if (e.category == kCatComm) {
+      comm_iv[e.pid].emplace_back(e.start, e.end);
+    } else {
+      wire_iv[TrackKey(e.pid, e.tid)].emplace_back(e.start, e.end);
+    }
+  }
+  std::map<int, RankProfile> ranks;
+  for (auto& [pid, iv] : compute_iv) {
+    RankProfile& r = ranks[pid];
+    r.pid = pid;
+    r.compute_busy = TotalLength(Merge(std::move(iv)));
+  }
+  for (auto& [pid, iv] : comm_iv) {
+    RankProfile& r = ranks[pid];
+    r.pid = pid;
+    std::vector<Interval> comm = Merge(std::move(iv));
+    r.comm_busy = TotalLength(comm);
+    auto cit = compute_iv.find(pid);
+    if (cit != compute_iv.end()) {
+      // compute_iv was moved-from above; rebuild from spans is avoided by
+      // re-merging the rank's compute spans here.
+      std::vector<Interval> comp;
+      for (size_t i : g.spans) {
+        const Event& e = ev[i];
+        if (e.pid == pid && e.category == kCatCompute) {
+          comp.emplace_back(e.start, e.end);
+        }
+      }
+      r.exposed_comm = SubtractLength(comm, Merge(std::move(comp)));
+    } else {
+      r.exposed_comm = r.comm_busy;
+    }
+  }
+  double compute_sum = 0, exposed_sum = 0;
+  int compute_n = 0, comm_n = 0;
+  TimeNs exposed_ns_sum = 0;
+  for (auto& [pid, r] : ranks) {
+    if (p.makespan > 0) {
+      r.compute_util = static_cast<double>(r.compute_busy) / p.makespan;
+      r.exposed_comm_frac = static_cast<double>(r.exposed_comm) / p.makespan;
+    }
+    if (r.compute_busy > 0 || compute_iv.count(pid) != 0) {
+      compute_sum += r.compute_util;
+      ++compute_n;
+    }
+    if (r.comm_busy > 0 || comm_iv.count(pid) != 0) {
+      exposed_sum += r.exposed_comm_frac;
+      exposed_ns_sum += r.exposed_comm;
+      ++comm_n;
+    }
+    p.ranks.push_back(r);
+  }
+  if (compute_n > 0) p.compute_util = compute_sum / compute_n;
+  if (comm_n > 0) {
+    p.exposed_comm_frac = exposed_sum / comm_n;
+    p.exposed_comm = exposed_ns_sum / comm_n;
+  }
+  double wire_max = 0;
+  for (auto& [key, iv] : wire_iv) {
+    if (p.makespan <= 0) break;
+    const double u =
+        static_cast<double>(TotalLength(Merge(std::move(iv)))) / p.makespan;
+    wire_max = std::max(wire_max, u);
+  }
+  p.wire_util = wire_max;
+
+  // ---- critical-path walk ----------------------------------------------
+  size_t cur = g.spans.front();
+  for (size_t i : g.spans) {
+    const Event& a = ev[i];
+    const Event& b = ev[cur];
+    if (std::tie(a.end, a.start, i) > std::tie(b.end, b.start, cur)) cur = i;
+  }
+  std::unordered_set<size_t> visited;
+  std::vector<std::pair<size_t, bool>> chain;  // (span idx, linked via flow)
+  bool via_flow = false;
+  while (true) {
+    visited.insert(cur);
+    chain.emplace_back(cur, via_flow);
+    const Event& c = ev[cur];
+    size_t best = SpanGraph::kNone;
+    bool best_flow = false;
+    auto consider = [&](size_t cand, bool flow) {
+      if (cand == SpanGraph::kNone || visited.count(cand) != 0) return;
+      const Event& e = ev[cand];
+      if (e.end > c.start) return;  // keep the chain non-overlapping
+      if (best == SpanGraph::kNone) {
+        best = cand;
+        best_flow = flow;
+        return;
+      }
+      const Event& b = ev[best];
+      auto ka = std::tie(e.end, e.start, cand);
+      auto kb = std::tie(b.end, b.start, best);
+      if (ka > kb || (ka == kb && flow && !best_flow)) {
+        best = cand;
+        best_flow = flow;
+      }
+    };
+    // Flow predecessors: arrows finishing inside this span.
+    auto fit = g.finishes.find(TrackKey(c.pid, c.tid));
+    if (fit != g.finishes.end()) {
+      for (size_t fi : fit->second) {
+        const Event& f = ev[fi];
+        if (f.start < c.start || f.start > c.end) continue;
+        auto sit = g.starts.find(f.flow);
+        if (sit == g.starts.end()) continue;
+        const Event& s = ev[sit->second];
+        consider(g.SpanAt(s.pid, s.tid, s.start), /*flow=*/true);
+      }
+    }
+    // Track predecessor: the latest earlier span on the same lane.
+    auto tit = g.by_track.find(TrackKey(c.pid, c.tid));
+    if (tit != g.by_track.end()) {
+      size_t latest = SpanGraph::kNone;
+      for (size_t i : tit->second) {
+        const Event& e = ev[i];
+        if (e.end > c.start || visited.count(i) != 0) continue;
+        if (latest == SpanGraph::kNone ||
+            std::tie(e.end, e.start, i) >
+                std::tie(ev[latest].end, ev[latest].start, latest)) {
+          latest = i;
+        }
+      }
+      consider(latest, /*flow=*/false);
+    }
+    if (best == SpanGraph::kNone) break;
+    via_flow = best_flow;
+    cur = best;
+  }
+  std::reverse(chain.begin(), chain.end());
+  for (size_t k = 0; k < chain.size(); ++k) {
+    const Event& e = ev[chain[k].first];
+    CriticalPathStep step;
+    step.name = e.name;
+    step.pid = e.pid;
+    step.tid = e.tid;
+    step.start = e.start;
+    step.end = e.end;
+    // chain[k].second records how step k was reached from its predecessor
+    // during the backward walk, i.e. the link between k and k+1 after the
+    // reverse; shift so via_flow marks the link to the *previous* step.
+    step.via_flow = k > 0 && chain[k - 1].second;
+    p.critical_path += step.dur();
+    p.path.push_back(std::move(step));
+  }
+  if (!p.path.empty()) {
+    p.critical_span = p.path.back().end - p.path.front().start;
+  }
+  return p;
+}
+
+std::string FormatCriticalPath(const Profile& p, std::size_t top_k) {
+  std::ostringstream os;
+  os << "critical path: " << p.path.size() << " steps, busy "
+     << static_cast<double>(p.critical_path) / 1e3 << " us, extent "
+     << static_cast<double>(p.critical_span) / 1e3 << " us, makespan "
+     << static_cast<double>(p.makespan) / 1e3 << " us";
+  if (p.path.empty()) {
+    os << "\n";
+    return os.str();
+  }
+  // The k longest steps, printed chronologically.
+  std::vector<size_t> order(p.path.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return p.path[a].dur() > p.path[b].dur();
+  });
+  if (order.size() > top_k) order.resize(top_k);
+  std::sort(order.begin(), order.end());
+  for (size_t i : order) {
+    const CriticalPathStep& s = p.path[i];
+    os << "\n  [" << s.pid << "/" << s.tid << "] " << s.name
+       << " ts=" << static_cast<double>(s.start) / 1e3
+       << "us dur=" << static_cast<double>(s.dur()) / 1e3 << "us"
+       << (s.via_flow ? " (flow)" : "");
+  }
+  os << "\n";
+  return os.str();
+}
+
+int LongestFlowChain(const TraceRecorder& rec) {
+  SpanGraph g(rec);
+  const auto& ev = rec.events();
+  // producer span -> consumer spans through each flow arrow.
+  std::unordered_map<size_t, std::vector<size_t>> preds;  // consumer -> prods
+  for (const auto& [track, fins] : g.finishes) {
+    (void)track;
+    for (size_t fi : fins) {
+      const Event& f = ev[fi];
+      auto sit = g.starts.find(f.flow);
+      if (sit == g.starts.end()) continue;
+      const Event& s = ev[sit->second];
+      const size_t prod = g.SpanAt(s.pid, s.tid, s.start);
+      const size_t cons = g.SpanAt(f.pid, f.tid, f.start);
+      if (prod == SpanGraph::kNone || cons == SpanGraph::kNone) continue;
+      if (prod == cons) continue;
+      preds[cons].push_back(prod);
+    }
+  }
+  std::unordered_map<size_t, int> memo;
+  std::unordered_set<size_t> on_stack;
+  // Depth (in arrows) ending at span i; cycles (impossible for causal
+  // flows, guarded anyway) contribute 0.
+  std::function<int(size_t)> depth = [&](size_t i) -> int {
+    auto it = memo.find(i);
+    if (it != memo.end()) return it->second;
+    if (!on_stack.insert(i).second) return 0;
+    int best = 0;
+    auto pit = preds.find(i);
+    if (pit != preds.end()) {
+      for (size_t prod : pit->second) best = std::max(best, depth(prod) + 1);
+    }
+    on_stack.erase(i);
+    memo[i] = best;
+    return best;
+  };
+  int best = 0;
+  for (const auto& [cons, v] : preds) {
+    (void)v;
+    best = std::max(best, depth(cons));
+  }
+  return best;
+}
+
+}  // namespace tilelink::sim

@@ -1,0 +1,97 @@
+// Profiler pass over a recorded fabric trace (sim/trace.h).
+//
+// Consumes the recorder's structured events and derives the overlap-quality
+// numbers the paper's claims rest on: per-rank compute utilization, wire
+// utilization, exposed-comm time (communication not hidden under compute),
+// and a critical-path walk over the span/flow graph. The benches export
+// these as `fabric.*` JSON keys and CI gates their internal consistency.
+//
+// Only spans carrying simulated work participate — categories kCatCompute,
+// kCatWire and kCatComm. Structural spans (kCatTask: coroutine roots, the
+// event loop) are excluded so the critical path reflects leaf work, not the
+// enclosing run envelope.
+//
+// Definitions (pinned by tests/test_trace.cc):
+//  * makespan        = last eligible span end - first eligible span start.
+//  * compute_busy[r] = |union of compute spans on pid r|; compute_util[r] =
+//    compute_busy[r] / makespan. Aggregate compute_util is the mean over
+//    pids that have at least one compute span.
+//  * exposed_comm[r] = |union(comm spans on r) \ union(compute spans on r)|
+//    — comm time with no concurrent compute on the same rank. Aggregate
+//    exposed_comm_frac is the mean of exposed_comm[r]/makespan over pids
+//    with at least one comm span. A compute-only run has exactly 0; a
+//    comm-only run has exposed_comm == comm_busy.
+//  * wire_util       = max over (pid, tid) wire tracks of busy/makespan —
+//    the bottleneck rail/link lane.
+//  * critical path   = backward walk from the latest-ending span; each
+//    step's predecessor is either the producer span of a flow arrow
+//    finishing inside the step, or the latest earlier span on the same
+//    track — in both cases constrained to end no later than the step
+//    starts, so the summed durations never exceed the chain extent and
+//    critical_path <= critical_span <= makespan always holds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace tilelink::sim {
+
+struct CriticalPathStep {
+  std::string name;
+  int pid = 0;
+  int tid = 0;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  bool via_flow = false;  // linked to its successor by a flow arrow
+
+  TimeNs dur() const { return end - start; }
+};
+
+struct RankProfile {
+  int pid = 0;
+  TimeNs compute_busy = 0;
+  TimeNs comm_busy = 0;
+  TimeNs exposed_comm = 0;
+  double compute_util = 0;
+  double exposed_comm_frac = 0;
+};
+
+struct Profile {
+  TimeNs t0 = 0;
+  TimeNs t1 = 0;
+  TimeNs makespan = 0;  // t1 - t0 over eligible spans
+
+  std::vector<RankProfile> ranks;  // pids carrying compute or comm spans
+  double compute_util = 0;
+  double wire_util = 0;
+  TimeNs exposed_comm = 0;  // mean over comm-carrying ranks, in ns
+  double exposed_comm_frac = 0;
+
+  TimeNs critical_path = 0;  // sum of span durations along the chain
+  TimeNs critical_span = 0;  // chain extent: last end - first start
+  std::vector<CriticalPathStep> path;  // in time order
+
+  // Internal-consistency gate used by CI: every utilization in [0,1],
+  // exposed_comm <= comm_busy per rank, critical_path <= critical_span <=
+  // makespan. Returns false and fills *why (when given) on violation.
+  bool Consistent(std::string* why = nullptr) const;
+};
+
+// Builds the profile from a recorded trace. Deterministic: ties in the
+// critical-path walk break by (end, start, emission index).
+Profile BuildProfile(const TraceRecorder& rec);
+
+// Human-readable top-k chain (the k longest steps, chronological), with the
+// chain totals on the first line.
+std::string FormatCriticalPath(const Profile& p, std::size_t top_k = 12);
+
+// Length (in arrows) of the longest producer->consumer chain through flow
+// events whose endpoints land inside eligible spans. The fused-fabric bench
+// gates >= 3 (producer publication -> ring chunk -> rail chunk -> reduce).
+int LongestFlowChain(const TraceRecorder& rec);
+
+}  // namespace tilelink::sim

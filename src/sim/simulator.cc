@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 // Coroutine frame pooling is a no-op under AddressSanitizer so freed frames
 // stay poisoned and use-after-free on a frame is still caught.
@@ -110,7 +111,9 @@ void Simulator::Spawn(Coro coro, std::string name) {
   ++live_roots_;
   live_root_frames_.insert(h.address());
   ScheduleResume(now_, h);
-  (void)name;
+  if (trace_ != nullptr && !name.empty()) {
+    open_root_spans_.emplace(h.address(), OpenRootSpan{std::move(name), now_});
+  }
 }
 
 void Simulator::ScheduleResume(TimeNs t, std::coroutine_handle<> h) {
@@ -122,6 +125,14 @@ void Simulator::NotifyRootDone(Coro::Handle h) {
   --live_roots_;
   live_root_frames_.erase(h.address());
   finished_roots_.push_back(h);
+  if (trace_ != nullptr && !open_root_spans_.empty()) {
+    auto it = open_root_spans_.find(h.address());
+    if (it != open_root_spans_.end()) {
+      trace_->AddSpan(trace_pid_, trace_->Track(trace_pid_, it->second.name),
+                      it->second.name, it->second.start, now_, kCatTask);
+      open_root_spans_.erase(it);
+    }
+  }
 }
 
 void Simulator::DestroyFinishedRoots() {
@@ -138,6 +149,8 @@ void Simulator::DestroyFinishedRoots() {
 }
 
 void Simulator::Run() {
+  const TimeNs run_start = now_;
+  const uint64_t events_before = processed_events_;
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
@@ -162,6 +175,14 @@ void Simulator::Run() {
          << (info.describe != nullptr ? info.describe(info.ctx) : info.what);
     }
     throw DeadlockError(os.str(), now_);
+  }
+  if (trace_ != nullptr) {
+    trace_->AddSpan(
+        trace_pid_, trace_->Track(trace_pid_, "event-loop"), "run", run_start,
+        now_, kCatTask,
+        {TraceArg::Num("events",
+                       static_cast<double>(processed_events_ - events_before)),
+         TraceArg::Str("result", "drained")});
   }
 }
 

@@ -121,9 +121,15 @@ class Simulator {
                               std::string (*describe)(const void*));
   void UnregisterBlocked(const void* key);
 
-  // Optional chrome-trace recorder (not owned may be null).
+  // Optional chrome-trace recorder (not owned may be null). While attached,
+  // Spawn/NotifyRootDone record one structural span per named root
+  // coroutine and Run records an event-loop span; with no recorder the hot
+  // path allocates nothing.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
   TraceRecorder* trace() const { return trace_; }
+  // Trace process id the simulator's own spans (roots, event loop) land on.
+  void set_trace_pid(int pid) { trace_pid_ = pid; }
+  int trace_pid() const { return trace_pid_; }
 
   // Internal: called from Coro final suspend for sim-owned roots.
   void NotifyRootDone(Coro::Handle h);
@@ -202,6 +208,16 @@ class Simulator {
   };
   std::unordered_map<const void*, BlockedInfo> blocked_;
   TraceRecorder* trace_ = nullptr;
+  int trace_pid_ = 0;
+  // Open root spans (spawn -> completion), populated only while a recorder
+  // is attached. Keyed by frame address: safe against frame-pool address
+  // reuse because the entry is erased in NotifyRootDone before the frame is
+  // destroyed.
+  struct OpenRootSpan {
+    std::string name;
+    TimeNs start;
+  };
+  std::unordered_map<void*, OpenRootSpan> open_root_spans_;
 };
 
 }  // namespace tilelink::sim

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/math_utils.h"
+#include "sim/trace.h"
 #include "tilelink/builder/fused_kernel_base.h"
 #include "tilelink/builder/role_plan.h"
 #include "tilelink/mapping/interval_mapping.h"
@@ -13,15 +14,46 @@
 
 namespace tilelink::tl {
 
-void InOrderSignal::Complete(std::size_t index, int64_t tiles) {
+void InOrderSignal::Complete(std::size_t index, int64_t tiles, int span_pid,
+                             int span_tid) {
   TL_CHECK_GT(tiles, 0);
   if (done_.size() <= index) done_.resize(index + 1, 0);
   TL_CHECK_EQ(done_[index], 0);
   done_[index] = tiles;
+  sim::TraceRecorder* tr = trace_pid_ >= 0 ? arrived_.sim()->trace() : nullptr;
+  bool advanced = false;
   while (cursor_ < done_.size() && done_[cursor_] > 0) {
     arrived_.Add(static_cast<uint64_t>(done_[cursor_]));
+    if (tr != nullptr) {
+      // One flow arrow per published chunk, anchored inside the caller's
+      // span when it supplied one.
+      const uint64_t id = tr->NewFlowId();
+      flows_.push_back(FlowEntry{arrived_.value(), id});
+      const int pid = span_pid >= 0 ? span_pid : trace_pid_;
+      const int tid =
+          span_pid >= 0 ? span_tid : tr->Track(trace_pid_, name());
+      tr->AddFlowStart(id, pid, tid, arrived_.sim()->Now(), name());
+    }
     ++cursor_;
+    advanced = true;
   }
+  if (tr != nullptr && advanced) {
+    tr->AddCounter(trace_pid_, "published_prefix", name(),
+                   arrived_.sim()->Now(),
+                   static_cast<double>(arrived_.value()));
+  }
+}
+
+std::pair<uint64_t, std::string> InOrderSignal::TakeFlowCovering(
+    uint64_t tiles_threshold) {
+  for (FlowEntry& e : flows_) {
+    if (e.cum >= tiles_threshold && e.id != 0) {
+      const uint64_t id = e.id;
+      e.id = 0;
+      return {id, name()};
+    }
+  }
+  return {0, std::string()};
 }
 
 namespace {
@@ -48,18 +80,33 @@ namespace {
 // until the final drain wait completes.
 sim::Coro TransferChunk(const LinkStream* stream, std::size_t index,
                         int64_t tiles, sim::Flag* done, bool eager_publish,
-                        ChunkIo io) {
+                        ChunkIo io,
+                        std::function<std::pair<uint64_t, std::string>()>
+                            take_flow) {
   sim::Network* net = stream->fabric;
   const uint64_t bytes = static_cast<uint64_t>(tiles) * stream->tile_bytes;
   InOrderSignal* sig = stream->arrival;
   rt::ConsistencyChecker* chk =
       io.world != nullptr ? &io.world->checker() : nullptr;
+  sim::Simulator* simp = done->sim();
+  sim::TraceRecorder* tr =
+      stream->trace_pid >= 0 ? simp->trace() : nullptr;
+  const int span_pid = tr != nullptr ? stream->trace_pid : -1;
+  // `stream->name` was moved into `done` by RunLinkStream; the flag keeps it.
+  const int span_tid = tr != nullptr ? tr->Track(span_pid, done->name()) : 0;
+  if (tr != nullptr && take_flow) {
+    const std::pair<uint64_t, std::string> f = take_flow();
+    if (f.first != 0) {
+      tr->AddFlowFinish(f.first, span_pid, span_tid, simp->Now(), f.second);
+    }
+  }
   const int max_attempts = 1 + std::max(0, stream->max_retries);
   const sim::TimeNs backoff =
       stream->backoff_base > 0
           ? stream->backoff_base
           : std::max<sim::TimeNs>(1, net->latency());
   for (int attempt = 0;; ++attempt) {
+    const sim::TimeNs attempt_start = simp->Now();
     sim::TimeNs start = 0;
     uint64_t wt = 0;
     if (chk != nullptr) {
@@ -71,7 +118,7 @@ sim::Coro TransferChunk(const LinkStream* stream, std::size_t index,
       wt = chk->OpenWrite(start);
     }
     if (attempt == 0 && eager_publish && sig != nullptr) {
-      sig->Complete(index, tiles);
+      sig->Complete(index, tiles, span_pid, span_tid);
     }
     sim::TransferOpts opts;
     opts.ack_timeout = stream->ack_timeout;
@@ -80,6 +127,18 @@ sim::Coro TransferChunk(const LinkStream* stream, std::size_t index,
     }
     sim::TransferOutcome out;
     co_await net->TryTransfer(stream->src, stream->dst, bytes, opts, &out);
+    if (tr != nullptr) {
+      // One span per attempt, aborted retransmits included, so the timeline
+      // shows the retry storm rather than just the winning attempt.
+      tr->AddSpan(span_pid, span_tid, stream->chunk_label, attempt_start,
+                  simp->Now(), sim::kCatComm,
+                  {sim::TraceArg::Num("chunk", static_cast<double>(index)),
+                   sim::TraceArg::Num("tiles", static_cast<double>(tiles)),
+                   sim::TraceArg::Num("bytes", static_cast<double>(bytes)),
+                   sim::TraceArg::Num("attempt", attempt),
+                   sim::TraceArg::Num("rail", out.rail),
+                   sim::TraceArg::Num("delivered", out.delivered ? 1 : 0)});
+    }
     if (out.delivered) {
       if (chk != nullptr) {
         const sim::TimeNs end = io.world->sim().Now();
@@ -106,7 +165,9 @@ sim::Coro TransferChunk(const LinkStream* stream, std::size_t index,
     net->NoteRetry();
     co_await sim::Delay{backoff << std::min(attempt, 10)};
   }
-  if (!eager_publish && sig != nullptr) sig->Complete(index, tiles);
+  if (!eager_publish && sig != nullptr) {
+    sig->Complete(index, tiles, span_pid, span_tid);
+  }
   done->Add(1);
 }
 
@@ -214,11 +275,24 @@ sim::Coro RunLinkStream(sim::Simulator* sim, LinkStream stream) {
       co_await done.WaitGe(idx - static_cast<std::size_t>(stream.window) + 1);
     }
     sim->Spawn(TransferChunk(&stream, idx, c.tiles, &done, c.eager_publish,
-                             std::move(c.io)),
+                             std::move(c.io), std::move(c.take_flow)),
                stream.chunk_label);
     ++idx;
+    if (stream.trace_pid >= 0) {
+      if (sim::TraceRecorder* tr = sim->trace()) {
+        tr->AddCounter(stream.trace_pid, done.name() + ".window", "in_flight",
+                       sim->Now(),
+                       static_cast<double>(idx - done.value()));
+      }
+    }
   }
   co_await done.WaitGe(idx);
+  if (stream.trace_pid >= 0) {
+    if (sim::TraceRecorder* tr = sim->trace()) {
+      tr->AddCounter(stream.trace_pid, done.name() + ".window", "in_flight",
+                     sim->Now(), 0.0);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +312,7 @@ LinkStream NvlinkRingRole::Stream(
     std::function<LinkChunk(int64_t)> chunk) const {
   LinkStream s;
   s.fabric = &world_->intra_fabric();
+  s.trace_pid = world_->trace_pid(src);
   s.src = src;
   s.dst = dst;
   s.tile_bytes = tile_bytes;
@@ -276,6 +351,7 @@ LinkStream NicRailRole::Stream(
     std::function<LinkChunk(int64_t)> chunk) const {
   LinkStream s;
   s.fabric = &world_->inter_fabric();
+  s.trace_pid = world_->trace_pid(src);
   s.src = src;
   s.dst = dst;
   s.tile_bytes = tile_bytes;

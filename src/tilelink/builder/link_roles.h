@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/collectives.h"
@@ -51,15 +52,69 @@ class InOrderSignal {
       : arrived_(sim, std::move(name)) {}
 
   // Marks chunk `index` (covering `tiles` tiles) complete; publishes every
-  // contiguous finished prefix to the flag.
-  void Complete(std::size_t index, int64_t tiles);
+  // contiguous finished prefix to the flag. When a trace recorder is
+  // attached and set_trace_pid was called, every publication allocates a
+  // flow id (its "s" point anchored at span_pid/span_tid — the caller's
+  // current span — when given, else the signal's own lane) and bumps the
+  // per-rank published-prefix watermark counter.
+  void Complete(std::size_t index, int64_t tiles, int span_pid = -1,
+                int span_tid = 0);
+
+  // Consumes the flow arrow of the publication that first covered
+  // `tiles_threshold` cumulative tiles: returns (flow id, flow name), or
+  // (0, "") when untraced or already consumed. Each arrow binds exactly
+  // once (pinned by tests/test_trace.cc).
+  std::pair<uint64_t, std::string> TakeFlowCovering(uint64_t tiles_threshold);
 
   sim::Flag& tiles_arrived() { return arrived_; }
+  const std::string& name() const { return arrived_.name(); }
+
+  // Trace process the watermark counter and unanchored flow starts land on
+  // (the receiver's rank pid). -1 (default) keeps the signal silent.
+  void set_trace_pid(int pid) { trace_pid_ = pid; }
+  int trace_pid() const { return trace_pid_; }
 
  private:
   sim::Flag arrived_;
   std::vector<int64_t> done_;  // tiles of chunk i, 0 = not yet complete
   std::size_t cursor_ = 0;
+  int trace_pid_ = -1;
+  // Publication ledger (trace only): cumulative tiles and flow id per
+  // published chunk, in publication order.
+  struct FlowEntry {
+    uint64_t cum;
+    uint64_t id;
+  };
+  std::vector<FlowEntry> flows_;
+};
+
+// Trace-only ledger pairing plain-Flag publications with flow arrows (the
+// reducer -> rail-send bridge: the publisher is a cumulative Flag, not an
+// InOrderSignal). The publisher registers (cumulative value, flow id); a
+// downstream chunk consumes the arrow covering its gate threshold.
+class FlowLedger {
+ public:
+  void Publish(uint64_t cum, uint64_t flow_id, std::string name) {
+    entries_.push_back(Entry{cum, flow_id, std::move(name)});
+  }
+  std::pair<uint64_t, std::string> TakeCovering(uint64_t threshold) {
+    for (Entry& e : entries_) {
+      if (e.cum >= threshold && e.id != 0) {
+        const uint64_t id = e.id;
+        e.id = 0;
+        return {id, e.name};
+      }
+    }
+    return {0, std::string()};
+  }
+
+ private:
+  struct Entry {
+    uint64_t cum;
+    uint64_t id;
+    std::string name;
+  };
+  std::vector<Entry> entries_;
 };
 
 // One contiguous fp32 run moved by a payload chunk.
@@ -93,6 +148,10 @@ struct LinkChunk {
   // instead of when the payload lands.
   bool eager_publish = false;
   ChunkIo io;
+  // Trace-only: consumes the flow arrow of the upstream publication this
+  // chunk's gate waited on, so the chunk's span binds the arrow's finish.
+  // Unset (and never touched) in untraced runs.
+  std::function<std::pair<uint64_t, std::string>()> take_flow;
 };
 
 // One windowed chunk stream over a fabric edge — the producer side of a
@@ -127,6 +186,10 @@ struct LinkStream {
   // multi-rail fabrics; retries always pass attempt > 0 so failover
   // re-picks among survivors.
   std::function<int(int64_t, int)> rail_of;
+  // Trace process id of the sender rank (-1: stream untraced). Role
+  // Stream() builders fill it from World::trace_pid(src); chunk spans,
+  // window-occupancy counters and flow finishes all land on it.
+  int trace_pid = -1;
 };
 
 sim::Coro RunLinkStream(sim::Simulator* sim, LinkStream stream);

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/math_utils.h"
 #include "sim/coro_utils.h"
+#include "sim/trace.h"
 #include "tilelink/builder/role_plan.h"
 
 namespace tilelink::multinode {
@@ -176,9 +177,11 @@ HierAllGather::HierAllGather(rt::World& world, int64_t num_tiles,
     for (int k = 0; k + 1 < nodes_; ++k) {
       rail_[static_cast<size_t>(r)].push_back(std::make_unique<InOrderSignal>(
           &world.sim(), "hier_ag.rail.r" + std::to_string(r)));
+      rail_[static_cast<size_t>(r)].back()->set_trace_pid(world.trace_pid(r));
     }
     ring_[static_cast<size_t>(r)] = std::make_unique<InOrderSignal>(
         &world.sim(), "hier_ag.ring.r" + std::to_string(r));
+    ring_[static_cast<size_t>(r)]->set_trace_pid(world.trace_pid(r));
   }
 }
 
@@ -248,16 +251,25 @@ sim::Coro HierAllGather::RingSend(rt::RankCtx& ctx) {
     if (j == 0) {
       if (seg > 0) {
         // Own block's rail segment: forward tiles as they land.
-        c.gate = {&rail_[static_cast<size_t>(r)][static_cast<size_t>(seg - 1)]
-                       ->tiles_arrived(),
-                  static_cast<uint64_t>(off + c.tiles)};
+        InOrderSignal* up =
+            rail_[static_cast<size_t>(r)][static_cast<size_t>(seg - 1)].get();
+        const uint64_t thr = static_cast<uint64_t>(off + c.tiles);
+        c.gate = {&up->tiles_arrived(), thr};
+        if (world_.trace() != nullptr) {
+          c.take_flow = [up, thr] { return up->TakeFlowCovering(thr); };
+        }
       }
     } else {
       // Forwarded block: must have arrived from the left neighbor.
-      c.gate = {&ring_[static_cast<size_t>(r)]->tiles_arrived(),
-                static_cast<uint64_t>((j - 1) * group +
-                                      static_cast<int64_t>(seg) * num_tiles_ +
-                                      off + c.tiles)};
+      InOrderSignal* up = ring_[static_cast<size_t>(r)].get();
+      const uint64_t thr =
+          static_cast<uint64_t>((j - 1) * group +
+                                static_cast<int64_t>(seg) * num_tiles_ +
+                                off + c.tiles);
+      c.gate = {&up->tiles_arrived(), thr};
+      if (world_.trace() != nullptr) {
+        c.take_flow = [up, thr] { return up->TakeFlowCovering(thr); };
+      }
     }
     if (payload()) {
       // The chunk's tiles belong to the shard of the block owner's
@@ -337,6 +349,7 @@ FlatAllGather::FlatAllGather(rt::World& world, int64_t num_tiles,
   for (int r = 0; r < world.size(); ++r) {
     ring_.push_back(std::make_unique<InOrderSignal>(
         &world.sim(), "flat_ag.ring.r" + std::to_string(r)));
+    ring_.back()->set_trace_pid(world.trace_pid(r));
   }
 }
 
@@ -372,6 +385,7 @@ sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
   stream.arrival = ring_[static_cast<size_t>(right)].get();
   stream.name = "flat_ag.send.r" + std::to_string(r);
   stream.chunk_label = "flat_ag.chunk";
+  stream.trace_pid = world_.trace_pid(r);
   stream.num_chunks = static_cast<int64_t>(R - 1) * chunks_per_step;
   stream.chunk = [this, r, right, R, E, chunk_tiles,
                   chunks_per_step](int64_t k) {
@@ -380,8 +394,13 @@ sim::Coro FlatAllGather::Run(rt::RankCtx& ctx) {
     const int64_t off = (k % chunks_per_step) * chunk_tiles;
     c.tiles = std::min(chunk_tiles, num_tiles_ - off);
     if (j > 0) {
-      c.gate = {&ring_[static_cast<size_t>(r)]->tiles_arrived(),
-                static_cast<uint64_t>((j - 1) * num_tiles_ + off + c.tiles)};
+      InOrderSignal* up = ring_[static_cast<size_t>(r)].get();
+      const uint64_t thr =
+          static_cast<uint64_t>((j - 1) * num_tiles_ + off + c.tiles);
+      c.gate = {&up->tiles_arrived(), thr};
+      if (world_.trace() != nullptr) {
+        c.take_flow = [up, thr] { return up->TakeFlowCovering(thr); };
+      }
     }
     if (payload()) {
       const int src_rank = (r - j + R) % R;  // block forwarded at step j
@@ -424,12 +443,15 @@ HierReduceScatter::HierReduceScatter(rt::World& world, int64_t num_tiles,
   for (int r = 0; r < world.size(); ++r) {
     ring_.push_back(std::make_unique<InOrderSignal>(
         &world.sim(), "hier_rs.ring.r" + std::to_string(r)));
+    ring_.back()->set_trace_pid(world.trace_pid(r));
     ring_reduced_.push_back(std::make_unique<sim::Flag>(
         &world.sim(), "hier_rs.ring_red.r" + std::to_string(r)));
+    ring_red_ledger_.push_back(std::make_unique<tl::FlowLedger>());
     rail_.emplace_back();
     for (int k = 0; k + 1 < nodes_; ++k) {
       rail_.back().push_back(std::make_unique<InOrderSignal>(
           &world.sim(), "hier_rs.rail.r" + std::to_string(r)));
+      rail_.back().back()->set_trace_pid(world.trace_pid(r));
     }
   }
 }
@@ -526,6 +548,9 @@ sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
   const int64_t total =
       static_cast<int64_t>(per_node_ - 1) * group_tiles_;
   const std::string name = RName("hier_rs.ring_reduce", r);
+  sim::TraceRecorder* tr = world_.trace();
+  const int pid = world_.trace_pid(r);
+  const int tid = tr != nullptr ? tr->Track(pid, name) : 0;
   int64_t cum = 0;
   while (cum < total) {
     const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
@@ -533,6 +558,14 @@ sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
     co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
         static_cast<uint64_t>(cum + tiles));
     const sim::TimeNs wake = ctx.sim()->Now();
+    if (tr != nullptr) {
+      // Bind the ring arrival that unblocked this reduce step.
+      const auto fin = ring_[static_cast<size_t>(r)]->TakeFlowCovering(
+          static_cast<uint64_t>(cum + tiles));
+      if (fin.first != 0) {
+        tr->AddFlowFinish(fin.first, pid, tid, wake, fin.second);
+      }
+    }
     uint64_t wt = 0;
     if (payload()) {
       world_.checker().CheckRead(ring_acc_[static_cast<size_t>(r)], cum * E,
@@ -564,6 +597,18 @@ sim::Coro HierReduceScatter::RingReducer(rt::RankCtx& ctx) {
     ring_reduced_[static_cast<size_t>(r)]->Add(
         static_cast<uint64_t>(tiles));
     cum += tiles;
+    if (tr != nullptr) {
+      const sim::TimeNs now = ctx.sim()->Now();
+      // Publish a ledger arrow so the rail chunk gated on this reduction
+      // binds back to the reducer span.
+      const uint64_t fid = tr->NewFlowId();
+      tr->AddFlowStart(fid, pid, tid, now, "hier_rs.ring_red");
+      ring_red_ledger_[static_cast<size_t>(r)]->Publish(
+          static_cast<uint64_t>(cum), fid, "hier_rs.ring_red");
+      tr->AddSpan(pid, tid, "ring_reduce", wake, now, sim::kCatCompute,
+                  {sim::TraceArg::Num("tiles", static_cast<double>(tiles)),
+                   sim::TraceArg::Num("cum", static_cast<double>(cum))});
+    }
   }
 }
 
@@ -590,11 +635,14 @@ sim::Coro HierReduceScatter::RailSend(rt::RankCtx& ctx, int peer,
     c.eager_publish =
         EagerRailFault(world_, legacy_plan_, r, static_cast<std::size_t>(k), primary);
     if (per_node_ > 1) {
-      c.gate = {ring_reduced_[static_cast<size_t>(r)].get(),
-                static_cast<uint64_t>(
-                    own_group_base +
-                    static_cast<int64_t>(peer_node) * num_tiles_ + off +
-                    c.tiles)};
+      const uint64_t thr = static_cast<uint64_t>(
+          own_group_base + static_cast<int64_t>(peer_node) * num_tiles_ +
+          off + c.tiles);
+      c.gate = {ring_reduced_[static_cast<size_t>(r)].get(), thr};
+      if (world_.trace() != nullptr) {
+        tl::FlowLedger* led = ring_red_ledger_[static_cast<size_t>(r)].get();
+        c.take_flow = [led, thr] { return led->TakeCovering(thr); };
+      }
     }
     if (payload()) {
       c.io.world = &world_;
@@ -636,6 +684,9 @@ sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
       const int64_t E = self->tile_elems_;
       const std::string name =
           RName("hier_rs.rail_reduce", c.rank) + ".s" + std::to_string(src);
+      sim::TraceRecorder* tr = self->world_.trace();
+      const int pid = self->world_.trace_pid(c.rank);
+      const int tid = tr != nullptr ? tr->Track(pid, name) : 0;
       int64_t cum = 0;
       while (cum < self->num_tiles_) {
         const int64_t tiles = std::min<int64_t>(self->cfg_.nic_chunk_tiles,
@@ -645,6 +696,16 @@ sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
                 ->tiles_arrived()
                 .WaitGe(static_cast<uint64_t>(cum + tiles));
         const sim::TimeNs wake = c.sim()->Now();
+        if (tr != nullptr) {
+          const auto fin =
+              self->rail_[static_cast<size_t>(c.rank)]
+                         [static_cast<size_t>(src)]
+                             ->TakeFlowCovering(
+                                 static_cast<uint64_t>(cum + tiles));
+          if (fin.first != 0) {
+            tr->AddFlowFinish(fin.first, pid, tid, wake, fin.second);
+          }
+        }
         uint64_t wt = 0;
         if (self->payload()) {
           self->world_.checker().CheckRead(
@@ -670,6 +731,13 @@ sim::Coro HierReduceScatter::RailReducer(rt::RankCtx& ctx) {
           self->world_.checker().CloseWrite(wt);
         }
         cum += tiles;
+        if (tr != nullptr) {
+          tr->AddSpan(
+              pid, tid, "rail_reduce", wake, c.sim()->Now(),
+              sim::kCatCompute,
+              {sim::TraceArg::Num("tiles", static_cast<double>(tiles)),
+               sim::TraceArg::Num("src_slot", src)});
+        }
       }
     }(this, ctx, k));
   }
@@ -745,6 +813,7 @@ FlatReduceScatter::FlatReduceScatter(rt::World& world, int64_t num_tiles,
   for (int r = 0; r < world.size(); ++r) {
     ring_.push_back(std::make_unique<InOrderSignal>(
         &world.sim(), "flat_rs.ring.r" + std::to_string(r)));
+    ring_.back()->set_trace_pid(world.trace_pid(r));
     ring_reduced_.push_back(std::make_unique<sim::Flag>(
         &world.sim(), "flat_rs.ring_red.r" + std::to_string(r)));
   }
@@ -785,6 +854,7 @@ sim::Coro FlatReduceScatter::RingSend(rt::RankCtx& ctx) {
   stream.arrival = ring_[static_cast<size_t>(right)].get();
   stream.name = "flat_rs.send.r" + std::to_string(r);
   stream.chunk_label = "flat_rs.chunk";
+  stream.trace_pid = world_.trace_pid(r);
   stream.num_chunks = static_cast<int64_t>(R - 1) * chunks_per_step;
   stream.chunk = [this, r, right, R, E, chunk_tiles,
                   chunks_per_step](int64_t k) {
@@ -827,6 +897,9 @@ sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
   const int64_t total =
       static_cast<int64_t>(world_.size() - 1) * num_tiles_;
   const std::string name = RName("flat_rs.reduce", r);
+  sim::TraceRecorder* tr = world_.trace();
+  const int pid = world_.trace_pid(r);
+  const int tid = tr != nullptr ? tr->Track(pid, name) : 0;
   int64_t cum = 0;
   while (cum < total) {
     const int64_t tiles = std::min<int64_t>(cfg_.intra_chunk_tiles,
@@ -834,6 +907,13 @@ sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
     co_await ring_[static_cast<size_t>(r)]->tiles_arrived().WaitGe(
         static_cast<uint64_t>(cum + tiles));
     const sim::TimeNs wake = ctx.sim()->Now();
+    if (tr != nullptr) {
+      const auto fin = ring_[static_cast<size_t>(r)]->TakeFlowCovering(
+          static_cast<uint64_t>(cum + tiles));
+      if (fin.first != 0) {
+        tr->AddFlowFinish(fin.first, pid, tid, wake, fin.second);
+      }
+    }
     uint64_t wt = 0;
     if (payload()) {
       world_.checker().CheckRead(ring_acc_[static_cast<size_t>(r)], cum * E,
@@ -858,6 +938,12 @@ sim::Coro FlatReduceScatter::RingReducer(rt::RankCtx& ctx) {
     ring_reduced_[static_cast<size_t>(r)]->Add(
         static_cast<uint64_t>(tiles));
     cum += tiles;
+    if (tr != nullptr) {
+      tr->AddSpan(pid, tid, "ring_reduce", wake, ctx.sim()->Now(),
+                  sim::kCatCompute,
+                  {sim::TraceArg::Num("tiles", static_cast<double>(tiles)),
+                   sim::TraceArg::Num("cum", static_cast<double>(cum))});
+    }
   }
 }
 
@@ -925,8 +1011,10 @@ DpAllReduce::DpAllReduce(rt::World& world, int64_t num_tiles,
     for (int k = 0; k + 1 < nodes_; ++k) {
       rs_arrived_.back().push_back(std::make_unique<InOrderSignal>(
           &world.sim(), "dp_ar.rs.r" + std::to_string(r)));
+      rs_arrived_.back().back()->set_trace_pid(world.trace_pid(r));
       ag_arrived_.back().push_back(std::make_unique<InOrderSignal>(
           &world.sim(), "dp_ar.ag.r" + std::to_string(r)));
+      ag_arrived_.back().back()->set_trace_pid(world.trace_pid(r));
     }
     block_reduced_.push_back(std::make_unique<sim::Flag>(
         &world.sim(), "dp_ar.red.r" + std::to_string(r)));
@@ -1015,6 +1103,9 @@ sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
   const int64_t my_tiles = DpBlockTiles(num_tiles_, nodes_, n);
   const int64_t my_start = DpBlockStart(num_tiles_, nodes_, n);
   const std::string name = RName("dp_ar.reduce", r);
+  sim::TraceRecorder* tr = world_.trace();
+  const int pid = world_.trace_pid(r);
+  const int tid = tr != nullptr ? tr->Track(pid, name) : 0;
   int64_t cum = 0;
   while (cum < my_tiles) {
     const int64_t tiles =
@@ -1029,6 +1120,14 @@ sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
           ->tiles_arrived()
           .WaitGe(static_cast<uint64_t>(cum + tiles));
       const sim::TimeNs wake = ctx.sim()->Now();
+      if (tr != nullptr) {
+        const auto fin =
+            rs_arrived_[static_cast<size_t>(r)][static_cast<size_t>(k)]
+                ->TakeFlowCovering(static_cast<uint64_t>(cum + tiles));
+        if (fin.first != 0) {
+          tr->AddFlowFinish(fin.first, pid, tid, wake, fin.second);
+        }
+      }
       uint64_t wt = 0;
       if (payload()) {
         world_.checker().CheckRead(
@@ -1049,6 +1148,12 @@ sim::Coro DpAllReduce::Reducer(rt::RankCtx& ctx) {
                                      ctx.sim()->Now(), name,
                                      /*atomic=*/true);
         world_.checker().CloseWrite(wt);
+      }
+      if (tr != nullptr) {
+        tr->AddSpan(pid, tid, "dp_reduce", wake, ctx.sim()->Now(),
+                    sim::kCatCompute,
+                    {sim::TraceArg::Num("tiles", static_cast<double>(tiles)),
+                     sim::TraceArg::Num("src_slot", k)});
       }
     }
     block_reduced_[static_cast<size_t>(r)]->Add(

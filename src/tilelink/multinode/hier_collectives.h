@@ -193,6 +193,10 @@ class HierReduceScatter {
   std::vector<std::unique_ptr<InOrderSignal>> ring_;       // raw arrivals
   std::vector<std::unique_ptr<sim::Flag>> ring_reduced_;   // after reduce
   std::vector<std::vector<std::unique_ptr<InOrderSignal>>> rail_;
+  // Trace-only: pairs ring_reduced_ publications with flow arrows so a rail
+  // chunk's span binds the reducer span that unblocked it (the middle link
+  // of the producer -> ring -> reduce -> rail -> reduce chain).
+  std::vector<std::unique_ptr<tl::FlowLedger>> ring_red_ledger_;
   // Payload mode: ring arrival/accumulation area ((per_node-1)*group_tiles
   // tiles, one slot per arrival position) and per-source rail staging.
   std::vector<rt::Buffer*> in_, out_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "runtime/world.h"
+#include "sim/trace.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
@@ -38,10 +39,14 @@ PayloadReport RunValidation(const sim::MachineSpec& spec, int64_t num_tiles,
                             uint64_t tile_bytes, int64_t tile_elems,
                             const HierConfig& cfg, int64_t in_elems,
                             int64_t out_elems, const sim::FaultPlan* plan,
-                            const ExpectFn& expect) {
+                            sim::TraceRecorder* trace, int trace_pid_base,
+                            const char* trace_label, const ExpectFn& expect) {
   rt::World world(spec, rt::ExecMode::kFunctional);
   world.checker().set_enabled(true);
   world.set_fault_plan(plan);
+  // Attach the recorder before constructing the collective: the ctor
+  // captures per-rank trace pids into its signals and streams.
+  if (trace != nullptr) world.set_trace(trace, trace_pid_base, trace_label);
   std::vector<rt::Buffer*> in =
       AllocFilled(world, "payload.in", in_elems, /*fill=*/true);
   std::vector<rt::Buffer*> out =
@@ -53,6 +58,9 @@ PayloadReport RunValidation(const sim::MachineSpec& spec, int64_t num_tiles,
       [&](rt::RankCtx& ctx) -> sim::Coro { co_await coll.Run(ctx); });
   report.violations = world.checker().violations().size();
   report.faults = world.fault_stats();
+  report.checker_live =
+      world.checker().live_writes() + world.checker().live_reads();
+  report.checker_retired = world.checker().retired_intervals();
   report.bit_exact = true;
   for (int r = 0; r < world.size(); ++r) {
     if (!BufferMatches(out[static_cast<size_t>(r)], expect(in, r))) {
@@ -68,10 +76,13 @@ PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
                                     int64_t tile_elems,
                                     const HierConfig& cfg,
-                                    const sim::FaultPlan* plan) {
+                                    const sim::FaultPlan* plan,
+                                    sim::TraceRecorder* trace,
+                                    int trace_pid_base) {
   return RunValidation<HierAllGather>(
       spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
-      spec.num_devices * num_tiles * tile_elems, plan,
+      spec.num_devices * num_tiles * tile_elems, plan, trace, trace_pid_base,
+      "hier_ag",
       [](const std::vector<rt::Buffer*>& in, int) {
         return RefAllGather(in);
       });
@@ -81,10 +92,13 @@ PayloadReport ValidateFlatAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
                                     int64_t tile_elems,
                                     const HierConfig& cfg,
-                                    const sim::FaultPlan* plan) {
+                                    const sim::FaultPlan* plan,
+                                    sim::TraceRecorder* trace,
+                                    int trace_pid_base) {
   return RunValidation<FlatAllGather>(
       spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
-      spec.num_devices * num_tiles * tile_elems, plan,
+      spec.num_devices * num_tiles * tile_elems, plan, trace, trace_pid_base,
+      "flat_ag",
       [](const std::vector<rt::Buffer*>& in, int) {
         return RefAllGather(in);
       });
@@ -95,11 +109,13 @@ PayloadReport ValidateHierReduceScatter(const sim::MachineSpec& spec,
                                         uint64_t tile_bytes,
                                         int64_t tile_elems,
                                         const HierConfig& cfg,
-                                        const sim::FaultPlan* plan) {
+                                        const sim::FaultPlan* plan,
+                                        sim::TraceRecorder* trace,
+                                        int trace_pid_base) {
   return RunValidation<HierReduceScatter>(
       spec, num_tiles, tile_bytes, tile_elems, cfg,
       spec.num_devices * num_tiles * tile_elems, num_tiles * tile_elems,
-      plan,
+      plan, trace, trace_pid_base, "hier_rs",
       [&](const std::vector<rt::Buffer*>& in, int r) {
         return RefReduceScatter(in, r, num_tiles * tile_elems);
       });
@@ -110,11 +126,13 @@ PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
                                         uint64_t tile_bytes,
                                         int64_t tile_elems,
                                         const HierConfig& cfg,
-                                        const sim::FaultPlan* plan) {
+                                        const sim::FaultPlan* plan,
+                                        sim::TraceRecorder* trace,
+                                        int trace_pid_base) {
   return RunValidation<FlatReduceScatter>(
       spec, num_tiles, tile_bytes, tile_elems, cfg,
       spec.num_devices * num_tiles * tile_elems, num_tiles * tile_elems,
-      plan,
+      plan, trace, trace_pid_base, "flat_rs",
       [&](const std::vector<rt::Buffer*>& in, int r) {
         return RefReduceScatter(in, r, num_tiles * tile_elems);
       });
@@ -123,10 +141,12 @@ PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
 PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
                                   int64_t num_tiles, uint64_t tile_bytes,
                                   int64_t tile_elems, const HierConfig& cfg,
-                                  const sim::FaultPlan* plan) {
+                                  const sim::FaultPlan* plan,
+                                  sim::TraceRecorder* trace,
+                                  int trace_pid_base) {
   return RunValidation<DpAllReduce>(
       spec, num_tiles, tile_bytes, tile_elems, cfg, num_tiles * tile_elems,
-      num_tiles * tile_elems, plan,
+      num_tiles * tile_elems, plan, trace, trace_pid_base, "dp_ar",
       [&](const std::vector<rt::Buffer*>& in, int r) {
         return RefDpAllReduce(in, spec.devices_per_node, r);
       });
@@ -134,10 +154,13 @@ PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
 
 PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
                                  const tl::GemmHierRsConfig& cfg,
-                                 const sim::FaultPlan* plan) {
+                                 const sim::FaultPlan* plan,
+                                 sim::TraceRecorder* trace,
+                                 int trace_pid_base) {
   rt::World world(spec, rt::ExecMode::kFunctional);
   world.checker().set_enabled(true);
   world.set_fault_plan(plan);
+  if (trace != nullptr) world.set_trace(trace, trace_pid_base, "gemm_hier_rs");
   tl::GemmHierRs kernel(world, cfg);
   const int R = spec.num_devices;
   for (int r = 0; r < R; ++r) {
@@ -155,6 +178,9 @@ PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
       [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
   report.violations = world.checker().violations().size();
   report.faults = world.fault_stats();
+  report.checker_live =
+      world.checker().live_writes() + world.checker().live_reads();
+  report.checker_retired = world.checker().retired_intervals();
   // Single-rank reference: out[r] = sum_p (A_p @ B_p) rows of block r.
   // Integer-lattice inputs keep every partial and cross-rank sum an exact
   // fp32 integer, so equality is exact, not approximate.

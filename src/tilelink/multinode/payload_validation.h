@@ -26,6 +26,10 @@
 #include "tilelink/kernels/gemm_hier_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
 
+namespace tilelink::sim {
+class TraceRecorder;
+}  // namespace tilelink::sim
+
 namespace tilelink::multinode {
 
 struct PayloadReport {
@@ -33,32 +37,53 @@ struct PayloadReport {
   std::size_t violations = 0; // consistency violations found
   sim::TimeNs makespan = 0;   // identical to the timing-only makespan
   sim::FaultStats faults;     // drops/spikes/timeouts injected + retries run
+  // Checker pressure: intervals still live after the end-of-run retirement
+  // and intervals retired over the whole run (live + retired = total
+  // intervals audited).
+  std::size_t checker_live = 0;
+  std::size_t checker_retired = 0;
 
   bool ok() const { return bit_exact && violations == 0; }
 };
 
+// Every driver optionally records a fabric-wide timeline: pass a recorder
+// (and a pid base when several validations share one file) and the driver
+// attaches it to its World before constructing the collective, so signal
+// publications, chunk spans, counters and fault instants all land in it.
+// Tracing never changes the reported makespan (pinned by test_trace).
+
 PayloadReport ValidateHierAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
                                     int64_t tile_elems, const HierConfig& cfg,
-                                    const sim::FaultPlan* plan = nullptr);
+                                    const sim::FaultPlan* plan = nullptr,
+                                    sim::TraceRecorder* trace = nullptr,
+                                    int trace_pid_base = 0);
 PayloadReport ValidateFlatAllGather(const sim::MachineSpec& spec,
                                     int64_t num_tiles, uint64_t tile_bytes,
                                     int64_t tile_elems, const HierConfig& cfg,
-                                    const sim::FaultPlan* plan = nullptr);
+                                    const sim::FaultPlan* plan = nullptr,
+                                    sim::TraceRecorder* trace = nullptr,
+                                    int trace_pid_base = 0);
 PayloadReport ValidateHierReduceScatter(const sim::MachineSpec& spec,
                                         int64_t num_tiles, uint64_t tile_bytes,
                                         int64_t tile_elems,
                                         const HierConfig& cfg,
-                                        const sim::FaultPlan* plan = nullptr);
+                                        const sim::FaultPlan* plan = nullptr,
+                                        sim::TraceRecorder* trace = nullptr,
+                                        int trace_pid_base = 0);
 PayloadReport ValidateFlatReduceScatter(const sim::MachineSpec& spec,
                                         int64_t num_tiles, uint64_t tile_bytes,
                                         int64_t tile_elems,
                                         const HierConfig& cfg,
-                                        const sim::FaultPlan* plan = nullptr);
+                                        const sim::FaultPlan* plan = nullptr,
+                                        sim::TraceRecorder* trace = nullptr,
+                                        int trace_pid_base = 0);
 PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
                                   int64_t num_tiles, uint64_t tile_bytes,
                                   int64_t tile_elems, const HierConfig& cfg,
-                                  const sim::FaultPlan* plan = nullptr);
+                                  const sim::FaultPlan* plan = nullptr,
+                                  sim::TraceRecorder* trace = nullptr,
+                                  int trace_pid_base = 0);
 
 // Fused-kernel validation: run GemmHierRs on a functional world with
 // integer-lattice A/B (fp32 sums of small integers are exact, so the
@@ -69,6 +94,8 @@ PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
 // counts real consistency races in the fused pipeline.
 PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
                                  const tl::GemmHierRsConfig& cfg,
-                                 const sim::FaultPlan* plan = nullptr);
+                                 const sim::FaultPlan* plan = nullptr,
+                                 sim::TraceRecorder* trace = nullptr,
+                                 int trace_pid_base = 0);
 
 }  // namespace tilelink::multinode

@@ -1,8 +1,11 @@
 #include "tilelink/program.h"
 
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "sim/coro_utils.h"
+#include "sim/trace.h"
 
 namespace tilelink::tl {
 
@@ -225,6 +228,11 @@ struct ExecCtx {
   rt::World* world;
   std::shared_ptr<const BlockChannel> bc;
   sim::CostModel cost;
+  // Tracing (null/-1 when the world has no recorder): per-block track on
+  // the rank's trace process, spans per costed op.
+  sim::TraceRecorder* tr = nullptr;
+  int pid = -1;
+  int tid = 0;
 };
 
 void FireNotify(const ExecCtx& ec, const NotifySpec& spec) {
@@ -256,6 +264,14 @@ sim::Coro AsyncPush(ExecCtx ec, DataSpec d, NotifySpec after,
                                 world.sim().Now(), label);
   }
   world.checker().CloseWrite(wt);
+  if (ec.tr != nullptr) {
+    ec.tr->AddSpan(ec.pid, ec.tid, label, start, world.sim().Now(),
+                   sim::kCatComm,
+                   {sim::TraceArg::Num("bytes", static_cast<double>(d.bytes)),
+                    sim::TraceArg::Num("src", d.src_rank),
+                    sim::TraceArg::Num("dst", d.dst_rank),
+                    sim::TraceArg::Str("dma", "1")});
+  }
   FireNotify(ec, after);
 }
 
@@ -289,7 +305,14 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
                                     world.sim().Now(), op.label);
         }
       }
-      if (op.cost) co_await sim::Delay{op.cost(env, ec.cost)};
+      if (op.cost) {
+        const sim::TimeNs t0 = world.sim().Now();
+        co_await sim::Delay{op.cost(env, ec.cost)};
+        if (ec.tr != nullptr) {
+          ec.tr->AddSpan(ec.pid, ec.tid, op.label, t0, world.sim().Now(),
+                         sim::kCatCompute);
+        }
+      }
       if (op.math && world.functional()) op.math(env);
       break;
     }
@@ -303,12 +326,26 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
                                       op.label);
         }
       }
-      if (op.cost) co_await sim::Delay{op.cost(env, ec.cost)};
+      if (op.cost) {
+        const sim::TimeNs t0 = world.sim().Now();
+        co_await sim::Delay{op.cost(env, ec.cost)};
+        if (ec.tr != nullptr) {
+          ec.tr->AddSpan(ec.pid, ec.tid, op.label, t0, world.sim().Now(),
+                         sim::kCatCompute);
+        }
+      }
       break;
     }
     case OpKind::kMma:
     case OpKind::kElementwise: {
-      if (op.cost) co_await sim::Delay{op.cost(env, ec.cost)};
+      if (op.cost) {
+        const sim::TimeNs t0 = world.sim().Now();
+        co_await sim::Delay{op.cost(env, ec.cost)};
+        if (ec.tr != nullptr) {
+          ec.tr->AddSpan(ec.pid, ec.tid, op.label, t0, world.sim().Now(),
+                         sim::kCatCompute);
+        }
+      }
       if (op.math && world.functional()) op.math(env);
       break;
     }
@@ -342,6 +379,13 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
                                     start, world.sim().Now(), op.label);
       }
       world.checker().CloseWrite(wt);
+      if (ec.tr != nullptr) {
+        ec.tr->AddSpan(
+            ec.pid, ec.tid, op.label, start, world.sim().Now(), sim::kCatComm,
+            {sim::TraceArg::Num("bytes", static_cast<double>(d.bytes)),
+             sim::TraceArg::Num("src", d.src_rank),
+             sim::TraceArg::Num("dst", d.dst_rank)});
+      }
       if (op.notify_after) {
         FireNotify(ec, op.notify_after(env));
       }
@@ -366,7 +410,9 @@ sim::Coro ExecStmts(const ExecCtx& ec, Env& env,
   }
 }
 
-sim::Coro RunBlock(ExecCtx ec, Env env, const BlockProgram* program) {
+sim::Coro RunBlock(ExecCtx ec, Env env, const BlockProgram* program,
+                   std::string role_label) {
+  const sim::TimeNs t0 = ec.world->sim().Now();
   std::shared_ptr<void> scratch;
   if (program->scratch_factory) {
     scratch = program->scratch_factory(env);
@@ -375,6 +421,13 @@ sim::Coro RunBlock(ExecCtx ec, Env env, const BlockProgram* program) {
   co_await sim::Delay{ec.cost.BlockPrologue()};
   co_await ExecStmts(ec, env, program->stmts);
   co_await sim::Delay{ec.cost.BlockEpilogue()};
+  if (ec.tr != nullptr) {
+    // Structural span: SM-resident time of this role block (kCatTask so the
+    // profiler's critical path walks the leaf op spans instead).
+    ec.tr->AddSpan(ec.pid, ec.tid, role_label, t0, ec.world->sim().Now(),
+                   sim::kCatTask,
+                   {sim::TraceArg::Num("block", env.block_id)});
+  }
 }
 
 }  // namespace
@@ -400,11 +453,18 @@ std::shared_ptr<rt::KernelState> CompiledKernel::Launch(
       base += r.blocks;
     }
     TL_CHECK(role != nullptr);
+    if (sim::TraceRecorder* tr = world->trace()) {
+      ec.tr = tr;
+      ec.pid = world->trace_pid(bc_copy->rank);
+      ec.tid = tr->Track(ec.pid, spec_copy->name + "/" + role->name + ".b" +
+                                     std::to_string(role_block));
+    }
     Env env;
     env.rank = bc_copy->rank;
     env.grid = role->blocks;
     env.block_id = role_block;
-    return RunBlock(std::move(ec), env, &role->program);
+    return RunBlock(std::move(ec), env, &role->program,
+                    spec_copy->name + "/" + role->name);
   };
   return stream.LaunchKernel(grid, body, spec_.name);
 }
