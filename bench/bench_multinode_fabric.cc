@@ -15,7 +15,12 @@
 // kernel: at 2x8 it must beat the layer-level GEMM-then-HierRS compose on
 // simulated makespan at every tested shape, the joint-space tuner must
 // never lose to the hand-picked seed, and the functional run must be
-// bit-exact with zero checker violations. --faults runs the deterministic
+// bit-exact with zero checker violations. --ag-fused gates the generated
+// fused hierarchical AllGather + GEMM kernel the same way (beats the
+// HierAG-then-GEMM compose at every shape including small-m, tuner never
+// loses to the seed, functional and fault-plan runs checker-clean and
+// bit-exact) and exports fabric.ag_fused_speedup plus the generated
+// kernel's exposed-communication fraction. --faults runs the deterministic
 // fault sweep on a 4-NIC-rail 2x8: targeted drops, latency spikes, seeded
 // random transient mixes and rail death must all leave every collective and
 // the fused kernel bit-exact with zero checker violations, and killing one
@@ -148,6 +153,124 @@ bool RunFusedGate(const tilelink::sim::MachineSpec& spec,
   report->Record("multinode.fused.payload_ok", r.ok() ? 1.0 : 0.0);
   ok = ok && r.ok();
   std::printf("%s\n\n", ok ? "fused gate OK" : "fused gate FAILED");
+  return ok;
+}
+
+// --ag-fused: the generated fused hierarchical AllGather + GEMM kernel
+// (the OverlapPlanner's first new kernel, kernels/ag_gemm_hier) against the
+// HierAllGather-then-GEMM layer compose, including a small-m shape where
+// the planner column-splits the ring role over the K width. A traced
+// functional run feeds the critical-path profiler so the generated
+// kernel's exposed-communication fraction lands in --json, and a
+// fault-plan run must stay bit-exact with zero checker violations.
+bool RunAgFusedGate(const tilelink::sim::MachineSpec& spec,
+                    tilelink::bench::BenchReport* report) {
+  using namespace tilelink;
+  using namespace tilelink::multinode;
+  bool ok = true;
+  std::printf(
+      "=== Generated fused hier AG + GEMM vs layer-level compose (2x8) ===\n");
+  std::printf("%-22s %11s %11s %8s %11s\n", "shape", "compose", "fused",
+              "ratio", "tuned");
+  struct Shape {
+    const char* name;
+    tl::MlpPartShape s;
+  };
+  // Column-parallel projection shapes of TP16 transformer layers at e2e
+  // batch scale (m = batch x seq tokens, k = hidden gathered over the NIC):
+  // QKV (n = 3h/16) and MLP part 1 (n = inner/16). qkv_small is the
+  // small-m regime: m_per_rank = 128 leaves a single ring chunk per block,
+  // so the planner column-splits the K width (S > 1) instead of losing to
+  // the layer-level compose.
+  const Shape shapes[] = {
+      {"qkv_4k", {16384, 4096, 768}},
+      {"mlp1_4k", {16384, 4096, 1024}},
+      {"qkv_small", {2048, 4096, 1024}},
+  };
+  double min_speedup = 0.0;
+  for (const Shape& sh : shapes) {
+    const tl::TuneCandidate seed =
+        DefaultAgGemmHierCandidate(sh.s, spec.num_devices);
+    const sim::TimeNs fused = SimulateAgGemmHier(spec, sh.s, seed);
+    const sim::TimeNs compose = SimulateHierAgThenGemm(spec, sh.s, seed);
+    const tl::TuneResult tuned =
+        TuneAgGemmHier(spec, sh.s, tl::TuningSpace::AgGemmHier(), seed);
+    const double ratio =
+        static_cast<double>(compose) / static_cast<double>(fused);
+    std::printf("%-22s %9.3fms %9.3fms %7.2fx %9.3fms  %s\n", sh.name,
+                bench::ToMsD(compose), bench::ToMsD(fused), ratio,
+                bench::ToMsD(tuned.best_cost), tuned.best.Describe().c_str());
+    const std::string prefix = std::string("multinode.ag_fused.") + sh.name;
+    report->Record(prefix + ".compose_ms", bench::ToMsD(compose));
+    report->Record(prefix + ".fused_ms", bench::ToMsD(fused));
+    report->Record(prefix + ".tuned_ms", bench::ToMsD(tuned.best_cost));
+    report->Record(prefix + ".overlap_speedup", ratio);
+    min_speedup = min_speedup == 0.0 ? ratio : std::min(min_speedup, ratio);
+    ok = ok && fused < compose && tuned.best_cost <= fused;
+  }
+  // The CI-gated headline number: the worst compose/fused ratio across the
+  // gate shapes (> 1 means the generated kernel wins everywhere).
+  report->Record("fabric.ag_fused_speedup", min_speedup);
+
+  // Small-m planner decision: the qkv_small shape must actually trigger
+  // the column split (the ring role would otherwise run one chunk per
+  // block and serialize against the rail).
+  {
+    rt::World world(spec, rt::ExecMode::kTimingOnly);
+    tl::AgGemmHier kernel(
+        world, AgGemmHierFromCandidate(
+                   shapes[2].s,
+                   DefaultAgGemmHierCandidate(shapes[2].s, spec.num_devices)));
+    std::printf("  small-m planner col_splits=%d (need > 1)\n",
+                kernel.col_splits());
+    report->Record("multinode.ag_fused.small_m_col_splits",
+                   static_cast<double>(kernel.col_splits()));
+    ok = ok && kernel.col_splits() > 1;
+  }
+
+  // Functional gate with the timeline attached: real data through the
+  // publish/ring/rail/consumer roles, bit-exact with zero violations, and
+  // the profiler's exposed-communication fraction for the generated
+  // kernel exported next to the speedup.
+  tl::AgGemmHierConfig small;
+  small.m = static_cast<int64_t>(spec.num_devices) * 16;
+  small.k = 16;
+  small.n = 16;
+  small.gemm = {8, 16, 8};
+  small.comm_tile_m = 8;
+  sim::TraceRecorder rec;
+  const PayloadReport r =
+      ValidateAgGemmHier(spec, small, nullptr, &rec, /*trace_pid_base=*/0);
+  const sim::Profile prof = sim::BuildProfile(rec);
+  std::printf("  functional: bit_exact=%d violations=%zu "
+              "exposed_comm_frac=%.3f\n",
+              r.bit_exact ? 1 : 0, r.violations, prof.exposed_comm_frac);
+  report->Record("multinode.ag_fused.payload_ok", r.ok() ? 1.0 : 0.0);
+  report->Record("fabric.ag_fused_exposed_comm_frac", prof.exposed_comm_frac);
+  ok = ok && r.ok();
+
+  // Fault-plan gate: transient NIC/NVLink drops and spikes must leave the
+  // generated kernel bit-exact with zero violations (and must actually
+  // have injected something).
+  sim::FaultPlan plan;
+  plan.RandomTransients("nic", /*seed=*/1ull, /*drop_prob=*/0.08,
+                        /*spike_prob=*/0.10, /*spike_mult=*/3.0);
+  plan.RandomTransients("nvlink", /*seed=*/0x9e3779b97f4a7c15ull,
+                        /*drop_prob=*/0.02, /*spike_prob=*/0.05,
+                        /*spike_mult=*/2.0);
+  const PayloadReport fr = ValidateAgGemmHier(spec, small, &plan);
+  const uint64_t injected = fr.faults.drops + fr.faults.spikes;
+  std::printf("  faulted: bit_exact=%d violations=%zu drops=%llu "
+              "spikes=%llu retries=%llu\n",
+              fr.bit_exact ? 1 : 0, fr.violations,
+              (unsigned long long)fr.faults.drops,
+              (unsigned long long)fr.faults.spikes,
+              (unsigned long long)fr.faults.retries);
+  report->Record("multinode.ag_fused.fault_ok",
+                 fr.ok() && injected > 0 ? 1.0 : 0.0);
+  ok = ok && fr.ok() && injected > 0;
+
+  std::printf("%s\n\n", ok ? "ag-fused gate OK" : "ag-fused gate FAILED");
   return ok;
 }
 
@@ -464,6 +587,8 @@ int main(int argc, char** argv) {
       ok = RunPayloadValidation(spec, &report) && ok;
     } else if (std::strcmp(argv[i], "--fused") == 0) {
       ok = RunFusedGate(spec, &report) && ok;
+    } else if (std::strcmp(argv[i], "--ag-fused") == 0) {
+      ok = RunAgFusedGate(spec, &report) && ok;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults_flag = true;
       ok = RunFaultSweep(spec, &report) && ok;
@@ -534,7 +659,9 @@ int main(int argc, char** argv) {
                 "lost to the hand-picked defaults, (with --payload) the "
                 "functional validation failed, (with --fused) the fused "
                 "GEMM+hier-RS kernel lost to the layer-level compose or its "
-                "functional run failed, or the fabric timeline/profiler "
+                "functional run failed, (with --ag-fused) the generated "
+                "hier-AG+GEMM kernel lost to the compose or its functional/"
+                "faulted run failed, or the fabric timeline/profiler "
                 "gate failed.\n");
     return 1;
   }

@@ -23,7 +23,10 @@
 #      single-stage baseline at 2x8, if a tuned DP-sync config loses to
 #      the hand-picked two-node defaults, or if the fused gemm_hier_rs
 #      kernel loses to the layer-level GEMM-then-HierRS compose (or its
-#      functional run is not bit-exact / violation-free). The bench also
+#      functional run is not bit-exact / violation-free), or if the
+#      planner-generated ag_gemm_hier loses its --ag-fused gate (fused vs
+#      AllGather-then-GEMM compose, tuned vs seed, small-m column split,
+#      functional + fault-injected bit-exactness). The bench also
 #      self-gates the fabric timeline: the recorded chrome-trace JSON must
 #      parse, the producer->ring->rail->reduce flow chain must be present,
 #      the profiler must be internally consistent (utilizations in [0,1],
@@ -69,14 +72,22 @@ if [[ "$FAST" == "0" ]]; then
       --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
 
-  echo "=== [5/5] 16-GPU smoke (payload + fused + faults + hier vs flat) ==="
-  ./build-ci/bench_multinode_fabric --payload --fused --faults \
+  echo "=== [5/5] 16-GPU smoke (payload + fused + ag-fused + faults) ==="
+  # The generated/hand-built identity suite (test_overlap_gen) already ran
+  # under ctest in stages 1-2; this stage gates the *generated* kernel's
+  # end-to-end win: --ag-fused fails if the planner-generated ag_gemm_hier
+  # loses to the AllGather-then-GEMM compose at any gate shape (including
+  # the small-m column-split shape), if the tuner regresses past the seed,
+  # if the small-m planner stops column-splitting, or if the functional /
+  # fault-injected runs are not bit-exact and checker-clean.
+  ./build-ci/bench_multinode_fabric --payload --fused --ag-fused --faults \
       --json build-ci/BENCH_multinode.json \
       --trace build-ci/TRACE_multinode.json
   # The bench already gates trace validity, the flow chain and profiler
   # consistency via its exit code; double-check the artifacts made it out.
   for key in fabric.exposed_comm_frac fabric.critical_path_ns \
-             fabric.compute_util fabric.wire_util; do
+             fabric.compute_util fabric.wire_util \
+             fabric.ag_fused_speedup fabric.ag_fused_exposed_comm_frac; do
     grep -q "\"$key\"" build-ci/BENCH_multinode.json \
         || { echo "missing $key in BENCH_multinode.json"; exit 1; }
   done

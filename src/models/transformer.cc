@@ -155,7 +155,26 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
         [&](rt::RankCtx& ctx) -> sim::Coro { co_await bench.Run(ctx); });
   } else {
     const tl::MlpPartShape shape{m, k, n};
-    if (tuned) {
+    // TP spanning the node boundary runs the generated fused hierarchical
+    // AG + GEMM kernel (NIC rail + node-local NVLink ring in one RolePlan);
+    // single-node TP — and multi-node shapes too small for its chunking —
+    // run the single-fabric AgGemm (the spec in the cache key separates
+    // multi-node fallback searches from the single-node ones).
+    const tl::TuneCandidate seed = multinode::DefaultAgGemmHierCandidate(
+        shape, tp_, CoarseTiling(k));
+    const bool fused = spec.num_nodes() > 1 &&
+                       multinode::AgGemmHierFeasible(spec, shape, seed);
+    if (fused && tuned) {
+      const tl::TunedEntry& e = tuned_cache_->GetOrTune(
+          tl::TunedConfigCache::Key("ag_gemm_hier", {m, k, n}, spec), [&] {
+            const tl::TuneResult r = multinode::TuneAgGemmHier(
+                spec, shape, tl::TuningSpace::AgGemmHier(), seed, Tuner());
+            return tl::TunedEntry{r.best, r.best_cost};
+          });
+      t = multinode::SimulateAgGemmHier(spec, shape, e.config);
+    } else if (fused) {
+      t = multinode::SimulateAgGemmHier(spec, shape, seed);
+    } else if (tuned) {
       const tl::TunedEntry& e = tuned_cache_->GetOrTune(
           tl::TunedConfigCache::Key("ag_gemm", {m, k, n}, spec), [&] {
             const tl::TuneResult r =

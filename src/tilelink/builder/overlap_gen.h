@@ -1,0 +1,84 @@
+// OverlapPlanner: the scheduling pass that turns a declarative OverlapSpec
+// (tile_deps.h) plus the fabric topology (MachineSpec: nodes x devices,
+// NIC rails, copy engines) into the complete role schedule a fused kernel
+// used to encode by hand — work-item counts, block/channel claims against
+// the ResourceBudget, ring chunk schedules (including the small-m
+// column-split fix) and NIC rail windows.
+//
+// The planner replays the exact claim arithmetic RolePlan performs, in
+// declared role order, so BuildFromPlan can construct the RolePlan from
+// the planned roles and TL_CHECK that the realized block/channel counts
+// match the plan: the generated path is nanosecond-exact against the
+// hand-built path by construction, not by luck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine_spec.h"
+#include "tilelink/builder/role_plan.h"
+#include "tilelink/builder/tile_deps.h"
+#include "tilelink/program.h"
+
+namespace tilelink::tl {
+
+// Ring chunks per destination block below which the planner splits the
+// ring role column-wise (the ROADMAP small-m fix): fewer chunks than this
+// cannot pipeline against the producer, so the fused kernel loses to the
+// layer-level compose.
+inline constexpr int kMinRingChunksPerBlock = 8;
+
+// One scheduled role: the claim inputs (want_sms, work_items,
+// want_channels) and the planner's prediction of what RolePlan will grant
+// (blocks, channels) given every earlier role's claims.
+struct PlannedRole {
+  std::string name;
+  OverlapRoleKind kind = OverlapRoleKind::kCompute;
+  FabricBinding fabric = FabricBinding::kNvlink;
+  bool device = true;  // false: host DMA program, no RolePlan entry
+  int want_sms = 0;
+  int64_t work_items = 0;
+  int want_channels = 0;  // 0: defaults to the block count
+  int blocks = 0;
+  int channels = 0;
+  // Ring-family schedule: column splits (1 = row-wise only) and row
+  // chunks per destination block.
+  int col_splits = 1;
+  int64_t chunks_per_block = 0;
+  // Rail schedule: granted staging window per peer.
+  int window = 0;
+};
+
+struct OverlapPlan {
+  std::string kernel;
+  std::vector<PlannedRole> roles;
+
+  const PlannedRole* Find(const std::string& name) const;
+  const PlannedRole& At(const std::string& name) const;  // TL_CHECKs
+  std::string Describe() const;
+};
+
+class OverlapPlanner {
+ public:
+  explicit OverlapPlanner(const sim::MachineSpec& spec) : spec_(spec) {}
+
+  // TL_CHECKs spec.Validate() passes, then schedules every role in
+  // declared order against one device's ResourceBudget.
+  OverlapPlan Plan(const OverlapSpec& spec) const;
+
+ private:
+  sim::MachineSpec spec_;
+};
+
+// Builds the RolePlan from a plan: `program_of` maps a planned role to
+// its BlockProgram (link-role geometry is already resolved, so kernels
+// only supply the per-role tile programs). Device roles are claimed in
+// plan order; the realized block/channel counts are TL_CHECKed against
+// the plan's predictions.
+FusedKernelSpec BuildFromPlan(
+    const OverlapPlan& plan, int total_sms,
+    const std::function<BlockProgram(const PlannedRole&)>& program_of);
+
+}  // namespace tilelink::tl

@@ -1,0 +1,308 @@
+#include "tilelink/builder/tile_deps.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/string_utils.h"
+
+namespace tilelink::tl {
+
+namespace {
+
+const TileSpaceSpec* FindSpace(const OverlapSpec& spec,
+                               const std::string& name) {
+  for (const TileSpaceSpec& s : spec.spaces) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// Resolved half-open tile interval of a ref (whole() -> [0, tiles)).
+std::pair<int64_t, int64_t> RefInterval(const TileRef& ref,
+                                        const TileSpaceSpec& space) {
+  if (ref.whole()) return {0, space.tiles};
+  return {ref.lo, ref.hi};
+}
+
+// True when [lo, hi) is covered by the union of `intervals`.
+bool Covered(int64_t lo, int64_t hi,
+             std::vector<std::pair<int64_t, int64_t>> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  int64_t reach = lo;
+  for (const auto& [ilo, ihi] : intervals) {
+    if (ilo > reach) break;
+    reach = std::max(reach, ihi);
+    if (reach >= hi) return true;
+  }
+  return reach >= hi;
+}
+
+// DFS cycle search over writer -> reader edges; returns the cycle as
+// "a -> b -> a" or empty.
+std::string FindCycle(const OverlapSpec& spec,
+                      const std::vector<std::vector<int>>& edges) {
+  const int n = static_cast<int>(spec.roles.size());
+  // 0: unvisited, 1: on stack, 2: done.
+  std::vector<int> state(static_cast<size_t>(n), 0);
+  std::vector<int> stack;
+  std::string cycle;
+  std::function<bool(int)> dfs = [&](int u) {
+    state[static_cast<size_t>(u)] = 1;
+    stack.push_back(u);
+    for (int v : edges[static_cast<size_t>(u)]) {
+      if (state[static_cast<size_t>(v)] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), v);
+        for (; it != stack.end(); ++it) {
+          cycle += spec.roles[static_cast<size_t>(*it)].name + " -> ";
+        }
+        cycle += spec.roles[static_cast<size_t>(v)].name;
+        return true;
+      }
+      if (state[static_cast<size_t>(v)] == 0 && dfs(v)) return true;
+    }
+    stack.pop_back();
+    state[static_cast<size_t>(u)] = 2;
+    return false;
+  };
+  for (int u = 0; u < n; ++u) {
+    if (state[static_cast<size_t>(u)] == 0 && dfs(u)) return cycle;
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* OverlapRoleKindName(OverlapRoleKind kind) {
+  switch (kind) {
+    case OverlapRoleKind::kCompute: return "compute";
+    case OverlapRoleKind::kComm: return "comm";
+    case OverlapRoleKind::kRowAllGather: return "row_allgather";
+    case OverlapRoleKind::kRingReduceScatter: return "ring_rs";
+    case OverlapRoleKind::kHierAgRing: return "hier_ag_ring";
+    case OverlapRoleKind::kNicRailPush: return "nic_rail_push";
+    case OverlapRoleKind::kNicRailReduce: return "nic_rail_reduce";
+    case OverlapRoleKind::kHostDma: return "host_dma";
+  }
+  return "?";
+}
+
+std::string OverlapSpec::Validate() const {
+  if (kernel.empty()) return "kernel: must be non-empty";
+  if (spaces.empty()) return "spaces: must be non-empty";
+  for (size_t i = 0; i < spaces.size(); ++i) {
+    const TileSpaceSpec& s = spaces[i];
+    if (s.name.empty()) {
+      return StrFormat("spaces[%zu].name: must be non-empty", i);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (spaces[j].name == s.name) {
+        return StrFormat("spaces[%zu].name: duplicate space \"%s\"", i,
+                         s.name.c_str());
+      }
+    }
+    if (s.tiles <= 0) {
+      return StrFormat("spaces[%zu](%s).tiles: must be > 0, got %lld", i,
+                       s.name.c_str(), static_cast<long long>(s.tiles));
+    }
+    if (s.tile_rows <= 0) {
+      return StrFormat("spaces[%zu](%s).tile_rows: must be > 0, got %lld", i,
+                       s.name.c_str(), static_cast<long long>(s.tile_rows));
+    }
+  }
+  if (roles.empty()) return "roles: must be non-empty";
+  for (size_t i = 0; i < roles.size(); ++i) {
+    const OverlapRoleSpec& r = roles[i];
+    if (r.name.empty()) {
+      return StrFormat("roles[%zu].name: must be non-empty", i);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (roles[j].name == r.name) {
+        return StrFormat("roles[%zu].name: duplicate role \"%s\"", i,
+                         r.name.c_str());
+      }
+    }
+    auto check_refs = [&](const std::vector<TileRef>& refs,
+                          const char* field) -> std::string {
+      for (size_t k = 0; k < refs.size(); ++k) {
+        const TileRef& ref = refs[k];
+        const TileSpaceSpec* space = FindSpace(*this, ref.space);
+        if (space == nullptr) {
+          return StrFormat(
+              "roles[%zu](%s).%s[%zu].space: dangling tile reference "
+              "\"%s\" (no such space)",
+              i, r.name.c_str(), field, k, ref.space.c_str());
+        }
+        if (!ref.whole() &&
+            (ref.lo < 0 || ref.hi <= ref.lo || ref.hi > space->tiles)) {
+          return StrFormat(
+              "roles[%zu](%s).%s[%zu]: range [%lld, %lld) outside space "
+              "\"%s\" [0, %lld)",
+              i, r.name.c_str(), field, k, static_cast<long long>(ref.lo),
+              static_cast<long long>(ref.hi), ref.space.c_str(),
+              static_cast<long long>(space->tiles));
+        }
+      }
+      return "";
+    };
+    if (std::string err = check_refs(r.reads, "reads"); !err.empty()) {
+      return err;
+    }
+    if (std::string err = check_refs(r.writes, "writes"); !err.empty()) {
+      return err;
+    }
+    switch (r.kind) {
+      case OverlapRoleKind::kComm:
+        if (r.work_items < 0) {
+          return StrFormat("roles[%zu](%s).work_items: comm role needs an "
+                           "explicit work-item count",
+                           i, r.name.c_str());
+        }
+        break;
+      case OverlapRoleKind::kRowAllGather:
+        if (r.reads.empty() || r.writes.empty()) {
+          return StrFormat("roles[%zu](%s): row_allgather needs a shard "
+                           "read and a gathered write",
+                           i, r.name.c_str());
+        }
+        break;
+      case OverlapRoleKind::kRingReduceScatter:
+      case OverlapRoleKind::kHierAgRing:
+        if (r.block_rows <= 0 || r.chunk_rows <= 0 ||
+            r.block_rows % r.chunk_rows != 0) {
+          return StrFormat(
+              "roles[%zu](%s).block_rows/chunk_rows: need chunk_rows > 0 "
+              "dividing block_rows, got %lld / %d",
+              i, r.name.c_str(), static_cast<long long>(r.block_rows),
+              r.chunk_rows);
+        }
+        if (r.seg_blocks <= 0) {
+          return StrFormat("roles[%zu](%s).seg_blocks: must be > 0, got %d",
+                           i, r.name.c_str(), r.seg_blocks);
+        }
+        if (r.allow_col_split && r.cols <= 0) {
+          return StrFormat("roles[%zu](%s).cols: col split needs the row "
+                           "width, got %lld",
+                           i, r.name.c_str(), static_cast<long long>(r.cols));
+        }
+        break;
+      case OverlapRoleKind::kNicRailPush:
+        if (r.peers <= 0 || r.nic_chunk_blocks <= 0 || r.staging_depth <= 0 ||
+            r.block_rows <= 0 || r.chunk_rows <= 0) {
+          return StrFormat(
+              "roles[%zu](%s): nic_rail_push needs peers/nic_chunk_blocks/"
+              "staging_depth > 0 and block geometry, got peers=%d "
+              "nic_chunk_blocks=%d staging_depth=%d",
+              i, r.name.c_str(), r.peers, r.nic_chunk_blocks,
+              r.staging_depth);
+        }
+        break;
+      case OverlapRoleKind::kNicRailReduce:
+        if (r.nic_chunk_blocks <= 0 || r.block_rows <= 0 ||
+            r.chunk_rows <= 0) {
+          return StrFormat("roles[%zu](%s): nic_rail_reduce needs chunk "
+                           "geometry (nic_chunk_blocks/block_rows/chunk_rows)",
+                           i, r.name.c_str());
+        }
+        break;
+      case OverlapRoleKind::kCompute:
+      case OverlapRoleKind::kHostDma:
+        break;
+    }
+  }
+  // Consumer reads of a non-resident space must be covered by writes.
+  for (size_t i = 0; i < roles.size(); ++i) {
+    const OverlapRoleSpec& r = roles[i];
+    for (size_t k = 0; k < r.reads.size(); ++k) {
+      const TileSpaceSpec* space = FindSpace(*this, r.reads[k].space);
+      if (space->resident) continue;
+      const auto [lo, hi] = RefInterval(r.reads[k], *space);
+      std::vector<std::pair<int64_t, int64_t>> writes;
+      for (const OverlapRoleSpec& w : roles) {
+        for (const TileRef& ref : w.writes) {
+          if (ref.space == space->name) {
+            writes.push_back(RefInterval(ref, *space));
+          }
+        }
+      }
+      if (!Covered(lo, hi, std::move(writes))) {
+        return StrFormat(
+            "roles[%zu](%s).reads[%zu]: non-covering read of \"%s\" "
+            "[%lld, %lld) — no writer produces every tile",
+            i, r.name.c_str(), k, space->name.c_str(),
+            static_cast<long long>(lo), static_cast<long long>(hi));
+      }
+    }
+  }
+  // Cyclic producer/consumer dependences (self-loops — a ring forwarding
+  // through its own destination buffer — are legal and skipped).
+  std::vector<std::vector<int>> edges(roles.size());
+  for (size_t w = 0; w < roles.size(); ++w) {
+    for (const TileRef& ref : roles[w].writes) {
+      for (size_t rd = 0; rd < roles.size(); ++rd) {
+        if (rd == w) continue;
+        for (const TileRef& read : roles[rd].reads) {
+          if (read.space == ref.space) {
+            edges[w].push_back(static_cast<int>(rd));
+          }
+        }
+      }
+    }
+  }
+  if (std::string cycle = FindCycle(*this, edges); !cycle.empty()) {
+    return StrFormat("roles: cyclic producer/consumer dependence: %s",
+                     cycle.c_str());
+  }
+  return "";
+}
+
+std::string OverlapSpec::Describe() const {
+  std::string out = StrFormat("overlap_spec %s\n", kernel.c_str());
+  for (const TileSpaceSpec& s : spaces) {
+    out += StrFormat("  space %s tiles=%lld tile_rows=%lld%s\n",
+                     s.name.c_str(), static_cast<long long>(s.tiles),
+                     static_cast<long long>(s.tile_rows),
+                     s.resident ? " resident" : "");
+  }
+  for (const OverlapRoleSpec& r : roles) {
+    out += StrFormat("  role %s kind=%s sms=%d", r.name.c_str(),
+                     OverlapRoleKindName(r.kind), r.want_sms);
+    if (r.work_items >= 0) {
+      out += StrFormat(" work=%lld", static_cast<long long>(r.work_items));
+    }
+    if (r.kind == OverlapRoleKind::kRingReduceScatter ||
+        r.kind == OverlapRoleKind::kHierAgRing) {
+      out += StrFormat(" group=%d seg_blocks=%d block_rows=%lld "
+                       "chunk_rows=%d cols=%lld%s",
+                       r.group_size, r.seg_blocks,
+                       static_cast<long long>(r.block_rows), r.chunk_rows,
+                       static_cast<long long>(r.cols),
+                       r.allow_col_split ? " col_split" : "");
+    }
+    if (r.kind == OverlapRoleKind::kNicRailPush ||
+        r.kind == OverlapRoleKind::kNicRailReduce) {
+      out += StrFormat(" nic_chunk_blocks=%d staging_depth=%d peers=%d",
+                       r.nic_chunk_blocks, r.staging_depth, r.peers);
+    }
+    auto refs = [&out](const char* tag, const std::vector<TileRef>& v) {
+      if (v.empty()) return;
+      out += StrFormat(" %s=", tag);
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out += ",";
+        if (v[i].whole()) {
+          out += v[i].space;
+        } else {
+          out += StrFormat("%s[%lld:%lld]", v[i].space.c_str(),
+                           static_cast<long long>(v[i].lo),
+                           static_cast<long long>(v[i].hi));
+        }
+      }
+    };
+    refs("reads", r.reads);
+    refs("writes", r.writes);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tilelink::tl

@@ -1,0 +1,106 @@
+// Declarative tile-dependence layer: which tiles of which operand each
+// producer/consumer role reads and writes (ROADMAP "automatic overlap
+// generation"; Syncopate/T3 in PAPERS.md are the grounding).
+//
+// An OverlapSpec is the input to the OverlapPlanner (overlap_gen.h): a set
+// of named tile spaces (one per operand, in units of that operand's comm
+// tile) and a set of roles, each declaring its kind (compute, ring RS,
+// NIC rail, row AllGather, ...), its resource request and the tile ranges
+// it reads/writes. The planner derives from this everything a kernel
+// constructor used to encode by hand: work-item counts, block/channel
+// claims against the ResourceBudget, ring chunk schedules (including the
+// small-m column split) and NIC rail windows.
+//
+// Validate() rejects malformed specs with named-field messages (mirroring
+// HierConfig::Validate) before any role is built: dangling tile
+// references, consumer reads of a non-resident space no writer covers,
+// and cyclic producer/consumer dependences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tilelink/builder/role_plan.h"
+#include "tilelink/kernels/kernel_common.h"
+
+namespace tilelink::tl {
+
+// One operand's tile space: `tiles` tiles of `tile_rows` rows each. A
+// resident space needs no producer (shard inputs, weights); reads of a
+// non-resident space must be covered by some role's writes.
+struct TileSpaceSpec {
+  std::string name;
+  int64_t tiles = 0;
+  int64_t tile_rows = 1;
+  bool resident = false;
+};
+
+// Half-open tile range [lo, hi) of a named space; lo == hi == 0 means the
+// whole space. (TileRange in mapping.h is the row-range type; this one is
+// in tile units.)
+struct TileRef {
+  std::string space;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool whole() const { return lo == 0 && hi == 0; }
+};
+
+// The role archetypes the planner knows how to schedule. kComm is a
+// generic explicitly-sized communication role (e.g. moe_rs's topk
+// reduce); the link-role kinds carry ring/rail geometry the planner turns
+// into chunk schedules.
+enum class OverlapRoleKind {
+  kCompute,           // tiles from writes (or work_items override)
+  kComm,              // explicit work_items
+  kRowAllGather,      // pull: work = dest tiles; push: work = shard tiles
+  kRingReduceScatter, // NVLink ring, seg_blocks * (block_rows/chunk_rows)
+  kHierAgRing,        // node-local AG ring of the fused hierarchical AG
+  kNicRailPush,       // NIC rail chunks, window-clamped
+  kNicRailReduce,     // rail arrival reduce, one block per rail chunk
+  kHostDma,           // host copy-engine program; no device role
+};
+
+const char* OverlapRoleKindName(OverlapRoleKind kind);
+
+struct OverlapRoleSpec {
+  std::string name;
+  OverlapRoleKind kind = OverlapRoleKind::kCompute;
+  // Resource binding (§3.1): kRowAllGather switches pull/push/DMA on it;
+  // ring roles use it only for the dma_push flag.
+  CommResource resource = CommResource::kSmPush;
+  int want_sms = 0;
+  std::vector<TileRef> reads;
+  std::vector<TileRef> writes;
+  // Explicit work-item override (dynamic shapes: MoE group blocks).
+  int64_t work_items = -1;
+
+  // Link-role geometry (ring / rail kinds).
+  int group_size = 0;      // ring group (0: whole world)
+  int seg_blocks = 1;      // destination blocks per ring segment
+  int64_t block_rows = 0;  // rows of one global destination block
+  int chunk_rows = 0;      // ring chunk rows (comm tile m)
+  int64_t cols = 0;        // row width the ring moves (n, or k for AG)
+  bool allow_col_split = false;  // small-m fix: split columns when the
+                                 // row-wise chunk count is too small
+  int nic_chunk_blocks = 0;  // rail chunk granularity, in comm tiles
+  int staging_depth = 0;     // requested rail staging slots per peer
+  int peers = 0;             // rail peers (nodes - 1)
+};
+
+// The declarative fused kernel: spaces + roles, in role claim order.
+struct OverlapSpec {
+  std::string kernel;
+  std::vector<TileSpaceSpec> spaces;
+  std::vector<OverlapRoleSpec> roles;
+
+  // Empty string when well-formed; otherwise one named-field error
+  // message per the first violation found (deterministic order).
+  std::string Validate() const;
+
+  // Deterministic textual form (round-trip/determinism tests).
+  std::string Describe() const;
+};
+
+}  // namespace tilelink::tl

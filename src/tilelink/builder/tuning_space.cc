@@ -249,6 +249,19 @@ TuningSpace TuningSpace::GemmHierRs() {
   return space;
 }
 
+TuningSpace TuningSpace::AgGemmHier() {
+  TuningSpace space;
+  // Joint compute x link space for the fused hierarchical AllGather: the
+  // AG chunk rows gate consumer tiles (finer chunks release GEMM tiles
+  // earlier, coarser chunks amortize NIC latency), the rail knobs trade
+  // message latency against staging.
+  space.GemmTiles({{128, 128}, {128, 256}, {256, 128}})
+      .CommTileM({64, 128})
+      .NicChunkTiles({1, 2, 4})
+      .StagingDepth({1, 2, 4});
+  return space;
+}
+
 TuningSpace TuningSpace::MoePart2() {
   TuningSpace space;
   // comm_tile_m doubles as the RS chunk rows for the RS role.

@@ -98,6 +98,10 @@ class TuningSpace {
   // joint space coupling the GEMM tile axes with the NIC rail knobs.
   static TuningSpace GemmHierRs();
 
+  // Fused hierarchical AllGather + GEMM (kernels/ag_gemm_hier): AG chunk
+  // rows join the GEMM tile axes and the NIC rail knobs.
+  static TuningSpace AgGemmHier();
+
  private:
   std::vector<std::pair<int, int>> gemm_tiles_;
   std::vector<int> comm_tile_m_;

@@ -27,9 +27,38 @@ AgAttention::AgAttention(rt::World& world, const AgAttentionConfig& config)
   CreateChannels(/*num_pc=*/1, /*num_peer=*/1, /*num_host=*/R);
 
   const int64_t q_tiles = CeilDiv<int64_t>(s_per, cfg_.block_q);
-  RolePlan plan(cfg_.name, sms());
-  plan.Compute("flash_attn", cfg_.batch_heads * q_tiles, BuildFlash());
-  Finalize(plan.Build());
+  if (cfg_.hand_built) {
+    RolePlan plan(cfg_.name, sms());
+    plan.Compute("flash_attn", cfg_.batch_heads * q_tiles, BuildFlash());
+    Finalize(plan.Build());
+    return;
+  }
+
+  // Declarative form: the host-DMA role gathers the R KV segments; flash
+  // consumer tiles read them as they land (host signal space).
+  overlap_spec_.kernel = cfg_.name;
+  overlap_spec_.spaces = {
+      {"q", cfg_.batch_heads * q_tiles, cfg_.block_q, /*resident=*/true},
+      {"kv_shard", 1, s_per, /*resident=*/true},
+      {"kv", static_cast<int64_t>(R), s_per, /*resident=*/false},
+      {"out", cfg_.batch_heads * q_tiles, cfg_.block_q, /*resident=*/false},
+  };
+  OverlapRoleSpec dma;
+  dma.name = "ag_kv";
+  dma.kind = OverlapRoleKind::kHostDma;
+  dma.resource = CommResource::kDma;
+  dma.reads = {{"kv_shard"}};
+  dma.writes = {{"kv"}};
+  OverlapRoleSpec flash;
+  flash.name = "flash_attn";
+  flash.kind = OverlapRoleKind::kCompute;
+  flash.reads = {{"q"}, {"kv"}};
+  flash.writes = {{"out"}};
+  flash.work_items = cfg_.batch_heads * q_tiles;
+  overlap_spec_.roles = {std::move(dma), std::move(flash)};
+  overlap_plan_ = OverlapPlanner(world.spec()).Plan(overlap_spec_);
+  Finalize(BuildFromPlan(overlap_plan_, sms(),
+                         [this](const PlannedRole&) { return BuildFlash(); }));
 }
 
 BlockProgram AgAttention::BuildFlash() {

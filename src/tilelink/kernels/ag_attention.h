@@ -12,6 +12,8 @@
 #include "comm/collectives.h"
 #include "runtime/world.h"
 #include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/overlap_gen.h"
+#include "tilelink/builder/tile_deps.h"
 #include "tilelink/program.h"
 
 namespace tilelink::tl {
@@ -27,6 +29,7 @@ struct AgAttentionConfig {
   double throughput_factor = 1.0;
   bool skip_comm = false;  // measure compute only (all channels pre-set)
   bool comm_only = false;  // measure the DMA AllGather only
+  bool hand_built = false;  // regression oracle: bypass the OverlapPlanner
   CompilerOptions compiler;
   std::string name = "ag_attention";
 };
@@ -42,6 +45,10 @@ class AgAttention : public FusedKernelBase {
   comm::SymTensor& v() { return v_; }
   comm::SymTensor& out() { return out_; }            // [BH, S/R, D]
 
+  // Generated path only (empty when hand_built).
+  const OverlapSpec& overlap_spec() const { return overlap_spec_; }
+  const OverlapPlan& overlap_plan() const { return overlap_plan_; }
+
  protected:
   std::optional<sim::Coro> HostComm(rt::RankCtx& ctx) override;
   bool LaunchesDevice() const override { return !cfg_.comm_only; }
@@ -52,6 +59,8 @@ class AgAttention : public FusedKernelBase {
 
   AgAttentionConfig cfg_;
   comm::SymTensor q_, k_shards_, v_shards_, k_, v_, out_;
+  OverlapSpec overlap_spec_;
+  OverlapPlan overlap_plan_;
 };
 
 }  // namespace tilelink::tl

@@ -5,6 +5,7 @@
 #include "common/math_utils.h"
 #include "compute/tile_math.h"
 #include "tilelink/builder/comm_roles.h"
+#include "tilelink/kernels/ag_consumer.h"
 #include "tilelink/primitives.h"
 
 namespace tilelink::tl {
@@ -26,111 +27,80 @@ AgGemm::AgGemm(rt::World& world, const AgGemmConfig& config)
 
   const int64_t gemm_tiles = CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm) *
                              CeilDiv<int64_t>(cfg_.n, cfg_.gemm.bn);
-  RolePlan plan(cfg_.name, sms());
-  if (cfg_.comm != CommResource::kDma) {
-    const RowAllGatherParams ag{map_, a_shards_, a_full_, ranks(), m_per_rank};
-    const bool pull = cfg_.comm == CommResource::kSmPull;
-    plan.Comm("comm", cfg_.comm_sms,
-              pull ? map_.num_tiles() : map_.tiles_per_rank(),
-              pull ? BuildRowAllGatherPull(ag) : BuildRowAllGatherPush(ag));
+  if (cfg_.hand_built) {
+    RolePlan plan(cfg_.name, sms());
+    if (cfg_.comm != CommResource::kDma) {
+      const bool pull = cfg_.comm == CommResource::kSmPull;
+      plan.Comm("comm", cfg_.comm_sms,
+                pull ? map_.num_tiles() : map_.tiles_per_rank(), BuildComm());
+    }
+    plan.Compute("compute", gemm_tiles, BuildCompute());
+    Finalize(plan.Build());
+    return;
   }
-  plan.Compute("compute", gemm_tiles, BuildCompute());
-  Finalize(plan.Build());
+  overlap_spec_ = BuildOverlapSpec(gemm_tiles);
+  overlap_plan_ = OverlapPlanner(world.spec()).Plan(overlap_spec_);
+  Finalize(BuildFromPlan(overlap_plan_, sms(),
+                         [this](const PlannedRole& role) {
+                           return role.name == "comm" ? BuildComm()
+                                                      : BuildCompute();
+                         }));
 }
 
-// Computation role: persistent GEMM blocks; the m-tile visit order is the
-// tile-order subspace of §3.1 (own rows first by default).
-BlockProgram AgGemm::BuildCompute() {
-  TileProgramBuilder b;
-  const StaticMapping map = map_;
-  auto fulls = a_full_;
-  auto weights = b_;
-  auto outs = c_;
-  const compute::GemmTiling tiling = cfg_.gemm;
-  const int64_t tiles_m = CeilDiv<int64_t>(cfg_.m, tiling.bm);
-  const int64_t tiles_n = CeilDiv<int64_t>(cfg_.n, tiling.bn);
-  const int64_t num_tiles = tiles_m * tiles_n;
-  const int64_t k_steps = CeilDiv<int64_t>(cfg_.k, tiling.bk);
-  const int64_t m = cfg_.m;
-  const int64_t n = cfg_.n;
-  const int64_t k = cfg_.k;
-  const int R = ranks();
-  const int64_t tiles_m_per_rank = tiles_m / R;
-  const TileOrder order = cfg_.order;
-  auto tid_mn = [=](const Env& e) {
-    const int64_t t = e.block_id + e.iv(0) * e.grid;
-    const int64_t tm = SwizzleTileM(t / tiles_n, tiles_m, tiles_m_per_rank,
-                                    e.rank, R, order);
-    return std::pair<int64_t, int64_t>(tm, t % tiles_n);
+// The declarative form of this kernel: the comm role reads the resident
+// shard and writes every gathered tile; the GEMM reads the gathered
+// activation plus the resident weight and writes one output tile per
+// consumer tile.
+OverlapSpec AgGemm::BuildOverlapSpec(int64_t gemm_tiles) const {
+  OverlapSpec spec;
+  spec.kernel = cfg_.name;
+  spec.spaces = {
+      {"a_shard", map_.tiles_per_rank(), cfg_.comm_tile_m, /*resident=*/true},
+      {"a_full", map_.num_tiles(), cfg_.comm_tile_m, /*resident=*/false},
+      {"b", 1, cfg_.k, /*resident=*/true},
+      {"c", gemm_tiles, cfg_.gemm.bm, /*resident=*/false},
   };
-  b.For("t", [num_tiles](const Env& e) { return TilesForBlock(num_tiles, e); },
-        [&](TileProgramBuilder& body) {
-          body.Add(ops::ConsumerTileWait(
-              "gemm.consumer_wait", [map, tid_mn, tiling, m](const Env& e) {
-                const auto [tm, tn] = tid_mn(e);
-                WaitSpec spec;
-                spec.space = SignalSpace::kProducerConsumer;
-                const int64_t lo = tm * tiling.bm;
-                const int64_t hi = std::min<int64_t>(lo + tiling.bm, m);
-                spec.waits = map.WaitsForRows(lo, hi);
-                return spec;
-              }));
-          body.For("kk",
-                   [k_steps](const Env&) { return k_steps; },
-                   [&](TileProgramBuilder& inner) {
-                     inner.Add(ops::Load(
-                         "gemm.load_a", /*acquire=*/true,
-                         [fulls, tid_mn, tiling, m](const Env& e) {
-                           const auto [tm, tn] = tid_mn(e);
-                           (void)tn;
-                           const int64_t lo = tm * tiling.bm;
-                           const int64_t len =
-                               std::min<int64_t>(tiling.bm, m - lo);
-                           const Tensor view =
-                               fulls[static_cast<size_t>(e.rank)].Slice(
-                                   0, lo, len);
-                           DataSpec d;
-                           view.BufferRange(&d.read_lo, &d.read_hi);
-                           d.read_buf = view.buffer();
-                           return d;
-                         }));
-                     inner.Add(ops::Mma(
-                         "gemm.mma",
-                         [tiling](const Env&, const sim::CostModel& cost) {
-                           return cost.GemmTileStep(tiling.bm, tiling.bn,
-                                                    tiling.bk);
-                         },
-                         [fulls, weights, outs, tid_mn, tiling,
-                          k](const Env& e) {
-                           const auto [tm, tn] = tid_mn(e);
-                           const int64_t k0 = e.iv(1) * tiling.bk;
-                           Tensor out = outs[static_cast<size_t>(e.rank)];
-                           compute::GemmTile(
-                               fulls[static_cast<size_t>(e.rank)],
-                               weights[static_cast<size_t>(e.rank)], out,
-                               tm * tiling.bm, tiling.bm, tn * tiling.bn,
-                               tiling.bn, k0,
-                               std::min<int64_t>(tiling.bk, k - k0),
-                               /*accumulate=*/e.iv(1) != 0);
-                         }));
-                   });
-          body.Add(ops::Store(
-              "gemm.store", [outs, tid_mn, tiling, m, n](const Env& e) {
-                const auto [tm, tn] = tid_mn(e);
-                const int64_t lo = tm * tiling.bm;
-                const Tensor view =
-                    outs[static_cast<size_t>(e.rank)]
-                        .Slice(0, lo, std::min<int64_t>(tiling.bm, m - lo))
-                        .Slice(1, tn * tiling.bn,
-                               std::min<int64_t>(tiling.bn,
-                                                 n - tn * tiling.bn));
-                DataSpec d;
-                view.BufferRange(&d.write_lo, &d.write_hi);
-                d.write_buf = view.buffer();
-                return d;
-              }));
-        });
-  return b.Build();
+  OverlapRoleSpec comm;
+  comm.name = "comm";
+  comm.kind = OverlapRoleKind::kRowAllGather;
+  comm.resource = cfg_.comm;
+  comm.want_sms = cfg_.comm_sms;
+  comm.reads = {{"a_shard"}};
+  comm.writes = {{"a_full"}};
+  OverlapRoleSpec gemm;
+  gemm.name = "compute";
+  gemm.kind = OverlapRoleKind::kCompute;
+  gemm.reads = {{"a_full"}, {"b"}};
+  gemm.writes = {{"c"}};
+  spec.roles = {std::move(comm), std::move(gemm)};
+  return spec;
+}
+
+BlockProgram AgGemm::BuildComm() {
+  const RowAllGatherParams ag{map_, a_shards_, a_full_, ranks(),
+                              cfg_.m / ranks()};
+  return cfg_.comm == CommResource::kSmPull ? BuildRowAllGatherPull(ag)
+                                            : BuildRowAllGatherPush(ag);
+}
+
+// Computation role: the shared AG+GEMM consumer (ag_consumer.h), waiting
+// on the static row mapping's channels.
+BlockProgram AgGemm::BuildCompute() {
+  AgConsumerParams p;
+  p.m = cfg_.m;
+  p.k = cfg_.k;
+  p.n = cfg_.n;
+  p.tiling = cfg_.gemm;
+  p.a_full = a_full_;
+  p.b = b_;
+  p.c = c_;
+  p.ranks = ranks();
+  p.order = cfg_.order;
+  const StaticMapping map = map_;
+  p.waits_for_rows = [map](int64_t lo, int64_t hi) {
+    return map.WaitsForRows(lo, hi);
+  };
+  return BuildAgGemmConsumer(p);
 }
 
 std::optional<sim::Coro> AgGemm::HostComm(rt::RankCtx& ctx) {

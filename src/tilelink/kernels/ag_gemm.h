@@ -9,6 +9,11 @@
 //  - comm resource: SM pull blocks, SM push blocks, or DMA copy engines
 //    driven by host primitives;
 //  - compute tile order: which rank's rows the GEMM visits first.
+//
+// The role schedule is derived by the OverlapPlanner from a declarative
+// OverlapSpec (tile_deps.h); `hand_built` keeps the original literal
+// RolePlan construction as a regression oracle — both paths share the
+// same role programs, so makespans are nanosecond-exact.
 #pragma once
 
 #include <string>
@@ -17,7 +22,9 @@
 #include "compute/gemm.h"
 #include "runtime/world.h"
 #include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/overlap_gen.h"
 #include "tilelink/builder/role_plan.h"
+#include "tilelink/builder/tile_deps.h"
 #include "tilelink/kernels/kernel_common.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
@@ -34,6 +41,7 @@ struct AgGemmConfig {
   CommResource comm = CommResource::kDma;
   int comm_sms = 20;  // SM-comm variants only
   TileOrder order = TileOrder::kOwnerFirst;  // GEMM m-tile visit order
+  bool hand_built = false;  // regression oracle: bypass the OverlapPlanner
   CompilerOptions compiler;
   std::string name = "ag_gemm";
 };
@@ -50,16 +58,23 @@ class AgGemm : public FusedKernelBase {
   comm::SymTensor& c() { return c_; }                // [M, N] per rank
 
   const StaticMapping& mapping() const { return map_; }
+  // Generated path only (empty when hand_built).
+  const OverlapSpec& overlap_spec() const { return overlap_spec_; }
+  const OverlapPlan& overlap_plan() const { return overlap_plan_; }
 
  protected:
   std::optional<sim::Coro> HostComm(rt::RankCtx& ctx) override;
 
  private:
   BlockProgram BuildCompute();
+  BlockProgram BuildComm();
+  OverlapSpec BuildOverlapSpec(int64_t gemm_tiles) const;
 
   AgGemmConfig cfg_;
   StaticMapping map_;
   comm::SymTensor a_shards_, a_full_, b_, c_;
+  OverlapSpec overlap_spec_;
+  OverlapPlan overlap_plan_;
 };
 
 }  // namespace tilelink::tl

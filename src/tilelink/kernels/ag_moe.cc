@@ -58,14 +58,52 @@ AgMoe::AgMoe(rt::World& world, const AgMoeConfig& config,
   }
 
   const int64_t tiles = static_cast<int64_t>(group_blocks_.size());
-  RolePlan plan(cfg_.name, sms());
-  if (cfg_.comm != CommResource::kDma) {
-    plan.Comm("ag", cfg_.comm_sms, map_.num_tiles(),
-              BuildRowAllGatherPull(RowAllGatherParams{
-                  map_, token_shards_, tokens_, ranks(), m_per_rank}));
+  const RowAllGatherParams ag_params{map_, token_shards_, tokens_, ranks(),
+                                     m_per_rank};
+  if (cfg_.hand_built) {
+    RolePlan plan(cfg_.name, sms());
+    if (cfg_.comm != CommResource::kDma) {
+      plan.Comm("ag", cfg_.comm_sms, map_.num_tiles(),
+                BuildRowAllGatherPull(ag_params));
+    }
+    plan.Compute("group_gemm", tiles, BuildGroupGemm());
+    Finalize(plan.Build());
+    return;
   }
-  plan.Compute("group_gemm", tiles, BuildGroupGemm());
-  Finalize(plan.Build());
+
+  // Declarative form. The SM comm role is always the pull AllGather here
+  // (one block per *gathered* tile), so the spec records kSmPull whatever
+  // the config's SM resource flag says; the group GEMM's work is the
+  // routing-dependent group-block count, an explicit override.
+  overlap_spec_.kernel = cfg_.name;
+  overlap_spec_.spaces = {
+      {"token_shard", map_.tiles_per_rank(), cfg_.comm_tile_m,
+       /*resident=*/true},
+      {"tokens", map_.num_tiles(), cfg_.comm_tile_m, /*resident=*/false},
+      {"w", 1, cfg_.hidden, /*resident=*/true},
+      {"out", std::max<int64_t>(tiles, 1), cfg_.gemm.bm, /*resident=*/false},
+  };
+  OverlapRoleSpec ag;
+  ag.name = "ag";
+  ag.kind = OverlapRoleKind::kRowAllGather;
+  ag.resource = cfg_.comm == CommResource::kDma ? CommResource::kDma
+                                                : CommResource::kSmPull;
+  ag.want_sms = cfg_.comm_sms;
+  ag.reads = {{"token_shard"}};
+  ag.writes = {{"tokens"}};
+  OverlapRoleSpec gemm;
+  gemm.name = "group_gemm";
+  gemm.kind = OverlapRoleKind::kCompute;
+  gemm.reads = {{"tokens"}, {"w"}};
+  gemm.writes = {{"out"}};
+  gemm.work_items = tiles;
+  overlap_spec_.roles = {std::move(ag), std::move(gemm)};
+  overlap_plan_ = OverlapPlanner(world.spec()).Plan(overlap_spec_);
+  Finalize(BuildFromPlan(
+      overlap_plan_, sms(), [&](const PlannedRole& role) {
+        return role.name == "ag" ? BuildRowAllGatherPull(ag_params)
+                                 : BuildGroupGemm();
+      }));
 }
 
 // Group-GEMM role: expert tiles with dynamic-mapping waits (Figure 5 lines

@@ -13,6 +13,8 @@
 #include "compute/moe_routing.h"
 #include "runtime/world.h"
 #include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/overlap_gen.h"
+#include "tilelink/builder/tile_deps.h"
 #include "tilelink/kernels/kernel_common.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
@@ -30,6 +32,7 @@ struct AgMoeConfig {
   int channels_per_rank = 0;  // 0 -> one channel per comm tile
   CommResource comm = CommResource::kDma;
   int comm_sms = 20;
+  bool hand_built = false;  // regression oracle: bypass the OverlapPlanner
   CompilerOptions compiler;
   std::string name = "ag_moe";
 };
@@ -46,6 +49,9 @@ class AgMoe : public FusedKernelBase {
   comm::SymTensor& out() { return out_; }  // [M*topk, N] slot order
 
   const DynamicMapping& dynamic_mapping() const { return dyn_; }
+  // Generated path only (empty when hand_built).
+  const OverlapSpec& overlap_spec() const { return overlap_spec_; }
+  const OverlapPlan& overlap_plan() const { return overlap_plan_; }
 
  protected:
   std::optional<sim::Coro> HostComm(rt::RankCtx& ctx) override;
@@ -59,6 +65,8 @@ class AgMoe : public FusedKernelBase {
   DynamicMapping dyn_;  // consumer (expert tile) wait tables
   std::vector<compute::GroupBlock> group_blocks_;
   comm::SymTensor token_shards_, tokens_, weights_, out_;
+  OverlapSpec overlap_spec_;
+  OverlapPlan overlap_plan_;
 };
 
 }  // namespace tilelink::tl

@@ -55,8 +55,22 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
   const int64_t rail_rows =
       static_cast<int64_t>(cfg_.nic_chunk_blocks) * cfg_.rs_block_m;
   const int64_t cpb_rail = RailChunksPerBlock(m_per_rank, rail_rows);
+  const int64_t gemm_tiles = CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm) *
+                             CeilDiv<int64_t>(cfg_.n, cfg_.gemm.bn);
 
-  // kPeer channel layout: [ring | ring_done | rail arrivals].
+  // Generated path: plan first — the planner's column-split decision (the
+  // small-m fix) scales the ring chunk count and the kPeer channel layout.
+  int S = 1;
+  if (!cfg_.hand_built) {
+    overlap_spec_ = BuildOverlapSpec(ring, rail, m_per_rank, gemm_tiles,
+                                     cpb_ring, cpb_rail);
+    overlap_plan_ = OverlapPlanner(spec).Plan(overlap_spec_);
+    if (ring) S = overlap_plan_.At("ring").col_splits;
+  }
+
+  // kPeer channel layout: [ring | ring_done | rail arrivals]. The ring
+  // section scales with the column split; ring_done channels stay one per
+  // *row* chunk, reached after S strip notifies.
   RingRsParams rs;
   rs.world_size = ranks();
   rs.m = cfg_.m;
@@ -69,11 +83,12 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
   rs.dma_push = cfg_.dma_push;
   rs.group_size = per_node_;
   rs.seg_blocks = nodes_;
+  rs.col_splits = S;
   const int64_t ring_chunks = ring ? RingRsChunks(rs) : 0;
   const int ring_peer = ring ? per_node_ * static_cast<int>(ring_chunks) : 0;
   const int ring_done_base = ring_peer;
   const int ring_done_count =
-      rail && ring ? static_cast<int>(ring_chunks) : 0;
+      rail && ring ? static_cast<int>(ring_chunks / S) : 0;
   const int rail_base = ring_done_base + ring_done_count;
   const int rail_count =
       rail ? (nodes_ - 1) * static_cast<int>(cpb_rail) : 0;
@@ -94,10 +109,11 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
   };
   rs.wait_for_rows = wait_rows;
   if (rail && ring) {
-    // Release each node-reduced chunk to the rail roles on this rank.
-    rs.final_notify = [ring_done_base](const Env& e, int64_t chunk) {
+    // Release each node-reduced chunk to the rail roles on this rank. The
+    // raw chunk id maps to its row chunk; the rail waits for all S strips.
+    rs.final_notify = [ring_done_base, S](const Env& e, int64_t chunk) {
       return NotifyOne(SignalSpace::kPeer, {e.rank},
-                       ring_done_base + static_cast<int>(chunk));
+                       ring_done_base + static_cast<int>(chunk / S));
     };
   }
 
@@ -131,8 +147,8 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
       push.src_row = [m_per_rank](const Env&, int peer_node, int64_t row) {
         return static_cast<int64_t>(peer_node) * m_per_rank + row;
       };
-      auto ring_done_wait = [ring_done_base, cpb_ring, ncb](int block,
-                                                            int64_t chunk) {
+      auto ring_done_wait = [ring_done_base, cpb_ring, ncb, S](
+                                int block, int64_t chunk) {
         WaitSpec spec;
         spec.space = SignalSpace::kPeer;
         const int64_t lo = chunk * ncb;
@@ -141,7 +157,7 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
           spec.waits.push_back(ChannelWait{
               ring_done_base +
                   static_cast<int>(block * cpb_ring + cr),
-              1});
+              static_cast<uint64_t>(S)});
         }
         return spec;
       };
@@ -199,6 +215,18 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
   gemm.ranks = ranks();
   gemm.order = cfg_.order;
 
+  if (!cfg_.hand_built) {
+    if (rail) rail_blocks_ = overlap_plan_.At("rail").want_sms;
+    Finalize(BuildFromPlan(
+        overlap_plan_, sms(), [&](const PlannedRole& role) {
+          if (role.name == "ring") return BuildRingReduceScatter(rs);
+          if (role.name == "rail") return BuildNicRailPush(push);
+          if (role.name == "rail_reduce") return BuildNicRailReduce(red);
+          return BuildPartialGemmProducer(gemm);
+        }));
+    return;
+  }
+
   // The NIC queue-pair budget clamps the rail's in-flight messages: the
   // rail role's *blocks* are its stream window, so the block count is the
   // clamped staging depth times the peer count (the same clamp the host
@@ -227,6 +255,85 @@ GemmHierRs::GemmHierRs(rt::World& world, const GemmHierRsConfig& config)
   plan.Compute("gemm", PartialGemmTiles(gemm),
                BuildPartialGemmProducer(gemm));
   Finalize(plan.Build());
+}
+
+// Declarative form: gemm -> ring (node-local RS over the partials) ->
+// rail (NIC push of node-reduced blocks) -> rail_reduce (fold arrivals,
+// store the output shard). Roles are declared in claim order.
+OverlapSpec GemmHierRs::BuildOverlapSpec(bool ring, bool rail,
+                                         int64_t m_per_rank,
+                                         int64_t gemm_tiles, int64_t cpb_ring,
+                                         int64_t cpb_rail) const {
+  OverlapSpec spec;
+  spec.kernel = cfg_.name;
+  spec.spaces = {
+      {"a", CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm), cfg_.gemm.bm,
+       /*resident=*/true},
+      {"b", 1, cfg_.k, /*resident=*/true},
+      {"gemm_out", gemm_tiles, cfg_.gemm.bm, /*resident=*/false},
+      {"out", cpb_ring, cfg_.rs_block_m, /*resident=*/false},
+  };
+  if (rail && ring) {
+    spec.spaces.push_back({"ring_out", static_cast<int64_t>(nodes_) * cpb_ring,
+                           cfg_.rs_block_m, /*resident=*/false});
+  }
+  if (rail) {
+    spec.spaces.push_back(
+        {"rail_staging", static_cast<int64_t>(nodes_ - 1) * cpb_rail,
+         cfg_.nic_chunk_blocks * cfg_.rs_block_m, /*resident=*/false});
+  }
+  const std::string node_partial =
+      rail && ring ? "ring_out" : (ring ? "out" : "gemm_out");
+  if (ring) {
+    OverlapRoleSpec r;
+    r.name = "ring";
+    r.kind = OverlapRoleKind::kRingReduceScatter;
+    r.want_sms = cfg_.comm_sms;
+    r.reads = {{"gemm_out"}};
+    r.writes = {{node_partial}};
+    r.group_size = per_node_;
+    r.seg_blocks = nodes_;
+    r.block_rows = m_per_rank;
+    r.chunk_rows = cfg_.rs_block_m;
+    r.cols = cfg_.n;
+    // Small-m fix: split columns only when a NIC rail consumes the ring
+    // output (the split exists to release node-reduced chunks to the rail
+    // sooner). Single-node the fused kernel must stay schedule-identical
+    // to GemmRs (pinned by the degenerate-topology tests).
+    r.allow_col_split = rail;
+    spec.roles.push_back(std::move(r));
+  }
+  if (rail) {
+    OverlapRoleSpec p;
+    p.name = "rail";
+    p.kind = OverlapRoleKind::kNicRailPush;
+    p.reads = {{ring ? "ring_out" : "gemm_out"}};
+    p.writes = {{"rail_staging"}};
+    p.block_rows = m_per_rank;
+    p.chunk_rows = cfg_.rs_block_m;
+    p.nic_chunk_blocks = cfg_.nic_chunk_blocks;
+    p.staging_depth = cfg_.staging_depth;
+    p.peers = nodes_ - 1;
+    spec.roles.push_back(std::move(p));
+    OverlapRoleSpec red;
+    red.name = "rail_reduce";
+    red.kind = OverlapRoleKind::kNicRailReduce;
+    red.want_sms = cfg_.reduce_sms;
+    red.reads = {{"rail_staging"}, {ring ? "ring_out" : "gemm_out"}};
+    red.writes = {{"out"}};
+    red.block_rows = m_per_rank;
+    red.chunk_rows = cfg_.rs_block_m;
+    red.nic_chunk_blocks = cfg_.nic_chunk_blocks;
+    spec.roles.push_back(std::move(red));
+  }
+  OverlapRoleSpec g;
+  g.name = "gemm";
+  g.kind = OverlapRoleKind::kCompute;
+  g.reads = {{"a"}, {"b"}};
+  g.writes = {{"gemm_out"}};
+  g.work_items = gemm_tiles;
+  spec.roles.push_back(std::move(g));
+  return spec;
 }
 
 }  // namespace tilelink::tl

@@ -33,7 +33,9 @@
 #include "compute/gemm.h"
 #include "runtime/world.h"
 #include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/overlap_gen.h"
 #include "tilelink/builder/role_plan.h"
+#include "tilelink/builder/tile_deps.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
 
@@ -52,6 +54,7 @@ struct GemmHierRsConfig {
   int comm_sms = 20;         // NVLink ring role SMs
   int reduce_sms = 8;        // rail reduce role SMs
   bool dma_push = false;     // hybrid: ring reduction on SMs, push on DMA
+  bool hand_built = false;   // regression oracle: bypass the OverlapPlanner
   TileOrder order = TileOrder::kNextRankFirst;
   CompilerOptions compiler;
   std::string name = "gemm_hier_rs";
@@ -69,14 +72,23 @@ class GemmHierRs : public FusedKernelBase {
   const StaticMapping& mapping() const { return map_; }
   // Rail staging depth actually granted by the NIC channel budget.
   int rail_blocks() const { return rail_blocks_; }
+  // Generated path only (empty when hand_built).
+  const OverlapSpec& overlap_spec() const { return overlap_spec_; }
+  const OverlapPlan& overlap_plan() const { return overlap_plan_; }
 
  private:
+  OverlapSpec BuildOverlapSpec(bool ring, bool rail, int64_t m_per_rank,
+                               int64_t gemm_tiles, int64_t cpb_ring,
+                               int64_t cpb_rail) const;
+
   GemmHierRsConfig cfg_;
   StaticMapping map_;  // producer channels over gemm_out rows
   int nodes_ = 1, per_node_ = 1;
   int rail_blocks_ = 0;
   comm::SymTensor a_, b_, gemm_out_, ring_staging_, ring_out_, rail_staging_,
       out_;
+  OverlapSpec overlap_spec_;
+  OverlapPlan overlap_plan_;
 };
 
 }  // namespace tilelink::tl

@@ -67,11 +67,51 @@ GemmRs::GemmRs(rt::World& world, const GemmRsConfig& config)
   gemm.out = gemm_out_;
   gemm.ranks = ranks();
   gemm.order = cfg_.order;
-  RolePlan plan(cfg_.name, sms());
-  plan.Comm("rs", cfg_.comm_sms, RingRsChunks(rs), BuildRingReduceScatter(rs))
-      .Compute("gemm", PartialGemmTiles(gemm),
-               BuildPartialGemmProducer(gemm));
-  Finalize(plan.Build());
+  if (cfg_.hand_built) {
+    RolePlan plan(cfg_.name, sms());
+    plan.Comm("rs", cfg_.comm_sms, RingRsChunks(rs),
+              BuildRingReduceScatter(rs))
+        .Compute("gemm", PartialGemmTiles(gemm),
+                 BuildPartialGemmProducer(gemm));
+    Finalize(plan.Build());
+    return;
+  }
+
+  // Declarative form: the ring consumes the partial-GEMM tiles and writes
+  // the reduced shard; the planner derives its chunk schedule from the
+  // block geometry.
+  overlap_spec_.kernel = cfg_.name;
+  overlap_spec_.spaces = {
+      {"a", CeilDiv<int64_t>(cfg_.m, cfg_.gemm.bm), cfg_.gemm.bm,
+       /*resident=*/true},
+      {"b", 1, cfg_.k, /*resident=*/true},
+      {"gemm_out", PartialGemmTiles(gemm), cfg_.gemm.bm, /*resident=*/false},
+      {"out", m_per_rank / cfg_.rs_block_m, cfg_.rs_block_m,
+       /*resident=*/false},
+  };
+  OverlapRoleSpec ring;
+  ring.name = "rs";
+  ring.kind = OverlapRoleKind::kRingReduceScatter;
+  ring.want_sms = cfg_.comm_sms;
+  ring.reads = {{"gemm_out"}};
+  ring.writes = {{"out"}};
+  ring.block_rows = m_per_rank;
+  ring.chunk_rows = cfg_.rs_block_m;
+  ring.cols = cfg_.n;
+  OverlapRoleSpec producer;
+  producer.name = "gemm";
+  producer.kind = OverlapRoleKind::kCompute;
+  producer.reads = {{"a"}, {"b"}};
+  producer.writes = {{"gemm_out"}};
+  overlap_spec_.roles = {std::move(ring), std::move(producer)};
+  overlap_plan_ = OverlapPlanner(world.spec()).Plan(overlap_spec_);
+  rs.col_splits = overlap_plan_.At("rs").col_splits;
+  Finalize(BuildFromPlan(overlap_plan_, sms(),
+                         [&](const PlannedRole& role) {
+                           return role.name == "rs"
+                                      ? BuildRingReduceScatter(rs)
+                                      : BuildPartialGemmProducer(gemm);
+                         }));
 }
 
 }  // namespace tilelink::tl

@@ -13,7 +13,9 @@
 #include "compute/gemm.h"
 #include "runtime/world.h"
 #include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/overlap_gen.h"
 #include "tilelink/builder/role_plan.h"
+#include "tilelink/builder/tile_deps.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
 
@@ -29,6 +31,7 @@ struct GemmRsConfig {
   bool dma_push = false;  // hybrid: reduction on SMs, scatter on DMA
   // GEMM m-tile visit order: produce the segment the ring consumes first.
   TileOrder order = TileOrder::kNextRankFirst;
+  bool hand_built = false;  // regression oracle: bypass the OverlapPlanner
   CompilerOptions compiler;
   std::string name = "gemm_rs";
 };
@@ -43,11 +46,16 @@ class GemmRs : public FusedKernelBase {
   comm::SymTensor& out() { return out_; }            // [M/R, N] reduced
 
   const StaticMapping& mapping() const { return map_; }
+  // Generated path only (empty when hand_built).
+  const OverlapSpec& overlap_spec() const { return overlap_spec_; }
+  const OverlapPlan& overlap_plan() const { return overlap_plan_; }
 
  private:
   GemmRsConfig cfg_;
   StaticMapping map_;  // producer channels over gemm_out rows
   comm::SymTensor a_, b_, gemm_out_, staging_, out_;
+  OverlapSpec overlap_spec_;
+  OverlapPlan overlap_plan_;
 };
 
 }  // namespace tilelink::tl

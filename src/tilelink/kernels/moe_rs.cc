@@ -106,11 +106,63 @@ MoeRs::MoeRs(rt::World& world, const MoeRsConfig& config,
   };
 
   const int64_t tiles = static_cast<int64_t>(group_blocks_.size());
-  RolePlan plan(cfg_.name, sms());
-  plan.Comm("rs", cfg_.comm_sms, RingRsChunks(rs), BuildRingReduceScatter(rs))
-      .Comm("topk_reduce", cfg_.reduce_sms, reduce_chunks, BuildTopkReduce())
-      .Compute("group_gemm", tiles, BuildGroupGemm());
-  Finalize(plan.Build());
+  if (cfg_.hand_built) {
+    RolePlan plan(cfg_.name, sms());
+    plan.Comm("rs", cfg_.comm_sms, RingRsChunks(rs),
+              BuildRingReduceScatter(rs))
+        .Comm("topk_reduce", cfg_.reduce_sms, reduce_chunks,
+              BuildTopkReduce())
+        .Compute("group_gemm", tiles, BuildGroupGemm());
+    Finalize(plan.Build());
+    return;
+  }
+
+  // Declarative form of the three-role chain: group_gemm -> topk_reduce ->
+  // rs. The two dynamically-sized roles carry explicit work-item counts
+  // (routing decides the group blocks; the reduce chunking is a config
+  // knob, not a ring geometry).
+  overlap_spec_.kernel = cfg_.name;
+  overlap_spec_.spaces = {
+      {"acts", std::max<int64_t>(tiles, 1), cfg_.gemm.bm, /*resident=*/true},
+      {"w", 1, cfg_.k, /*resident=*/true},
+      {"exp_out", std::max<int64_t>(tiles, 1), cfg_.gemm.bm,
+       /*resident=*/false},
+      {"token_partial", reduce_chunks, cfg_.reduce_block_tokens,
+       /*resident=*/false},
+      {"out", m_per_rank / cfg_.rs_block_m, cfg_.rs_block_m,
+       /*resident=*/false},
+  };
+  OverlapRoleSpec ring;
+  ring.name = "rs";
+  ring.kind = OverlapRoleKind::kRingReduceScatter;
+  ring.want_sms = cfg_.comm_sms;
+  ring.reads = {{"token_partial"}};
+  ring.writes = {{"out"}};
+  ring.block_rows = m_per_rank;
+  ring.chunk_rows = cfg_.rs_block_m;
+  ring.cols = cfg_.hidden;
+  OverlapRoleSpec reduce;
+  reduce.name = "topk_reduce";
+  reduce.kind = OverlapRoleKind::kComm;
+  reduce.want_sms = cfg_.reduce_sms;
+  reduce.work_items = reduce_chunks;
+  reduce.reads = {{"exp_out"}};
+  reduce.writes = {{"token_partial"}};
+  OverlapRoleSpec gemm;
+  gemm.name = "group_gemm";
+  gemm.kind = OverlapRoleKind::kCompute;
+  gemm.reads = {{"acts"}, {"w"}};
+  gemm.writes = {{"exp_out"}};
+  gemm.work_items = tiles;
+  overlap_spec_.roles = {std::move(ring), std::move(reduce), std::move(gemm)};
+  overlap_plan_ = OverlapPlanner(world.spec()).Plan(overlap_spec_);
+  rs.col_splits = overlap_plan_.At("rs").col_splits;
+  Finalize(BuildFromPlan(
+      overlap_plan_, sms(), [&](const PlannedRole& role) {
+        if (role.name == "rs") return BuildRingReduceScatter(rs);
+        if (role.name == "topk_reduce") return BuildTopkReduce();
+        return BuildGroupGemm();
+      }));
 }
 
 // Producer role: expert GEMM tiles write slot-order partial outputs and

@@ -18,6 +18,8 @@
 #include "compute/moe_routing.h"
 #include "runtime/world.h"
 #include "tilelink/builder/fused_kernel_base.h"
+#include "tilelink/builder/overlap_gen.h"
+#include "tilelink/builder/tile_deps.h"
 #include "tilelink/mapping.h"
 #include "tilelink/program.h"
 
@@ -36,6 +38,7 @@ struct MoeRsConfig {
   int rs_block_m = 128;  // RS chunk rows over token space
   int comm_sms = 20;
   bool dma_push = false;
+  bool hand_built = false;  // regression oracle: bypass the OverlapPlanner
   CompilerOptions compiler;
   std::string name = "moe_rs";
 };
@@ -51,6 +54,10 @@ class MoeRs : public FusedKernelBase {
   comm::SymTensor& token_partial() { return token_partial_; }  // [M, H]
   comm::SymTensor& out() { return out_; }          // [M/R, H] reduced
 
+  // Generated path only (empty when hand_built).
+  const OverlapSpec& overlap_spec() const { return overlap_spec_; }
+  const OverlapPlan& overlap_plan() const { return overlap_plan_; }
+
  private:
   BlockProgram BuildGroupGemm();
   BlockProgram BuildTopkReduce();
@@ -63,6 +70,8 @@ class MoeRs : public FusedKernelBase {
   std::vector<uint64_t> pc1_thresholds_;  // group blocks per pc1 channel
   DynamicMapping reduce_waits_;           // per reduce-chunk wait tables
   comm::SymTensor acts_, weights_, exp_out_, token_partial_, staging_, out_;
+  OverlapSpec overlap_spec_;
+  OverlapPlan overlap_plan_;
 };
 
 }  // namespace tilelink::tl

@@ -21,11 +21,14 @@ int64_t RingBlockRows(const RingRsParams& p) {
   return p.m / denom;
 }
 
+int RingColSplits(const RingRsParams& p) { return std::max(1, p.col_splits); }
+
 }  // namespace
 
 int64_t RingRsChunks(const RingRsParams& params) {
   return static_cast<int64_t>(params.seg_blocks) *
-         CeilDiv<int64_t>(RingBlockRows(params), params.block_m);
+         CeilDiv<int64_t>(RingBlockRows(params), params.block_m) *
+         RingColSplits(params);
 }
 
 BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
@@ -36,6 +39,9 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
   const int64_t m_blk = RingBlockRows(p);
   TL_CHECK_EQ(m_blk % p.block_m, 0);
   const int64_t cpb = CeilDiv<int64_t>(m_blk, p.block_m);
+  const int S = RingColSplits(p);
+  TL_CHECK_EQ(p.n % S, 0);
+  const int64_t n_strip = p.n / S;
   const int64_t chunks = RingRsChunks(p);
   const int64_t block_m = p.block_m;
   const int64_t n = p.n;
@@ -47,19 +53,30 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
   auto final_notify = p.final_notify;
   const bool dma_push = p.dma_push;
 
-  // Chunk owned by this block at iteration iv(0).
+  // Chunk owned by this block at iteration iv(0). With col_splits > 1 a
+  // chunk id c addresses row chunk c / S, column strip c % S.
   auto chunk_of = [chunks](const Env& e) {
     return static_cast<int64_t>(e.block_id) + e.iv(0) * e.grid;
+  };
+  auto row_chunk_of = [S](int64_t chunk) { return chunk / S; };
+  // First column of the chunk's strip.
+  auto col_lo = [S, n_strip](int64_t chunk) { return (chunk % S) * n_strip; };
+  // Column-strip view; S == 1 keeps the original view (byte-identical
+  // schedule for the row-wise ring).
+  auto strip = [S, n_strip, col_lo](Tensor t, int64_t chunk) {
+    return S == 1 ? t : t.Slice(1, col_lo(chunk), n_strip);
   };
   // Segment processed at ring stage s (Figure 4 line 15), local to the
   // rank's ring group.
   auto seg_at = [G](const Env& e, int64_t stage) {
     return (e.rank % G + stage + 1) % G;
   };
-  // Global rows of (segment, chunk): chunk c of block b within the segment
-  // addresses global destination block b * G + seg.
-  auto rows_of = [G, m_blk, block_m, cpb](int64_t seg, int64_t chunk) {
-    const int64_t b = chunk / cpb, c = chunk % cpb;
+  // Global rows of (segment, row chunk): chunk c of block b within the
+  // segment addresses global destination block b * G + seg.
+  auto rows_of = [G, m_blk, block_m, cpb, row_chunk_of](int64_t seg,
+                                                        int64_t chunk) {
+    const int64_t rc = row_chunk_of(chunk);
+    const int64_t b = rc / cpb, c = rc % cpb;
     return (b * G + seg) * m_blk + c * block_m;
   };
   // Global peer-channel id for (segment, chunk).
@@ -91,12 +108,12 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        [=](const Env& e) {
                          const int64_t lo =
                              rows_of(seg_at(e, stage_of(e)), chunk_of(e));
-                         const Tensor view =
+                         const Tensor view = strip(
                              partials[static_cast<size_t>(e.rank)].Slice(
-                                 0, lo, block_m);
+                                 0, lo, block_m),
+                             chunk_of(e));
                          DataSpec d;
-                         view.BufferRange(&d.read_lo, &d.read_hi);
-                         d.read_buf = view.buffer();
+                         SetReadView(d, view);
                          return d;
                        }));
                    sb.Add(ops::PeerTileWait(
@@ -116,7 +133,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        "rs.reduce",
                        [=](const Env& e, const sim::CostModel& cost) {
                          const uint64_t bytes =
-                             3ULL * static_cast<uint64_t>(block_m) * n *
+                             3ULL * static_cast<uint64_t>(block_m) * n_strip *
                              DTypeSize(dtype);
                          return cost.MemoryBound(bytes, e.grid);
                        }));
@@ -129,18 +146,18 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                          DataSpec d;
                          d.src_rank = e.rank;
                          d.dst_rank = to;
-                         d.bytes = static_cast<uint64_t>(block_m) * n *
+                         d.bytes = static_cast<uint64_t>(block_m) * n_strip *
                                    DTypeSize(dtype);
-                         const Tensor src_view =
+                         const Tensor src_view = strip(
                              partials[static_cast<size_t>(e.rank)].Slice(
-                                 0, lo, block_m);
-                         const Tensor dst_view =
+                                 0, lo, block_m),
+                             chunk_of(e));
+                         const Tensor dst_view = strip(
                              staging[static_cast<size_t>(to)].Slice(0, lo,
-                                                                    block_m);
-                         src_view.BufferRange(&d.read_lo, &d.read_hi);
-                         d.read_buf = src_view.buffer();
-                         dst_view.BufferRange(&d.write_lo, &d.write_hi);
-                         d.write_buf = dst_view.buffer();
+                                                                    block_m),
+                             chunk_of(e));
+                         SetReadView(d, src_view);
+                         SetWriteView(d, dst_view);
                          return d;
                        },
                        // peer_tile_notify with release semantics once the
@@ -155,6 +172,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                        [=](const Env& e) {
                          const int64_t lo =
                              rows_of(seg_at(e, stage_of(e)), chunk_of(e));
+                         const int64_t cl = col_lo(chunk_of(e));
                          const int to = to_rank(e);
                          const Tensor mine =
                              partials[static_cast<size_t>(e.rank)];
@@ -163,7 +181,7 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                          Tensor dst = staging[static_cast<size_t>(to)];
                          const bool first = stage_of(e) == 0;
                          for (int64_t i = 0; i < block_m; ++i) {
-                           for (int64_t c = 0; c < n; ++c) {
+                           for (int64_t c = cl; c < cl + n_strip; ++c) {
                              float v = mine.at({lo + i, c});
                              if (!first) v += acc.at({lo + i, c});
                              dst.at({lo + i, c}) = v;
@@ -183,12 +201,12 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
                            [=](const Env& e) {
                              const int64_t lo =
                                  rows_of(e.rank % G, chunk_of(e));
-                             const Tensor view =
+                             const Tensor view = strip(
                                  partials[static_cast<size_t>(e.rank)].Slice(
-                                     0, lo, block_m);
+                                     0, lo, block_m),
+                                 chunk_of(e));
                              DataSpec d;
-                             view.BufferRange(&d.read_lo, &d.read_hi);
-                             d.read_buf = view.buffer();
+                             SetReadView(d, view);
                              return d;
                            }));
           cb.Add(ops::PeerTileWait("rs.peer_wait(final)", [=](const Env& e) {
@@ -204,29 +222,30 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
               "rs.reduce(final)",
               [=](const Env& e, const sim::CostModel& cost) {
                 const uint64_t bytes = 3ULL * static_cast<uint64_t>(block_m) *
-                                       n * DTypeSize(dtype);
+                                       n_strip * DTypeSize(dtype);
                 return cost.MemoryBound(bytes, e.grid);
               }));
           cb.Add(ops::Store(
               "rs.store_out",
               [=](const Env& e) {
-                const int64_t local_lo = chunk_of(e) * block_m;
-                const Tensor view =
+                const int64_t local_lo = row_chunk_of(chunk_of(e)) * block_m;
+                const Tensor view = strip(
                     outs[static_cast<size_t>(e.rank)].Slice(0, local_lo,
-                                                            block_m);
+                                                            block_m),
+                    chunk_of(e));
                 DataSpec d;
-                view.BufferRange(&d.write_lo, &d.write_hi);
-                d.write_buf = view.buffer();
+                SetWriteView(d, view);
                 return d;
               },
               [=](const Env& e) {
                 const int64_t lo = rows_of(e.rank % G, chunk_of(e));
-                const int64_t local_lo = chunk_of(e) * block_m;
+                const int64_t local_lo = row_chunk_of(chunk_of(e)) * block_m;
+                const int64_t cl = col_lo(chunk_of(e));
                 const Tensor mine = partials[static_cast<size_t>(e.rank)];
                 const Tensor acc = staging[static_cast<size_t>(e.rank)];
                 Tensor out = outs[static_cast<size_t>(e.rank)];
                 for (int64_t i = 0; i < block_m; ++i) {
-                  for (int64_t c = 0; c < n; ++c) {
+                  for (int64_t c = cl; c < cl + n_strip; ++c) {
                     float v = mine.at({lo + i, c});
                     if (G > 1) v += acc.at({lo + i, c});
                     out.at({local_lo + i, c}) = v;

@@ -53,9 +53,18 @@ struct RingRsParams {
   // output of rank (g, seg) spans seg_blocks * block-rows local rows.
   int group_size = 0;
   int seg_blocks = 1;
+  // Small-m fix (planner-driven): split every row chunk into `col_splits`
+  // column strips of n / col_splits columns each, so a ring with too few
+  // row chunks still pipelines. Chunk id c covers row chunk c / col_splits,
+  // strip c % col_splits; 1 leaves the schedule byte-identical to the
+  // row-wise ring.
+  int col_splits = 1;
   // Fired (on the own rank's kPeer space, typically) after the final-stage
   // store of `chunk`: releases the group-reduced chunk to a downstream
-  // role (the NIC rail push/reduce of a fused multi-node kernel).
+  // role (the NIC rail push/reduce of a fused multi-node kernel). With
+  // col_splits > 1 the raw chunk id is passed; chunk / col_splits is the
+  // row chunk, which a downstream row-oriented wait reaches only after
+  // col_splits notifies.
   std::function<NotifySpec(const Env&, int64_t chunk)> final_notify;
 };
 

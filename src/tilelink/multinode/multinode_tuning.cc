@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/math_utils.h"
 #include "runtime/world.h"
 #include "tilelink/builder/comm_bounds.h"
 #include "tilelink/builder/fused_kernel_base.h"
@@ -298,6 +299,175 @@ sim::TimeNs SimulateGemmThenHierRs(const sim::MachineSpec& spec,
     co_await gemm.Run(ctx);
     co_await rs.Run(ctx);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fused hierarchical AllGather + GEMM
+// ---------------------------------------------------------------------------
+bool AgGemmHierFeasible(const sim::MachineSpec& spec,
+                        const tl::MlpPartShape& s, const tl::TuneCandidate& c) {
+  const int R = spec.num_devices;
+  if (R % spec.devices_per_node != 0) return false;
+  if (s.m % R != 0) return false;
+  // Multi-node the ring + rail are SM-push roles; pull has no rail analog.
+  if (spec.num_nodes() > 1 && c.comm == tl::CommResource::kSmPull) {
+    return false;
+  }
+  const int64_t m_per_rank = s.m / R;
+  return c.comm_tile_m > 0 && m_per_rank % c.comm_tile_m == 0 &&
+         c.nic_chunk_tiles > 0 && c.staging_depth > 0;
+}
+
+tl::TuneCandidate DefaultAgGemmHierCandidate(const tl::MlpPartShape& shape,
+                                             int tp,
+                                             const compute::GemmTiling& tiling) {
+  tl::TuneCandidate c;
+  c.gemm = tiling;
+  c.comm = tl::CommResource::kSmPush;
+  c.order = tl::TileOrder::kOwnerFirst;
+  c.nic_chunk_tiles = 2;
+  c.staging_depth = 2;
+  // AG chunk rows: the shared layer-default rule over the gathered rows —
+  // but keep at least two chunks per rank at small m, so the rail, ring
+  // and consumer pipeline at chunk granularity instead of degenerating to
+  // one monolithic message (AG consumers gate on covering chunks, so the
+  // chunk rows need not align to the GEMM tile).
+  const int64_t m_per_rank = std::max<int64_t>(1, shape.m / std::max(1, tp));
+  c.comm_tile_m = tl::RsBlockRows(m_per_rank, c.gemm.bm);
+  while (c.comm_tile_m > 1 && c.comm_tile_m % 2 == 0 &&
+         m_per_rank % (c.comm_tile_m / 2) == 0 &&
+         m_per_rank / c.comm_tile_m < 2) {
+    c.comm_tile_m /= 2;
+  }
+  // Likewise at least two NIC messages per rail peer whenever the chunk
+  // count allows it.
+  const int64_t cpb = m_per_rank / std::max(1, c.comm_tile_m);
+  c.nic_chunk_tiles =
+      static_cast<int>(std::clamp<int64_t>(cpb / 2, 1, c.nic_chunk_tiles));
+  // With only a couple of chunks per peer the rail stream is shorter than
+  // the staging window anyway; a depth-1 window lands chunks in consumer
+  // order and hands the spare rail block back to compute.
+  if (cpb <= 2) c.staging_depth = 1;
+  // Small-m also underfills the gathered GEMM's grid: narrow the n-tile so
+  // more (shorter) tiles fill the blocks, halving the drain after the last
+  // gathered chunk lands.
+  while (c.gemm.bn > 128 &&
+         CeilDiv<int64_t>(shape.m, c.gemm.bm) *
+                 CeilDiv<int64_t>(shape.n, c.gemm.bn) <
+             128) {
+    c.gemm.bn /= 2;
+  }
+  return c;
+}
+
+tl::AgGemmHierConfig AgGemmHierFromCandidate(const tl::MlpPartShape& shape,
+                                             const tl::TuneCandidate& c) {
+  tl::AgGemmHierConfig cfg;
+  cfg.m = shape.m;
+  cfg.k = shape.k;
+  cfg.n = shape.n;
+  cfg.gemm = c.gemm;
+  cfg.comm_tile_m = c.comm_tile_m;
+  cfg.channels_per_rank = c.channels_per_rank;
+  cfg.comm = c.comm;
+  cfg.nic_chunk_blocks = std::max(1, c.nic_chunk_tiles);
+  cfg.staging_depth = std::max(1, c.staging_depth);
+  cfg.comm_sms = c.comm_sms;
+  cfg.order = c.order;
+  return cfg;
+}
+
+sim::TimeNs SimulateAgGemmHier(const sim::MachineSpec& spec,
+                               const tl::MlpPartShape& shape,
+                               const tl::TuneCandidate& c) {
+  if (!AgGemmHierFeasible(spec, shape, c)) return tl::Autotuner::kInfeasible;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  tl::AgGemmHier kernel(world, AgGemmHierFromCandidate(shape, c));
+  return world.RunSpmd(
+      [&](rt::RankCtx& ctx) -> sim::Coro { co_await kernel.Run(ctx); });
+}
+
+sim::TimeNs CoarseSimulateAgGemmHier(const sim::MachineSpec& spec,
+                                     const tl::MlpPartShape& shape,
+                                     const tl::TuneCandidate& c) {
+  // Collapse the reduction loop to one k-step (ranking-preserving, see
+  // CoarseSimulateGemmHierRs).
+  tl::TuneCandidate coarse = c;
+  coarse.gemm.bk = static_cast<int>(std::min<int64_t>(
+      std::max<int64_t>(shape.k, 1), std::numeric_limits<int>::max()));
+  return SimulateAgGemmHier(spec, shape, coarse);
+}
+
+sim::TimeNs AgGemmHierLowerBound(const sim::MachineSpec& spec,
+                                 const tl::MlpPartShape& shape,
+                                 const tl::TuneCandidate& c) {
+  const int R = spec.num_devices;
+  const int nodes = spec.num_nodes();
+  const int per_node = spec.devices_per_node;
+  const int64_t m_per_rank = R > 0 ? shape.m / R : shape.m;
+  const sim::CostModel cost(spec);
+  const sim::TimeNs compute =
+      cost.GemmComputeTime(shape.m, shape.n, shape.k, c.gemm.bm, c.gemm.bn,
+                           c.gemm.bk, spec.sms_per_device);
+  const double shard_bytes =
+      static_cast<double>(m_per_rank) * shape.k * 2;  // bf16
+  // Rail: every rank ships its whole shard to each peer node. Ring: each
+  // rank forwards (per_node - 1) stages of `nodes` node-group blocks.
+  const sim::TimeNs rail = static_cast<sim::TimeNs>(
+      (nodes - 1) * shard_bytes / spec.nic_gbps);
+  const sim::TimeNs ring = static_cast<sim::TimeNs>(
+      static_cast<double>(per_node - 1) * nodes * shard_bytes /
+      spec.nvlink_gbps);
+  return spec.kernel_launch_latency +
+         std::max(compute, std::max(rail, ring));
+}
+
+sim::TimeNs SimulateHierAgThenGemm(const sim::MachineSpec& spec,
+                                   const tl::MlpPartShape& shape,
+                                   const tl::TuneCandidate& c) {
+  if (!AgGemmHierFeasible(spec, shape, c)) return tl::Autotuner::kInfeasible;
+  rt::World world(spec, rt::ExecMode::kTimingOnly);
+  const int64_t m_per_rank = shape.m / spec.num_devices;
+  // AG at chunk granularity over the activation shard rows.
+  const int64_t num_tiles = m_per_rank / c.comm_tile_m;
+  const uint64_t tile_bytes =
+      static_cast<uint64_t>(c.comm_tile_m) * shape.k * 2;  // bf16
+  HierAllGather ag(world, num_tiles, tile_bytes, HierConfig::FromCandidate(c));
+  // The same full [M, K] x [K, N] tile count as the fused consumer, as a
+  // compute-only kernel. GemmOnly keys its (unconsumed) producer channels
+  // off rs_block_m, whose mapping requires a multiple of bm — AG chunk
+  // rows may be finer than the GEMM tile, so fall back to bm then.
+  tl::GemmHierRsConfig gcfg;
+  gcfg.m = shape.m;
+  gcfg.k = shape.k;
+  gcfg.n = shape.n;
+  gcfg.gemm = c.gemm;
+  gcfg.rs_block_m =
+      c.comm_tile_m % c.gemm.bm == 0 ? c.comm_tile_m : c.gemm.bm;
+  gcfg.name = "ag_gemm_hier_compose";
+  GemmOnly gemm(world, gcfg);
+  return world.RunSpmd([&](rt::RankCtx& ctx) -> sim::Coro {
+    co_await ag.Run(ctx);
+    co_await gemm.Run(ctx);
+  });
+}
+
+tl::TuneResult TuneAgGemmHier(const sim::MachineSpec& spec,
+                              const tl::MlpPartShape& shape,
+                              const tl::TuningSpace& space,
+                              const tl::TuneCandidate& base,
+                              const tl::Autotuner& tuner) {
+  return tuner.Search(
+      space, base,
+      [&](const tl::TuneCandidate& c) {
+        return SimulateAgGemmHier(spec, shape, c);
+      },
+      [&](const tl::TuneCandidate& c) {
+        return AgGemmHierLowerBound(spec, shape, c);
+      },
+      [&](const tl::TuneCandidate& c) {
+        return CoarseSimulateAgGemmHier(spec, shape, c);
+      });
 }
 
 tl::TuneResult TuneGemmHierRs(const sim::MachineSpec& spec,

@@ -11,6 +11,7 @@
 #include "models/model_zoo.h"
 #include "sim/machine_spec.h"
 #include "tilelink/builder/kernel_tuning.h"
+#include "tilelink/kernels/ag_gemm_hier.h"
 #include "tilelink/kernels/gemm_hier_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
 
@@ -105,6 +106,51 @@ sim::TimeNs SimulateGemmThenHierRs(const sim::MachineSpec& spec,
                                    const tl::TuneCandidate& c);
 
 tl::TuneResult TuneGemmHierRs(const sim::MachineSpec& spec,
+                              const tl::MlpPartShape& shape,
+                              const tl::TuningSpace& space,
+                              const tl::TuneCandidate& base,
+                              const tl::Autotuner& tuner = tl::Autotuner());
+
+// ---- Fused hierarchical AllGather + GEMM ---------------------------------
+// The first planner-generated kernel (kernels/ag_gemm_hier): the NIC rail
+// and the node-local NVLink ring gather the activation shards while the
+// GEMM consumes arrived rows, searched over TuningSpace::AgGemmHier() and
+// gated against the AllGather-then-GEMM compose below.
+
+// Candidate -> kernel config: comm_tile_m is the AG chunk rows,
+// nic_chunk_tiles the AG chunks per NIC rail message, staging_depth the
+// in-flight NIC messages per rail peer.
+tl::AgGemmHierConfig AgGemmHierFromCandidate(const tl::MlpPartShape& shape,
+                                             const tl::TuneCandidate& c);
+
+// The hand-picked seed: ag_gemm layer defaults plus the two-node NIC
+// defaults; comm_tile_m is derived from the tiling the kernel will run.
+tl::TuneCandidate DefaultAgGemmHierCandidate(
+    const tl::MlpPartShape& shape, int tp,
+    const compute::GemmTiling& tiling = {128, 256, 64});
+
+bool AgGemmHierFeasible(const sim::MachineSpec& spec,
+                        const tl::MlpPartShape& shape,
+                        const tl::TuneCandidate& c);
+
+sim::TimeNs SimulateAgGemmHier(const sim::MachineSpec& spec,
+                               const tl::MlpPartShape& shape,
+                               const tl::TuneCandidate& c);
+sim::TimeNs CoarseSimulateAgGemmHier(const sim::MachineSpec& spec,
+                                     const tl::MlpPartShape& shape,
+                                     const tl::TuneCandidate& c);
+// max(GEMM compute + launch, NIC rail wire, NVLink ring wire).
+sim::TimeNs AgGemmHierLowerBound(const sim::MachineSpec& spec,
+                                 const tl::MlpPartShape& shape,
+                                 const tl::TuneCandidate& c);
+
+// Layer-level compose baseline the fused kernel must beat: HierAllGather
+// over the activation shards, then the GEMM as a compute-only kernel.
+sim::TimeNs SimulateHierAgThenGemm(const sim::MachineSpec& spec,
+                                   const tl::MlpPartShape& shape,
+                                   const tl::TuneCandidate& c);
+
+tl::TuneResult TuneAgGemmHier(const sim::MachineSpec& spec,
                               const tl::MlpPartShape& shape,
                               const tl::TuningSpace& space,
                               const tl::TuneCandidate& base,

@@ -23,6 +23,7 @@
 
 #include "sim/fault.h"
 #include "sim/machine_spec.h"
+#include "tilelink/kernels/ag_gemm_hier.h"
 #include "tilelink/kernels/gemm_hier_rs.h"
 #include "tilelink/multinode/hier_collectives.h"
 
@@ -94,6 +95,16 @@ PayloadReport ValidateDpAllReduce(const sim::MachineSpec& spec,
 // counts real consistency races in the fused pipeline.
 PayloadReport ValidateGemmHierRs(const sim::MachineSpec& spec,
                                  const tl::GemmHierRsConfig& cfg,
+                                 const sim::FaultPlan* plan = nullptr,
+                                 sim::TraceRecorder* trace = nullptr,
+                                 int trace_pid_base = 0);
+
+// Generated-kernel validation: run AgGemmHier on a functional world and
+// compare every rank's [M, N] output bit-for-bit against gathered-A @ B_r.
+// Every publish/ring-forward/rail chunk goes through the compiled kernel's
+// checker instrumentation (including the per-run strip registration).
+PayloadReport ValidateAgGemmHier(const sim::MachineSpec& spec,
+                                 const tl::AgGemmHierConfig& cfg,
                                  const sim::FaultPlan* plan = nullptr,
                                  sim::TraceRecorder* trace = nullptr,
                                  int trace_pid_base = 0);

@@ -26,6 +26,37 @@ namespace tilelink::tl {
 
 enum class NotifyMode { kP2P, kBroadcast };
 
+// Per-row run geometry of a 2-D view: true (with pitch = row stride, run =
+// row width) when the view's rows are narrower than their pitch — i.e. a
+// column strip of a row-major tensor, whose flat buffer range also covers
+// the neighbouring strips' elements.
+inline bool RowRunGeometry(const Tensor& view, int64_t* pitch, int64_t* run) {
+  if (view.ndim() != 2 || view.dim(0) <= 1) return false;
+  if (view.strides()[1] != 1 || view.strides()[0] <= view.dim(1)) return false;
+  *pitch = view.strides()[0];
+  *run = view.dim(1);
+  return true;
+}
+
+// Populate a DataSpec's read / write side from a tensor view. Column-strip
+// views additionally record the per-row runs so the consistency checker
+// audits the exact elements touched — concurrent transfers of disjoint
+// strips would flag false races under the conservative flat range.
+inline void SetReadView(DataSpec& d, const Tensor& view) {
+  view.BufferRange(&d.read_lo, &d.read_hi);
+  d.read_buf = view.buffer();
+  if (!RowRunGeometry(view, &d.read_pitch, &d.read_run)) {
+    d.read_pitch = d.read_run = 0;
+  }
+}
+inline void SetWriteView(DataSpec& d, const Tensor& view) {
+  view.BufferRange(&d.write_lo, &d.write_hi);
+  d.write_buf = view.buffer();
+  if (!RowRunGeometry(view, &d.write_pitch, &d.write_run)) {
+    d.write_pitch = d.write_run = 0;
+  }
+}
+
 namespace ops {
 
 // Blocks until all producer tiles this consumer depends on are done.

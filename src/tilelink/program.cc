@@ -235,6 +235,38 @@ struct ExecCtx {
   int tid = 0;
 };
 
+// Checker registration honouring DataSpec strided runs: a column strip of a
+// row-major tensor audits one run per covered row instead of the flat
+// [lo, hi) span (which overlaps the neighbouring strips' bytes and would
+// flag false races between disjoint strips).
+void CheckReadRuns(rt::World& world, const DataSpec& d, sim::TimeNs t,
+                   const std::string& label) {
+  if (d.read_buf == nullptr || !world.checker().enabled()) return;
+  if (d.read_pitch <= 0) {
+    world.checker().CheckRead(d.read_buf, d.read_lo, d.read_hi, t, label);
+    return;
+  }
+  for (int64_t lo = d.read_lo; lo < d.read_hi; lo += d.read_pitch) {
+    world.checker().CheckRead(d.read_buf, lo,
+                              std::min(lo + d.read_run, d.read_hi), t, label);
+  }
+}
+
+void RecordWriteRuns(rt::World& world, const DataSpec& d, sim::TimeNs start,
+                     sim::TimeNs end, const std::string& label) {
+  if (d.write_buf == nullptr || !world.checker().enabled()) return;
+  if (d.write_pitch <= 0) {
+    world.checker().RecordWrite(d.write_buf, d.write_lo, d.write_hi, start,
+                                end, label);
+    return;
+  }
+  for (int64_t lo = d.write_lo; lo < d.write_hi; lo += d.write_pitch) {
+    world.checker().RecordWrite(d.write_buf, lo,
+                                std::min(lo + d.write_run, d.write_hi), start,
+                                end, label);
+  }
+}
+
 void FireNotify(const ExecCtx& ec, const NotifySpec& spec) {
   for (const NotifyEntry& e : spec.entries) {
     for (int target : e.targets) {
@@ -259,10 +291,7 @@ sim::Coro AsyncPush(ExecCtx ec, DataSpec d, NotifySpec after,
   co_await world.Transfer(d.src_rank, d.dst_rank,
                           static_cast<uint64_t>(static_cast<double>(d.bytes) /
                                                 world.spec().dma_efficiency));
-  if (d.write_buf != nullptr) {
-    world.checker().RecordWrite(d.write_buf, d.write_lo, d.write_hi, start,
-                                world.sim().Now(), label);
-  }
+  RecordWriteRuns(world, d, start, world.sim().Now(), label);
   world.checker().CloseWrite(wt);
   if (ec.tr != nullptr) {
     ec.tr->AddSpan(ec.pid, ec.tid, label, start, world.sim().Now(),
@@ -299,11 +328,7 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
     }
     case OpKind::kLoad: {
       if (op.data) {
-        const DataSpec d = op.data(env);
-        if (d.read_buf != nullptr) {
-          world.checker().CheckRead(d.read_buf, d.read_lo, d.read_hi,
-                                    world.sim().Now(), op.label);
-        }
+        CheckReadRuns(world, op.data(env), world.sim().Now(), op.label);
       }
       if (op.cost) {
         const sim::TimeNs t0 = world.sim().Now();
@@ -319,12 +344,8 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
     case OpKind::kStore: {
       if (op.math && world.functional()) op.math(env);
       if (op.data) {
-        const DataSpec d = op.data(env);
-        if (d.write_buf != nullptr) {
-          world.checker().RecordWrite(d.write_buf, d.write_lo, d.write_hi,
-                                      world.sim().Now(), world.sim().Now(),
-                                      op.label);
-        }
+        RecordWriteRuns(world, op.data(env), world.sim().Now(),
+                        world.sim().Now(), op.label);
       }
       if (op.cost) {
         const sim::TimeNs t0 = world.sim().Now();
@@ -366,18 +387,12 @@ sim::Coro ExecOp(const ExecCtx& ec, Env& env, const Op& op) {
         break;
       }
       const sim::TimeNs start = world.sim().Now();
-      if (d.read_buf != nullptr) {
-        world.checker().CheckRead(d.read_buf, d.read_lo, d.read_hi, start,
-                                  op.label);
-      }
+      CheckReadRuns(world, d, start, op.label);
       const uint64_t wt =
           d.write_buf != nullptr ? world.checker().OpenWrite(start) : 0;
       co_await world.Transfer(d.src_rank, d.dst_rank, d.bytes);
       if (op.math && world.functional()) op.math(env);
-      if (d.write_buf != nullptr) {
-        world.checker().RecordWrite(d.write_buf, d.write_lo, d.write_hi,
-                                    start, world.sim().Now(), op.label);
-      }
+      RecordWriteRuns(world, d, start, world.sim().Now(), op.label);
       world.checker().CloseWrite(wt);
       if (ec.tr != nullptr) {
         ec.tr->AddSpan(

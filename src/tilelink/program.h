@@ -96,6 +96,13 @@ struct DataSpec {
   int64_t read_lo = 0, read_hi = 0;
   rt::Buffer* write_buf = nullptr;
   int64_t write_lo = 0, write_hi = 0;
+  // Strided views: a column strip of a row-major tensor occupies one run of
+  // `*_run` elements every `*_pitch` elements — its flat [lo, hi) covers
+  // bytes of the neighbouring strips, so auditing the whole span would
+  // report races between transfers of disjoint strips. When a pitch is > 0
+  // the checker registers the per-row runs instead of the flat range.
+  int64_t read_pitch = 0, read_run = 0;
+  int64_t write_pitch = 0, write_run = 0;
 };
 
 struct Op {
