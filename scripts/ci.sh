@@ -34,6 +34,13 @@
 #      instants, and makespans must be bitwise identical with tracing on or
 #      off. The stage then checks the fabric.* keys landed in the JSON
 #      report and that the saved trace file is non-trivial.
+#   6. Serving smoke: the continuous-batching bench drives a deterministic
+#      request trace through per-model replicas with laddered cold tuning
+#      behind the online config service — it self-gates p99/cold-tune
+#      latency bounds, the cold+warm hit rate, tuned >= seed, bitwise
+#      same-seed reproducibility (trace + cache), and the ladder's
+#      efficiency/argmin contract against the exhaustive search. The stage
+#      then checks the serving.* keys landed in BENCH_serving.json.
 # Usage: scripts/ci.sh [--fast]   (--fast skips the sanitizer/bench stages)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,7 +48,7 @@ cd "$(dirname "$0")/.."
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "=== [1/5] RelWithDebInfo, -Wall -Wextra -Werror ==="
+echo "=== [1/6] RelWithDebInfo, -Wall -Wextra -Werror ==="
 cmake -B build-ci -S . -DTILELINK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j
 # --timeout: a hung coroutine pipeline fails fast instead of
@@ -49,7 +56,7 @@ cmake --build build-ci -j
 (cd build-ci && ctest --output-on-failure --timeout 120 -j"$(nproc)")
 
 if [[ "$FAST" == "0" ]]; then
-  echo "=== [2/5] Debug + ASan ==="
+  echo "=== [2/6] Debug + ASan ==="
   cmake -B build-asan -S . -DTILELINK_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-asan -j
   # ctest includes test_multinode, so the functional collectives' payload
@@ -59,20 +66,20 @@ if [[ "$FAST" == "0" ]]; then
   (cd build-asan && ASAN_OPTIONS=detect_leaks=1 \
       ctest --output-on-failure --timeout 300 -j"$(nproc)")
 
-  echo "=== [3/5] Debug + TSan (parallel search + concurrent cache) ==="
+  echo "=== [3/6] Debug + TSan (parallel search + concurrent cache) ==="
   cmake -B build-tsan -S . -DTILELINK_TSAN=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-tsan -j --target test_tuning
   # halt_on_error: a data race fails the stage instead of scrolling past.
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/test_tuning
 
-  echo "=== [4/5] Bench smoke (tuned configs must beat hand-picked) ==="
+  echo "=== [4/6] Bench smoke (tuned configs must beat hand-picked) ==="
   ./build-ci/bench_micro_sim --json build-ci/BENCH_micro_sim.json
   ./build-ci/bench_fig8_mlp --json build-ci/BENCH_fig8.json
   ./build-ci/bench_fig11_e2e --tune-threads 8 \
       --json build-ci/BENCH_fig11.json \
       --cache build-ci/BENCH_fig11_cache.json
 
-  echo "=== [5/5] 16-GPU smoke (payload + fused + ag-fused + faults) ==="
+  echo "=== [5/6] 16-GPU smoke (payload + fused + ag-fused + faults) ==="
   # The generated/hand-built identity suite (test_overlap_gen) already ran
   # under ctest in stages 1-2; this stage gates the *generated* kernel's
   # end-to-end win: --ag-fused fails if the planner-generated ag_gemm_hier
@@ -95,6 +102,21 @@ if [[ "$FAST" == "0" ]]; then
       || { echo "empty TRACE_multinode.json"; exit 1; }
   grep -q '"ph"' build-ci/TRACE_multinode.json \
       || { echo "TRACE_multinode.json has no trace events"; exit 1; }
+
+  echo "=== [6/6] Serving smoke (continuous batching + online config service) ==="
+  # The bench exits nonzero if any of its own gates fail: fleet p99 and
+  # per-unseen-shape cold-tune latency bounds, cache hit rate across a
+  # cold+warm replica pair, tuned-vs-seed geomean >= 1, bitwise identical
+  # trace+cache on a same-seed rerun, and the laddered search matching the
+  # exhaustive argmin on every tuned MLP shape within 25% of its
+  # full-fidelity evaluations.
+  ./build-ci/bench_serving --requests 24 --tune-threads 8 \
+      --json build-ci/BENCH_serving.json \
+      --cache build-ci/BENCH_serving_cache.json
+  for key in serving.p99_ms serving.cache_hit_rate serving.tuned_speedup; do
+    grep -q "\"$key\"" build-ci/BENCH_serving.json \
+        || { echo "missing $key in BENCH_serving.json"; exit 1; }
+  done
 fi
 
 echo "CI OK"

@@ -4,6 +4,7 @@
 
 #include "baselines/mlp_baselines.h"
 #include "baselines/moe_baselines.h"
+#include "common/check.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/string_utils.h"
@@ -37,26 +38,28 @@ int RsBlock(int64_t m_per_rank, int bm) {
   return tl::RsBlockRows(m_per_rank, bm);
 }
 
-// ---- Hand-picked TileLink configs (the paper's figure defaults). These
-// seed every tuner search, so tuned configs can only improve on them. -----
-
-tl::TuneCandidate HandPickedAg(int64_t k) {
-  tl::TuneCandidate c;
-  c.gemm = CoarseTiling(k);
-  c.comm_tile_m = 128;
-  c.channels_per_rank = 4;
-  c.comm = tl::CommResource::kDma;  // the paper's generated AG+GEMM
-  return c;
+// Adapts the hand-picked comm tiling to the per-rank shard: the largest
+// power-of-two comm tile <= the requested one that divides the shard, then
+// the largest channel count <= the requested one that divides the tiles.
+// Training-scale shapes (shards that are multiples of 128 rows) keep the
+// paper defaults untouched; serving-path shards padded to 32 rows shrink
+// until the StaticMapping divisibility constraints hold.
+void AdaptCommTiling(int64_t m, int tp, tl::TuneCandidate* c) {
+  const int64_t per_rank = m / std::max(tp, 1);
+  int tile = c->comm_tile_m;
+  while (tile > 1 && per_rank % tile != 0) tile /= 2;
+  c->comm_tile_m = tile;
+  if (c->channels_per_rank > 0) {
+    const int64_t tiles_per_rank = std::max<int64_t>(1, per_rank / tile);
+    int cpr = c->channels_per_rank;
+    while (cpr > 1 && tiles_per_rank % cpr != 0) cpr /= 2;
+    c->channels_per_rank = cpr;
+  }
 }
 
-tl::TuneCandidate HandPickedRs(int64_t m, int tp, int64_t k) {
-  tl::TuneCandidate c;
-  c.gemm = CoarseTiling(k);
-  c.comm_tile_m = RsBlock(m / tp, c.gemm.bm);
-  c.comm = tl::CommResource::kDma;  // hybrid push (paper's best for GEMM+RS)
-  c.order = tl::TileOrder::kNextRankFirst;
-  return c;
-}
+// ---- Hand-picked TileLink configs (the paper's figure defaults, adapted
+// to shapes the defaults cannot tile). These seed every tuner search, so
+// tuned configs can only improve on them. --------------------------------
 
 tl::TuneCandidate HandPickedFlash() {
   tl::TuneCandidate c;
@@ -65,7 +68,7 @@ tl::TuneCandidate HandPickedFlash() {
   return c;
 }
 
-tl::TuneCandidate HandPickedMoePart1(int64_t hidden) {
+tl::TuneCandidate HandPickedMoePart1(int64_t m, int tp, int64_t hidden) {
   tl::TuneCandidate c;
   c.gemm = CoarseTiling(hidden);
   c.gemm.bn = 128;
@@ -74,6 +77,7 @@ tl::TuneCandidate HandPickedMoePart1(int64_t hidden) {
   c.comm = tl::CommResource::kSmPull;  // matches bench_fig9 tuning
   // Large-batch e2e shapes are compute-dominated: keep the comm role lean.
   c.comm_sms = 8;
+  AdaptCommTiling(m, tp, &c);
   return c;
 }
 
@@ -82,23 +86,65 @@ tl::TuneCandidate HandPickedMoePart2(int64_t m, int tp, int64_t inner) {
   c.gemm = CoarseTiling(inner);
   c.gemm.bn = 128;
   c.sorted_channel_rows = 2048;
-  c.reduce_block_tokens = 128;
-  c.comm_tile_m = RsBlock(m / tp, 128);
+  const int64_t per_rank = m / std::max(tp, 1);
+  int rs_base = 128;
+  while (rs_base > 1 && per_rank % rs_base != 0) rs_base /= 2;
+  c.comm_tile_m = RsBlock(per_rank, rs_base);
+  c.reduce_block_tokens = std::min(128, c.comm_tile_m);
   c.comm = tl::CommResource::kSmPush;  // matches bench_fig9 tuning
   c.comm_sms = 8;
   c.reduce_sms = 8;
   return c;
 }
 
+// Packs a search result into a cache entry, carrying the seed anchor and
+// the full-fidelity evaluation count for the serving-path speedup and
+// cold-tune accounting.
+tl::TunedEntry EntryFromResult(const tl::TuneResult& r) {
+  return tl::TunedEntry{r.best, r.best_cost, r.seed_cost,
+                        static_cast<int>(r.evaluated.size())};
+}
+
 }  // namespace
+
+tl::TuneCandidate DefaultAgGemmConfig(int64_t m, int64_t k, int tp) {
+  tl::TuneCandidate c;
+  c.gemm = CoarseTiling(k);
+  c.comm_tile_m = 128;
+  c.channels_per_rank = 4;
+  c.comm = tl::CommResource::kDma;  // the paper's generated AG+GEMM
+  AdaptCommTiling(m, tp, &c);
+  return c;
+}
+
+tl::TuneCandidate DefaultGemmRsConfig(int64_t m, int64_t k, int tp) {
+  tl::TuneCandidate c;
+  c.gemm = CoarseTiling(k);
+  // bm must divide the RS chunk, which must divide the per-rank shard:
+  // shrink the GEMM row tile until the chunk rule has something to work
+  // with (a no-op for training-scale shards).
+  const int64_t per_rank = m / std::max(tp, 1);
+  while (c.gemm.bm > 1 && per_rank % c.gemm.bm != 0) c.gemm.bm /= 2;
+  c.comm_tile_m = RsBlock(per_rank, c.gemm.bm);
+  c.comm = tl::CommResource::kDma;  // hybrid push (paper's best for GEMM+RS)
+  c.order = tl::TileOrder::kNextRankFirst;
+  return c;
+}
+
+tl::TuningSpace MlpTuningSpaceFor(int64_t m, int tp) {
+  const int64_t per_rank = m / std::max(tp, 1);
+  return per_rank < 1024 ? tl::TuningSpace::ServingMlp()
+                         : tl::TuningSpace::Mlp();
+}
 
 E2eEstimator::E2eEstimator(int tp, int64_t batch, int64_t seq, bool two_node)
     : tp_(tp), batch_(batch), seq_(seq), two_node_(two_node) {}
 
-void E2eEstimator::EnableTuning(tl::TunedConfigCache* cache,
-                                int tune_threads) {
+void E2eEstimator::EnableTuning(tl::TunedConfigCache* cache, int tune_threads,
+                                bool laddered) {
   tuned_cache_ = cache;
   tune_threads_ = std::max(1, tune_threads);
+  laddered_ = laddered;
 }
 
 tl::Autotuner E2eEstimator::Tuner() const {
@@ -169,7 +215,7 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
           tl::TunedConfigCache::Key("ag_gemm_hier", {m, k, n}, spec), [&] {
             const tl::TuneResult r = multinode::TuneAgGemmHier(
                 spec, shape, tl::TuningSpace::AgGemmHier(), seed, Tuner());
-            return tl::TunedEntry{r.best, r.best_cost};
+            return EntryFromResult(r);
           });
       t = multinode::SimulateAgGemmHier(spec, shape, e.config);
     } else if (fused) {
@@ -177,10 +223,13 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
     } else if (tuned) {
       const tl::TunedEntry& e = tuned_cache_->GetOrTune(
           tl::TunedConfigCache::Key("ag_gemm", {m, k, n}, spec), [&] {
+            const tl::TuneCandidate hand = DefaultAgGemmConfig(m, k, tp_);
+            const tl::TuningSpace space = MlpTuningSpaceFor(m, tp_);
             const tl::TuneResult r =
-                tl::TuneAgGemm(spec, shape, tl::TuningSpace::Mlp(),
-                               HandPickedAg(k), Tuner());
-            return tl::TunedEntry{r.best, r.best_cost};
+                laddered_
+                    ? tl::TuneAgGemmLaddered(spec, shape, space, hand, Tuner())
+                    : tl::TuneAgGemm(spec, shape, space, hand, Tuner());
+            return EntryFromResult(r);
           });
       // Re-simulate the cached config rather than trusting its stored cost:
       // the key's calibration hash invalidates cost-model recalibrations,
@@ -189,7 +238,7 @@ sim::TimeNs E2eEstimator::TimeAgGemm(Method method, int64_t m, int64_t k,
       // may then be stale-suboptimal, but never mis-timed).
       t = tl::SimulateAgGemm(spec, shape, e.config);
     } else {
-      t = tl::SimulateAgGemm(spec, shape, HandPickedAg(k));
+      t = tl::SimulateAgGemm(spec, shape, DefaultAgGemmConfig(m, k, tp_));
     }
   }
   return Store(key, t);
@@ -226,7 +275,7 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
           tl::TunedConfigCache::Key("gemm_hier_rs", {m, k, n}, spec), [&] {
             const tl::TuneResult r = multinode::TuneGemmHierRs(
                 spec, shape, tl::TuningSpace::GemmHierRs(), seed, Tuner());
-            return tl::TunedEntry{r.best, r.best_cost};
+            return EntryFromResult(r);
           });
       t = multinode::SimulateGemmHierRs(spec, shape, e.config);
     } else if (fused) {
@@ -234,14 +283,17 @@ sim::TimeNs E2eEstimator::TimeGemmRs(Method method, int64_t m, int64_t k,
     } else if (tuned) {
       const tl::TunedEntry& e = tuned_cache_->GetOrTune(
           tl::TunedConfigCache::Key("gemm_rs", {m, k, n}, spec), [&] {
+            const tl::TuneCandidate hand = DefaultGemmRsConfig(m, k, tp_);
+            const tl::TuningSpace space = MlpTuningSpaceFor(m, tp_);
             const tl::TuneResult r =
-                tl::TuneGemmRs(spec, shape, tl::TuningSpace::Mlp(),
-                               HandPickedRs(m, tp_, k), Tuner());
-            return tl::TunedEntry{r.best, r.best_cost};
+                laddered_
+                    ? tl::TuneGemmRsLaddered(spec, shape, space, hand, Tuner())
+                    : tl::TuneGemmRs(spec, shape, space, hand, Tuner());
+            return EntryFromResult(r);
           });
       t = tl::SimulateGemmRs(spec, shape, e.config);
     } else {
-      t = tl::SimulateGemmRs(spec, shape, HandPickedRs(m, tp_, k));
+      t = tl::SimulateGemmRs(spec, shape, DefaultGemmRsConfig(m, k, tp_));
     }
   }
   return Store(key, t);
@@ -264,10 +316,13 @@ sim::TimeNs E2eEstimator::TimeFlashCore(int64_t bh, int64_t sq, int64_t skv,
   if (tuned) {
     const tl::TunedEntry& e = tuned_cache_->GetOrTune(
         tl::TunedConfigCache::Key("flash_core", {bh, sq, skv, d}, spec), [&] {
+          const tl::TuningSpace space = tl::TuningSpace::Attention();
           const tl::TuneResult r =
-              tl::TuneFlashCore(spec, shape, tl::TuningSpace::Attention(),
-                                HandPickedFlash(), Tuner());
-          return tl::TunedEntry{r.best, r.best_cost};
+              laddered_ ? tl::TuneFlashCoreLaddered(spec, shape, space,
+                                                    HandPickedFlash(), Tuner())
+                        : tl::TuneFlashCore(spec, shape, space,
+                                            HandPickedFlash(), Tuner());
+          return EntryFromResult(r);
         });
     t = tl::SimulateFlashCore(spec, shape, e.config);
   } else {
@@ -286,14 +341,15 @@ sim::TimeNs E2eEstimator::TimeActivation(int64_t m, int64_t n) {
          spec.kernel_launch_latency;
 }
 
-sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
+sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model,
+                                  int64_t m) {
   const bool tuned = tuning_enabled() && method == Method::kTileLink;
-  const std::string key = StrFormat("moe/%d/%d/%s", static_cast<int>(method),
-                                    tuned ? 1 : 0, model.name.c_str());
+  const std::string key =
+      StrFormat("moe/%d/%d/%lld/%s", static_cast<int>(method), tuned ? 1 : 0,
+                (long long)m, model.name.c_str());
   sim::TimeNs t = 0;
   if (Lookup(key, &t)) return t;
   const sim::MachineSpec spec = Spec();
-  const int64_t m = batch_ * seq_;
   const int64_t inner = std::max<int64_t>(1, model.intermediate / tp_);
   Rng rng(kMoeRoutingSeed);
   compute::MoeRouting routing =
@@ -319,7 +375,7 @@ sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
   } else {
     const tl::MoeShape shape{m, model.hidden, inner, model.num_experts,
                              model.topk};
-    tl::TuneCandidate part1 = HandPickedMoePart1(model.hidden);
+    tl::TuneCandidate part1 = HandPickedMoePart1(m, tp_, model.hidden);
     tl::TuneCandidate part2 = HandPickedMoePart2(m, tp_, inner);
     if (tuned) {
       const auto dims = {m, model.hidden, inner,
@@ -328,23 +384,31 @@ sim::TimeNs E2eEstimator::TimeMoe(Method method, const ModelConfig& model) {
                          static_cast<int64_t>(kMoeRoutingSeed)};
       part1 =
           tuned_cache_
-              ->GetOrTune(tl::TunedConfigCache::Key("ag_moe", dims, spec),
-                          [&] {
-                            const tl::TuneResult r = tl::TuneAgMoe(
-                                spec, shape, routing,
-                                tl::TuningSpace::MoePart1(), part1, Tuner());
-                            return tl::TunedEntry{r.best, r.best_cost};
-                          })
+              ->GetOrTune(
+                  tl::TunedConfigCache::Key("ag_moe", dims, spec),
+                  [&] {
+                    const tl::TuningSpace space = tl::TuningSpace::MoePart1();
+                    const tl::TuneResult r =
+                        laddered_ ? tl::TuneAgMoeLaddered(spec, shape, routing,
+                                                          space, part1, Tuner())
+                                  : tl::TuneAgMoe(spec, shape, routing, space,
+                                                  part1, Tuner());
+                    return EntryFromResult(r);
+                  })
               .config;
       part2 =
           tuned_cache_
-              ->GetOrTune(tl::TunedConfigCache::Key("moe_rs", dims, spec),
-                          [&] {
-                            const tl::TuneResult r = tl::TuneMoeRs(
-                                spec, shape, routing,
-                                tl::TuningSpace::MoePart2(), part2, Tuner());
-                            return tl::TunedEntry{r.best, r.best_cost};
-                          })
+              ->GetOrTune(
+                  tl::TunedConfigCache::Key("moe_rs", dims, spec),
+                  [&] {
+                    const tl::TuningSpace space = tl::TuningSpace::MoePart2();
+                    const tl::TuneResult r =
+                        laddered_ ? tl::TuneMoeRsLaddered(spec, shape, routing,
+                                                          space, part2, Tuner())
+                                  : tl::TuneMoeRs(spec, shape, routing, space,
+                                                  part2, Tuner());
+                    return EntryFromResult(r);
+                  })
               .config;
     }
     // Both parts chained per rank inside one world, exactly as the fused
@@ -375,7 +439,7 @@ sim::TimeNs E2eEstimator::TimeDpSync(const ModelConfig& model) {
           const tl::TuneResult r = multinode::TuneDpSync(
               spec, grad_bytes, tl::TuningSpace::MultiNode(),
               multinode::DefaultDpSyncCandidate(), Tuner());
-          return tl::TunedEntry{r.best, r.best_cost};
+          return EntryFromResult(r);
         });
     t = multinode::SimulateDpSync(spec, grad_bytes, e.config);
   } else {
@@ -399,7 +463,7 @@ LayerBreakdown E2eEstimator::LayerTime(const ModelConfig& model,
   out.attn_block += TimeGemmRs(method, m, h / tp_, h);
   // FFN block.
   if (model.is_moe) {
-    out.ffn_block += TimeMoe(method, model);
+    out.ffn_block += TimeMoe(method, model, m);
     if (model.shared_expert_intermediate > 0) {
       const int64_t si = model.shared_expert_intermediate / tp_;
       out.ffn_block += TimeAgGemm(method, m, h, si);
@@ -419,6 +483,51 @@ LayerBreakdown E2eEstimator::LayerTime(const ModelConfig& model,
     out.dp_sync = TimeDpSync(model);
   }
   return out;
+}
+
+sim::TimeNs E2eEstimator::ServingStepTime(const ModelConfig& model,
+                                          Method method,
+                                          const ServingStep& step) {
+  const int64_t new_tokens = step.prefill_tokens + step.decode_requests;
+  TL_CHECK_MSG(new_tokens > 0, "empty serving step");
+  // Pad the GEMM token rows up to the serving quantum: per-rank shards stay
+  // multiples of 32 rows, so the adapted seeds and the ServingMlp space tile
+  // every ragged batch (down to a single decode token).
+  const int64_t quantum = 32LL * std::max(tp_, 1);
+  const int64_t m = RoundUp<int64_t>(std::max(new_tokens, quantum), quantum);
+  const int64_t h = model.hidden;
+  sim::TimeNs t = 0;
+  // Attention block: the projections run over the padded union of prefill
+  // and decode rows; the flash core splits into a square prefill pass over
+  // the new prompt tokens and a one-query-row decode pass per request
+  // against the (bucketed) KV context.
+  t += TimeAgGemm(method, m, h, 3 * h / tp_);
+  if (step.prefill_tokens > 0) {
+    t += TimeFlashCore(model.heads / tp_, step.prefill_tokens,
+                       step.prefill_tokens, model.head_dim);
+  }
+  if (step.decode_requests > 0) {
+    const int64_t kv = std::max<int64_t>(step.kv_len, 1);
+    t += TimeFlashCore(step.decode_requests * model.heads / tp_, 1, kv,
+                       model.head_dim);
+  }
+  t += TimeGemmRs(method, m, h / tp_, h);
+  // FFN block, same composition as LayerTime at the padded row count.
+  if (model.is_moe) {
+    t += TimeMoe(method, model, m);
+    if (model.shared_expert_intermediate > 0) {
+      const int64_t si = model.shared_expert_intermediate / tp_;
+      t += TimeAgGemm(method, m, h, si);
+      t += TimeActivation(m, si);
+      t += TimeGemmRs(method, m, si, h);
+    }
+  } else {
+    const int64_t inner = model.intermediate / tp_;
+    t += TimeAgGemm(method, m, h, inner);
+    t += TimeActivation(m, inner);
+    t += TimeGemmRs(method, m, inner, h);
+  }
+  return t;
 }
 
 E2eResult E2eEstimator::Run(const ModelConfig& model) {

@@ -51,6 +51,30 @@ struct E2eResult {
   LayerBreakdown tilelink_breakdown;
 };
 
+// One continuous-batching step of a serving replica: the ragged batch shape
+// the scheduler feeds through the estimator. prefill_tokens are the prompt
+// tokens entering this step (0 for decode-only steps); decode_requests are
+// the running requests emitting one token each against a KV context of up
+// to kv_len tokens. Callers on the serving path bucket these (see
+// serving/shape_bucket.h) so near-miss shapes share configs.
+struct ServingStep {
+  int64_t prefill_tokens = 0;
+  int64_t decode_requests = 0;
+  int64_t kv_len = 0;
+
+  friend bool operator==(const ServingStep&, const ServingStep&) = default;
+};
+
+// Hand-picked serving-path seed configs and spaces, exported so the serving
+// bench's ladder gates and tests search exactly what the estimator searches.
+// They reduce to the paper's figure defaults at training-scale shapes and
+// adapt the comm tiling to per-rank shards too small for them (ragged
+// decode batches), so the seed is feasible for every padded serving shape.
+tl::TuneCandidate DefaultAgGemmConfig(int64_t m, int64_t k, int tp);
+tl::TuneCandidate DefaultGemmRsConfig(int64_t m, int64_t k, int tp);
+// Mlp() for training-scale per-rank shards, ServingMlp() below 1024 rows.
+tl::TuningSpace MlpTuningSpaceFor(int64_t m, int tp);
+
 class E2eEstimator {
  public:
   // tp = tensor-parallel degree. Up to 8 the TP group lives in one node; a
@@ -73,17 +97,33 @@ class E2eEstimator {
   // thread-safe once tuning is enabled — the memo map is mutex'd and the
   // cache is internally synchronized — so independent layers/models can be
   // timed from concurrent threads against one shared cache.
-  void EnableTuning(tl::TunedConfigCache* cache, int tune_threads = 1);
+  // `laddered` switches every cold search to the laddered multi-fidelity
+  // schedule (Tune*Laddered: 1/16 -> 1/4 -> full rungs, seed-anchored,
+  // floor-gated) — the serving path's bounded cold-tune mode. The offline
+  // benches keep the classic halved search (the default) so their cache
+  // contents stay byte-identical to previous releases.
+  void EnableTuning(tl::TunedConfigCache* cache, int tune_threads = 1,
+                    bool laddered = false);
   bool tuning_enabled() const { return tuned_cache_ != nullptr; }
 
   LayerBreakdown LayerTime(const ModelConfig& model, Method method);
   E2eResult Run(const ModelConfig& model);
 
+  // Per-layer time of one continuous-batching serving step. GEMM token rows
+  // are padded up to the serving quantum (a multiple of 32*tp) so ragged
+  // decode batches (m = 1..32) route through the same fused kernels without
+  // tripping their divisibility constraints; attention is split into a
+  // prefill flash core (square over the new prompt) and a decode flash core
+  // (one query row per request against kv_len). Memoized per bucketed step
+  // shape like every other component.
+  sim::TimeNs ServingStepTime(const ModelConfig& model, Method method,
+                              const ServingStep& step);
+
  private:
   sim::TimeNs TimeAgGemm(Method method, int64_t m, int64_t k, int64_t n);
   sim::TimeNs TimeGemmRs(Method method, int64_t m, int64_t k, int64_t n);
   sim::TimeNs TimeFlashCore(int64_t bh, int64_t sq, int64_t skv, int64_t d);
-  sim::TimeNs TimeMoe(Method method, const ModelConfig& model);
+  sim::TimeNs TimeMoe(Method method, const ModelConfig& model, int64_t m);
   sim::TimeNs TimeActivation(int64_t m, int64_t n);
   sim::TimeNs TimeDpSync(const ModelConfig& model);
 
@@ -101,6 +141,7 @@ class E2eEstimator {
   int64_t batch_, seq_;
   bool two_node_;
   int tune_threads_ = 1;
+  bool laddered_ = false;
   tl::TunedConfigCache* tuned_cache_ = nullptr;
   std::mutex cache_mu_;  // guards cache_
   std::map<std::string, sim::TimeNs> cache_;

@@ -1,0 +1,100 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tilelink::serving {
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    const SchedulerConfig& cfg, std::vector<Request> requests)
+    : cfg_(cfg), requests_(std::move(requests)) {
+  TL_CHECK_MSG(cfg_.max_running > 0, "scheduler needs at least one slot");
+  TL_CHECK_MSG(cfg_.max_step_prefill > 0, "prefill budget must be positive");
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+}
+
+std::vector<RequestOutcome> ContinuousBatchScheduler::Run(
+    const StepCostFn& step_cost) {
+  steps_.clear();
+  struct Running {
+    const Request* req = nullptr;
+    int64_t generated = 0;   // decode tokens emitted so far
+    bool prefilled = false;  // true once its prefill step has executed
+  };
+  std::vector<RequestOutcome> out;
+  out.reserve(requests_.size());
+  std::vector<Running> running;
+  std::size_t next = 0;  // first request not yet admitted
+  sim::TimeNs now = 0;
+  while (next < requests_.size() || !running.empty()) {
+    if (running.empty() && requests_[next].arrival > now) {
+      now = requests_[next].arrival;  // replica idle: jump to next arrival
+    }
+    StepRecord rec;
+    rec.start = now;
+    // Admission: arrived requests in arrival order, while slots and the
+    // prefill-token budget last. A prompt that would overflow a partially
+    // spent budget waits for the next step; one larger than the whole
+    // budget is admitted into an otherwise prefill-empty step.
+    int64_t budget = cfg_.max_step_prefill;
+    while (next < requests_.size() && requests_[next].arrival <= now &&
+           static_cast<int>(running.size()) < cfg_.max_running &&
+           budget > 0) {
+      const Request& r = requests_[next];
+      if (r.prompt_tokens > budget && budget < cfg_.max_step_prefill) break;
+      running.push_back(Running{&r});
+      rec.shape.prefill_tokens += r.prompt_tokens;
+      budget -= r.prompt_tokens;
+      out.push_back(RequestOutcome{r.id, r.arrival, now, 0});
+      ++rec.admitted;
+      ++next;
+    }
+    // Decode width and KV context: one token per already-prefilled
+    // request, attending over the longest context in the batch.
+    for (const Running& ru : running) {
+      if (!ru.prefilled) continue;
+      ++rec.shape.decode_requests;
+      rec.shape.kv_len = std::max(rec.shape.kv_len,
+                                  ru.req->prompt_tokens + ru.generated);
+    }
+    rec.cost = step_cost(rec.shape);
+    TL_CHECK_MSG(rec.cost > 0, "serving step cost must be positive");
+    now += rec.cost;
+    // Token emission: decoders emit one token; fresh prefills emit their
+    // first. Requests at their decode quota finish and leave the batch.
+    std::vector<Running> still;
+    still.reserve(running.size());
+    for (Running& ru : running) {
+      if (ru.prefilled) {
+        ++ru.generated;
+      } else {
+        ru.prefilled = true;
+        ru.generated = 1;
+      }
+      if (ru.generated >= ru.req->gen_tokens) {
+        for (RequestOutcome& o : out) {
+          if (o.id == ru.req->id) {
+            o.finished = now;
+            break;
+          }
+        }
+        ++rec.finished;
+      } else {
+        still.push_back(ru);
+      }
+    }
+    running = std::move(still);
+    steps_.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace tilelink::serving

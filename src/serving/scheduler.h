@@ -1,0 +1,78 @@
+// Continuous-batching scheduler for one serving replica: admits requests
+// into the running batch as they arrive, evicts them as they finish, and
+// drives the per-step ragged batch shape through a step-cost callback (the
+// serving sim routes it through models::E2eEstimator). Iteration-level
+// scheduling in the Orca/vLLM sense, reduced to what the DES timing model
+// can observe: every step is one fused forward pass whose cost depends on
+// the step's prefill tokens, decode width and KV context.
+//
+// Fully deterministic: the schedule is a pure function of the request
+// trace, the config and the step-cost function.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "models/transformer.h"
+#include "serving/traffic_gen.h"
+#include "sim/time.h"
+
+namespace tilelink::serving {
+
+struct SchedulerConfig {
+  // Batch slots: at most this many requests run (prefill or decode) at
+  // once; arrived requests past the limit queue outside the batch.
+  int max_running = 16;
+  // Per-step prefill-token budget: newly admitted prompts are packed into
+  // a step until the budget is spent (a prompt larger than the whole
+  // budget is admitted alone — requests are never split).
+  int64_t max_step_prefill = 2048;
+};
+
+struct RequestOutcome {
+  int64_t id = 0;
+  sim::TimeNs arrival = 0;
+  sim::TimeNs admitted = 0;   // when it entered the running batch
+  sim::TimeNs finished = 0;   // when its last token was emitted
+  sim::TimeNs latency() const { return finished - arrival; }
+};
+
+// One executed step, in order: the raw (unbucketed) ragged shape, its
+// start time and cost, and the admission/eviction churn.
+struct StepRecord {
+  models::ServingStep shape;
+  sim::TimeNs start = 0;
+  sim::TimeNs cost = 0;
+  int admitted = 0;
+  int finished = 0;
+};
+
+// Step cost callback: wall time of one forward pass over `shape` (the
+// caller buckets the shape first if it wants config sharing).
+using StepCostFn = std::function<sim::TimeNs(const models::ServingStep&)>;
+
+class ContinuousBatchScheduler {
+ public:
+  // `requests` is the replica's slice of the trace; it is (stably) sorted
+  // by arrival time so admission order is deterministic.
+  ContinuousBatchScheduler(const SchedulerConfig& cfg,
+                           std::vector<Request> requests);
+
+  // Runs the trace to completion. Each step: admit arrived requests under
+  // the slot/prefill budgets, emit one decode token per already-running
+  // request, advance the clock by step_cost(shape), then evict requests
+  // whose decode quota is met (the prefill step emits the first token).
+  // Returns per-request outcomes sorted by id.
+  std::vector<RequestOutcome> Run(const StepCostFn& step_cost);
+
+  // The executed steps of the last Run(), in order.
+  const std::vector<StepRecord>& steps() const { return steps_; }
+
+ private:
+  SchedulerConfig cfg_;
+  std::vector<Request> requests_;
+  std::vector<StepRecord> steps_;
+};
+
+}  // namespace tilelink::serving

@@ -1,0 +1,78 @@
+#include "serving/serving_sim.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/string_utils.h"
+
+namespace tilelink::serving {
+
+sim::TimeNs Percentile(std::vector<sim::TimeNs> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  idx = std::min(idx, values.size() - 1);
+  return values[idx];
+}
+
+ServingResult RunServing(const ServingOptions& opts,
+                         models::E2eEstimator* est) {
+  TL_CHECK_MSG(!opts.models.empty(), "serving needs at least one model");
+  ServingResult out;
+  TrafficConfig tcfg = opts.traffic;
+  tcfg.num_models = static_cast<int>(opts.models.size());
+  const std::vector<Request> all = GenerateTraffic(tcfg);
+  out.trace = TraceString(all);
+  std::vector<sim::TimeNs> fleet_latencies;
+  for (std::size_t mi = 0; mi < opts.models.size(); ++mi) {
+    const models::ModelConfig& model = opts.models[mi];
+    std::vector<Request> mine;
+    for (const Request& r : all) {
+      if (r.model_index == static_cast<int>(mi)) mine.push_back(r);
+    }
+    ModelServingResult row;
+    row.model = model.name;
+    if (!mine.empty()) {
+      ContinuousBatchScheduler sched(opts.sched, std::move(mine));
+      const std::vector<RequestOutcome> outcomes =
+          sched.Run([&](const models::ServingStep& raw) {
+            // Bucket before timing so near-miss ragged shapes share one
+            // memo entry — and one tuned config — per bucket.
+            const models::ServingStep b = BucketStep(raw, opts.buckets);
+            return est->ServingStepTime(model, opts.method, b) * model.layers;
+          });
+      row.requests = static_cast<int64_t>(outcomes.size());
+      row.steps = static_cast<int64_t>(sched.steps().size());
+      std::vector<sim::TimeNs> latencies;
+      latencies.reserve(outcomes.size());
+      for (const RequestOutcome& o : outcomes) {
+        latencies.push_back(o.latency());
+        fleet_latencies.push_back(o.latency());
+      }
+      row.p50_latency = Percentile(latencies, 0.5);
+      row.p99_latency = Percentile(latencies, 0.99);
+      const StepRecord& last = sched.steps().back();
+      row.makespan = last.start + last.cost;
+      for (std::size_t si = 0; si < sched.steps().size(); ++si) {
+        const StepRecord& s = sched.steps()[si];
+        out.trace += StrFormat(
+            "%s step %zu t=%lld prefill=%lld decode=%lld kv=%lld cost=%lld "
+            "admitted=%d finished=%d\n",
+            model.name.c_str(), si, (long long)s.start,
+            (long long)s.shape.prefill_tokens,
+            (long long)s.shape.decode_requests, (long long)s.shape.kv_len,
+            (long long)s.cost, s.admitted, s.finished);
+      }
+    }
+    out.total_requests += row.requests;
+    out.total_steps += row.steps;
+    out.per_model.push_back(row);
+  }
+  out.p50_latency = Percentile(fleet_latencies, 0.5);
+  out.p99_latency = Percentile(fleet_latencies, 0.99);
+  return out;
+}
+
+}  // namespace tilelink::serving

@@ -1,0 +1,59 @@
+// Serving-scale simulation: one continuous-batching replica per model zoo
+// entry, a shared deterministic request trace, and per-step timing through
+// models::E2eEstimator (shapes bucketed so the online config service's
+// cache is actually shared). Everything downstream of the seed is a pure
+// function of the options: the bench gates bitwise-identical traces and
+// cache contents across reruns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "models/transformer.h"
+#include "serving/scheduler.h"
+#include "serving/shape_bucket.h"
+#include "serving/traffic_gen.h"
+#include "sim/time.h"
+
+namespace tilelink::serving {
+
+struct ServingOptions {
+  models::Method method = models::Method::kTileLink;
+  std::vector<models::ModelConfig> models;  // one replica each
+  TrafficConfig traffic;  // num_models is overridden to models.size()
+  SchedulerConfig sched;
+  BucketPolicy buckets;
+};
+
+struct ModelServingResult {
+  std::string model;
+  int64_t requests = 0;
+  int64_t steps = 0;
+  sim::TimeNs makespan = 0;  // last step end, relative to trace start
+  sim::TimeNs p50_latency = 0;
+  sim::TimeNs p99_latency = 0;
+};
+
+struct ServingResult {
+  std::vector<ModelServingResult> per_model;
+  int64_t total_requests = 0;
+  int64_t total_steps = 0;
+  sim::TimeNs p50_latency = 0;  // fleet-wide request latency percentiles
+  sim::TimeNs p99_latency = 0;
+  // Deterministic text log: the full request trace plus one line per
+  // executed step (shape, cost, churn). Identical seeds must produce
+  // identical strings — the bench's reproducibility gate.
+  std::string trace;
+};
+
+// Nearest-rank percentile (p in [0, 1]) of `values`; 0 when empty.
+sim::TimeNs Percentile(std::vector<sim::TimeNs> values, double p);
+
+// Runs the trace through every replica. `est` supplies per-step times (pad
+// + simulate + memoize); attach a ConfigService first for tuned configs.
+ServingResult RunServing(const ServingOptions& opts,
+                         models::E2eEstimator* est);
+
+}  // namespace tilelink::serving

@@ -1,0 +1,44 @@
+// Shape bucketing for the serving path: ragged continuous-batching steps
+// are rounded up to power-of-two buckets before they reach the estimator
+// (and therefore the config service), so near-miss shapes share one tuned
+// config instead of triggering a cold search per distinct ragged shape.
+// Bucketing only ever rounds *up* — a config tuned for the bucket is valid
+// (and conservative) for every shape inside it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "models/transformer.h"
+
+namespace tilelink::serving {
+
+struct BucketPolicy {
+  int64_t prefill_min = 16;  // smallest prefill-token bucket
+  int64_t decode_min = 1;    // smallest decode-batch bucket
+  int64_t kv_min = 256;      // smallest KV-context bucket
+};
+
+// Smallest power-of-two multiple of `min_bucket` that covers `v`.
+inline int64_t BucketUp(int64_t v, int64_t min_bucket) {
+  int64_t b = min_bucket;
+  while (b < v) b *= 2;
+  return b;
+}
+
+// Buckets each step axis independently; zero axes stay zero (a decode-only
+// step must not grow a phantom prefill).
+inline models::ServingStep BucketStep(const models::ServingStep& s,
+                                      const BucketPolicy& p = {}) {
+  models::ServingStep out;
+  if (s.prefill_tokens > 0) {
+    out.prefill_tokens = BucketUp(s.prefill_tokens, p.prefill_min);
+  }
+  if (s.decode_requests > 0) {
+    out.decode_requests = BucketUp(s.decode_requests, p.decode_min);
+    out.kv_len = BucketUp(std::max<int64_t>(s.kv_len, 1), p.kv_min);
+  }
+  return out;
+}
+
+}  // namespace tilelink::serving

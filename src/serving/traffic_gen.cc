@@ -1,0 +1,58 @@
+#include "serving/traffic_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_utils.h"
+
+namespace tilelink::serving {
+namespace {
+
+// Per-mille quantiles of the unit exponential at the 16 bucket midpoints
+// (p = 1/32, 3/32, ..., 31/32): an integer-only stand-in for -ln(1-u) that
+// keeps the gap distribution's mean within ~2% of the configured one
+// without touching libm (bitwise reproducibility across platforms).
+constexpr int64_t kExpQuantilePerMille[16] = {
+    32,  98,   170,  247,  330,  421,  521,  633,
+    758, 901, 1068, 1269, 1520, 1856, 2367, 3466};
+
+}  // namespace
+
+std::vector<Request> GenerateTraffic(const TrafficConfig& cfg) {
+  TL_CHECK_MSG(cfg.num_requests >= 0, "negative request count");
+  TL_CHECK_MSG(cfg.num_models > 0, "traffic needs at least one model");
+  TL_CHECK_MSG(cfg.min_prompt > 0 && cfg.min_prompt <= cfg.max_prompt,
+               "bad prompt-length range");
+  TL_CHECK_MSG(cfg.min_gen > 0 && cfg.min_gen <= cfg.max_gen,
+               "bad decode-length range");
+  Rng rng(cfg.seed);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(cfg.num_requests));
+  sim::TimeNs clock = 0;
+  for (int i = 0; i < cfg.num_requests; ++i) {
+    Request r;
+    r.id = i;
+    r.model_index = static_cast<int>(
+        rng.NextU64(static_cast<uint64_t>(cfg.num_models)));
+    const int64_t q = kExpQuantilePerMille[rng.NextU64(16)];
+    clock += cfg.mean_interarrival * q / 1000;
+    r.arrival = clock;
+    r.prompt_tokens = rng.UniformInt(cfg.min_prompt, cfg.max_prompt);
+    r.gen_tokens = rng.UniformInt(cfg.min_gen, cfg.max_gen);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string TraceString(const std::vector<Request>& requests) {
+  std::string out;
+  for (const Request& r : requests) {
+    out += StrFormat("req %lld model=%d arrival_ns=%lld prompt=%lld gen=%lld\n",
+                     (long long)r.id, r.model_index, (long long)r.arrival,
+                     (long long)r.prompt_tokens, (long long)r.gen_tokens);
+  }
+  return out;
+}
+
+}  // namespace tilelink::serving

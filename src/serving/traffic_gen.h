@@ -1,0 +1,51 @@
+// Deterministic request-level traffic generator for the serving bench: a
+// mixed prefill/decode workload across the model zoo with Poisson-like
+// arrivals, bitwise reproducible per seed across platforms (splitmix64
+// draws only, no libm, no std:: distribution objects — the same contract
+// sim::FaultPlan makes for fault schedules).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tilelink::serving {
+
+// One inference request: `prompt_tokens` enter as a prefill, then the
+// request decodes `gen_tokens` tokens (one per scheduler step) before
+// leaving the batch.
+struct Request {
+  int64_t id = 0;
+  int model_index = 0;       // which serving replica (model) it targets
+  sim::TimeNs arrival = 0;   // ns since trace start
+  int64_t prompt_tokens = 0;
+  int64_t gen_tokens = 0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+struct TrafficConfig {
+  uint64_t seed = 1;
+  int num_requests = 64;
+  int num_models = 1;  // model_index drawn uniformly from [0, num_models)
+  // Mean of the (approximately exponential) inter-arrival gap.
+  sim::TimeNs mean_interarrival = sim::Ms(5);
+  int64_t min_prompt = 64;
+  int64_t max_prompt = 2048;
+  int64_t min_gen = 8;
+  int64_t max_gen = 64;
+};
+
+// Generates the trace. Arrivals are nondecreasing; requests are numbered
+// 0..num_requests-1 in arrival order. Per request the generator draws, in
+// this fixed order: model index, arrival gap, prompt length, decode length
+// — so the trace is a pure function of the config.
+std::vector<Request> GenerateTraffic(const TrafficConfig& cfg);
+
+// One line per request; identical seeds must produce identical strings
+// (the serving bench's bitwise reproducibility gate diffs these).
+std::string TraceString(const std::vector<Request>& requests);
+
+}  // namespace tilelink::serving

@@ -1,7 +1,9 @@
 #include "tilelink/builder/tuned_config_cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -168,7 +170,8 @@ bool ParseEntryObject(JsonScanner& scan, TunedEntry* entry) {
     int64_t value = 0;
     if (!scan.ParseInt(&value)) return false;
     // Every config field is an int; out-of-range means a corrupted file.
-    if (field != "cost_ns" &&
+    // (The two cost fields are int64 nanoseconds.)
+    if (field != "cost_ns" && field != "seed_cost_ns" &&
         (value > std::numeric_limits<int>::max() ||
          value < std::numeric_limits<int>::min())) {
       return false;
@@ -202,6 +205,10 @@ bool ParseEntryObject(JsonScanner& scan, TunedEntry* entry) {
       c.staging_depth = v;
     } else if (field == "cost_ns") {
       entry->cost = value;
+    } else if (field == "seed_cost_ns") {
+      entry->seed_cost = value;
+    } else if (field == "full_evals") {
+      entry->full_evals = v;
     } else {
       return false;  // unknown field: not ours
     }
@@ -245,6 +252,7 @@ std::size_t TunedConfigCache::PruneStaleCalibration(
     const std::string& key = it->first;
     if (key.size() < want.size() ||
         key.compare(key.size() - want.size(), want.size(), want) != 0) {
+      recency_.erase(key);
       it = entries_.erase(it);
       ++removed;
     } else {
@@ -260,9 +268,49 @@ const TunedEntry* TunedConfigCache::Find(const std::string& key) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+void TunedConfigCache::TouchLocked(const std::string& key) {
+  recency_[key] = ++tick_;
+}
+
+void TunedConfigCache::EvictOverflowLocked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    auto victim = recency_.end();
+    for (auto it = recency_.begin(); it != recency_.end(); ++it) {
+      if (victim == recency_.end() || it->second < victim->second) {
+        victim = it;
+      }
+    }
+    if (victim == recency_.end()) break;  // recency lost track: keep all
+    entries_.erase(victim->first);
+    recency_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void TunedConfigCache::StoreLocked(const std::string& key,
+                                   const TunedEntry& entry) {
+  entries_[key] = entry;
+  TouchLocked(key);
+  ++stats_.stores;
+  EvictOverflowLocked();
+}
+
+void TunedConfigCache::SetCapacity(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_entries;
+  EvictOverflowLocked();
+}
+
+std::vector<std::pair<std::string, TunedEntry>> TunedConfigCache::Entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
 void TunedConfigCache::Put(const std::string& key, const TunedEntry& entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[key] = entry;
+  StoreLocked(key, entry);
 }
 
 TunedEntry TunedConfigCache::GetOrTune(
@@ -271,17 +319,25 @@ TunedEntry TunedConfigCache::GetOrTune(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++hits_;
+      ++stats_.hits;
+      TouchLocked(key);
       return it->second;
     }
   }
   // Search with the lock dropped: a concurrent tuner missing the same key
   // runs its own (deterministic, hence identical) search, and last-wins
-  // below leaves the same entry either way.
+  // below leaves the same entry either way. The wall clock around the
+  // search feeds the warm-start accounting only — never the cache contents.
+  const auto t0 = std::chrono::steady_clock::now();
   TunedEntry fresh = tune();
+  const int64_t tune_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
   std::lock_guard<std::mutex> lock(mu_);
-  ++misses_;
-  entries_[key] = fresh;
+  ++stats_.misses;
+  stats_.warm_start_ns += tune_ns;
+  stats_.max_tune_ns = std::max(stats_.max_tune_ns, tune_ns);
+  StoreLocked(key, fresh);
   return fresh;
 }
 
@@ -307,7 +363,9 @@ std::string TunedConfigCache::ToJson() const {
        << ", \"reduce_sms\": " << c.reduce_sms
        << ", \"nic_chunk_tiles\": " << c.nic_chunk_tiles
        << ", \"staging_depth\": " << c.staging_depth
-       << ", \"cost_ns\": " << entry.cost << "}";
+       << ", \"cost_ns\": " << entry.cost
+       << ", \"seed_cost_ns\": " << entry.seed_cost
+       << ", \"full_evals\": " << entry.full_evals << "}";
   }
   os << "\n}\n";
   return os.str();
@@ -337,6 +395,12 @@ bool TunedConfigCache::FromJson(const std::string& json) {
   for (auto& [key, entry] : parsed) {
     entries_[key] = std::move(entry);
   }
+  // Loaded entries get recency ticks in key order (deterministic; recency
+  // itself is never serialized), then any capacity overflow is evicted.
+  for (const auto& [key, entry] : entries_) {
+    if (recency_.find(key) == recency_.end()) TouchLocked(key);
+  }
+  EvictOverflowLocked();
   return true;
 }
 

@@ -14,6 +14,8 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/machine_spec.h"
 #include "sim/time.h"
@@ -32,8 +34,30 @@ uint32_t CostCalibrationHash(const sim::MachineSpec& spec);
 struct TunedEntry {
   TuneCandidate config;
   sim::TimeNs cost = 0;  // simulated makespan of `config`
+  // Serving-path accounting (serialized; files written before these fields
+  // existed parse with both at 0, meaning "unknown"). Both are produced by
+  // the deterministic search replay, so they are as thread-count- and
+  // rerun-invariant as config/cost.
+  sim::TimeNs seed_cost = 0;  // full-fidelity cost of the search's seed
+  int full_evals = 0;         // full-fidelity simulations the search paid
 
   friend bool operator==(const TunedEntry&, const TunedEntry&) = default;
+};
+
+// Online-config-service counters (stats() accessor). Hit/miss/store counts
+// are the search-avoidance tallies GetOrTune always kept; warm_start_ns and
+// max_tune_ns are *wall-clock* nanoseconds spent inside GetOrTune's tune()
+// callbacks — the cold-start latency a warm-started cache avoids, and the
+// largest single search (the serving path's per-unseen-shape bound). Wall
+// times are observability only and never serialized: cache files must stay
+// bitwise identical across reruns and thread counts.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t stores = 0;     // Put + GetOrTune-miss stores (incl. overwrites)
+  int64_t evictions = 0;  // LRU evictions under SetCapacity
+  int64_t warm_start_ns = 0;
+  int64_t max_tune_ns = 0;
 };
 
 // Thread safety: every member locks an internal mutex, so one cache can be
@@ -72,12 +96,27 @@ class TunedConfigCache {
   }
   int hits() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
+    return static_cast<int>(stats_.hits);
   }
   int misses() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return misses_;
+    return static_cast<int>(stats_.misses);
   }
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  // Online-config-service mode: a capacity > 0 bounds the entry count, with
+  // least-recently-*used* eviction (GetOrTune hits/stores and Puts refresh
+  // recency; Find and serialization do not). 0 (the default) disables
+  // eviction — the offline benches keep every search. Shrinking the
+  // capacity below the current size evicts immediately.
+  void SetCapacity(std::size_t max_entries);
+
+  // Snapshot of every entry in key order (the ToJson order) — the config
+  // service derives its tuned-vs-seed speedup stats from this.
+  std::vector<std::pair<std::string, TunedEntry>> Entries() const;
 
   // Drops entries whose key's calibration suffix does not match
   // `calibration_hash` — the generations a recalibration orphaned. Without
@@ -102,10 +141,19 @@ class TunedConfigCache {
   bool LoadFile(const std::string& path);
 
  private:
+  // Pre: mu_ held. Records a store, refreshes recency, evicts LRU overflow.
+  void StoreLocked(const std::string& key, const TunedEntry& entry);
+  void TouchLocked(const std::string& key);
+  void EvictOverflowLocked();
+
   mutable std::mutex mu_;
   std::map<std::string, TunedEntry> entries_;
-  int hits_ = 0;
-  int misses_ = 0;
+  // Monotonic recency ticks for LRU eviction; entries loaded from JSON get
+  // ticks in key order. Not serialized (recency is a runtime property).
+  std::map<std::string, uint64_t> recency_;
+  uint64_t tick_ = 0;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  CacheStats stats_;
 };
 
 }  // namespace tilelink::tl

@@ -205,6 +205,16 @@ TuningSpace TuningSpace::Mlp() {
   return space;
 }
 
+TuningSpace TuningSpace::ServingMlp() {
+  TuningSpace space;
+  space.CommTileM({16, 32, 64, 128, 256})
+      .CommSms({8, 20, 32})
+      .Resources({CommResource::kSmPull, CommResource::kSmPush,
+                  CommResource::kDma})
+      .Orders({TileOrder::kOwnerFirst, TileOrder::kNextRankFirst});
+  return space;
+}
+
 TuningSpace TuningSpace::Attention() {
   TuningSpace space;
   space.AttnBlocks({{64, 128},

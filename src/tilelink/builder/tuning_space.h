@@ -78,6 +78,13 @@ class TuningSpace {
   // tile orders, and coarse/fine synchronization granularity.
   static TuningSpace Mlp();
 
+  // The MLP space for serving-path shapes: same axes as Mlp() with the
+  // comm-tile range shifted down (16-256 rows). Continuous-batching steps
+  // pad ragged decode batches to a few hundred rows, where a 32-row
+  // per-rank shard makes every >=64-row comm tile infeasible; training-
+  // scale shapes keep using Mlp() (the estimator picks by per-rank rows).
+  static TuningSpace ServingMlp();
+
   // AG-KV + flash attention: flash block sizes (comm is always DMA-driven
   // host copies, so no resource/SM axes).
   static TuningSpace Attention();

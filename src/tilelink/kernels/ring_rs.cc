@@ -44,7 +44,6 @@ BlockProgram BuildRingReduceScatter(const RingRsParams& p) {
   const int64_t n_strip = p.n / S;
   const int64_t chunks = RingRsChunks(p);
   const int64_t block_m = p.block_m;
-  const int64_t n = p.n;
   const DType dtype = p.dtype;
   auto partials = p.partials;
   auto staging = p.staging;
